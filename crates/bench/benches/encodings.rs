@@ -1,0 +1,88 @@
+//! Ablation bench (DESIGN.md §3): the paper's sorting-network encoding
+//! vs the CVaR dual encoding vs raw enumeration, as the number of
+//! ingresses (N) and the protection level (k) grow. Measures full
+//! build-and-solve time of a control-plane-FFC-shaped LP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ffc_core::bounded_msum::{constrain_any_m_sum_le, MsumEncoding};
+use ffc_core::sorting_network::batcher_sorted_values;
+use ffc_lp::{Cmp, LinExpr, Model, Sense};
+
+/// A stylized per-link FFC subproblem: N gap terms over N variable
+/// pairs, bounded-M-sum constrained against a budget, maximizing the
+/// base allocations.
+fn build_and_solve(n: usize, k: usize, enc: MsumEncoding) -> f64 {
+    let mut m = Model::new();
+    let a: Vec<_> = (0..n).map(|i| m.add_var(0.0, 10.0, format!("a{i}"))).collect();
+    let beta: Vec<_> = (0..n).map(|i| m.add_var(0.0, 12.0, format!("b{i}"))).collect();
+    let mut load = LinExpr::zero();
+    let mut gaps = Vec::with_capacity(n);
+    for i in 0..n {
+        // beta >= a (the gap is nonnegative).
+        m.add_ge(LinExpr::from(beta[i]), LinExpr::from(a[i]));
+        // beta >= 6 (a stale-weights floor).
+        m.add_ge(LinExpr::from(beta[i]), LinExpr::constant(6.0));
+        load.add_term(a[i], 1.0);
+        gaps.push(LinExpr::from(beta[i]) - LinExpr::from(a[i]));
+    }
+    let budget = LinExpr::constant(8.0 * n as f64) - load;
+    constrain_any_m_sum_le(&mut m, gaps, k, budget, enc);
+    m.set_objective(LinExpr::sum(a.iter().copied()), Sense::Maximize);
+    m.solve().expect("solvable").objective
+}
+
+/// Same subproblem encoded with a *full* Batcher sort instead of the
+/// partial bubble network (O(n·log²n) vs O(n·k) comparators).
+fn build_and_solve_full_sort(n: usize, k: usize) -> f64 {
+    let mut m = Model::new();
+    let a: Vec<_> = (0..n).map(|i| m.add_var(0.0, 10.0, format!("a{i}"))).collect();
+    let beta: Vec<_> = (0..n).map(|i| m.add_var(0.0, 12.0, format!("b{i}"))).collect();
+    let mut load = LinExpr::zero();
+    let mut gaps = Vec::with_capacity(n);
+    for i in 0..n {
+        m.add_ge(LinExpr::from(beta[i]), LinExpr::from(a[i]));
+        m.add_ge(LinExpr::from(beta[i]), LinExpr::constant(6.0));
+        load.add_term(a[i], 1.0);
+        gaps.push(LinExpr::from(beta[i]) - LinExpr::from(a[i]));
+    }
+    let sorted = batcher_sorted_values(&mut m, gaps);
+    let top: LinExpr = sorted.into_iter().take(k).fold(LinExpr::zero(), |x, e| x + e);
+    let budget = LinExpr::constant(8.0 * n as f64) - load;
+    m.add_con(top - budget, Cmp::Le, 0.0);
+    m.set_objective(LinExpr::sum(a.iter().copied()), Sense::Maximize);
+    m.solve().expect("solvable").objective
+}
+
+fn bench_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msum_encodings");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        for k in [1usize, 2, 3] {
+            for enc in [MsumEncoding::SortingNetwork, MsumEncoding::Cvar] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{enc:?}"), format!("n{n}_k{k}")),
+                    &(n, k, enc),
+                    |b, &(n, k, enc)| b.iter(|| build_and_solve(n, k, enc)),
+                );
+            }
+            group.bench_with_input(
+                BenchmarkId::new("FullBatcherSort", format!("n{n}_k{k}")),
+                &(n, k),
+                |b, &(n, k)| b.iter(|| build_and_solve_full_sort(n, k)),
+            );
+            // Enumeration only where the combination count stays sane.
+            if n <= 16 || k <= 2 {
+                group.bench_with_input(
+                    BenchmarkId::new("Enumeration", format!("n{n}_k{k}")),
+                    &(n, k),
+                    |b, &(n, k)| b.iter(|| build_and_solve(n, k, MsumEncoding::Enumeration)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encodings);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the LP solver substrate itself: sparse LU
+//! factorization, FTRAN/BTRAN, and end-to-end simplex solves on random
+//! multicommodity-flow-like LPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ffc_lp::{Cmp, LinExpr, Model, Sense};
+
+/// Builds a random transportation-style LP: `rows` capacity constraints
+/// over `cols` variables, ~4 nonzeros per column.
+fn random_lp(rows: usize, cols: usize, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Model::new();
+    let xs: Vec<_> = (0..cols).map(|i| m.add_var(0.0, 10.0, format!("x{i}"))).collect();
+    let mut row_exprs: Vec<LinExpr> = vec![LinExpr::zero(); rows];
+    for &x in &xs {
+        for _ in 0..4 {
+            let r = rng.gen_range(0..rows);
+            row_exprs[r].add_term(x, 1.0 + rng.gen::<f64>());
+        }
+    }
+    for e in row_exprs {
+        if !e.is_empty() {
+            m.add_con(e, Cmp::Le, 50.0 + rng.gen::<f64>() * 50.0);
+        }
+    }
+    let obj = LinExpr::weighted_sum(xs.iter().map(|&x| (x, 1.0 + rng.gen::<f64>())));
+    m.set_objective(obj, Sense::Maximize);
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    group.sample_size(10);
+    for (rows, cols) in [(100usize, 300usize), (400, 1200), (1000, 3000)] {
+        let model = random_lp(rows, cols, 7);
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{rows}x{cols}")),
+            &model,
+            |b, m| b.iter(|| m.solve().expect("solvable")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    use ffc_lp::lu::LuFactors;
+    use ffc_lp::sparse::CscMatrix;
+    let mut group = c.benchmark_group("lu");
+    for m in [200usize, 1000, 4000] {
+        // A sparse diagonally-dominant matrix with ~5 off-diagonals per
+        // column.
+        let mut rng = StdRng::seed_from_u64(3);
+        let cols: Vec<Vec<(usize, f64)>> = (0..m)
+            .map(|j| {
+                let mut col = vec![(j, 10.0 + rng.gen::<f64>())];
+                for _ in 0..5 {
+                    let i = rng.gen_range(0..m);
+                    if i != j {
+                        col.push((i, rng.gen::<f64>() - 0.5));
+                    }
+                }
+                col
+            })
+            .collect();
+        let mat = CscMatrix::from_columns(m, &cols);
+        group.bench_with_input(BenchmarkId::new("factorize", m), &mat, |b, mat| {
+            b.iter(|| LuFactors::factorize(mat).expect("nonsingular"))
+        });
+        let mut lu = LuFactors::factorize(&mat).expect("nonsingular");
+        let v = vec![1.0; m];
+        let mut out = vec![0.0; m];
+        group.bench_with_input(BenchmarkId::new("ftran", m), &(), |b, _| {
+            b.iter(|| lu.ftran(&v, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_lu);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmark behind Table 2: TE computation time with and
+//! without FFC, on the L-Net and S-Net instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ffc_bench::{lnet_instance, snet_instance, Instance};
+use ffc_core::{solve_ffc, solve_te, FfcConfig, TeProblem};
+
+fn bench_te_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("te_compute");
+    group.sample_size(10);
+
+    let instances: Vec<Instance> = vec![lnet_instance(42, 2), snet_instance(42, 2)];
+    for inst in &instances {
+        let topo = &inst.net.topo;
+        let old = solve_te(TeProblem::new(topo, &inst.trace.intervals[0], &inst.tunnels))
+            .expect("old TE");
+        let tm = &inst.trace.intervals[1];
+
+        group.bench_with_input(BenchmarkId::new("non-FFC", inst.name), &(), |b, _| {
+            b.iter(|| solve_te(TeProblem::new(topo, tm, &inst.tunnels)).expect("TE"))
+        });
+        group.bench_with_input(BenchmarkId::new("FFC(2,1,0)", inst.name), &(), |b, _| {
+            b.iter(|| {
+                solve_ffc(
+                    TeProblem::new(topo, tm, &inst.tunnels),
+                    &old,
+                    &FfcConfig::new(2, 1, 0),
+                )
+                .expect("FFC")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("FFC(3,3,0)", inst.name), &(), |b, _| {
+            b.iter(|| {
+                solve_ffc(
+                    TeProblem::new(topo, tm, &inst.tunnels),
+                    &old,
+                    &FfcConfig::new(3, 3, 0),
+                )
+                .expect("FFC")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_te_compute);
+criterion_main!(benches);

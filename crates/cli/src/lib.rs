@@ -1,0 +1,8 @@
+//! Library surface of the `ffc` CLI: the plain-text file formats for
+//! topologies, traffic matrices and TE configurations (see
+//! [`formats`]), reusable by tooling that wants to interoperate with
+//! the CLI's files.
+
+#![warn(missing_docs)]
+
+pub mod formats;

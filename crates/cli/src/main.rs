@@ -1,0 +1,292 @@
+//! `ffc` — forward-fault-corrected traffic engineering from the command
+//! line.
+//!
+//! ```text
+//! ffc solve --topo net.topo --traffic day.tm [--kc 2 --ke 1 --kv 0]
+//!           [--old current.cfg] [--tunnels 6] [--out next.cfg]
+//! ffc check --topo net.topo --traffic day.tm --config next.cfg --ke 1 [--kc 1 --old current.cfg]
+//! ffc info  --topo net.topo [--traffic day.tm]
+//! ```
+//!
+//! * `solve` computes an FFC-protected TE configuration (plain TE when
+//!   all protection levels are 0) and prints/writes it.
+//! * `check` *verifies* a configuration by brute force: every ≤ke link
+//!   failure (after proportional rescaling) and every ≤kc stale-switch
+//!   combination must leave all links within capacity.
+//! * `info` prints topology/traffic statistics.
+//!
+//! File formats are documented in [`ffc_cli::formats`].
+
+use std::process::ExitCode;
+
+use ffc_core::rescale::rescaled_link_loads_mixed;
+use ffc_core::{solve_ffc, FfcConfig, TeConfig, TeProblem};
+use ffc_net::failure::{config_combinations_up_to, link_combinations_up_to};
+use ffc_net::{layout_tunnels, LayoutConfig, LinkId, NodeId};
+
+use ffc_cli::formats::{parse_config, parse_topology, parse_traffic, write_config};
+
+struct Opts {
+    cmd: String,
+    topo: Option<String>,
+    traffic: Option<String>,
+    config: Option<String>,
+    old: Option<String>,
+    out: Option<String>,
+    kc: usize,
+    ke: usize,
+    kv: usize,
+    tunnels: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ffc <solve|check|info> --topo FILE [--traffic FILE] [--config FILE]\n\
+         \x20          [--old FILE] [--out FILE] [--kc N] [--ke N] [--kv N] [--tunnels N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        cmd: String::new(),
+        topo: None,
+        traffic: None,
+        config: None,
+        old: None,
+        out: None,
+        kc: 0,
+        ke: 0,
+        kv: 0,
+        tunnels: 6,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match a.as_str() {
+            "--topo" => o.topo = Some(val("--topo")),
+            "--traffic" => o.traffic = Some(val("--traffic")),
+            "--config" => o.config = Some(val("--config")),
+            "--old" => o.old = Some(val("--old")),
+            "--out" => o.out = Some(val("--out")),
+            "--kc" => o.kc = val("--kc").parse().unwrap_or_else(|_| usage()),
+            "--ke" => o.ke = val("--ke").parse().unwrap_or_else(|_| usage()),
+            "--kv" => o.kv = val("--kv").parse().unwrap_or_else(|_| usage()),
+            "--tunnels" => o.tunnels = val("--tunnels").parse().unwrap_or_else(|_| usage()),
+            "-h" | "--help" => usage(),
+            other if o.cmd.is_empty() => o.cmd = other.to_string(),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                usage()
+            }
+        }
+    }
+    if o.cmd.is_empty() {
+        usage()
+    }
+    o
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1)
+    })
+}
+
+fn main() -> ExitCode {
+    let o = parse_opts();
+    let topo_path = o.topo.clone().unwrap_or_else(|| {
+        eprintln!("--topo is required");
+        usage()
+    });
+    let topo = match parse_topology(&read(&topo_path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{topo_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match o.cmd.as_str() {
+        "info" => {
+            println!("topology: {} switches, {} directed links, total capacity {:.1}",
+                topo.num_nodes(), topo.num_links(), topo.total_capacity());
+            if let Some(tp) = &o.traffic {
+                match parse_traffic(&read(tp), &topo) {
+                    Ok(tm) => println!(
+                        "traffic: {} flows, total demand {:.1} (high {:.1} / medium {:.1} / low {:.1})",
+                        tm.len(),
+                        tm.total_demand(),
+                        tm.demand_of(ffc_net::Priority::High),
+                        tm.demand_of(ffc_net::Priority::Medium),
+                        tm.demand_of(ffc_net::Priority::Low),
+                    ),
+                    Err(e) => {
+                        eprintln!("{tp}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "solve" => {
+            let tp = o.traffic.clone().unwrap_or_else(|| {
+                eprintln!("solve needs --traffic");
+                usage()
+            });
+            let tm = match parse_traffic(&read(&tp), &topo) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{tp}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let layout = LayoutConfig { tunnels_per_flow: o.tunnels, ..LayoutConfig::default() };
+            let tunnels = layout_tunnels(&topo, &tm, &layout);
+            // The old configuration (for control-plane FFC).
+            let old = match &o.old {
+                Some(p) => match parse_config(&read(p), &topo, tm.len()) {
+                    // Note: the old config's tunnels are informational
+                    // here; control FFC uses its rates/allocs mapped to
+                    // the freshly laid-out tunnels, so shapes must match.
+                    Ok((old_tunnels, old_cfg)) => {
+                        if (0..tm.len()).any(|f| {
+                            old_tunnels.tunnels(ffc_net::FlowId(f)).len()
+                                != tunnels.tunnels(ffc_net::FlowId(f)).len()
+                        }) {
+                            eprintln!(
+                                "--old tunnel shape differs from this layout; \
+                                 re-run solve without --old or keep --tunnels consistent"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                        old_cfg
+                    }
+                    Err(e) => {
+                        eprintln!("{p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => TeConfig::zero(&tunnels),
+            };
+            let ffc = FfcConfig::new(o.kc, o.ke, o.kv);
+            let cfg = match solve_ffc(TeProblem::new(&topo, &tm, &tunnels), &old, &ffc) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("solve failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "granted {:.2} of {:.2} demanded ({} flows, protection kc={} ke={} kv={})",
+                cfg.throughput(),
+                tm.total_demand(),
+                tm.len(),
+                o.kc,
+                o.ke,
+                o.kv
+            );
+            let text = write_config(&topo, &tunnels, &cfg);
+            match &o.out {
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, &text) {
+                        eprintln!("cannot write {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {p}");
+                }
+                None => print!("{text}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let tp = o.traffic.clone().unwrap_or_else(|| {
+                eprintln!("check needs --traffic");
+                usage()
+            });
+            let cp = o.config.clone().unwrap_or_else(|| {
+                eprintln!("check needs --config");
+                usage()
+            });
+            let tm = match parse_traffic(&read(&tp), &topo) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{tp}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (tunnels, cfg) = match parse_config(&read(&cp), &topo, tm.len()) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("{cp}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let old = match &o.old {
+                Some(p) => match parse_config(&read(p), &topo, tm.len()) {
+                    Ok((_, c)) => Some(c),
+                    Err(e) => {
+                        eprintln!("{p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            if o.kc > 0 && old.is_none() {
+                eprintln!("checking kc > 0 needs --old (the stale configuration)");
+                return ExitCode::FAILURE;
+            }
+
+            let links: Vec<LinkId> = topo.links().collect();
+            let nodes: Vec<NodeId> = topo.nodes().collect();
+            let mut scenarios = link_combinations_up_to(&links, o.ke);
+            scenarios.extend(config_combinations_up_to(&nodes, o.kc));
+            let mut worst = 0.0f64;
+            let mut violations = 0usize;
+            let total = scenarios.len();
+            for sc in scenarios {
+                let loads =
+                    rescaled_link_loads_mixed(&topo, &tm, &tunnels, &cfg, old.as_ref(), &sc);
+                for e in topo.links() {
+                    if sc.link_dead(&topo, e) {
+                        continue;
+                    }
+                    let over = loads.load[e.index()] - topo.capacity(e);
+                    if over > 1e-6 {
+                        violations += 1;
+                        worst = worst.max(over / topo.capacity(e));
+                        eprintln!(
+                            "VIOLATION: links={:?} stale={:?}: {} carries {:.3}/{:.3}",
+                            sc.failed_links,
+                            sc.config_failures,
+                            e,
+                            loads.load[e.index()],
+                            topo.capacity(e)
+                        );
+                    }
+                }
+            }
+            if violations == 0 {
+                println!(
+                    "OK: {total} fault scenarios checked (ke={} kc={}), no link overloads",
+                    o.ke, o.kc
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "FAILED: {violations} overload(s) across {total} scenarios; worst +{:.1}%",
+                    worst * 100.0
+                );
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage()
+        }
+    }
+}

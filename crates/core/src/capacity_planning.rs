@@ -1,0 +1,274 @@
+//! Capacity planning with FFC — the paper's third use case (§3.3):
+//! *"For a given traffic demand, \[the FFC techniques\] can precisely
+//! determine the link capacities needed for a desired level of
+//! protection from fault-induced congestion. … enabling it requires
+//! straightforward modifications to the FFC constraints."*
+//!
+//! Here are those modifications: link capacities become *variables*
+//! `c_e` (they only ever appear on the right-hand side of capacity
+//! constraints, so everything stays linear), demands are pinned
+//! (`b_f = d_f`), the data-plane FFC family (Eqn 15) is added unchanged,
+//! and the objective minimizes provisioned capacity — either total
+//! weighted capacity or a uniform headroom multiplier over an existing
+//! network.
+
+use ffc_lp::{Cmp, LinExpr, LpError, Model, Sense, VarId};
+use ffc_net::tunnel::residual_tunnel_bound;
+use ffc_net::{TrafficMatrix, Topology, TunnelTable};
+
+use crate::bounded_msum::{constrain_any_m_sum_ge, MsumEncoding};
+
+/// What the planner minimizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanObjective {
+    /// Minimize `Σ_e cost_e · c_e` with unit costs (total capacity).
+    TotalCapacity,
+    /// Keep the existing capacity *ratios* and minimize the uniform
+    /// multiplier `γ` (`c_e = γ · base_e`) — "how much headroom does
+    /// this network need for protection level k?".
+    UniformScale,
+}
+
+/// Result of a capacity-planning run.
+#[derive(Debug, Clone)]
+pub struct CapacityPlan {
+    /// Required capacity per link.
+    pub capacity: Vec<f64>,
+    /// The uniform multiplier (only meaningful for
+    /// [`PlanObjective::UniformScale`]; `1.0` otherwise).
+    pub scale: f64,
+    /// The supporting allocation (satisfies demand + FFC on the planned
+    /// capacities).
+    pub config: crate::te::TeConfig,
+}
+
+/// Plans the minimum capacities that carry every demand in full while
+/// protecting against `ke` link and `kv` switch failures (Eqn 15).
+pub fn plan_capacities(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    tunnels: &TunnelTable,
+    ke: usize,
+    kv: usize,
+    objective: PlanObjective,
+    encoding: MsumEncoding,
+) -> Result<CapacityPlan, LpError> {
+    let mut model = Model::new();
+
+    // Allocation variables.
+    let a: Vec<Vec<VarId>> = tm
+        .ids()
+        .map(|f| {
+            (0..tunnels.tunnels(f).len())
+                .map(|t| model.add_var(0.0, f64::INFINITY, format!("a_{f}_{t}")))
+                .collect()
+        })
+        .collect();
+
+    // Capacity variables (or the single scale γ).
+    let (cap_expr, scale_var): (Vec<LinExpr>, Option<VarId>) = match objective {
+        PlanObjective::TotalCapacity => (
+            topo.links()
+                .map(|e| LinExpr::from(model.add_var(0.0, f64::INFINITY, format!("c_{e}"))))
+                .collect(),
+            None,
+        ),
+        PlanObjective::UniformScale => {
+            let g = model.add_var(0.0, f64::INFINITY, "gamma");
+            (
+                topo.links()
+                    .map(|e| LinExpr::term(g, topo.capacity(e)))
+                    .collect(),
+                Some(g),
+            )
+        }
+    };
+
+    // Eqn 2 with variable capacity: Σ a·L − c_e ≤ 0.
+    let mut link_tunnels: Vec<Vec<(usize, usize)>> = vec![Vec::new(); topo.num_links()];
+    for (f, ti, tunnel) in tunnels.iter_all() {
+        for &l in &tunnel.links {
+            link_tunnels[l.index()].push((f.index(), ti));
+        }
+    }
+    for e in topo.links() {
+        let mut load = LinExpr::zero();
+        for &(f, ti) in &link_tunnels[e.index()] {
+            load.add_term(a[f][ti], 1.0);
+        }
+        model.add_con(load - cap_expr[e.index()].clone(), Cmp::Le, 0.0);
+    }
+
+    // Demands pinned; no flow may be left short. Flows without tunnels
+    // (or with τ = 0) make the plan infeasible — the caller must fix the
+    // layout first, and we surface that as Infeasible.
+    for (f, flow) in tm.iter() {
+        let fi = f.index();
+        let ts = tunnels.tunnels(f);
+        if flow.demand <= 0.0 {
+            continue;
+        }
+        if ts.is_empty() {
+            return Err(LpError::Infeasible);
+        }
+        let mut cover = LinExpr::zero();
+        for &v in &a[fi] {
+            cover.add_term(v, 1.0);
+        }
+        model.add_con(cover, Cmp::Ge, flow.demand);
+
+        // Eqn 15 with b_f = d_f.
+        if ke > 0 || kv > 0 {
+            let d = ffc_net::tunnel::disjointness(ts);
+            let tau = residual_tunnel_bound(ts.len(), d, ke, kv);
+            if tau == 0 {
+                return Err(LpError::Infeasible);
+            }
+            if tau < ts.len() {
+                let exprs: Vec<LinExpr> = a[fi].iter().map(|&v| LinExpr::from(v)).collect();
+                constrain_any_m_sum_ge(
+                    &mut model,
+                    exprs,
+                    tau,
+                    LinExpr::constant(flow.demand),
+                    encoding,
+                );
+            }
+        }
+    }
+
+    // Objective.
+    let total: LinExpr = cap_expr
+        .iter()
+        .fold(LinExpr::zero(), |acc, e| acc + e.clone());
+    match objective {
+        PlanObjective::TotalCapacity => model.set_objective(total, Sense::Minimize),
+        PlanObjective::UniformScale => {
+            model.set_objective(
+                LinExpr::from(scale_var.expect("scale objective")),
+                Sense::Minimize,
+            );
+        }
+    }
+
+    let sol = model.solve()?;
+    let capacity: Vec<f64> = cap_expr.iter().map(|e| sol.eval(e).max(0.0)).collect();
+    let scale = scale_var.map(|g| sol.value(g)).unwrap_or(1.0);
+    let config = crate::te::TeConfig {
+        rate: tm.iter().map(|(_, f)| f.demand).collect(),
+        alloc: a
+            .iter()
+            .map(|row| row.iter().map(|&v| sol.value(v).max(0.0)).collect())
+            .collect(),
+    };
+    Ok(CapacityPlan { capacity, scale, config })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rescale::rescaled_link_loads;
+    use ffc_net::failure::link_combinations_up_to;
+    use ffc_net::prelude::*;
+
+    fn diamond() -> (Topology, TrafficMatrix, TunnelTable) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(4, "n");
+        t.add_link(ns[0], ns[1], 10.0);
+        t.add_link(ns[1], ns[3], 10.0);
+        t.add_link(ns[0], ns[2], 10.0);
+        t.add_link(ns[2], ns[3], 10.0);
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(ns[0], ns[3], 8.0, Priority::High);
+        let mk = |hops: &[NodeId]| {
+            let links = hops
+                .windows(2)
+                .map(|w| t.find_link(w[0], w[1]).unwrap())
+                .collect();
+            Tunnel::from_path(&t, ffc_net::Path { links })
+        };
+        let mut tt = TunnelTable::new(1);
+        tt.push(FlowId(0), mk(&[ns[0], ns[1], ns[3]]));
+        tt.push(FlowId(0), mk(&[ns[0], ns[2], ns[3]]));
+        (t, tm, tt)
+    }
+
+    #[test]
+    fn unprotected_plan_needs_exactly_the_demand() {
+        let (t, tm, tt) = diamond();
+        let plan = plan_capacities(
+            &t,
+            &tm,
+            &tt,
+            0,
+            0,
+            PlanObjective::TotalCapacity,
+            MsumEncoding::SortingNetwork,
+        )
+        .unwrap();
+        // 8 units over 2-hop paths: total capacity = 16 at minimum.
+        let total: f64 = plan.capacity.iter().sum();
+        assert!((total - 16.0).abs() < 1e-5, "total {total}");
+    }
+
+    #[test]
+    fn protected_plan_doubles_per_path_capacity() {
+        let (t, tm, tt) = diamond();
+        let plan = plan_capacities(
+            &t,
+            &tm,
+            &tt,
+            1,
+            0,
+            PlanObjective::TotalCapacity,
+            MsumEncoding::SortingNetwork,
+        )
+        .unwrap();
+        // τ = 1: each tunnel alone must carry the full 8 -> every link
+        // on both paths needs 8: total 32.
+        let total: f64 = plan.capacity.iter().sum();
+        assert!((total - 32.0).abs() < 1e-5, "total {total}");
+        // And the planned network is actually robust: fail any link.
+        let mut planned = t.clone();
+        for e in planned.links().collect::<Vec<_>>() {
+            planned.set_capacity(e, plan.capacity[e.index()].max(1e-9));
+        }
+        for sc in link_combinations_up_to(&planned.links().collect::<Vec<_>>(), 1) {
+            let loads = rescaled_link_loads(&planned, &tm, &tt, &plan.config, &sc);
+            for e in planned.links() {
+                if sc.link_dead(&planned, e) {
+                    continue;
+                }
+                assert!(loads.load[e.index()] <= planned.capacity(e) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_scale_reports_headroom() {
+        let (t, tm, tt) = diamond();
+        let unprot = plan_capacities(
+            &t, &tm, &tt, 0, 0, PlanObjective::UniformScale, MsumEncoding::SortingNetwork,
+        )
+        .unwrap();
+        let prot = plan_capacities(
+            &t, &tm, &tt, 1, 0, PlanObjective::UniformScale, MsumEncoding::SortingNetwork,
+        )
+        .unwrap();
+        // Unprotected: 4 units per path on 10-capacity links -> γ = 0.4.
+        assert!((unprot.scale - 0.4).abs() < 1e-5, "γ {}", unprot.scale);
+        // Protected: each path must carry all 8 -> γ = 0.8: exactly 2x.
+        assert!((prot.scale - 0.8).abs() < 1e-5, "γ {}", prot.scale);
+    }
+
+    #[test]
+    fn infeasible_when_protection_impossible() {
+        let (t, tm, mut tt) = diamond();
+        // Strip to a single tunnel: ke=1 with p=1 -> τ=0.
+        tt = TunnelTable::from_lists(vec![vec![tt.tunnels(FlowId(0))[0].clone()]]);
+        let r = plan_capacities(
+            &t, &tm, &tt, 1, 0, PlanObjective::TotalCapacity, MsumEncoding::SortingNetwork,
+        );
+        assert!(matches!(r, Err(LpError::Infeasible)));
+    }
+}

@@ -1,0 +1,345 @@
+//! Data-plane FFC — paper §4.3 and §4.4.1 (Eqns 9, 15).
+//!
+//! Guarantee: after up to `ke` link failures and `kv` switch failures
+//! (and the ingress switches' proportional rescaling), no link is
+//! overloaded. Per Lemma 1, it suffices that every flow's residual
+//! tunnels can hold its granted rate:
+//!
+//! ```text
+//! ∀f, (µ,η) ∈ U_{ke,kv}:  Σ_{t ∈ T_f^{µ,η}} a_{f,t} ≥ b_f     (9)
+//! ```
+//!
+//! With `(p_f, q_f)` link-switch disjoint tunnels, any such fault leaves
+//! at least `τ_f = |T_f| − ke·p_f − kv·q_f` tunnels, so Eqn 9 is implied
+//! by one bounded M-sum constraint per flow (Eqn 15):
+//!
+//! ```text
+//! ∀f: Σ_{j=1..τ_f} (j-th smallest a_{f,t}) ≥ b_f
+//! ```
+//!
+//! This transformation is safe but not equivalent in general (it also
+//! protects *any* fault combination killing ≤ `|T_f| − τ_f` tunnels —
+//! the paper exploits exactly this to get switch protection "for free",
+//! §4.4.1); it *is* equivalent for link failures with link-disjoint
+//! tunnels and switch failures with switch-disjoint tunnels.
+//!
+//! The §6 *mice-flow* optimization is included: flows collectively
+//! carrying less than a threshold share of traffic skip the sorting
+//! network and instead pin `a_{f,t} = b_f / τ_f`, which satisfies Eqn 15
+//! by construction.
+
+//!
+//! # Example
+//! ```
+//! use ffc_core::{apply_data_ffc, DataFfc, TeModelBuilder, TeProblem};
+//! use ffc_net::prelude::*;
+//!
+//! let mut topo = Topology::new();
+//! let (a, b, c) = (topo.add_node("a"), topo.add_node("b"), topo.add_node("c"));
+//! topo.add_bidi(a, c, 10.0);
+//! topo.add_bidi(a, b, 10.0);
+//! topo.add_bidi(b, c, 10.0);
+//! let mut tm = TrafficMatrix::new();
+//! tm.add_flow(a, c, 8.0, Priority::High);
+//! let tunnels = layout_tunnels(&topo, &tm, &LayoutConfig::default());
+//!
+//! let mut builder = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
+//! apply_data_ffc(&mut builder, &DataFfc::new(1, 0)); // survive 1 link failure
+//! let cfg = builder.solve().unwrap();
+//! // With two disjoint tunnels and τ = 1, each alone covers the rate.
+//! for (f, _) in tm.iter() {
+//!     for &alloc in &cfg.alloc[f.index()] {
+//!         assert!(alloc >= cfg.rate[f.index()] - 1e-6);
+//!     }
+//! }
+//! ```
+use ffc_lp::{Cmp, LinExpr};
+use ffc_net::tunnel::residual_tunnel_bound;
+
+use crate::bounded_msum::{constrain_any_m_sum_ge, MsumEncoding};
+use crate::te::TeModelBuilder;
+
+/// Parameters for data-plane FFC.
+#[derive(Debug, Clone)]
+pub struct DataFfc {
+    /// Link failures to tolerate (`k_e`).
+    pub ke: usize,
+    /// Switch failures to tolerate (`k_v`).
+    pub kv: usize,
+    /// Bounded M-sum encoding.
+    pub encoding: MsumEncoding,
+    /// Mice-flow optimization (§6): flows are sorted by demand and the
+    /// smallest ones, collectively carrying less than this fraction of
+    /// total demand, get pinned equal-split allocations instead of a
+    /// sorting network. `0.0` disables the optimization.
+    pub mice_fraction: f64,
+}
+
+impl DataFfc {
+    /// Data-plane FFC with the paper's defaults: sorting-network
+    /// encoding, 1% mice fraction.
+    pub fn new(ke: usize, kv: usize) -> Self {
+        DataFfc { ke, kv, encoding: MsumEncoding::SortingNetwork, mice_fraction: 0.01 }
+    }
+
+    /// Disables the mice optimization (exact formulation for all flows).
+    pub fn exact(mut self) -> Self {
+        self.mice_fraction = 0.0;
+        self
+    }
+}
+
+/// Adds data-plane FFC constraints to a TE model under construction.
+pub fn apply_data_ffc(builder: &mut TeModelBuilder<'_>, ffc: &DataFfc) {
+    if ffc.ke == 0 && ffc.kv == 0 {
+        return;
+    }
+    let tm = builder.problem.tm;
+    let tunnels = builder.problem.tunnels;
+
+    // Identify mice flows: smallest-demand flows that together carry
+    // less than `mice_fraction` of total demand.
+    let mut mice = vec![false; tm.len()];
+    if ffc.mice_fraction > 0.0 {
+        let total = tm.total_demand();
+        let mut order: Vec<_> = tm.iter().map(|(id, f)| (id, f.demand)).collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite demands"));
+        let mut acc = 0.0;
+        for (id, demand) in order {
+            acc += demand;
+            if acc < ffc.mice_fraction * total {
+                mice[id.index()] = true;
+            } else {
+                break;
+            }
+        }
+    }
+
+    for f in tm.ids() {
+        let fi = f.index();
+        let ts = tunnels.tunnels(f);
+        if ts.is_empty() {
+            // No tunnels at all: basic TE already forces b_f = 0.
+            continue;
+        }
+        let d = ffc_net::tunnel::disjointness(ts);
+        let tau = residual_tunnel_bound(ts.len(), d, ffc.ke, ffc.kv);
+        if tau == 0 {
+            // Some in-scope fault can kill every tunnel: the flow must
+            // not be granted anything (paper §4.3).
+            builder.model.set_bounds(builder.b[fi], 0.0, 0.0);
+            continue;
+        }
+        if tau >= ts.len() {
+            // No tunnel can be lost within the protection level; Eqn 3
+            // already covers the full sum.
+            continue;
+        }
+        if mice[fi] {
+            // §6: pin a_{f,t} = b_f / τ_f.
+            for &a in &builder.a[fi] {
+                let expr = LinExpr::term(a, tau as f64) - LinExpr::from(builder.b[fi]);
+                builder.model.add_con(expr, Cmp::Eq, 0.0);
+            }
+            continue;
+        }
+        let exprs: Vec<LinExpr> = builder.a[fi].iter().map(|&v| LinExpr::from(v)).collect();
+        let floor = LinExpr::from(builder.b[fi]);
+        constrain_any_m_sum_ge(&mut builder.model, exprs, tau, floor, ffc.encoding);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rescale::rescaled_link_loads;
+    use crate::te::{solve_te, TeModelBuilder, TeProblem};
+    use ffc_net::failure::link_combinations_up_to;
+    use ffc_net::prelude::*;
+
+    /// The paper's Figure 2/4 topology: s1, s2, s3 feeding s4 with
+    /// detour links between sources; all capacities 10.
+    ///
+    /// Figure 2: flows s2→s4 and s3→s4. Each flow has tunnels: direct,
+    /// and via s1. Link s2-s4 failure forces s2's rescaling onto
+    /// s2-s1-s4, which congests s1-s4 unless FFC spread traffic as in
+    /// Figure 4(a).
+    fn fig2() -> (Topology, TrafficMatrix, TunnelTable) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(4, "s"); // 0=s1, 1=s2, 2=s3, 3=s4
+        t.add_link(ns[1], ns[0], 20.0); // s2 -> s1
+        t.add_link(ns[2], ns[0], 20.0); // s3 -> s1
+        t.add_link(ns[1], ns[3], 10.0); // s2 -> s4
+        t.add_link(ns[2], ns[3], 10.0); // s3 -> s4
+        t.add_link(ns[0], ns[3], 10.0); // s1 -> s4
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(ns[1], ns[3], 8.0, Priority::High); // s2 -> s4
+        tm.add_flow(ns[2], ns[3], 8.0, Priority::High); // s3 -> s4
+        let mk = |topo: &Topology, hops: &[NodeId]| {
+            let links = hops
+                .windows(2)
+                .map(|w| topo.find_link(w[0], w[1]).unwrap())
+                .collect();
+            Tunnel::from_path(topo, ffc_net::Path { links })
+        };
+        let mut tt = TunnelTable::new(2);
+        tt.push(FlowId(0), mk(&t, &[ns[1], ns[3]]));
+        tt.push(FlowId(0), mk(&t, &[ns[1], ns[0], ns[3]]));
+        tt.push(FlowId(1), mk(&t, &[ns[2], ns[3]]));
+        tt.push(FlowId(1), mk(&t, &[ns[2], ns[0], ns[3]]));
+        (t, tm, tt)
+    }
+
+    fn solve_data_ffc(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        tt: &TunnelTable,
+        ffc: &DataFfc,
+    ) -> crate::te::TeConfig {
+        let mut builder = TeModelBuilder::new(TeProblem::new(topo, tm, tt));
+        apply_data_ffc(&mut builder, ffc);
+        builder.solve().expect("feasible")
+    }
+
+    /// Exhaustive check: for every ≤ke-link-failure scenario, rescaled
+    /// loads stay within capacity (Lemma 1 realized).
+    fn assert_robust_to_link_failures(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        tt: &TunnelTable,
+        cfg: &crate::te::TeConfig,
+        ke: usize,
+    ) {
+        let all_links: Vec<LinkId> = topo.links().collect();
+        for scenario in link_combinations_up_to(&all_links, ke) {
+            let loads = rescaled_link_loads(topo, tm, tt, cfg, &scenario);
+            for e in topo.links() {
+                if scenario.link_dead(topo, e) {
+                    continue;
+                }
+                assert!(
+                    loads.load[e.index()] <= topo.capacity(e) + 1e-5,
+                    "scenario {:?} overloads {e}: {} > {}",
+                    scenario.failed_links,
+                    loads.load[e.index()],
+                    topo.capacity(e)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn without_ffc_rescaling_congests() {
+        let (topo, tm, tt) = fig2();
+        let cfg = solve_te(TeProblem::new(&topo, &tm, &tt)).unwrap();
+        assert!((cfg.throughput() - 16.0).abs() < 1e-5);
+        // Fail link s2->s4 and rescale: some placements congest s1->s4.
+        // (The plain TE is free to pick a congesting or non-congesting
+        // split; we only check FFC's guarantee below, and here just that
+        // total traffic moved exceeds the remaining direct capacity in
+        // the worst placement: 16 demand vs 10+10... not asserted.)
+    }
+
+    #[test]
+    fn ffc_k1_survives_any_single_link_failure() {
+        let (topo, tm, tt) = fig2();
+        let ffc = DataFfc::new(1, 0).exact();
+        let cfg = solve_data_ffc(&topo, &tm, &tt, &ffc);
+        assert_robust_to_link_failures(&topo, &tm, &tt, &cfg, 1);
+        // With two disjoint tunnels and τ = 1, Eqn 15 forces *both*
+        // allocations ≥ b_f (either tunnel may be the survivor), so the
+        // shared backup link s1-s4 caps b0 + b1 at 10. That is also the
+        // true optimum: failing s2-s4 moves all of b0 onto s1-s4, which
+        // already carries flow 1's via-allocation.
+        assert!((cfg.throughput() - 10.0).abs() < 1e-4, "throughput {}", cfg.throughput());
+    }
+
+    #[test]
+    fn ffc_never_beats_plain_te() {
+        let (topo, tm, tt) = fig2();
+        let base = solve_te(TeProblem::new(&topo, &tm, &tt)).unwrap().throughput();
+        for ke in 0..3 {
+            let ffc = DataFfc::new(ke, 0).exact();
+            let cfg = solve_data_ffc(&topo, &tm, &tt, &ffc);
+            assert!(cfg.throughput() <= base + 1e-6);
+        }
+    }
+
+    #[test]
+    fn tau_zero_zeroes_flow() {
+        let (topo, tm, tt) = fig2();
+        // ke=2 with p=1 and 2 tunnels -> tau = 0: flows must be zeroed.
+        let ffc = DataFfc::new(2, 0).exact();
+        let cfg = solve_data_ffc(&topo, &tm, &tt, &ffc);
+        assert!(cfg.throughput().abs() < 1e-9);
+    }
+
+    #[test]
+    fn switch_protection_via_kv() {
+        let (topo, tm, tt) = fig2();
+        // Both flows' tunnels share only transit switch s1 (q=1).
+        // kv=1 -> tau = 2 - 1 = 1 per flow.
+        let ffc = DataFfc::new(0, 1).exact();
+        let cfg = solve_data_ffc(&topo, &tm, &tt, &ffc);
+        // q = 1 (only transit switch s1, used once per flow), so
+        // τ = 2 − 1 = 1 and Eqn 15 requires both allocations ≥ b_f.
+        // This is *conservative* here: the only killable tunnel is the
+        // via-s1 one, so the true requirement (Eqn 9) would be just
+        // a_direct ≥ b_f and allow throughput 16. Eqn 15's extra
+        // protection ("any single tunnel may die") caps it at 10 —
+        // the imprecision the paper discusses in §4.4.1.
+        assert!((cfg.throughput() - 10.0).abs() < 1e-4, "{}", cfg.throughput());
+        // The direct-tunnel allocation covers the rate.
+        for f in 0..2 {
+            assert!(cfg.alloc[f][0] >= cfg.rate[f] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn mice_flows_get_equal_split() {
+        let (topo, _, _) = fig2();
+        let ns: Vec<NodeId> = topo.nodes().collect();
+        let mut tm = TrafficMatrix::new();
+        // Demands chosen so both flows fit fully even with FFC backup
+        // reservations (no tie for the optimizer to break against the
+        // mouse): elephant 9 + mouse 0.05 on a 10-capacity backup link.
+        tm.add_flow(ns[1], ns[3], 9.0, Priority::High);
+        tm.add_flow(ns[2], ns[3], 0.05, Priority::High); // a mouse
+        let mk = |hops: &[NodeId]| {
+            let links = hops
+                .windows(2)
+                .map(|w| topo.find_link(w[0], w[1]).unwrap())
+                .collect();
+            Tunnel::from_path(&topo, ffc_net::Path { links })
+        };
+        let mut tt = TunnelTable::new(2);
+        tt.push(FlowId(0), mk(&[ns[1], ns[3]]));
+        tt.push(FlowId(0), mk(&[ns[1], ns[0], ns[3]]));
+        tt.push(FlowId(1), mk(&[ns[2], ns[3]]));
+        tt.push(FlowId(1), mk(&[ns[2], ns[0], ns[3]]));
+        let ffc = DataFfc { ke: 1, kv: 0, encoding: MsumEncoding::SortingNetwork, mice_fraction: 0.01 };
+        let mut builder = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tt));
+        apply_data_ffc(&mut builder, &ffc);
+        let cfg = builder.solve().unwrap();
+        // Mouse flow (τ=1): a_{f,t} = b_f for each tunnel.
+        let b = cfg.rate[1];
+        assert!(b > 0.0);
+        for &a in &cfg.alloc[1] {
+            assert!((a - b).abs() < 1e-6, "a={a} b={b}");
+        }
+        // And the mouse's config survives any single link failure too.
+        assert_robust_to_link_failures(&topo, &tm, &tt, &cfg, 1);
+    }
+
+    #[test]
+    fn encodings_agree_on_fig2() {
+        let (topo, tm, tt) = fig2();
+        let mut objs = Vec::new();
+        for enc in [MsumEncoding::SortingNetwork, MsumEncoding::Cvar, MsumEncoding::Enumeration] {
+            let ffc = DataFfc { ke: 1, kv: 0, encoding: enc, mice_fraction: 0.0 };
+            objs.push(solve_data_ffc(&topo, &tm, &tt, &ffc).throughput());
+        }
+        assert!((objs[0] - objs[1]).abs() < 1e-5, "{objs:?}");
+        assert!((objs[0] - objs[2]).abs() < 1e-5, "{objs:?}");
+    }
+}

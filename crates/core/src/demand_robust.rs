@@ -1,0 +1,234 @@
+//! **Extension (not in the paper):** demand-uncertainty robustness via
+//! the FFC machinery, the unification the paper names as future work in
+//! §9 ("an interesting area of future investigation is if our approach
+//! … can be extended to handle demand uncertainty").
+//!
+//! Setting: networks without flow rate control (§5.4) carry whatever
+//! arrives. Suppose each flow's realized demand may exceed its nominal
+//! estimate by a factor up to `ρ` (`d_f ≤ ρ·d̂_f`), but — in the spirit
+//! of Bertsimas–Sim budgeted uncertainty — at most `Γ` flows deviate
+//! simultaneously. With tunnel splitting proportional to allocations
+//! (`Σ_t a_{f,t} ≥ d̂_f`), a deviating flow's traffic on link `e` is at
+//! most `ρ·Σ_t a_{f,t}·L[t,e]`, i.e. the *deviation headroom* is
+//!
+//! ```text
+//! x_{f,e} = (ρ − 1) · Σ_t a_{f,t}·L[t,e]      (≥ 0)
+//! ```
+//!
+//! and freedom from congestion under any ≤Γ-deviation combination is
+//!
+//! ```text
+//! ∀e, |S| ≤ Γ:  Σ_f load_{f,e} + Σ_{f∈S} x_{f,e} ≤ c_e
+//! ```
+//!
+//! — a **bounded M-sum** problem, compressed with the same sorting
+//! networks as the paper's fault constraints. Congestion-freedom proof
+//! mirrors Lemma 1: a deviating flow rescales nothing, it simply sends
+//! `d_f ≤ ρ·d̂_f` through the same weights, and
+//! `d_f·a_{f,t}/Σ_t a_{f,t} ≤ ρ·a_{f,t}`.
+
+use ffc_lp::LinExpr;
+
+use crate::bounded_msum::{constrain_any_m_sum_le, MsumEncoding};
+use crate::te::TeModelBuilder;
+
+/// Parameters for Γ-budgeted demand robustness.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandRobustness {
+    /// Maximum simultaneous deviating flows (`Γ`).
+    pub gamma: usize,
+    /// Worst-case demand inflation factor (`ρ ≥ 1`).
+    pub ratio: f64,
+    /// Bounded M-sum encoding.
+    pub encoding: MsumEncoding,
+}
+
+impl DemandRobustness {
+    /// Budget `gamma` deviations of up to `ratio ×` nominal demand.
+    pub fn new(gamma: usize, ratio: f64) -> Self {
+        assert!(ratio >= 1.0, "inflation ratio must be ≥ 1");
+        Self { gamma, ratio, encoding: MsumEncoding::SortingNetwork }
+    }
+}
+
+/// Adds Γ-budgeted demand-uncertainty constraints to a TE model.
+///
+/// Intended for the no-rate-control setting: callers should pin
+/// `b_f = d̂_f` (as [`crate::mlu::solve_min_mlu`] does) or otherwise
+/// ensure `Σ_t a_{f,t} ≥ d̂_f`, which the basic TE's Eqn 3 provides.
+pub fn apply_demand_robustness(builder: &mut TeModelBuilder<'_>, cfg: &DemandRobustness) {
+    if cfg.gamma == 0 || cfg.ratio <= 1.0 {
+        return;
+    }
+    let topo = builder.problem.topo;
+    let slack = cfg.ratio - 1.0;
+
+    for e in topo.links() {
+        if builder.link_tunnels[e.index()].is_empty() {
+            continue;
+        }
+        // Group per-flow link loads.
+        let mut per_flow: std::collections::BTreeMap<usize, LinExpr> =
+            std::collections::BTreeMap::new();
+        for &(f, ti) in &builder.link_tunnels[e.index()] {
+            per_flow
+                .entry(f.index())
+                .or_default()
+                .add_term(builder.a[f.index()][ti], 1.0);
+        }
+        // Deviation headroom terms (ρ−1)·load_{f,e}.
+        let extras: Vec<LinExpr> =
+            per_flow.values().map(|l| l.clone() * slack).collect();
+        let budget =
+            LinExpr::constant(builder.problem.capacity(e)) - builder.link_load_expr(e);
+        constrain_any_m_sum_le(&mut builder.model, extras, cfg.gamma, budget, cfg.encoding);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded_msum::combinations;
+    use crate::te::{TeModelBuilder, TeProblem};
+    use ffc_net::prelude::*;
+
+    /// Three flows share links; demands may double.
+    fn setup() -> (Topology, TrafficMatrix, TunnelTable) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(4, "s");
+        t.add_link(ns[0], ns[3], 12.0);
+        t.add_link(ns[1], ns[3], 12.0);
+        t.add_link(ns[2], ns[3], 12.0);
+        t.add_link(ns[0], ns[1], 12.0);
+        t.add_link(ns[2], ns[1], 12.0);
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(ns[0], ns[3], 6.0, Priority::High);
+        tm.add_flow(ns[1], ns[3], 6.0, Priority::High);
+        tm.add_flow(ns[2], ns[3], 6.0, Priority::High);
+        let tunnels = layout_tunnels(
+            &t,
+            &tm,
+            &LayoutConfig { tunnels_per_flow: 2, p: 1, q: 3, reuse_penalty: 0.5 },
+        );
+        (t, tm, tunnels)
+    }
+
+    /// Brute-force check: for every ≤Γ-subset of flows deviating to
+    /// ρ×demand, no link exceeds capacity.
+    fn assert_robust(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        tunnels: &TunnelTable,
+        cfg: &crate::te::TeConfig,
+        gamma: usize,
+        ratio: f64,
+    ) {
+        let n = tm.len();
+        for combo in combinations(n, gamma.min(n)) {
+            let mut load = vec![0.0; topo.num_links()];
+            for (f, _) in tm.iter() {
+                let fi = f.index();
+                let dev = combo.contains(&fi);
+                let rate = cfg.rate[fi] * if dev { ratio } else { 1.0 };
+                let w = cfg.weights(f);
+                for (ti, tun) in tunnels.tunnels(f).iter().enumerate() {
+                    let traffic = rate * w[ti];
+                    for &l in &tun.links {
+                        load[l.index()] += traffic;
+                    }
+                }
+            }
+            for e in topo.links() {
+                assert!(
+                    load[e.index()] <= topo.capacity(e) + 1e-5,
+                    "deviating {combo:?} overloads {e}: {} > {}",
+                    load[e.index()],
+                    topo.capacity(e)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn robust_te_survives_budgeted_deviations() {
+        let (topo, tm, tunnels) = setup();
+        for gamma in 1..=2usize {
+            let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
+            // Pin rates to nominal demands (no-rate-control semantics).
+            for (id, f) in tm.iter() {
+                b.model.set_bounds(b.b[id.index()], f.demand, f.demand);
+            }
+            apply_demand_robustness(&mut b, &DemandRobustness::new(gamma, 2.0));
+            let cfg = b.solve().expect("robust TE feasible");
+            assert_robust(&topo, &tm, &tunnels, &cfg, gamma, 2.0);
+        }
+    }
+
+    #[test]
+    fn robustness_costs_spread_not_throughput() {
+        // With pinned rates the *throughput* is fixed; robustness shows
+        // up as spread: allocations must leave headroom, so total
+        // allocation (not rate) grows or shifts off shared links.
+        let (topo, tm, tunnels) = setup();
+        let mut plain = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
+        for (id, f) in tm.iter() {
+            plain.model.set_bounds(plain.b[id.index()], f.demand, f.demand);
+        }
+        let base = plain.solve().expect("TE");
+
+        let mut rob = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
+        for (id, f) in tm.iter() {
+            rob.model.set_bounds(rob.b[id.index()], f.demand, f.demand);
+        }
+        apply_demand_robustness(&mut rob, &DemandRobustness::new(1, 2.0));
+        let robust = rob.solve().expect("robust TE");
+        assert!((base.throughput() - robust.throughput()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_when_budget_exceeds_capacity() {
+        // Demands at capacity: doubling even one flow cannot fit.
+        let (topo, mut tm, _) = setup();
+        for id in tm.ids().collect::<Vec<_>>() {
+            tm.set_demand(id, 12.0);
+        }
+        let tunnels = layout_tunnels(
+            &topo,
+            &tm,
+            &LayoutConfig { tunnels_per_flow: 1, p: 1, q: 3, reuse_penalty: 0.5 },
+        );
+        let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
+        for (id, f) in tm.iter() {
+            b.model.set_bounds(b.b[id.index()], f.demand, f.demand);
+        }
+        apply_demand_robustness(&mut b, &DemandRobustness::new(1, 2.0));
+        assert!(b.solve().is_err());
+    }
+
+    #[test]
+    fn gamma_zero_is_noop() {
+        let (topo, tm, tunnels) = setup();
+        let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
+        let before = b.model.num_cons();
+        apply_demand_robustness(&mut b, &DemandRobustness { gamma: 0, ratio: 2.0, encoding: MsumEncoding::SortingNetwork });
+        assert_eq!(b.model.num_cons(), before);
+    }
+
+    #[test]
+    fn encodings_agree() {
+        let (topo, tm, tunnels) = setup();
+        let mut objs = Vec::new();
+        for enc in [MsumEncoding::SortingNetwork, MsumEncoding::Cvar, MsumEncoding::Enumeration] {
+            let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
+            // Leave rates free: maximize admissible nominal traffic
+            // under robustness.
+            apply_demand_robustness(
+                &mut b,
+                &DemandRobustness { gamma: 1, ratio: 1.5, encoding: enc },
+            );
+            objs.push(b.solve().expect("feasible").throughput());
+        }
+        assert!((objs[0] - objs[2]).abs() < 1e-5, "{objs:?}");
+        assert!((objs[1] - objs[2]).abs() < 1e-5, "{objs:?}");
+    }
+}

@@ -1,0 +1,316 @@
+//! Multi-priority FFC-TE (§5.1): cascaded per-priority computation.
+//!
+//! Higher-priority traffic is solved first with its own (stronger)
+//! protection level; each lower priority then runs on the *residual*
+//! capacity — link capacity minus the **actual traffic** (not the
+//! allocation) of higher priorities. The capacity set aside to protect
+//! high-priority traffic is therefore available to carry low-priority
+//! traffic, which is what lets FFC protect high priority with negligible
+//! total-throughput loss (§8.4). Priority queueing in the data plane
+//! drops lower-priority packets first when congestion does occur.
+//!
+//! Requirement (§5.1): protection levels must be non-increasing with
+//! priority (`k^h ≥ k^l` componentwise), otherwise the lower-priority
+//! FFC LP can be infeasible; [`solve_priority_ffc`] checks this.
+
+//!
+//! # Example
+//! ```
+//! use ffc_core::priority::{solve_priority_ffc, PriorityFfcConfig};
+//! use ffc_core::{FfcConfig, TeConfig};
+//! use ffc_net::prelude::*;
+//!
+//! let mut topo = Topology::new();
+//! let (a, b, c) = (topo.add_node("a"), topo.add_node("b"), topo.add_node("c"));
+//! topo.add_bidi(a, c, 10.0);
+//! topo.add_bidi(a, b, 10.0);
+//! topo.add_bidi(b, c, 10.0);
+//! let mut tm = TrafficMatrix::new();
+//! tm.add_flow(a, c, 4.0, Priority::High);
+//! tm.add_flow(a, c, 20.0, Priority::Low); // bulk soaks the headroom
+//! let tunnels = layout_tunnels(&topo, &tm, &LayoutConfig::default());
+//!
+//! let cfg = PriorityFfcConfig {
+//!     high: FfcConfig::new(0, 1, 0),
+//!     medium: FfcConfig::new(0, 1, 0),
+//!     low: FfcConfig::none(),
+//! };
+//! let sol = solve_priority_ffc(&topo, &tm, &tunnels, &TeConfig::zero(&tunnels), &cfg).unwrap();
+//! assert!(sol.throughput_of(Priority::High) >= 4.0 - 1e-6);
+//! assert!(sol.throughput_of(Priority::Low) > 0.0);
+//! ```
+use ffc_lp::LpError;
+use ffc_net::{FlowId, Priority, TrafficMatrix, Topology, TunnelTable};
+
+use crate::combined::FfcConfig;
+use crate::te::{TeConfig, TeProblem};
+
+/// Per-priority protection levels.
+#[derive(Debug, Clone)]
+pub struct PriorityFfcConfig {
+    /// Protection for high-priority traffic (e.g. the paper's
+    /// `(3,0,1) ∪ (3,3,0)` is expressed as `(3,3,0)` thanks to the
+    /// Eqn 15 imprecision; see §4.4.1).
+    pub high: FfcConfig,
+    /// Protection for medium-priority traffic (paper: `(2,1,0)`).
+    pub medium: FfcConfig,
+    /// Protection for low-priority traffic (paper: `(0,0,0)`).
+    pub low: FfcConfig,
+}
+
+impl PriorityFfcConfig {
+    /// The paper's §8.4 configuration.
+    pub fn paper_defaults() -> Self {
+        PriorityFfcConfig {
+            high: FfcConfig::new(3, 3, 0),
+            medium: FfcConfig::new(2, 1, 0),
+            low: FfcConfig::new(0, 0, 0),
+        }
+    }
+
+    /// The config for one priority class.
+    pub fn for_priority(&self, p: Priority) -> &FfcConfig {
+        match p {
+            Priority::High => &self.high,
+            Priority::Medium => &self.medium,
+            Priority::Low => &self.low,
+        }
+    }
+
+    /// Validates the monotonicity requirement `k^h ≥ k^m ≥ k^l`.
+    pub fn is_monotone(&self) -> bool {
+        let dims = |c: &FfcConfig| [c.kc, c.ke, c.kv];
+        let h = dims(&self.high);
+        let m = dims(&self.medium);
+        let l = dims(&self.low);
+        (0..3).all(|i| h[i] >= m[i] && m[i] >= l[i])
+    }
+}
+
+/// The result of a cascaded multi-priority computation: one [`TeConfig`]
+/// per priority over the **original** flow indices (flows of other
+/// priorities have zero rate in each config), plus the merged whole.
+#[derive(Debug, Clone)]
+pub struct PrioritySolution {
+    /// Per-priority configurations, indexed like [`Priority::ALL`].
+    pub per_priority: [TeConfig; 3],
+    /// The merged configuration over all flows.
+    pub merged: TeConfig,
+}
+
+impl PrioritySolution {
+    /// Throughput of one priority class.
+    pub fn throughput_of(&self, p: Priority) -> f64 {
+        let idx = Priority::ALL.iter().position(|&q| q == p).expect("valid");
+        self.per_priority[idx].throughput()
+    }
+}
+
+/// Solves the cascaded multi-priority FFC-TE.
+///
+/// `old` is the currently installed merged configuration (for control
+/// FFC); pass [`TeConfig::zero`] on a fresh network.
+///
+/// # Errors
+/// Returns an LP error if any stage fails; panics if the protection
+/// levels are not monotone (a configuration bug, §5.1).
+pub fn solve_priority_ffc(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    tunnels: &TunnelTable,
+    old: &TeConfig,
+    cfg: &PriorityFfcConfig,
+) -> Result<PrioritySolution, LpError> {
+    solve_priority_ffc_with_faults(topo, tm, tunnels, old, cfg, None)
+}
+
+/// [`solve_priority_ffc`] on the residual topology: tunnels killed by
+/// `scenario` (when given) are pinned to zero in every stage.
+pub fn solve_priority_ffc_with_faults(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    tunnels: &TunnelTable,
+    old: &TeConfig,
+    cfg: &PriorityFfcConfig,
+    scenario: Option<&ffc_net::FaultScenario>,
+) -> Result<PrioritySolution, LpError> {
+    assert!(
+        cfg.is_monotone(),
+        "priority protection levels must be non-increasing (§5.1)"
+    );
+    let mut reserved = vec![0.0; topo.num_links()];
+    let mut per_priority: Vec<TeConfig> = Vec::with_capacity(3);
+
+    for &p in &Priority::ALL {
+        // Zero out other-priority demands but keep the flow indexing, so
+        // tunnel tables and old configs line up.
+        let mut tm_p = tm.clone();
+        for (id, f) in tm.iter() {
+            if f.priority != p {
+                tm_p.set_demand(id, 0.0);
+            }
+        }
+        let problem = TeProblem { topo, tm: &tm_p, tunnels, reserved: Some(&reserved) };
+        let sol = {
+            let mut builder = crate::combined::build_ffc_model(problem, old, cfg.for_priority(p));
+            if let Some(sc) = scenario {
+                crate::combined::zero_dead_tunnels(&mut builder, sc);
+            }
+            builder.solve()?
+        };
+        // Reserve this priority's actual traffic for the next stage.
+        let traffic = sol.link_traffic(topo, tunnels);
+        for (r, t) in reserved.iter_mut().zip(traffic) {
+            *r += t;
+        }
+        per_priority.push(sol);
+    }
+
+    // Merge: each flow belongs to exactly one priority.
+    let mut merged = TeConfig::zero(tunnels);
+    for (pi, sol) in per_priority.iter().enumerate() {
+        let p = Priority::ALL[pi];
+        for (id, f) in tm.iter() {
+            if f.priority == p {
+                merged.rate[id.index()] = sol.rate[id.index()];
+                merged.alloc[id.index()] = sol.alloc[id.index()].clone();
+            }
+        }
+    }
+    let per_priority: [TeConfig; 3] = per_priority.try_into().expect("three priorities");
+    Ok(PrioritySolution { per_priority, merged })
+}
+
+/// Splits a merged configuration back into per-priority rates (useful
+/// for metrics).
+pub fn rates_by_priority(tm: &TrafficMatrix, cfg: &TeConfig) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for (id, f) in tm.iter() {
+        let pi = Priority::ALL.iter().position(|&q| q == f.priority).expect("valid");
+        out[pi] += cfg.rate[id.index()];
+    }
+    out
+}
+
+/// Convenience: flow ids of one priority.
+pub fn flows_of(tm: &TrafficMatrix, p: Priority) -> Vec<FlowId> {
+    tm.iter().filter(|(_, f)| f.priority == p).map(|(id, _)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffc_net::prelude::*;
+
+    fn setup() -> (Topology, TrafficMatrix, TunnelTable) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(4, "s");
+        t.add_bidi(ns[0], ns[1], 10.0);
+        t.add_bidi(ns[1], ns[3], 10.0);
+        t.add_bidi(ns[0], ns[2], 10.0);
+        t.add_bidi(ns[2], ns[3], 10.0);
+        t.add_bidi(ns[0], ns[3], 10.0);
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(ns[0], ns[3], 12.0, Priority::High);
+        tm.add_flow(ns[1], ns[3], 8.0, Priority::Medium);
+        tm.add_flow(ns[2], ns[3], 30.0, Priority::Low);
+        let tunnels = layout_tunnels(
+            &t,
+            &tm,
+            &LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.5 },
+        );
+        (t, tm, tunnels)
+    }
+
+    #[test]
+    fn cascade_gives_high_priority_first_claim() {
+        let (topo, tm, tunnels) = setup();
+        let old = TeConfig::zero(&tunnels);
+        let cfg = PriorityFfcConfig {
+            high: FfcConfig::new(0, 1, 0),
+            medium: FfcConfig::new(0, 1, 0),
+            low: FfcConfig::new(0, 0, 0),
+        };
+        let sol = solve_priority_ffc(&topo, &tm, &tunnels, &old, &cfg).unwrap();
+        // High gets protected throughput > 0; low soaks leftover.
+        assert!(sol.throughput_of(Priority::High) > 0.0);
+        assert!(sol.throughput_of(Priority::Low) > 0.0);
+        let rates = rates_by_priority(&tm, &sol.merged);
+        assert!((rates[0] - sol.throughput_of(Priority::High)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_priority_uses_protection_headroom() {
+        let (topo, tm, tunnels) = setup();
+        let old = TeConfig::zero(&tunnels);
+        // Strong protection for high, none for low.
+        let cfg = PriorityFfcConfig {
+            high: FfcConfig::new(0, 1, 0),
+            medium: FfcConfig::new(0, 0, 0),
+            low: FfcConfig::new(0, 0, 0),
+        };
+        let sol = solve_priority_ffc(&topo, &tm, &tunnels, &old, &cfg).unwrap();
+        // The total throughput should exceed what single-priority FFC at
+        // the high protection level would allow, because low-priority
+        // traffic rides in the protection headroom.
+        let all_protected = {
+            let problem = TeProblem::new(&topo, &tm, &tunnels);
+            crate::combined::solve_ffc(problem, &old, &FfcConfig::new(0, 1, 0))
+                .unwrap()
+                .throughput()
+        };
+        assert!(
+            sol.merged.throughput() >= all_protected - 1e-6,
+            "multi-priority {} < uniformly-protected {all_protected}",
+            sol.merged.throughput()
+        );
+    }
+
+    #[test]
+    fn merged_respects_capacity() {
+        let (topo, tm, tunnels) = setup();
+        let old = TeConfig::zero(&tunnels);
+        let cfg = PriorityFfcConfig {
+            high: FfcConfig::new(0, 1, 0),
+            medium: FfcConfig::new(0, 1, 0),
+            low: FfcConfig::new(0, 0, 0),
+        };
+        let sol = solve_priority_ffc(&topo, &tm, &tunnels, &old, &cfg).unwrap();
+        // Actual traffic (not allocation) must fit in capacity.
+        let traffic = sol.merged.link_traffic(&topo, &tunnels);
+        for e in topo.links() {
+            assert!(
+                traffic[e.index()] <= topo.capacity(e) + 1e-5,
+                "{e}: {}",
+                traffic[e.index()]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn non_monotone_panics() {
+        let (topo, tm, tunnels) = setup();
+        let old = TeConfig::zero(&tunnels);
+        let cfg = PriorityFfcConfig {
+            high: FfcConfig::new(0, 0, 0),
+            medium: FfcConfig::new(2, 1, 0), // stronger than high: invalid
+            low: FfcConfig::new(0, 0, 0),
+        };
+        let _ = solve_priority_ffc(&topo, &tm, &tunnels, &old, &cfg);
+    }
+
+    #[test]
+    fn paper_defaults_are_monotone() {
+        assert!(PriorityFfcConfig::paper_defaults().is_monotone());
+    }
+
+    #[test]
+    fn flows_of_partitions() {
+        let (_, tm, _) = setup();
+        let h = flows_of(&tm, Priority::High);
+        let m = flows_of(&tm, Priority::Medium);
+        let l = flows_of(&tm, Priority::Low);
+        assert_eq!(h.len() + m.len() + l.len(), tm.len());
+    }
+}

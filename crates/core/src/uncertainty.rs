@@ -1,0 +1,161 @@
+//! Uncertainty in the current TE configuration (§5.6).
+//!
+//! If the previous round's update commands to some flows could not be
+//! confirmed, those flows may be in either the second-to-last
+//! configuration `(a'', b'')` or the last one `(a', b')`. Instead of
+//! computing yet another configuration for them, the controller:
+//!
+//! * re-issues the last intent: `b_f = b'_f`, `a_{f,t} = a'_{f,t}`
+//!   (fixing their variables), and
+//! * plans capacity for the worst of both configurations:
+//!   `β_{f,t} = max(a''_{f,t}, a'_{f,t})` (a constant).
+//!
+//! The constants fold straight into the link-capacity budget, so this
+//! extension costs nothing at solve time.
+
+use ffc_lp::Cmp;
+use ffc_net::FlowId;
+
+use crate::te::{TeConfig, TeModelBuilder};
+
+/// Applies the §5.6 uncertainty treatment for the given flows.
+///
+/// * `last` — the most recently *commanded* configuration (`a'`, `b'`).
+/// * `prev` — the configuration before that (`a''`, `b''`).
+/// * `uncertain` — flows whose update success is unconfirmed.
+///
+/// Fixes the uncertain flows' variables to `last` and reserves
+/// `max(a'', a') − a'` of extra headroom on every link their tunnels
+/// cross (the amount by which the worst-case stale configuration exceeds
+/// the re-issued one).
+pub fn apply_uncertainty(
+    builder: &mut TeModelBuilder<'_>,
+    last: &TeConfig,
+    prev: &TeConfig,
+    uncertain: &[FlowId],
+) {
+    let topo = builder.problem.topo;
+    let tunnels = builder.problem.tunnels;
+    assert_eq!(last.alloc.len(), tunnels.num_flows());
+    assert_eq!(prev.alloc.len(), tunnels.num_flows());
+
+    let mut is_uncertain = vec![false; tunnels.num_flows()];
+    for &f in uncertain {
+        is_uncertain[f.index()] = true;
+    }
+
+    // Extra per-link headroom needed for the stale side of each
+    // uncertain flow.
+    let mut extra = vec![0.0; topo.num_links()];
+    for &f in uncertain {
+        let fi = f.index();
+        // Fix b_f = b'_f and a_{f,t} = a'_{f,t}.
+        builder
+            .model
+            .set_bounds(builder.b[fi], last.rate[fi], last.rate[fi]);
+        for (ti, tunnel) in tunnels.tunnels(f).iter().enumerate() {
+            let a_last = last.alloc[fi][ti];
+            let a_prev = prev.alloc[fi][ti];
+            builder.model.set_bounds(builder.a[fi][ti], a_last, a_last);
+            let beta = a_last.max(a_prev);
+            let slack = beta - a_last;
+            if slack > 0.0 {
+                for &l in &tunnel.links {
+                    extra[l.index()] += slack;
+                }
+            }
+        }
+    }
+
+    // Shrink each link's effective capacity by the reserved headroom:
+    // add load_e ≤ c_e − extra_e (Eqn 2 exists already; this tightens).
+    for e in topo.links() {
+        if extra[e.index()] > 0.0 {
+            let cap = builder.problem.capacity(e) - extra[e.index()];
+            builder
+                .model
+                .add_con(builder.link_load_expr(e), Cmp::Le, cap.max(0.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::te::{TeModelBuilder, TeProblem};
+    use ffc_net::prelude::*;
+
+    /// Two flows share a 10-capacity link; flow 0's last update is
+    /// unconfirmed.
+    fn setup() -> (Topology, TrafficMatrix, TunnelTable) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(3, "s");
+        t.add_link(ns[0], ns[1], 10.0);
+        t.add_link(ns[2], ns[1], 10.0);
+        t.add_link(ns[2], ns[0], 10.0);
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(ns[0], ns[1], 10.0, Priority::High);
+        tm.add_flow(ns[2], ns[1], 10.0, Priority::High);
+        let mk = |hops: &[NodeId]| {
+            let links = hops
+                .windows(2)
+                .map(|w| t.find_link(w[0], w[1]).unwrap())
+                .collect();
+            Tunnel::from_path(&t, ffc_net::Path { links })
+        };
+        let mut tt = TunnelTable::new(2);
+        tt.push(FlowId(0), mk(&[ns[0], ns[1]]));
+        tt.push(FlowId(1), mk(&[ns[2], ns[1]]));
+        tt.push(FlowId(1), mk(&[ns[2], ns[0], ns[1]]));
+        (t, tm, tt)
+    }
+
+    #[test]
+    fn uncertain_flow_pinned_and_headroom_reserved() {
+        let (topo, tm, tt) = setup();
+        // Flow 0: commanded to shrink 8 -> 3 on the shared link s0-s1.
+        let prev = TeConfig { rate: vec![8.0, 0.0], alloc: vec![vec![8.0], vec![0.0, 0.0]] };
+        let last = TeConfig { rate: vec![3.0, 0.0], alloc: vec![vec![3.0], vec![0.0, 0.0]] };
+        let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tt));
+        apply_uncertainty(&mut b, &last, &prev, &[FlowId(0)]);
+        let cfg = b.solve().unwrap();
+        // Flow 0 re-issued at 3.
+        assert!((cfg.rate[0] - 3.0).abs() < 1e-9);
+        // Flow 1's via tunnel (through s0-s1) must leave 8 (not 3) for
+        // flow 0's possibly-stale config: via alloc ≤ 10 − 8 = 2.
+        // Direct tunnel gives 10, so flow 1 rate = 10 anyway; check link
+        // budget: a1_via + a0 ≤ 10 − (8−3).
+        let a0 = cfg.alloc[0][0];
+        let a1_via = cfg.alloc[1][1];
+        assert!(a0 + a1_via <= 10.0 - 5.0 + 1e-6, "a0={a0} via={a1_via}");
+    }
+
+    #[test]
+    fn growing_uncertain_flow_needs_no_headroom() {
+        let (topo, tm, tt) = setup();
+        // Commanded to grow 2 -> 6: the stale case (2) is dominated.
+        let prev = TeConfig { rate: vec![2.0, 0.0], alloc: vec![vec![2.0], vec![0.0, 0.0]] };
+        let last = TeConfig { rate: vec![6.0, 0.0], alloc: vec![vec![6.0], vec![0.0, 0.0]] };
+        let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tt));
+        let n_cons_before = b.model.num_cons();
+        apply_uncertainty(&mut b, &last, &prev, &[FlowId(0)]);
+        // No extra constraint rows (no positive slack anywhere).
+        assert_eq!(b.model.num_cons(), n_cons_before);
+        let cfg = b.solve().unwrap();
+        assert!((cfg.rate[0] - 6.0).abs() < 1e-9);
+        // Flow 1 can still use the leftover 4 on the shared link.
+        assert!(cfg.alloc[1][1] <= 4.0 + 1e-6);
+    }
+
+    #[test]
+    fn certain_flows_unaffected() {
+        let (topo, tm, tt) = setup();
+        let prev = TeConfig::zero(&tt);
+        let last = TeConfig::zero(&tt);
+        let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tt));
+        apply_uncertainty(&mut b, &last, &prev, &[]);
+        let cfg = b.solve().unwrap();
+        // Plain TE optimum: both flows full.
+        assert!((cfg.throughput() - 20.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,437 @@
+//! Sparse LU factorization of simplex basis matrices.
+//!
+//! Implements a left-looking ("GPLU", Gilbert–Peierls) factorization with
+//! partial pivoting: for each column we perform a sparse triangular solve
+//! against the partially built `L`, whose nonzero pattern is discovered by
+//! a depth-first search, then choose the largest-magnitude eligible entry
+//! as pivot.
+//!
+//! The factorization produces `P·B = L·U` where `P` is a row permutation,
+//! `L` unit lower triangular and `U` upper triangular (both stored in
+//! *permuted* row coordinates after a final remap). Solves:
+//!
+//! * [`LuFactors::ftran`] — `B·w = v`, i.e. `w = U⁻¹ L⁻¹ P v`
+//! * [`LuFactors::btran`] — `Bᵀ·y = c`, i.e. `y = Pᵀ L⁻ᵀ U⁻ᵀ c`
+
+use crate::sparse::CscMatrix;
+
+/// Error raised when the basis matrix is (numerically) singular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Singular {
+    /// Column at which no acceptable pivot was found.
+    pub column: usize,
+}
+
+impl std::fmt::Display for Singular {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "basis is singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for Singular {}
+
+/// The result of factorizing a basis matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    m: usize,
+    /// Unit lower triangular factor (strict lower part only; the unit
+    /// diagonal is implicit), permuted row space.
+    l: CscMatrix,
+    /// Upper triangular factor, permuted row space; `u_diag[j]` holds the
+    /// diagonal, `u` the strictly-upper entries.
+    u: CscMatrix,
+    u_diag: Vec<f64>,
+    /// `pinv[original_row] = permuted_position`.
+    pinv: Vec<usize>,
+    /// Column preorder: factorization column `k` is input column
+    /// `q[k]` (sparsest-first, which markedly reduces fill on simplex
+    /// bases dominated by slack columns).
+    q: Vec<usize>,
+    /// Scratch for the solve permutations.
+    tmp: Vec<f64>,
+}
+
+/// Absolute pivot magnitude below which a column is declared singular.
+const PIVOT_TOL: f64 = 1e-10;
+
+/// Threshold-pivoting factor: candidates within this factor of the
+/// largest magnitude are eligible for the sparsity tie-break.
+const THRESHOLD: f64 = 0.1;
+
+impl LuFactors {
+    /// Factorizes the `m × m` matrix `b` given in CSC form.
+    pub fn factorize(b: &CscMatrix) -> Result<LuFactors, Singular> {
+        assert_eq!(b.nrows, b.ncols, "basis must be square");
+        let m = b.nrows;
+
+        // Column preorder: sparsest columns first. Simplex bases are
+        // mostly slack (singleton) columns; eliminating them first keeps
+        // the active submatrix — and therefore fill-in — small.
+        let mut q: Vec<usize> = (0..m).collect();
+        q.sort_by_key(|&j| b.col_nnz(j));
+
+        // Row occupancy counts of the input matrix: the Markowitz-style
+        // tie-break below prefers pivots in sparse rows, which keeps U's
+        // rows (and the DFS reach of later columns) short.
+        let mut row_count = vec![0usize; m];
+        for &r in &b.rowidx {
+            row_count[r] += 1;
+        }
+
+        // Growing triplet storage for L (strict lower, original row ids
+        // during factorization) and U (permuted row ids).
+        let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut u_diag = vec![0.0; m];
+
+        const NONE: usize = usize::MAX;
+        let mut pinv = vec![NONE; m];
+
+        // Dense workspace with stamps for the sparse solve.
+        let mut x = vec![0.0; m];
+        let mut mark = vec![0u64; m];
+        let mut stamp = 0u64;
+        // DFS stacks.
+        let mut node_stack: Vec<(usize, usize)> = Vec::new(); // (node, child cursor)
+        let mut topo: Vec<usize> = Vec::new();
+
+        for k in 0..m {
+            let bk = q[k];
+            stamp += 1;
+            topo.clear();
+
+            // --- Symbolic: nonzero pattern of x = L \ b[:, q[k]] via DFS. ---
+            for (r, _) in b.col(bk) {
+                if mark[r] == stamp {
+                    continue;
+                }
+                // Iterative DFS from r through columns of L already built.
+                node_stack.push((r, 0));
+                mark[r] = stamp;
+                while let Some(&(node, cursor)) = node_stack.last() {
+                    let col = pinv[node];
+                    let mut descended = false;
+                    if col != NONE {
+                        let children = &l_cols[col];
+                        let mut cur = cursor;
+                        while cur < children.len() {
+                            let child = children[cur].0;
+                            cur += 1;
+                            if mark[child] != stamp {
+                                mark[child] = stamp;
+                                node_stack.last_mut().expect("nonempty").1 = cur;
+                                node_stack.push((child, 0));
+                                descended = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !descended {
+                        node_stack.pop();
+                        topo.push(node);
+                    }
+                }
+            }
+            // `topo` is a postorder; reverse gives topological order.
+            topo.reverse();
+
+            // --- Numeric: scatter b[:, k] then eliminate in topo order. ---
+            for i in topo.iter() {
+                x[*i] = 0.0;
+            }
+            for (r, v) in b.col(bk) {
+                x[r] = v;
+            }
+            for &node in &topo {
+                let col = pinv[node];
+                if col == NONE {
+                    continue;
+                }
+                let xj = x[node];
+                if xj == 0.0 {
+                    continue;
+                }
+                for &(r, v) in &l_cols[col] {
+                    x[r] -= v * xj;
+                }
+            }
+
+            // --- Pivot selection: threshold partial pivoting with a
+            // Markowitz-style sparsity tie-break — among rows whose
+            // magnitude is within a factor of the maximum, prefer the
+            // one lying in the sparsest row of B. ---
+            let mut best = 0.0f64;
+            for &i in &topo {
+                if pinv[i] == NONE {
+                    let t = x[i].abs();
+                    if t > best {
+                        best = t;
+                    }
+                }
+            }
+            if best <= PIVOT_TOL {
+                return Err(Singular { column: k });
+            }
+            let mut ipiv = NONE;
+            let mut best_count = usize::MAX;
+            for &i in &topo {
+                if pinv[i] == NONE
+                    && x[i].abs() >= THRESHOLD * best
+                    && row_count[i] < best_count
+                {
+                    best_count = row_count[i];
+                    ipiv = i;
+                }
+            }
+            debug_assert!(ipiv != NONE);
+            let pivot = x[ipiv];
+            pinv[ipiv] = k;
+            u_diag[k] = pivot;
+
+            // --- Store U column k (already-pivotal rows) and L column k. ---
+            let mut ucol = Vec::new();
+            let mut lcol = Vec::new();
+            for &i in &topo {
+                let v = x[i];
+                if v == 0.0 || i == ipiv {
+                    continue;
+                }
+                if pinv[i] != NONE && pinv[i] < k {
+                    ucol.push((pinv[i], v));
+                } else if pinv[i] == NONE {
+                    lcol.push((i, v / pivot));
+                }
+            }
+            u_cols.push(ucol);
+            l_cols.push(lcol);
+        }
+
+        // Remap L's row indices into permuted coordinates.
+        for col in &mut l_cols {
+            for e in col.iter_mut() {
+                e.0 = pinv[e.0];
+            }
+            col.sort_unstable_by_key(|&(r, _)| r);
+        }
+        for col in &mut u_cols {
+            col.sort_unstable_by_key(|&(r, _)| r);
+        }
+
+        Ok(LuFactors {
+            m,
+            l: CscMatrix::from_columns(m, &l_cols),
+            u: CscMatrix::from_columns(m, &u_cols),
+            u_diag,
+            pinv,
+            q,
+            tmp: vec![0.0; m],
+        })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Number of stored nonzeros in `L` and `U` (fill-in indicator).
+    pub fn fill_nnz(&self) -> usize {
+        self.l.nnz() + self.u.nnz() + self.m
+    }
+
+    /// Solves `B·w = v`. `v` is given in original row coordinates; the
+    /// result (overwriting `work`) is indexed by basis position.
+    pub fn ftran(&mut self, v: &[f64], work: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.m);
+        debug_assert_eq!(work.len(), self.m);
+        let t = &mut self.tmp;
+        // t = P v
+        for i in 0..self.m {
+            t[self.pinv[i]] = v[i];
+        }
+        // Forward solve L z = t (unit diagonal, strict lower stored).
+        for j in 0..self.m {
+            let xj = t[j];
+            if xj != 0.0 {
+                for (r, val) in self.l.col(j) {
+                    t[r] -= val * xj;
+                }
+            }
+        }
+        // Back solve U u = z.
+        for j in (0..self.m).rev() {
+            let xj = t[j] / self.u_diag[j];
+            t[j] = xj;
+            if xj != 0.0 {
+                for (r, val) in self.u.col(j) {
+                    t[r] -= val * xj;
+                }
+            }
+        }
+        // Undo the column preorder: w[q[k]] = u[k].
+        for k in 0..self.m {
+            work[self.q[k]] = t[k];
+        }
+    }
+
+    /// Solves `Bᵀ·y = c`. `c` is indexed by basis position; the result
+    /// (written into `out`) is in original row coordinates.
+    pub fn btran(&mut self, c: &mut [f64], out: &mut [f64]) {
+        debug_assert_eq!(c.len(), self.m);
+        debug_assert_eq!(out.len(), self.m);
+        // Apply the column preorder: c'[k] = c[q[k]].
+        let t = &mut self.tmp;
+        for k in 0..self.m {
+            t[k] = c[self.q[k]];
+        }
+        c.copy_from_slice(t);
+        // Solve Uᵀ z = c (forward, dot-product form).
+        for j in 0..self.m {
+            let mut acc = c[j];
+            for (r, val) in self.u.col(j) {
+                acc -= val * c[r];
+            }
+            c[j] = acc / self.u_diag[j];
+        }
+        // Solve Lᵀ y' = z (backward, dot-product form; unit diagonal).
+        for j in (0..self.m).rev() {
+            let mut acc = c[j];
+            for (r, val) in self.l.col(j) {
+                acc -= val * c[r];
+            }
+            c[j] = acc;
+        }
+        // y = Pᵀ y': out[original_row] = y'[pinv[row]].
+        for i in 0..self.m {
+            out[i] = c[self.pinv[i]];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_to_csc(a: &[&[f64]]) -> CscMatrix {
+        let m = a.len();
+        let cols: Vec<Vec<(usize, f64)>> = (0..m)
+            .map(|j| {
+                (0..m)
+                    .filter_map(|i| {
+                        let v = a[i][j];
+                        (v != 0.0).then_some((i, v))
+                    })
+                    .collect()
+            })
+            .collect();
+        CscMatrix::from_columns(m, &cols)
+    }
+
+    fn check_ftran(a: &[&[f64]], v: &[f64]) {
+        let m = a.len();
+        let b = dense_to_csc(a);
+        let mut lu = LuFactors::factorize(&b).expect("nonsingular");
+        let rhs = v.to_vec();
+        let mut w = vec![0.0; m];
+        lu.ftran(&rhs, &mut w);
+        // Check B w == v.
+        let bw = b.mul_dense(&w);
+        for i in 0..m {
+            assert!(
+                (bw[i] - v[i]).abs() < 1e-9,
+                "ftran residual at {i}: {} vs {}",
+                bw[i],
+                v[i]
+            );
+        }
+    }
+
+    fn check_btran(a: &[&[f64]], c: &[f64]) {
+        let m = a.len();
+        let b = dense_to_csc(a);
+        let mut lu = LuFactors::factorize(&b).expect("nonsingular");
+        let mut rhs = c.to_vec();
+        let mut y = vec![0.0; m];
+        lu.btran(&mut rhs, &mut y);
+        // Check Bᵀ y == c, i.e. for each column j: dot(B[:,j], y) == c[j].
+        for j in 0..m {
+            let dot: f64 = (0..m).map(|i| a[i][j] * y[i]).sum();
+            assert!(
+                (dot - c[j]).abs() < 1e-9,
+                "btran residual at {j}: {dot} vs {}",
+                c[j]
+            );
+        }
+    }
+
+    #[test]
+    fn identity_solves() {
+        let a: &[&[f64]] = &[&[1.0, 0.0], &[0.0, 1.0]];
+        check_ftran(a, &[3.0, -4.0]);
+        check_btran(a, &[3.0, -4.0]);
+    }
+
+    #[test]
+    fn permutation_matrix() {
+        let a: &[&[f64]] = &[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0]];
+        check_ftran(a, &[1.0, 2.0, 3.0]);
+        check_btran(a, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dense_3x3() {
+        let a: &[&[f64]] = &[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]];
+        check_ftran(a, &[5.0, -2.0, 9.0]);
+        check_btran(a, &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the diagonal forces row swaps.
+        let a: &[&[f64]] = &[&[0.0, 2.0], &[3.0, 1.0]];
+        check_ftran(a, &[4.0, 5.0]);
+        check_btran(a, &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a: &[&[f64]] = &[&[1.0, 2.0], &[2.0, 4.0]];
+        let b = dense_to_csc(a);
+        assert!(LuFactors::factorize(&b).is_err());
+    }
+
+    #[test]
+    fn structurally_singular_detected() {
+        let a: &[&[f64]] = &[&[1.0, 0.0], &[0.0, 0.0]];
+        let b = dense_to_csc(a);
+        // (The reported column index is in preordered space; only the
+        // fact of singularity is contractual.)
+        assert!(LuFactors::factorize(&b).is_err());
+    }
+
+    #[test]
+    fn random_matrices_roundtrip() {
+        // Small deterministic pseudo-random matrices.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for trial in 0..20 {
+            let m = 3 + (trial % 5);
+            let mut rows: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..m).map(|_| {
+                    let v = next();
+                    if v.abs() < 0.3 { 0.0 } else { v }
+                }).collect())
+                .collect();
+            // Make it strongly diagonally dominant to guarantee nonsingular.
+            for (i, row) in rows.iter_mut().enumerate() {
+                row[i] = 5.0 + next().abs();
+            }
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let v: Vec<f64> = (0..m).map(|_| next() * 10.0).collect();
+            check_ftran(&refs, &v);
+            check_btran(&refs, &v);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Lowering a [`Model`] to computational standard form.
+//!
+//! The simplex engine works on `A·x = b` with per-variable bounds
+//! `l ≤ x ≤ u`. Every model constraint gets one slack column:
+//!
+//! * `expr ≤ rhs` → `expr + s = rhs`, `s ∈ [0, +∞)`
+//! * `expr ≥ rhs` → `expr + s = rhs`, `s ∈ (−∞, 0]`
+//! * `expr = rhs` → `expr + s = rhs`, `s ∈ [0, 0]` (fixed)
+//!
+//! Objectives are normalized to *minimization*; the original sense is
+//! restored when reporting.
+
+use crate::model::{Cmp, Model, Sense};
+use crate::sparse::CscMatrix;
+
+/// A model lowered to `min cᵀx s.t. A·x = b, l ≤ x ≤ u`.
+#[derive(Debug, Clone)]
+pub struct StdForm {
+    /// Number of rows (constraints).
+    pub m: usize,
+    /// Number of columns (structural variables + slacks).
+    pub n: usize,
+    /// Number of structural (user) variables; slacks follow.
+    pub n_struct: usize,
+    /// The constraint matrix, `m × n`.
+    pub a: CscMatrix,
+    /// Right-hand sides.
+    pub b: Vec<f64>,
+    /// Lower bounds per column.
+    pub lb: Vec<f64>,
+    /// Upper bounds per column.
+    pub ub: Vec<f64>,
+    /// Minimization objective coefficients per column.
+    pub obj: Vec<f64>,
+    /// Constant to add to the computed minimum (from the objective's
+    /// constant part), still in minimization convention.
+    pub obj_offset: f64,
+    /// Whether the original model maximized (flip sign when reporting).
+    pub maximize: bool,
+}
+
+impl StdForm {
+    /// Lowers a validated model.
+    pub fn from_model(model: &Model) -> StdForm {
+        let n_struct = model.vars.len();
+        let m = model.cons.len();
+        let n = n_struct + m;
+
+        let mut lb = Vec::with_capacity(n);
+        let mut ub = Vec::with_capacity(n);
+        for v in &model.vars {
+            lb.push(v.lb);
+            ub.push(v.ub);
+        }
+
+        // Assemble structural columns from constraint rows.
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut b = Vec::with_capacity(m);
+        for (i, con) in model.cons.iter().enumerate() {
+            let expr = con.expr.compressed();
+            for (var, coeff) in expr.terms() {
+                columns[var.index()].push((i, coeff));
+            }
+            b.push(con.rhs);
+            // Slack column.
+            let s = n_struct + i;
+            columns[s].push((i, 1.0));
+            let (slb, sub) = match con.cmp {
+                Cmp::Le => (0.0, f64::INFINITY),
+                Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+                Cmp::Eq => (0.0, 0.0),
+            };
+            lb.push(slb);
+            ub.push(sub);
+        }
+
+        let maximize = model.sense == Sense::Maximize;
+        let mut obj = vec![0.0; n];
+        let objective = model.objective.compressed();
+        for (var, coeff) in objective.terms() {
+            obj[var.index()] += if maximize { -coeff } else { coeff };
+        }
+        let obj_offset = if maximize {
+            -objective.constant_part()
+        } else {
+            objective.constant_part()
+        };
+
+        StdForm {
+            m,
+            n,
+            n_struct,
+            a: CscMatrix::from_columns(m, &columns),
+            b,
+            lb,
+            ub,
+            obj,
+            obj_offset,
+            maximize,
+        }
+    }
+
+    /// Converts a minimization objective value back to the model's sense.
+    pub fn report_objective(&self, min_value: f64) -> f64 {
+        let v = min_value + self.obj_offset;
+        if self.maximize {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Cmp, Model, Sense};
+
+    #[test]
+    fn slack_bounds_by_sense() {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        m.add_con(LinExpr::from(x), Cmp::Le, 1.0);
+        m.add_con(LinExpr::from(x), Cmp::Ge, 0.5);
+        m.add_con(LinExpr::from(x), Cmp::Eq, 0.7);
+        let s = StdForm::from_model(&m);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.n_struct, 1);
+        assert_eq!((s.lb[1], s.ub[1]), (0.0, f64::INFINITY));
+        assert_eq!((s.lb[2], s.ub[2]), (f64::NEG_INFINITY, 0.0));
+        assert_eq!((s.lb[3], s.ub[3]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn maximize_negates_objective() {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        m.set_objective(LinExpr::term(x, 3.0) + 1.0, Sense::Maximize);
+        let s = StdForm::from_model(&m);
+        assert_eq!(s.obj[0], -3.0);
+        assert_eq!(s.obj_offset, -1.0);
+        // min value -6 (x=2) -> reported max = 6 + 1.
+        assert_eq!(s.report_objective(-6.0), 7.0);
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged_in_matrix() {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let e = LinExpr::term(x, 1.0) + LinExpr::term(x, 2.0);
+        m.add_con(e, Cmp::Le, 5.0);
+        let s = StdForm::from_model(&m);
+        let col: Vec<_> = s.a.col(0).collect();
+        assert_eq!(col, vec![(0, 3.0)]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Fault scenarios: data-plane failures (links/switches down) and
+//! control-plane faults (switches that fail to apply a configuration
+//! update).
+//!
+//! A [`FaultScenario`] describes one simultaneous combination of faults —
+//! the `(µ, η)` vector pair of paper §4.3 plus the `λ` vector of §4.2.
+
+use std::collections::BTreeSet;
+
+use crate::topology::{LinkId, NodeId, Topology};
+use crate::tunnel::Tunnel;
+
+/// A combination of simultaneous faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultScenario {
+    /// Failed links (`µ_e = 1`).
+    pub failed_links: BTreeSet<LinkId>,
+    /// Failed switches (`η_v = 1`).
+    pub failed_switches: BTreeSet<NodeId>,
+    /// Switches whose configuration update failed (`λ_v = 1`).
+    pub config_failures: BTreeSet<NodeId>,
+}
+
+impl FaultScenario {
+    /// The empty (fault-free) scenario.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A scenario with the given failed links.
+    pub fn links<I: IntoIterator<Item = LinkId>>(links: I) -> Self {
+        Self { failed_links: links.into_iter().collect(), ..Self::default() }
+    }
+
+    /// A scenario with the given failed switches.
+    pub fn switches<I: IntoIterator<Item = NodeId>>(switches: I) -> Self {
+        Self { failed_switches: switches.into_iter().collect(), ..Self::default() }
+    }
+
+    /// A scenario with the given configuration (control-plane) failures.
+    pub fn config<I: IntoIterator<Item = NodeId>>(switches: I) -> Self {
+        Self { config_failures: switches.into_iter().collect(), ..Self::default() }
+    }
+
+    /// Adds a failed link.
+    pub fn fail_link(&mut self, l: LinkId) -> &mut Self {
+        self.failed_links.insert(l);
+        self
+    }
+
+    /// Adds a failed switch.
+    pub fn fail_switch(&mut self, v: NodeId) -> &mut Self {
+        self.failed_switches.insert(v);
+        self
+    }
+
+    /// Adds a configuration failure.
+    pub fn fail_config(&mut self, v: NodeId) -> &mut Self {
+        self.config_failures.insert(v);
+        self
+    }
+
+    /// Number of data-plane link faults.
+    pub fn num_link_faults(&self) -> usize {
+        self.failed_links.len()
+    }
+
+    /// Number of data-plane switch faults.
+    pub fn num_switch_faults(&self) -> usize {
+        self.failed_switches.len()
+    }
+
+    /// Number of control-plane faults.
+    pub fn num_config_faults(&self) -> usize {
+        self.config_failures.len()
+    }
+
+    /// Whether the scenario has no data-plane faults.
+    pub fn data_plane_clean(&self) -> bool {
+        self.failed_links.is_empty() && self.failed_switches.is_empty()
+    }
+
+    /// Whether a link is unusable: failed itself, or incident to a failed
+    /// switch.
+    pub fn link_dead(&self, topo: &Topology, l: LinkId) -> bool {
+        if self.failed_links.contains(&l) {
+            return true;
+        }
+        let link = topo.link(l);
+        self.failed_switches.contains(&link.src) || self.failed_switches.contains(&link.dst)
+    }
+
+    /// Whether a tunnel is killed by the data-plane faults in this
+    /// scenario (traverses a dead link or a failed switch).
+    pub fn kills_tunnel(&self, topo: &Topology, t: &Tunnel) -> bool {
+        t.links.iter().any(|&l| self.link_dead(topo, l))
+            || t.nodes.iter().any(|v| self.failed_switches.contains(v))
+    }
+
+    /// Indices (within `tunnels`) of tunnels that survive this scenario —
+    /// the residual tunnel set `T_f^{µ,η}` of the paper.
+    pub fn residual_tunnels(&self, topo: &Topology, tunnels: &[Tunnel]) -> Vec<usize> {
+        tunnels
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !self.kills_tunnel(topo, t))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether this scenario is within the protection level
+    /// `(kc, ke, kv)`.
+    pub fn within(&self, kc: usize, ke: usize, kv: usize) -> bool {
+        self.num_config_faults() <= kc
+            && self.num_link_faults() <= ke
+            && self.num_switch_faults() <= kv
+    }
+}
+
+/// Enumerates all scenarios with exactly `n` failed links out of
+/// `universe` (used by the exact/enumeration FFC baseline and by tests).
+pub fn link_combinations(universe: &[LinkId], n: usize) -> Vec<FaultScenario> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..n).collect();
+    if n > universe.len() {
+        return out;
+    }
+    loop {
+        out.push(FaultScenario::links(idx.iter().map(|&i| universe[i])));
+        // Advance combination.
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + universe.len() - n {
+                idx[i] += 1;
+                for j in i + 1..n {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Enumerates all scenarios with *up to* `k` failed links.
+pub fn link_combinations_up_to(universe: &[LinkId], k: usize) -> Vec<FaultScenario> {
+    (0..=k).flat_map(|n| link_combinations(universe, n)).collect()
+}
+
+/// Enumerates all scenarios with exactly `n` config-failed switches.
+pub fn config_combinations(universe: &[NodeId], n: usize) -> Vec<FaultScenario> {
+    if n > universe.len() {
+        return Vec::new();
+    }
+    let links: Vec<LinkId> = (0..universe.len()).map(LinkId).collect();
+    // Reuse the combination machinery by index.
+    link_combinations(&links, n)
+        .into_iter()
+        .map(|s| {
+            FaultScenario::config(s.failed_links.iter().map(|l| universe[l.index()]))
+        })
+        .collect()
+}
+
+/// Enumerates all scenarios with *up to* `k` config-failed switches —
+/// the paper's `Λ_kc` set (§4.2).
+pub fn config_combinations_up_to(universe: &[NodeId], k: usize) -> Vec<FaultScenario> {
+    (0..=k).flat_map(|n| config_combinations(universe, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Path;
+
+    fn topo() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(3, "n");
+        t.add_bidi(ns[0], ns[1], 1.0);
+        t.add_bidi(ns[1], ns[2], 1.0);
+        t.add_bidi(ns[0], ns[2], 1.0);
+        (t, ns)
+    }
+
+    #[test]
+    fn switch_failure_kills_incident_links() {
+        let (t, ns) = topo();
+        let s = FaultScenario::switches([ns[1]]);
+        let l01 = t.find_link(ns[0], ns[1]).unwrap();
+        let l02 = t.find_link(ns[0], ns[2]).unwrap();
+        assert!(s.link_dead(&t, l01));
+        assert!(!s.link_dead(&t, l02));
+    }
+
+    #[test]
+    fn residual_tunnels_filtering() {
+        let (t, ns) = topo();
+        let direct = Tunnel::from_path(
+            &t,
+            Path { links: vec![t.find_link(ns[0], ns[2]).unwrap()] },
+        );
+        let via1 = Tunnel::from_path(
+            &t,
+            Path {
+                links: vec![
+                    t.find_link(ns[0], ns[1]).unwrap(),
+                    t.find_link(ns[1], ns[2]).unwrap(),
+                ],
+            },
+        );
+        let tunnels = vec![direct, via1];
+        let s = FaultScenario::switches([ns[1]]);
+        assert_eq!(s.residual_tunnels(&t, &tunnels), vec![0]);
+        let s2 = FaultScenario::links([t.find_link(ns[0], ns[2]).unwrap()]);
+        assert_eq!(s2.residual_tunnels(&t, &tunnels), vec![1]);
+        assert_eq!(FaultScenario::none().residual_tunnels(&t, &tunnels), vec![0, 1]);
+    }
+
+    #[test]
+    fn combination_counts() {
+        let links: Vec<LinkId> = (0..5).map(LinkId).collect();
+        assert_eq!(link_combinations(&links, 0).len(), 1);
+        assert_eq!(link_combinations(&links, 2).len(), 10);
+        assert_eq!(link_combinations(&links, 5).len(), 1);
+        assert_eq!(link_combinations(&links, 6).len(), 0);
+        // up to 2: 1 + 5 + 10.
+        assert_eq!(link_combinations_up_to(&links, 2).len(), 16);
+    }
+
+    #[test]
+    fn config_combinations_lambda_set() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        // |Λ_2| = 1 + 4 + 6.
+        let all = config_combinations_up_to(&nodes, 2);
+        assert_eq!(all.len(), 11);
+        assert!(all.iter().all(|s| s.num_config_faults() <= 2));
+        assert!(all.iter().all(|s| s.data_plane_clean()));
+    }
+
+    #[test]
+    fn within_protection_level() {
+        let mut s = FaultScenario::none();
+        s.fail_link(LinkId(0)).fail_config(NodeId(1));
+        assert!(s.within(1, 1, 0));
+        assert!(!s.within(0, 1, 0));
+        assert!(!s.within(1, 0, 0));
+    }
+
+    #[test]
+    fn combinations_are_distinct() {
+        let links: Vec<LinkId> = (0..6).map(LinkId).collect();
+        let combos = link_combinations(&links, 3);
+        assert_eq!(combos.len(), 20);
+        for (i, a) in combos.iter().enumerate() {
+            for b in &combos[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Flows and traffic matrices.
+//!
+//! A *flow* is aggregated traffic between an ingress and an egress switch
+//! (paper §2). Flows carry a bandwidth demand per TE interval and a
+//! priority class (§5.1 / §8.1: high = interactive, medium =
+//! deadline-driven, low = background).
+
+use std::fmt;
+
+use crate::topology::NodeId;
+
+/// Identifier of a flow within a [`TrafficMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub usize);
+
+impl FlowId {
+    /// Dense index of the flow.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Traffic priority classes, ordered from most to least protected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Interactive services: highly sensitive to loss and delay.
+    High,
+    /// Less sensitive but still loss-impacted (deadline transfers).
+    Medium,
+    /// Background/bulk traffic (data replication), congestion-tolerant.
+    Low,
+}
+
+impl Priority {
+    /// All priorities in decreasing-protection order.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Medium, Priority::Low];
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Priority::High => "high",
+            Priority::Medium => "medium",
+            Priority::Low => "low",
+        })
+    }
+}
+
+/// Aggregated ingress→egress traffic with a demand for one TE interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Ingress switch.
+    pub src: NodeId,
+    /// Egress switch.
+    pub dst: NodeId,
+    /// Bandwidth demand `d_f` for the TE interval.
+    pub demand: f64,
+    /// Priority class.
+    pub priority: Priority,
+}
+
+/// The set of flows offered to the network in one TE interval.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMatrix {
+    flows: Vec<Flow>,
+}
+
+impl TrafficMatrix {
+    /// Creates an empty traffic matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a flow and returns its id.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite demand or a src == dst flow.
+    pub fn add_flow(&mut self, src: NodeId, dst: NodeId, demand: f64, priority: Priority) -> FlowId {
+        assert!(src != dst, "flow endpoints must differ");
+        assert!(demand.is_finite() && demand >= 0.0, "bad demand {demand}");
+        let id = FlowId(self.flows.len());
+        self.flows.push(Flow { src, dst, demand, priority });
+        id
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether there are no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// All flow ids.
+    pub fn ids(&self) -> impl Iterator<Item = FlowId> {
+        (0..self.flows.len()).map(FlowId)
+    }
+
+    /// The flow record for `id`.
+    #[inline]
+    pub fn flow(&self, id: FlowId) -> &Flow {
+        &self.flows[id.0]
+    }
+
+    /// Iterates `(id, flow)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &Flow)> {
+        self.flows.iter().enumerate().map(|(i, f)| (FlowId(i), f))
+    }
+
+    /// Mutable demand access (used by carry-over logic in the simulator).
+    pub fn set_demand(&mut self, id: FlowId, demand: f64) {
+        assert!(demand.is_finite() && demand >= 0.0);
+        self.flows[id.0].demand = demand;
+    }
+
+    /// Scales every demand by `factor` (the paper's traffic-scale knob).
+    pub fn scale(&self, factor: f64) -> TrafficMatrix {
+        assert!(factor.is_finite() && factor >= 0.0);
+        TrafficMatrix {
+            flows: self
+                .flows
+                .iter()
+                .map(|f| Flow { demand: f.demand * factor, ..*f })
+                .collect(),
+        }
+    }
+
+    /// Total demand across all flows.
+    pub fn total_demand(&self) -> f64 {
+        self.flows.iter().map(|f| f.demand).sum()
+    }
+
+    /// Total demand of one priority class.
+    pub fn demand_of(&self, p: Priority) -> f64 {
+        self.flows
+            .iter()
+            .filter(|f| f.priority == p)
+            .map(|f| f.demand)
+            .sum()
+    }
+
+    /// Returns a traffic matrix containing only flows of priority `p`,
+    /// along with the original flow ids (index `i` of the result maps to
+    /// `kept[i]` in `self`).
+    pub fn filter_priority(&self, p: Priority) -> (TrafficMatrix, Vec<FlowId>) {
+        let mut tm = TrafficMatrix::new();
+        let mut kept = Vec::new();
+        for (id, f) in self.iter() {
+            if f.priority == p {
+                tm.flows.push(*f);
+                kept.push(id);
+            }
+        }
+        (tm, kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut tm = TrafficMatrix::new();
+        let f = tm.add_flow(NodeId(0), NodeId(1), 5.0, Priority::High);
+        assert_eq!(tm.len(), 1);
+        assert_eq!(tm.flow(f).demand, 5.0);
+        assert_eq!(tm.total_demand(), 5.0);
+    }
+
+    #[test]
+    fn scale_multiplies_demands() {
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(NodeId(0), NodeId(1), 4.0, Priority::Low);
+        tm.add_flow(NodeId(1), NodeId(0), 6.0, Priority::High);
+        let scaled = tm.scale(0.5);
+        assert_eq!(scaled.total_demand(), 5.0);
+        assert_eq!(tm.total_demand(), 10.0); // original untouched
+    }
+
+    #[test]
+    fn priority_filter_and_sums() {
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(NodeId(0), NodeId(1), 1.0, Priority::High);
+        tm.add_flow(NodeId(0), NodeId(2), 2.0, Priority::Low);
+        tm.add_flow(NodeId(1), NodeId(2), 4.0, Priority::High);
+        assert_eq!(tm.demand_of(Priority::High), 5.0);
+        let (hi, ids) = tm.filter_priority(Priority::High);
+        assert_eq!(hi.len(), 2);
+        assert_eq!(ids, vec![FlowId(0), FlowId(2)]);
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::High < Priority::Medium);
+        assert!(Priority::Medium < Priority::Low);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints")]
+    fn rejects_self_flow() {
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(NodeId(3), NodeId(3), 1.0, Priority::Low);
+    }
+}

@@ -1,0 +1,170 @@
+//! Yen's algorithm for k shortest loopless paths.
+//!
+//! Used by the tunnel-layout heuristics when strict diversity caps cannot
+//! be met and the layout falls back to "shortest remaining candidates".
+
+use crate::graph::{shortest_path, Path};
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// Computes up to `k` loopless shortest paths from `src` to `dst` under
+/// `weight`, in non-decreasing weight order.
+///
+/// Links for which `weight` returns `f64::INFINITY` are excluded.
+pub fn k_shortest_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    weight: impl Fn(LinkId) -> f64,
+) -> Vec<Path> {
+    let mut result: Vec<Path> = Vec::new();
+    if k == 0 {
+        return result;
+    }
+    let Some(first) = shortest_path(topo, src, dst, &weight, |_| true) else {
+        return result;
+    };
+    result.push(first);
+
+    // Candidate pool: (total weight, path). Simple Vec-based pool; k and
+    // path counts are small in TE settings (k ≤ ~16).
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+
+    while result.len() < k {
+        let prev = result.last().expect("nonempty").clone();
+        let prev_nodes = prev.nodes(topo);
+
+        // For each spur node along the previous path...
+        for i in 0..prev.links.len() {
+            let spur_node = prev_nodes[i];
+            let root_links = &prev.links[..i];
+
+            // Links removed: any link that a previous result shares the
+            // same root with and takes next.
+            let mut banned_links: Vec<LinkId> = Vec::new();
+            for r in &result {
+                if r.links.len() > i && r.links[..i] == *root_links {
+                    banned_links.push(r.links[i]);
+                }
+            }
+            // Nodes on the root path (except the spur node) are banned to
+            // keep paths loopless.
+            let banned_nodes: Vec<NodeId> = prev_nodes[..i].to_vec();
+
+            let spur = shortest_path(
+                topo,
+                spur_node,
+                dst,
+                |l| {
+                    if banned_links.contains(&l) {
+                        f64::INFINITY
+                    } else {
+                        weight(l)
+                    }
+                },
+                |v| !banned_nodes.contains(&v),
+            );
+            let Some(spur_path) = spur else { continue };
+
+            // Reject spur paths that re-enter the root.
+            let spur_nodes = spur_path.nodes(topo);
+            if spur_nodes[1..].iter().any(|n| banned_nodes.contains(n) || *n == spur_node) {
+                continue;
+            }
+
+            let mut links = root_links.to_vec();
+            links.extend_from_slice(&spur_path.links);
+            let total = Path { links };
+            let w = total.weight(&weight);
+
+            let duplicate = result.iter().any(|r| r.links == total.links)
+                || candidates.iter().any(|(_, c)| c.links == total.links);
+            if !duplicate {
+                candidates.push((w, total));
+            }
+        }
+
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the lightest candidate.
+        let (best_idx, _) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite weights"))
+            .expect("nonempty");
+        let (_, path) = candidates.swap_remove(best_idx);
+        result.push(path);
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic Yen example-ish topology.
+    fn topo() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(5, "n");
+        // Weighted edges per the unit-weight variant; capacities unused.
+        t.add_link(ns[0], ns[1], 1.0); // a-b
+        t.add_link(ns[1], ns[2], 1.0); // b-c
+        t.add_link(ns[2], ns[4], 1.0); // c-e
+        t.add_link(ns[0], ns[3], 1.0); // a-d
+        t.add_link(ns[3], ns[4], 1.0); // d-e
+        t.add_link(ns[1], ns[4], 1.0); // b-e
+        (t, ns)
+    }
+
+    #[test]
+    fn finds_paths_in_order() {
+        let (t, ns) = topo();
+        let paths = k_shortest_paths(&t, ns[0], ns[4], 4, |_| 1.0);
+        assert_eq!(paths.len(), 3); // a-b-e, a-d-e, a-b-c-e
+        assert_eq!(paths[0].len(), 2);
+        assert_eq!(paths[1].len(), 2);
+        assert_eq!(paths[2].len(), 3);
+    }
+
+    #[test]
+    fn paths_are_unique_and_loopless() {
+        let (t, ns) = topo();
+        let paths = k_shortest_paths(&t, ns[0], ns[4], 10, |_| 1.0);
+        for (i, p) in paths.iter().enumerate() {
+            for q in &paths[i + 1..] {
+                assert_ne!(p.links, q.links, "duplicate path");
+            }
+            let nodes = p.nodes(&t);
+            let mut sorted = nodes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), nodes.len(), "loop in path");
+        }
+    }
+
+    #[test]
+    fn respects_weights() {
+        let (t, ns) = topo();
+        // Make a-b hugely expensive: a-d-e must come first.
+        let ab = t.find_link(ns[0], ns[1]).unwrap();
+        let paths = k_shortest_paths(&t, ns[0], ns[4], 2, |l| if l == ab { 100.0 } else { 1.0 });
+        assert_eq!(paths[0].nodes(&t), vec![ns[0], ns[3], ns[4]]);
+    }
+
+    #[test]
+    fn k_zero_and_unreachable() {
+        let (t, ns) = topo();
+        assert!(k_shortest_paths(&t, ns[0], ns[4], 0, |_| 1.0).is_empty());
+        assert!(k_shortest_paths(&t, ns[4], ns[0], 3, |_| 1.0).is_empty()); // one-way graph
+    }
+
+    #[test]
+    fn more_k_than_paths() {
+        let (t, ns) = topo();
+        let paths = k_shortest_paths(&t, ns[0], ns[4], 100, |_| 1.0);
+        // Exactly the simple paths from a to e.
+        assert_eq!(paths.len(), 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Suurballe's algorithm: a pair of link-disjoint paths with minimum
+//! total weight.
+//!
+//! The paper's robust tunnel layout (§4.3) wants link/switch-disjoint
+//! tunnels; [`crate::layout`] uses a fast penalty heuristic. This module
+//! provides the *exact* optimum for the two-path case — useful both as
+//! a better layout for small networks and as an oracle the heuristic is
+//! tested against.
+//!
+//! Classic construction: run Dijkstra once for the shortest path `P₁`,
+//! re-weight every link with its reduced cost
+//! `w'(u,v) = w(u,v) + d(u) − d(v) ≥ 0`, remove the forward links of
+//! `P₁` and reverse its links with weight 0, run Dijkstra again, and
+//! cancel overlapping link pairs between the two paths.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::graph::Path;
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// Computes two link-disjoint paths from `src` to `dst` minimizing the
+/// *total* weight, or `None` if no such pair exists.
+///
+/// `weight` must be positive and finite for usable links.
+pub fn disjoint_pair(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    weight: impl Fn(LinkId) -> f64,
+) -> Option<(Path, Path)> {
+    let n = topo.num_nodes();
+
+    // --- Dijkstra with distances to every node. ---
+    let dist = {
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[src.0] = 0.0;
+        heap.push((std::cmp::Reverse(ordered(0.0)), src.0));
+        while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+            let d = d.0;
+            if d > dist[u] {
+                continue;
+            }
+            for &l in topo.out_links(NodeId(u)) {
+                let w = weight(l);
+                if !w.is_finite() {
+                    continue;
+                }
+                let v = topo.link(l).dst.0;
+                if d + w < dist[v] {
+                    dist[v] = d + w;
+                    heap.push((std::cmp::Reverse(ordered(d + w)), v));
+                }
+            }
+        }
+        dist
+    };
+    if !dist[dst.0].is_finite() {
+        return None;
+    }
+
+    // --- Residual graph in reduced costs. ---
+    // Arc = (to, reduced_weight, Some(link) forward | link reversed).
+    #[derive(Clone, Copy)]
+    struct Arc {
+        to: usize,
+        w: f64,
+        /// The underlying link and whether this arc traverses it
+        /// forward (true) or cancels it (false).
+        link: LinkId,
+        forward: bool,
+    }
+    let mut adj: Vec<Vec<Arc>> = vec![Vec::new(); n];
+
+    // First shortest path (by parent pointers on reduced costs = 0).
+    let p1_links = shortest_by(topo, src, dst, &weight)?;
+    let p1_set: HashSet<LinkId> = p1_links.iter().copied().collect();
+
+    for l in topo.links() {
+        let w = weight(l);
+        if !w.is_finite() {
+            continue;
+        }
+        let (u, v) = (topo.link(l).src.0, topo.link(l).dst.0);
+        if !dist[u].is_finite() || !dist[v].is_finite() {
+            continue;
+        }
+        let rw = (w + dist[u] - dist[v]).max(0.0);
+        if p1_set.contains(&l) {
+            // Reverse arc with weight 0 (reduced cost of a shortest-path
+            // link is 0).
+            adj[v].push(Arc { to: u, w: 0.0, link: l, forward: false });
+        } else {
+            adj[u].push(Arc { to: v, w: rw, link: l, forward: true });
+        }
+    }
+
+    // --- Second Dijkstra on the residual graph. ---
+    let mut dist2 = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<Arc>> = vec![None; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    dist2[src.0] = 0.0;
+    heap.push((std::cmp::Reverse(ordered(0.0)), src.0));
+    while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+        let d = d.0;
+        if d > dist2[u] {
+            continue;
+        }
+        for &arc in &adj[u] {
+            if d + arc.w < dist2[arc.to] {
+                dist2[arc.to] = d + arc.w;
+                prev[arc.to] = Some(arc);
+                heap.push((std::cmp::Reverse(ordered(d + arc.w)), arc.to));
+            }
+        }
+    }
+    if !dist2[dst.0].is_finite() {
+        return None;
+    }
+    // Trace P2 in the residual graph.
+    let mut p2_forward: HashSet<LinkId> = HashSet::new();
+    let mut cancelled: HashSet<LinkId> = HashSet::new();
+    let mut cur = dst.0;
+    while cur != src.0 {
+        let arc = prev[cur].expect("reachable");
+        if arc.forward {
+            p2_forward.insert(arc.link);
+        } else {
+            cancelled.insert(arc.link);
+        }
+        // Walk backwards: arc goes from some u to `cur`.
+        let l = topo.link(arc.link);
+        cur = if arc.forward { l.src.0 } else { l.dst.0 };
+    }
+
+    // --- Combine: links of P1 (minus cancelled) + P2's forward links. ---
+    let mut combined: Vec<LinkId> = p1_links
+        .iter()
+        .copied()
+        .filter(|l| !cancelled.contains(l))
+        .collect();
+    combined.extend(p2_forward.iter().copied());
+
+    // Decompose the combined link set into two paths src -> dst.
+    let mut out_map: HashMap<usize, Vec<LinkId>> = HashMap::new();
+    for &l in &combined {
+        out_map.entry(topo.link(l).src.0).or_default().push(l);
+    }
+    let mut paths = Vec::new();
+    for _ in 0..2 {
+        let mut links = Vec::new();
+        let mut cur = src.0;
+        while cur != dst.0 {
+            let outs = out_map.get_mut(&cur)?;
+            let l = outs.pop()?;
+            links.push(l);
+            cur = topo.link(l).dst.0;
+        }
+        paths.push(Path { links });
+    }
+    let mut it = paths.into_iter();
+    Some((it.next().expect("two"), it.next().expect("two")))
+}
+
+/// Dijkstra returning the link sequence of one shortest path.
+fn shortest_by(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    weight: impl Fn(LinkId) -> f64,
+) -> Option<Vec<LinkId>> {
+    crate::graph::shortest_path(topo, src, dst, weight, |_| true).map(|p| p.links)
+}
+
+/// Total-order wrapper for f64 heap keys (finite by construction).
+fn ordered(x: f64) -> OrdF64 {
+    OrdF64(x)
+}
+
+#[derive(PartialEq, PartialOrd)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("finite keys")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(4, "n");
+        t.add_link(ns[0], ns[1], 1.0);
+        t.add_link(ns[1], ns[3], 1.0);
+        t.add_link(ns[0], ns[2], 1.0);
+        t.add_link(ns[2], ns[3], 1.0);
+        (t, ns)
+    }
+
+    fn assert_disjoint(topo: &Topology, a: &Path, b: &Path, src: NodeId, dst: NodeId) {
+        let sa: HashSet<LinkId> = a.links.iter().copied().collect();
+        for l in &b.links {
+            assert!(!sa.contains(l), "paths share {l}");
+        }
+        for p in [a, b] {
+            let nodes = p.nodes(topo);
+            assert_eq!(nodes.first().copied(), Some(src));
+            assert_eq!(nodes.last().copied(), Some(dst));
+        }
+    }
+
+    #[test]
+    fn diamond_pair() {
+        let (t, ns) = diamond();
+        let (a, b) = disjoint_pair(&t, ns[0], ns[3], |_| 1.0).expect("pair exists");
+        assert_disjoint(&t, &a, &b, ns[0], ns[3]);
+        assert_eq!(a.len() + b.len(), 4);
+    }
+
+    /// The trap case where greedy (shortest-then-remove) fails but
+    /// Suurballe succeeds: the shortest path uses the only bridge both
+    /// alternatives need, so removal disconnects the second path.
+    #[test]
+    fn beats_greedy_on_trap_graph() {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(6, "n");
+        let (s, a, b, c, d, z) = (ns[0], ns[1], ns[2], ns[3], ns[4], ns[5]);
+        // Shortest path s-a-d-z (weight 3) uses a-d; the disjoint pair
+        // must instead be s-a-c-z and s-b-d-z.
+        t.add_link(s, a, 1.0);
+        t.add_link(a, d, 1.0);
+        t.add_link(d, z, 1.0);
+        t.add_link(s, b, 2.0);
+        t.add_link(b, d, 2.0);
+        t.add_link(a, c, 2.0);
+        t.add_link(c, z, 2.0);
+        let weights = |l: LinkId| t.link(l).capacity; // capacity doubles as weight
+        // Greedy check: removing s-a-d-z leaves s-b-d..? d->z removed ->
+        // no second path via greedy.
+        let (p1, p2) = disjoint_pair(&t, s, z, weights).expect("Suurballe finds the pair");
+        assert_disjoint(&t, &p1, &p2, s, z);
+        let total = p1.weight(weights) + p2.weight(weights);
+        assert!((total - 10.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn no_pair_when_bridge_exists() {
+        // s - m - z: every path crosses m's single outgoing link.
+        let mut t = Topology::new();
+        let ns = t.add_nodes(3, "n");
+        t.add_link(ns[0], ns[1], 1.0);
+        t.add_link(ns[1], ns[2], 1.0);
+        assert!(disjoint_pair(&t, ns[0], ns[2], |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn pair_total_is_optimal_on_k4() {
+        // Complete directed graph on 4 nodes, unit weights: best pair
+        // total = 1 (direct) + 2 (two-hop) = 3.
+        let mut t = Topology::new();
+        let ns = t.add_nodes(4, "n");
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    t.add_link(ns[i], ns[j], 1.0);
+                }
+            }
+        }
+        let (a, b) = disjoint_pair(&t, ns[0], ns[3], |_| 1.0).expect("pair");
+        assert_disjoint(&t, &a, &b, ns[0], ns[3]);
+        assert_eq!(a.len() + b.len(), 3);
+    }
+}

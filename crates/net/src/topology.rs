@@ -1,0 +1,261 @@
+//! Network topology: switches (nodes) and directed capacitated links.
+//!
+//! Terminology follows the paper: the graph is `G = (V, E)` with switches
+//! `V` and *directed* links `E`, each with a capacity `c_e` (§4.1,
+//! Table 1). Parallel links between the same switch pair are allowed
+//! (S-Net has four parallel 10 Gbps links per site pair).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a switch in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Dense index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of a directed link in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// Dense index of the link.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A directed link with a bandwidth capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Source switch.
+    pub src: NodeId,
+    /// Destination switch.
+    pub dst: NodeId,
+    /// Capacity `c_e` in bandwidth units (the unit is the caller's; the
+    /// repo's experiments use Gbps).
+    pub capacity: f64,
+}
+
+/// A network graph of switches and directed capacitated links.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    names: Vec<String>,
+    links: Vec<Link>,
+    out_adj: Vec<Vec<LinkId>>,
+    in_adj: Vec<Vec<LinkId>>,
+    by_endpoints: HashMap<(NodeId, NodeId), Vec<LinkId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a switch with a display name, returning its id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.names.len());
+        self.names.push(name.into());
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` switches named `prefix0..prefix{n-1}`, returning their ids.
+    pub fn add_nodes(&mut self, n: usize, prefix: &str) -> Vec<NodeId> {
+        (0..n).map(|i| self.add_node(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Adds a directed link, returning its id.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not finite and positive, or if an endpoint
+    /// is out of range.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, capacity: f64) -> LinkId {
+        assert!(src.0 < self.names.len(), "src out of range");
+        assert!(dst.0 < self.names.len(), "dst out of range");
+        assert!(src != dst, "self-loop links are not allowed");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive and finite, got {capacity}"
+        );
+        let id = LinkId(self.links.len());
+        self.links.push(Link { src, dst, capacity });
+        self.out_adj[src.0].push(id);
+        self.in_adj[dst.0].push(id);
+        self.by_endpoints.entry((src, dst)).or_default().push(id);
+        id
+    }
+
+    /// Adds a pair of opposite directed links with equal capacity
+    /// (the common way WAN topologies are described).
+    pub fn add_bidi(&mut self, a: NodeId, b: NodeId, capacity: f64) -> (LinkId, LinkId) {
+        (self.add_link(a, b, capacity), self.add_link(b, a, capacity))
+    }
+
+    /// Number of switches.
+    pub fn num_nodes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.names.len()).map(NodeId)
+    }
+
+    /// All link ids.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> {
+        (0..self.links.len()).map(LinkId)
+    }
+
+    /// The link record for `id`.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// The display name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks up a node by its display name (linear scan; for tests and
+    /// small topologies).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name).map(NodeId)
+    }
+
+    /// Outgoing links of a node.
+    #[inline]
+    pub fn out_links(&self, v: NodeId) -> &[LinkId] {
+        &self.out_adj[v.0]
+    }
+
+    /// Incoming links of a node.
+    #[inline]
+    pub fn in_links(&self, v: NodeId) -> &[LinkId] {
+        &self.in_adj[v.0]
+    }
+
+    /// All links (parallel included) from `src` to `dst`.
+    pub fn links_between(&self, src: NodeId, dst: NodeId) -> &[LinkId] {
+        self.by_endpoints
+            .get(&(src, dst))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The first link from `src` to `dst`, if any.
+    pub fn find_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.links_between(src, dst).first().copied()
+    }
+
+    /// Capacity of a link.
+    #[inline]
+    pub fn capacity(&self, id: LinkId) -> f64 {
+        self.links[id.0].capacity
+    }
+
+    /// Replaces the capacity of a link (used by provisioning sweeps).
+    pub fn set_capacity(&mut self, id: LinkId, capacity: f64) {
+        assert!(capacity.is_finite() && capacity > 0.0);
+        self.links[id.0].capacity = capacity;
+    }
+
+    /// Total capacity over all links.
+    pub fn total_capacity(&self) -> f64 {
+        self.links.iter().map(|l| l.capacity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_topology() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let (ab, ba) = t.add_bidi(a, b, 10.0);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.num_links(), 2);
+        assert_eq!(t.link(ab).src, a);
+        assert_eq!(t.link(ba).src, b);
+        assert_eq!(t.out_links(a), &[ab]);
+        assert_eq!(t.in_links(a), &[ba]);
+        assert_eq!(t.capacity(ab), 10.0);
+    }
+
+    #[test]
+    fn parallel_links_tracked() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let l1 = t.add_link(a, b, 10.0);
+        let l2 = t.add_link(a, b, 10.0);
+        assert_eq!(t.links_between(a, b), &[l1, l2]);
+        assert_eq!(t.find_link(a, b), Some(l1));
+        assert_eq!(t.find_link(b, a), None);
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let mut t = Topology::new();
+        t.add_node("ny");
+        let ld = t.add_node("ld");
+        assert_eq!(t.node_by_name("ld"), Some(ld));
+        assert_eq!(t.node_by_name("nope"), None);
+        assert_eq!(t.node_name(ld), "ld");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        t.add_link(a, a, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_nonpositive_capacity() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(a, b, 0.0);
+    }
+
+    #[test]
+    fn add_nodes_names() {
+        let mut t = Topology::new();
+        let ids = t.add_nodes(3, "sw");
+        assert_eq!(t.node_name(ids[1]), "sw1");
+        assert_eq!(t.total_capacity(), 0.0);
+    }
+}

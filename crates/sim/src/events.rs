@@ -1,0 +1,185 @@
+//! Event timelines for the testbed experiment (§7, Figure 11): who does
+//! what, when, after a link failure — with FFC (detection → notify →
+//! rescale, done) and without (the same, plus controller reaction and a
+//! possibly slow switch update, during which congestion persists).
+
+use rand::Rng;
+
+use crate::switch_model::{SwitchModel, UpdateOutcome};
+use ffc_topo::Testbed;
+
+/// One labeled span on the timeline (seconds relative to the failure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Event label (mirrors Figure 11's rows).
+    pub label: String,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// A full timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Events in chronological order of their start.
+    pub events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    fn push(&mut self, label: &str, start: f64, end: f64) {
+        self.events.push(TimelineEvent { label: label.to_string(), start, end });
+    }
+
+    /// When congestion/loss stops (the end of the last loss span).
+    pub fn loss_ends_at(&self) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.label.contains("loss"))
+            .map(|e| e.end)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the timeline as aligned text rows.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for e in &self.events {
+            let _ = writeln!(
+                s,
+                "  {:<34} {:>9.1} ms .. {:>9.1} ms",
+                e.label,
+                e.start * 1e3,
+                e.end * 1e3
+            );
+        }
+        s
+    }
+}
+
+/// Parameters of the Fig 11 timeline reconstruction.
+#[derive(Debug, Clone)]
+pub struct TimelineConfig {
+    /// Link-failure detection at the adjacent switch (paper: ~5 ms).
+    pub detection_secs: f64,
+    /// Rescale application at the ingress (paper: ~2 ms).
+    pub rescale_secs: f64,
+    /// Controller TE recomputation time.
+    pub compute_secs: f64,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        Self { detection_secs: 0.005, rescale_secs: 0.002, compute_secs: 0.050 }
+    }
+}
+
+/// Builds the FFC timeline of Figure 11(a): the failure of link s6-s7,
+/// detection at s6, notification to ingress s3, rescale — loss stops.
+pub fn ffc_timeline(tb: &Testbed, cfg: &TimelineConfig) -> Timeline {
+    let mut tl = Timeline::default();
+    let t_detect = cfg.detection_secs;
+    // s6 tells s3 (ingress of the impacted tunnel s3-s6-s7).
+    let t_notify = t_detect + tb.delay_between(tb.s(6), tb.s(3));
+    let t_rescaled = t_notify + cfg.rescale_secs;
+    tl.push("link s6-s7 fails", 0.0, 0.0);
+    tl.push("s6 detects failure", 0.0, t_detect);
+    tl.push("s3 hears about failure", t_detect, t_notify);
+    tl.push("s3 rescales", t_notify, t_rescaled);
+    tl.push("loss on tunnel s3-s6-s7", 0.0, t_rescaled);
+    tl
+}
+
+/// Builds the non-FFC timeline of Figure 11(b/c): after rescaling, link
+/// s3-s5 is congested until the controller updates s4; the switch
+/// update delay is sampled from `model` (pass a seeded RNG — Fig 11(b)
+/// is a fast draw, Fig 11(c) a slow one).
+pub fn non_ffc_timeline<R: Rng + ?Sized>(
+    tb: &Testbed,
+    cfg: &TimelineConfig,
+    model: SwitchModel,
+    rules: usize,
+    rng: &mut R,
+) -> Timeline {
+    let mut tl = ffc_timeline(tb, cfg);
+    let t_rescaled = tl.loss_ends_at();
+    // s6 informs the controller at s5.
+    let t_ctrl_knows = cfg.detection_secs + tb.delay_between(tb.s(6), tb.controller);
+    let t_computed = t_ctrl_knows + cfg.compute_secs;
+    // Controller updates s4 (move 0.5 Gbps from s4-s3-s5 to s4-s6-s5).
+    let rpc = tb.delay_between(tb.controller, tb.s(4));
+    let update_delay = match model.sample_outcome(rng, rules) {
+        UpdateOutcome::Applied(d) => d,
+        UpdateOutcome::Failed => 300.0, // stale for the interval
+    };
+    let t_fixed = t_computed + rpc + update_delay;
+    tl.push("controller notified", cfg.detection_secs, t_ctrl_knows);
+    tl.push("controller computes new TE", t_ctrl_knows, t_computed);
+    tl.push("s4 applies update", t_computed, t_fixed);
+    tl.push("congestion loss on s3-s5", t_rescaled, t_fixed);
+    tl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffc_topo::testbed;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ffc_loss_stops_after_rescale() {
+        let tb = testbed();
+        let tl = ffc_timeline(&tb, &TimelineConfig::default());
+        let end = tl.loss_ends_at();
+        // Detection 5 ms + s6->s3 propagation (~30-50 ms) + rescale 2 ms.
+        assert!(end > 0.02 && end < 0.2, "FFC loss window {end}");
+    }
+
+    #[test]
+    fn non_ffc_congestion_outlasts_ffc() {
+        let tb = testbed();
+        let cfg = TimelineConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ffc = ffc_timeline(&tb, &cfg);
+        let non = non_ffc_timeline(&tb, &cfg, SwitchModel::Optimistic, 10, &mut rng);
+        assert!(
+            non.loss_ends_at() > ffc.loss_ends_at(),
+            "non-FFC {} vs FFC {}",
+            non.loss_ends_at(),
+            ffc.loss_ends_at()
+        );
+    }
+
+    #[test]
+    fn slow_switch_prolongs_congestion() {
+        let tb = testbed();
+        let cfg = TimelineConfig::default();
+        // Realistic model with many rules: long tail.
+        let mut worst = 0.0f64;
+        let mut best = f64::INFINITY;
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let tl = non_ffc_timeline(&tb, &cfg, SwitchModel::Realistic, 100, &mut rng);
+            worst = worst.max(tl.loss_ends_at());
+            best = best.min(tl.loss_ends_at());
+        }
+        assert!(worst > 2.0 * best, "no spread: best {best}, worst {worst}");
+    }
+
+    #[test]
+    fn empty_timeline_has_no_loss() {
+        let tl = Timeline::default();
+        assert_eq!(tl.loss_ends_at(), 0.0);
+        assert!(tl.render().is_empty());
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let tb = testbed();
+        let tl = ffc_timeline(&tb, &TimelineConfig::default());
+        let text = tl.render();
+        assert!(text.contains("s6 detects failure"));
+        assert!(text.contains("s3 rescales"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Data-plane fault injection (§8.1): Poisson-ish link and switch
+//! failures with repair times, stepped per TE interval.
+//!
+//! L-Net's published statistic calibrates the default: "a link fails
+//! every 30 minutes on average" — one network-wide link failure per six
+//! 5-minute intervals. Switch failures are an order of magnitude rarer
+//! ("multiple link failures in a short amount of time and switch
+//! failures are uncommon (but do occur)", §8.2).
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use ffc_net::{FaultScenario, LinkId, NodeId, Topology};
+
+/// Fault process parameters.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    /// Expected number of *new* link failures per interval, network-wide
+    /// (L-Net default: 5 min / 30 min = 1/6).
+    pub link_failures_per_interval: f64,
+    /// Expected number of new switch failures per interval.
+    pub switch_failures_per_interval: f64,
+    /// Mean repair time, in intervals (geometric).
+    pub mean_repair_intervals: f64,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self {
+            link_failures_per_interval: 1.0 / 6.0,
+            switch_failures_per_interval: 1.0 / 60.0,
+            mean_repair_intervals: 2.0,
+        }
+    }
+}
+
+impl FaultModel {
+    /// A fault-free model (for control-plane-only experiments).
+    pub fn none() -> Self {
+        Self {
+            link_failures_per_interval: 0.0,
+            switch_failures_per_interval: 0.0,
+            mean_repair_intervals: 1.0,
+        }
+    }
+}
+
+/// New faults arriving within one interval, with their occurrence time.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalFaults {
+    /// Newly failed links and the time (seconds into the interval).
+    pub new_links: Vec<(LinkId, f64)>,
+    /// Newly failed switches and the time.
+    pub new_switches: Vec<(NodeId, f64)>,
+}
+
+impl IntervalFaults {
+    /// Whether anything failed this interval.
+    pub fn is_empty(&self) -> bool {
+        self.new_links.is_empty() && self.new_switches.is_empty()
+    }
+}
+
+/// The evolving data-plane fault state.
+#[derive(Debug, Clone, Default)]
+pub struct FaultProcess {
+    /// Active link failures → remaining repair intervals.
+    active_links: BTreeMap<LinkId, usize>,
+    /// Active switch failures → remaining repair intervals.
+    active_switches: BTreeMap<NodeId, usize>,
+}
+
+impl FaultProcess {
+    /// A fresh process with no active faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently active faults as a scenario.
+    pub fn scenario(&self) -> FaultScenario {
+        let mut s = FaultScenario::none();
+        for &l in self.active_links.keys() {
+            s.fail_link(l);
+        }
+        for &v in self.active_switches.keys() {
+            s.fail_switch(v);
+        }
+        s
+    }
+
+    /// Number of active link faults.
+    pub fn active_link_count(&self) -> usize {
+        self.active_links.len()
+    }
+
+    /// Number of active switch faults.
+    pub fn active_switch_count(&self) -> usize {
+        self.active_switches.len()
+    }
+
+    /// Advances one interval: repairs tick down, then new faults are
+    /// sampled (Poisson counts, uniform times within the interval).
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        topo: &Topology,
+        model: &FaultModel,
+        interval_secs: f64,
+    ) -> IntervalFaults {
+        // Repair.
+        self.active_links.retain(|_, left| {
+            *left = left.saturating_sub(1);
+            *left > 0
+        });
+        self.active_switches.retain(|_, left| {
+            *left = left.saturating_sub(1);
+            *left > 0
+        });
+
+        // New failures.
+        let mut out = IntervalFaults::default();
+        let n_links = sample_poisson(rng, model.link_failures_per_interval);
+        for _ in 0..n_links {
+            if topo.num_links() == 0 {
+                break;
+            }
+            let l = LinkId(rng.gen_range(0..topo.num_links()));
+            if self.active_links.contains_key(&l) {
+                continue;
+            }
+            let dur = sample_repair(rng, model.mean_repair_intervals);
+            self.active_links.insert(l, dur);
+            // Fail the reverse direction too when one exists: physical
+            // link cuts take both directions down.
+            let rev = topo
+                .links_between(topo.link(l).dst, topo.link(l).src)
+                .first()
+                .copied();
+            let t = rng.gen_range(0.0..interval_secs);
+            out.new_links.push((l, t));
+            if let Some(r) = rev {
+                if let std::collections::btree_map::Entry::Vacant(e) =
+                    self.active_links.entry(r)
+                {
+                    e.insert(dur);
+                    out.new_links.push((r, t));
+                }
+            }
+        }
+        let n_switches = sample_poisson(rng, model.switch_failures_per_interval);
+        for _ in 0..n_switches {
+            if topo.num_nodes() == 0 {
+                break;
+            }
+            let v = NodeId(rng.gen_range(0..topo.num_nodes()));
+            if self.active_switches.contains_key(&v) {
+                continue;
+            }
+            let dur = sample_repair(rng, model.mean_repair_intervals);
+            self.active_switches.insert(v, dur);
+            out.new_switches.push((v, rng.gen_range(0.0..interval_secs)));
+        }
+        out
+    }
+}
+
+/// Knuth Poisson sampler (rates here are ≪ 10).
+fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // Guard against pathological lambda.
+        }
+    }
+}
+
+/// Geometric-ish repair duration with the given mean, at least 1.
+fn sample_repair<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    let mean = mean.max(1.0);
+    let p = 1.0 / mean;
+    let mut k = 1usize;
+    while rng.gen::<f64>() > p && k < 1000 {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(6, "n");
+        for i in 0..6 {
+            t.add_bidi(ns[i], ns[(i + 1) % 6], 10.0);
+        }
+        t
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_poisson(&mut rng, 0.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn repair_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 50_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_repair(&mut rng, 3.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn failure_rate_matches_model() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = FaultModel {
+            link_failures_per_interval: 1.0 / 6.0,
+            switch_failures_per_interval: 0.0,
+            mean_repair_intervals: 1.0,
+        };
+        let mut proc = FaultProcess::new();
+        let mut events = 0usize;
+        let n = 30_000;
+        for _ in 0..n {
+            // Count failure *events* (a bidirectional cut = one event).
+            let f = proc.step(&mut rng, &t, &model, 300.0);
+            events += f.new_links.len() / 2 + f.new_links.len() % 2;
+        }
+        let rate = events as f64 / n as f64;
+        // Expected one per 6 intervals; collisions with active faults
+        // make the realized rate slightly lower.
+        assert!((rate - 1.0 / 6.0).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn both_directions_fail_together() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = FaultModel {
+            link_failures_per_interval: 3.0,
+            switch_failures_per_interval: 0.0,
+            mean_repair_intervals: 1.0,
+        };
+        let mut proc = FaultProcess::new();
+        for _ in 0..50 {
+            let f = proc.step(&mut rng, &t, &model, 300.0);
+            let sc = proc.scenario();
+            for (l, _) in &f.new_links {
+                let link = t.link(*l);
+                if let Some(rev) = t.find_link(link.dst, link.src) {
+                    assert!(
+                        sc.failed_links.contains(&rev),
+                        "reverse of {l} not failed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repairs_eventually_clear() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = FaultModel {
+            link_failures_per_interval: 2.0,
+            switch_failures_per_interval: 0.5,
+            mean_repair_intervals: 1.5,
+        };
+        let mut proc = FaultProcess::new();
+        for _ in 0..20 {
+            proc.step(&mut rng, &t, &model, 300.0);
+        }
+        // Stop injecting: everything repairs.
+        let quiet = FaultModel::none();
+        for _ in 0..20 {
+            proc.step(&mut rng, &t, &quiet, 300.0);
+        }
+        assert_eq!(proc.active_link_count(), 0);
+        assert_eq!(proc.active_switch_count(), 0);
+        assert!(proc.scenario().data_plane_clean());
+    }
+
+    #[test]
+    fn none_model_never_fails() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut proc = FaultProcess::new();
+        for _ in 0..100 {
+            let f = proc.step(&mut rng, &t, &FaultModel::none(), 300.0);
+            assert!(f.is_empty());
+        }
+    }
+}

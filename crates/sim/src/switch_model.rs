@@ -1,0 +1,182 @@
+//! Switch update-latency and configuration-failure models (§2.3, §8.1,
+//! Figure 6).
+//!
+//! * [`SwitchModel::Realistic`] mimics B4's published behaviour (their
+//!   Fig 12 / Table 4, summarized in the paper's Fig 6(a)): RPC delays
+//!   around a second with a multi-second tail, per-rule update times
+//!   with a heavy tail, and a 1% chance that a switch configuration
+//!   update fails outright.
+//! * [`SwitchModel::Optimistic`] mimics the paper's controlled lab
+//!   measurements (Fig 6(b)): no RPC overhead, a 10 ms median per-rule
+//!   update capped around 200 ms, and no failures.
+//!
+//! Total update delay follows the paper's law: `RPC + R × per-rule` for
+//! `R` rules. "Ignoring RPC delay, for updating 100 rules, the median
+//! update delay for a switch will be 1 second and the worst case over
+//! 20 seconds" (§2.3) — which the Optimistic parameters reproduce.
+
+use rand::Rng;
+
+/// Log-normal sampler parameterized by its median and shape.
+fn log_normal_median<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    // ln X ~ N(ln median, sigma).
+    let z = {
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    median * (sigma * z).exp()
+}
+
+/// The two switch behaviour models of §8.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchModel {
+    /// B4-like delays and a 1% configuration-failure rate.
+    Realistic,
+    /// Lab-like delays, no failures.
+    Optimistic,
+}
+
+impl SwitchModel {
+    /// Probability that one switch-configuration update fails outright.
+    pub fn config_failure_rate(self) -> f64 {
+        match self {
+            SwitchModel::Realistic => 0.01,
+            SwitchModel::Optimistic => 0.0,
+        }
+    }
+
+    /// Samples an RPC delay in seconds.
+    pub fn sample_rpc<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        match self {
+            // Median ≈ 0.6 s with a tail past 4 s (Fig 6(a)).
+            SwitchModel::Realistic => log_normal_median(rng, 0.6, 0.8).min(10.0),
+            SwitchModel::Optimistic => 0.0,
+        }
+    }
+
+    /// Samples a single-rule update delay in seconds.
+    pub fn sample_per_rule<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        match self {
+            // Median ≈ 30 ms, tail to seconds (Fig 6(a)).
+            SwitchModel::Realistic => log_normal_median(rng, 0.03, 1.1).min(5.0),
+            // Median 10 ms, worst ≈ 200 ms (Fig 6(b)).
+            SwitchModel::Optimistic => log_normal_median(rng, 0.010, 0.75).min(0.2),
+        }
+    }
+
+    /// Samples a whole-switch update delay for `rules` rule changes:
+    /// `RPC + R × per-rule`, with **one** per-rule draw per switch —
+    /// rule-update times within a switch are correlated (a switch with a
+    /// loaded CPU is slow for all its rules). This matches §2.3's law
+    /// exactly: at 100 rules the Optimistic model gives a 1 s median and
+    /// a 20 s worst case.
+    pub fn sample_update_delay<R: Rng + ?Sized>(self, rng: &mut R, rules: usize) -> f64 {
+        self.sample_rpc(rng) + rules as f64 * self.sample_per_rule(rng)
+    }
+
+    /// Samples the outcome of one switch update.
+    pub fn sample_outcome<R: Rng + ?Sized>(self, rng: &mut R, rules: usize) -> UpdateOutcome {
+        if rng.gen::<f64>() < self.config_failure_rate() {
+            UpdateOutcome::Failed
+        } else {
+            UpdateOutcome::Applied(self.sample_update_delay(rng, rules))
+        }
+    }
+}
+
+/// Result of attempting to update one switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateOutcome {
+    /// The update applied after the given delay (seconds).
+    Applied(f64),
+    /// The update failed outright (the switch keeps its old config).
+    Failed,
+}
+
+impl UpdateOutcome {
+    /// The delay, treating failure as infinite.
+    pub fn delay_or_inf(self) -> f64 {
+        match self {
+            UpdateOutcome::Applied(d) => d,
+            UpdateOutcome::Failed => f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn percentile(mut v: Vec<f64>, p: f64) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[((v.len() - 1) as f64 * p) as usize]
+    }
+
+    #[test]
+    fn optimistic_per_rule_matches_paper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| SwitchModel::Optimistic.sample_per_rule(&mut rng)).collect();
+        let med = percentile(samples.clone(), 0.5);
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        // §2.3: median 10 ms, worst case ~200 ms.
+        assert!((med - 0.010).abs() < 0.002, "median {med}");
+        assert!(max <= 0.2 + 1e-9);
+        assert!(max > 0.1, "tail too light: {max}");
+    }
+
+    #[test]
+    fn optimistic_100_rules_matches_paper_law() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..2_000)
+            .map(|_| SwitchModel::Optimistic.sample_update_delay(&mut rng, 100))
+            .collect();
+        let med = percentile(samples.clone(), 0.5);
+        // §2.3: "for updating 100 rules, the median update delay for a
+        // switch will be 1 second".
+        assert!(med > 0.8 && med < 2.0, "median {med}");
+    }
+
+    #[test]
+    fn realistic_has_seconds_scale_rpc() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> =
+            (0..10_000).map(|_| SwitchModel::Realistic.sample_rpc(&mut rng)).collect();
+        let med = percentile(samples.clone(), 0.5);
+        let p99 = percentile(samples, 0.99);
+        assert!(med > 0.3 && med < 1.2, "median {med}");
+        assert!(p99 > 2.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn failure_rates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let fails = (0..n)
+            .filter(|_| {
+                matches!(
+                    SwitchModel::Realistic.sample_outcome(&mut rng, 1),
+                    UpdateOutcome::Failed
+                )
+            })
+            .count();
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+        for _ in 0..1000 {
+            assert!(matches!(
+                SwitchModel::Optimistic.sample_outcome(&mut rng, 1),
+                UpdateOutcome::Applied(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn outcome_delay_or_inf() {
+        assert_eq!(UpdateOutcome::Applied(1.5).delay_or_inf(), 1.5);
+        assert_eq!(UpdateOutcome::Failed.delay_or_inf(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,108 @@
+//! Utilization calibration (§8.1): find the uniform demand scale at
+//! which the network satisfies a target fraction (the paper uses 99%)
+//! of offered demand — "traffic scale 1" (well-utilized). Scales 0.5
+//! and 2 then model well-provisioned and under-provisioned networks.
+
+use ffc_core::te::{solve_te, TeProblem};
+use ffc_net::{TrafficMatrix, Topology, TunnelTable};
+
+/// The fraction of demand that plain TE can satisfy at the given scale.
+pub fn satisfied_fraction(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    tunnels: &TunnelTable,
+    scale: f64,
+) -> f64 {
+    let scaled = tm.scale(scale);
+    let offered = scaled.total_demand();
+    if offered <= 0.0 {
+        return 1.0;
+    }
+    let cfg = solve_te(TeProblem::new(topo, &scaled, tunnels)).expect("TE solvable");
+    cfg.throughput() / offered
+}
+
+/// Binary-searches the demand scale at which plain TE satisfies
+/// `target` (e.g. 0.99) of offered demand.
+///
+/// Returns the multiplier to apply to `tm` so that the scaled matrix is
+/// "well-utilized" in the paper's sense.
+pub fn calibrate_scale(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    tunnels: &TunnelTable,
+    target: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&target));
+    // Bracket: find an upper bound where satisfaction < target.
+    let mut lo = 1e-6;
+    let mut hi = 1.0;
+    let mut tries = 0;
+    while satisfied_fraction(topo, tm, tunnels, hi) >= target {
+        lo = hi;
+        hi *= 2.0;
+        tries += 1;
+        if tries > 40 {
+            // The network can absorb anything we throw (disconnected
+            // demand already excluded); return the last bracket.
+            return hi;
+        }
+    }
+    // Binary search (1% relative precision is plenty: the paper's
+    // "scale 1" is itself a rounded operating point).
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if satisfied_fraction(topo, tm, tunnels, mid) >= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) / hi < 1e-2 {
+            break;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffc_net::prelude::*;
+
+    fn tiny() -> (Topology, TrafficMatrix, TunnelTable) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.add_bidi(a, b, 10.0);
+        t.add_bidi(b, c, 10.0);
+        t.add_bidi(a, c, 10.0);
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(a, c, 5.0, Priority::High);
+        tm.add_flow(b, c, 5.0, Priority::High);
+        let tunnels = layout_tunnels(&t, &tm, &LayoutConfig::default());
+        (t, tm, tunnels)
+    }
+
+    #[test]
+    fn satisfied_fraction_monotone() {
+        let (topo, tm, tunnels) = tiny();
+        let f1 = satisfied_fraction(&topo, &tm, &tunnels, 1.0);
+        let f4 = satisfied_fraction(&topo, &tm, &tunnels, 4.0);
+        let f10 = satisfied_fraction(&topo, &tm, &tunnels, 10.0);
+        assert!((f1 - 1.0).abs() < 1e-9);
+        assert!(f4 >= f10 - 1e-9);
+        assert!(f10 < 1.0);
+    }
+
+    #[test]
+    fn calibrated_scale_hits_target() {
+        let (topo, tm, tunnels) = tiny();
+        let target = 0.99;
+        let s = calibrate_scale(&topo, &tm, &tunnels, target);
+        let f = satisfied_fraction(&topo, &tm, &tunnels, s);
+        assert!(f >= target - 0.01, "satisfaction {f} at scale {s}");
+        // And meaningfully utilized: double the scale must fall short.
+        assert!(satisfied_fraction(&topo, &tm, &tunnels, 2.0 * s) < target);
+    }
+}

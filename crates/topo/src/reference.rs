@@ -1,0 +1,102 @@
+//! Reference research topologies, for experiments beyond the paper's two
+//! networks. Currently: Abilene (Internet2), the most widely used
+//! public WAN topology in TE research.
+
+use crate::sites::SiteNetwork;
+use ffc_net::Topology;
+
+/// Abilene's 11 PoPs: name and `(lat, lon)`.
+pub const ABILENE_SITES: [(&str, (f64, f64)); 11] = [
+    ("seattle", (47.6, -122.3)),
+    ("sunnyvale", (37.4, -122.0)),
+    ("losangeles", (34.1, -118.2)),
+    ("denver", (39.7, -105.0)),
+    ("kansascity", (39.1, -94.6)),
+    ("houston", (29.8, -95.4)),
+    ("chicago", (41.9, -87.6)),
+    ("indianapolis", (39.8, -86.2)),
+    ("atlanta", (33.7, -84.4)),
+    ("washington", (38.9, -77.0)),
+    ("newyork", (40.7, -74.0)),
+];
+
+/// Abilene's 14 bidirectional OC-192 backbone links, by site index.
+pub const ABILENE_EDGES: [(usize, usize); 14] = [
+    (0, 1),  // seattle - sunnyvale
+    (0, 3),  // seattle - denver
+    (1, 2),  // sunnyvale - losangeles
+    (1, 3),  // sunnyvale - denver
+    (2, 5),  // losangeles - houston
+    (3, 4),  // denver - kansascity
+    (4, 5),  // kansascity - houston
+    (4, 7),  // kansascity - indianapolis
+    (5, 8),  // houston - atlanta
+    (6, 7),  // chicago - indianapolis
+    (7, 8),  // indianapolis - atlanta
+    (6, 10), // chicago - newyork
+    (8, 9),  // atlanta - washington
+    (9, 10), // washington - newyork
+];
+
+/// Builds the Abilene backbone: 11 switches, 28 directed links, 10 Gbps
+/// each (OC-192), one switch per PoP.
+pub fn abilene() -> SiteNetwork {
+    let mut topo = Topology::new();
+    let mut switches = Vec::with_capacity(ABILENE_SITES.len());
+    let mut coords = Vec::with_capacity(ABILENE_SITES.len());
+    for (name, c) in ABILENE_SITES {
+        switches.push(vec![topo.add_node(name)]);
+        coords.push(c);
+    }
+    for (a, b) in ABILENE_EDGES {
+        topo.add_bidi(switches[a][0], switches[b][0], 10.0);
+    }
+    SiteNetwork {
+        topo,
+        switches,
+        site_edges: ABILENE_EDGES.to_vec(),
+        coords,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffc_net::graph::strongly_connected;
+
+    #[test]
+    fn abilene_shape() {
+        let net = abilene();
+        assert_eq!(net.topo.num_nodes(), 11);
+        assert_eq!(net.topo.num_links(), 28);
+        assert!(strongly_connected(&net.topo));
+        assert_eq!(net.topo.node_by_name("denver").map(|n| n.index()), Some(3));
+        for e in net.topo.links() {
+            assert_eq!(net.topo.capacity(e), 10.0);
+        }
+    }
+
+    #[test]
+    fn abilene_supports_ffc() {
+        use ffc_core::{solve_ffc, FfcConfig, TeConfig, TeProblem};
+        use ffc_net::{layout_tunnels, LayoutConfig, Priority, TrafficMatrix};
+        let net = abilene();
+        let mut tm = TrafficMatrix::new();
+        let src = net.topo.node_by_name("seattle").unwrap();
+        let dst = net.topo.node_by_name("newyork").unwrap();
+        tm.add_flow(src, dst, 12.0, Priority::High);
+        let tunnels = layout_tunnels(
+            &net.topo,
+            &tm,
+            &LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.4 },
+        );
+        assert!(tunnels.tunnels(ffc_net::FlowId(0)).len() >= 2, "Abilene has disjoint paths");
+        let cfg = solve_ffc(
+            TeProblem::new(&net.topo, &tm, &tunnels),
+            &TeConfig::zero(&tunnels),
+            &FfcConfig::new(0, 1, 0).exact(),
+        )
+        .unwrap();
+        assert!(cfg.throughput() > 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Site-structured WAN topologies: sites with a few switches each,
+//! site-level edges expanded into full switch-pair meshes — the
+//! structure the paper describes for S-Net (§8.1) and that L-Net
+//! plausibly has (O(50) sites, O(100) switches, O(1000) links).
+
+use ffc_net::{NodeId, Topology};
+
+/// A generated site-level WAN expanded to the switch level.
+#[derive(Debug, Clone)]
+pub struct SiteNetwork {
+    /// The switch-level topology.
+    pub topo: Topology,
+    /// `switches[s]` lists the switch ids of site `s`.
+    pub switches: Vec<Vec<NodeId>>,
+    /// Site-level edges (pairs of site indices, undirected).
+    pub site_edges: Vec<(usize, usize)>,
+    /// Site coordinates `(lat, lon)` in degrees, for propagation delays.
+    pub coords: Vec<(f64, f64)>,
+}
+
+impl SiteNetwork {
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// The site index of a switch.
+    pub fn site_of(&self, v: NodeId) -> usize {
+        self.switches
+            .iter()
+            .position(|ws| ws.contains(&v))
+            .expect("switch belongs to a site")
+    }
+
+    /// A representative (first) switch of a site.
+    pub fn head(&self, site: usize) -> NodeId {
+        self.switches[site][0]
+    }
+}
+
+/// Expands a site graph into a switch-level [`Topology`].
+///
+/// * Every site gets `switches_per_site` switches named `s{site}a`,
+///   `s{site}b`, ….
+/// * Every site edge becomes bidirectional links between **all**
+///   inter-site switch pairs, each with `link_capacity` (the paper's
+///   S-Net recipe: 2 switches/site → 4 switch pairs → four 10 Gbps
+///   links each way).
+/// * Switches within a site are connected by a full mesh of
+///   `intra_capacity` links (only when `switches_per_site > 1`).
+pub fn expand_site_graph(
+    num_sites: usize,
+    site_edges: &[(usize, usize)],
+    coords: Vec<(f64, f64)>,
+    switches_per_site: usize,
+    link_capacity: f64,
+    intra_capacity: f64,
+) -> SiteNetwork {
+    assert!(switches_per_site >= 1);
+    assert_eq!(coords.len(), num_sites);
+    let mut topo = Topology::new();
+    let mut switches = Vec::with_capacity(num_sites);
+    const LETTERS: &[u8] = b"abcdefgh";
+    for s in 0..num_sites {
+        let mut ws = Vec::with_capacity(switches_per_site);
+        for k in 0..switches_per_site {
+            let suffix = LETTERS[k % LETTERS.len()] as char;
+            ws.push(topo.add_node(format!("s{s}{suffix}")));
+        }
+        switches.push(ws);
+    }
+    // Intra-site mesh.
+    for ws in &switches {
+        for i in 0..ws.len() {
+            for j in i + 1..ws.len() {
+                topo.add_bidi(ws[i], ws[j], intra_capacity);
+            }
+        }
+    }
+    // Inter-site switch-pair meshes.
+    for &(x, y) in site_edges {
+        assert!(x < num_sites && y < num_sites && x != y, "bad site edge ({x},{y})");
+        for &wx in &switches[x] {
+            for &wy in &switches[y] {
+                topo.add_bidi(wx, wy, link_capacity);
+            }
+        }
+    }
+    SiteNetwork { topo, switches, site_edges: site_edges.to_vec(), coords }
+}
+
+/// Great-circle distance between two `(lat, lon)` points, in km.
+pub fn haversine_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (la1, lo1) = (a.0.to_radians(), a.1.to_radians());
+    let (la2, lo2) = (b.0.to_radians(), b.1.to_radians());
+    let dla = la2 - la1;
+    let dlo = lo2 - lo1;
+    let h = (dla / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlo / 2.0).sin().powi(2);
+    2.0 * 6371.0 * h.sqrt().asin()
+}
+
+/// One-way propagation delay between two coordinates, in seconds,
+/// assuming light in fiber at 2×10⁸ m/s and a 1.4× path-stretch factor
+/// (fiber routes are not great circles).
+pub fn propagation_delay_s(a: (f64, f64), b: (f64, f64)) -> f64 {
+    haversine_km(a, b) * 1.4 * 1000.0 / 2.0e8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_counts() {
+        // 3 sites in a line, 2 switches each.
+        let net = expand_site_graph(
+            3,
+            &[(0, 1), (1, 2)],
+            vec![(0.0, 0.0), (0.0, 10.0), (0.0, 20.0)],
+            2,
+            10.0,
+            100.0,
+        );
+        assert_eq!(net.topo.num_nodes(), 6);
+        // Intra: 3 sites × 1 pair × 2 dirs = 6.
+        // Inter: 2 edges × 4 pairs × 2 dirs = 16.
+        assert_eq!(net.topo.num_links(), 22);
+        assert_eq!(net.num_sites(), 3);
+        assert_eq!(net.site_of(net.head(1)), 1);
+    }
+
+    #[test]
+    fn single_switch_sites_have_no_intra_links() {
+        let net = expand_site_graph(
+            2,
+            &[(0, 1)],
+            vec![(0.0, 0.0), (1.0, 1.0)],
+            1,
+            10.0,
+            100.0,
+        );
+        assert_eq!(net.topo.num_links(), 2);
+    }
+
+    #[test]
+    fn haversine_sanity() {
+        // New York (40.7, -74.0) to London (51.5, -0.1) ≈ 5570 km.
+        let d = haversine_km((40.7, -74.0), (51.5, -0.1));
+        assert!((d - 5570.0).abs() < 100.0, "distance {d}");
+        assert_eq!(haversine_km((10.0, 20.0), (10.0, 20.0)), 0.0);
+    }
+
+    #[test]
+    fn propagation_delay_reasonable() {
+        // NY-London one-way: ~39 ms with stretch.
+        let d = propagation_delay_s((40.7, -74.0), (51.5, -0.1));
+        assert!(d > 0.030 && d < 0.050, "delay {d}");
+    }
+}

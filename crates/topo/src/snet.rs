@@ -1,0 +1,101 @@
+//! S-Net: B4's 12-site topology (paper §8.1), built per the paper's
+//! recipe — two switches per site, each site-level link expanded into
+//! four 10 Gbps switch-level links.
+//!
+//! B4's published site-level map (Jain et al., SIGCOMM'13, Figure 1)
+//! has 12 datacenter sites — six in North America, two in Europe, four
+//! in Asia — connected by 19 site-level links. The exact adjacency is
+//! only drawn, not listed; the encoding below follows the figure's
+//! widely-used reading (US west-coast cluster, transcontinental links,
+//! two transatlantic and two transpacific paths).
+
+use crate::sites::{expand_site_graph, SiteNetwork};
+
+/// Site-level edges of the B4-like topology (site indices 0..12).
+pub const SNET_EDGES: [(usize, usize); 19] = [
+    // US west coast cluster (sites 0-2).
+    (0, 1),
+    (0, 2),
+    (1, 2),
+    // West to central/east (sites 3-5).
+    (1, 3),
+    (2, 3),
+    (2, 4),
+    (3, 4),
+    (3, 5),
+    (4, 5),
+    // Transatlantic to Europe (sites 6-7).
+    (4, 6),
+    (5, 7),
+    (6, 7),
+    // Transpacific to Asia (sites 8-11).
+    (0, 8),
+    (2, 9),
+    (8, 9),
+    (8, 10),
+    (9, 11),
+    (10, 11),
+    // Europe to Asia.
+    (7, 11),
+];
+
+/// Approximate site coordinates `(lat, lon)`.
+pub const SNET_COORDS: [(f64, f64); 12] = [
+    (45.6, -121.2), // 0: Oregon
+    (37.4, -122.1), // 1: California
+    (33.7, -112.0), // 2: Arizona
+    (41.2, -95.9),  // 3: Iowa
+    (33.7, -84.4),  // 4: Georgia
+    (39.0, -77.5),  // 5: Virginia
+    (53.3, -6.3),   // 6: Ireland
+    (50.1, 8.7),    // 7: Frankfurt
+    (35.6, 139.7),  // 8: Tokyo
+    (25.0, 121.5),  // 9: Taiwan
+    (37.5, 127.0),  // 10: Seoul
+    (1.3, 103.8),   // 11: Singapore
+];
+
+/// Builds S-Net: 12 sites, 2 switches/site, four 10 Gbps switch-level
+/// links per site-level link (§8.1).
+pub fn snet() -> SiteNetwork {
+    expand_site_graph(12, &SNET_EDGES, SNET_COORDS.to_vec(), 2, 10.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffc_net::graph::strongly_connected;
+
+    #[test]
+    fn snet_shape() {
+        let net = snet();
+        assert_eq!(net.num_sites(), 12);
+        assert_eq!(net.topo.num_nodes(), 24);
+        // 19 site links × 4 switch pairs × 2 directions
+        // + 12 intra pairs × 2 directions.
+        assert_eq!(net.topo.num_links(), 19 * 8 + 24);
+        assert!(strongly_connected(&net.topo));
+    }
+
+    #[test]
+    fn all_inter_site_links_are_10g() {
+        let net = snet();
+        for e in net.topo.links() {
+            let link = net.topo.link(e);
+            let sa = net.site_of(link.src);
+            let sb = net.site_of(link.dst);
+            if sa != sb {
+                assert_eq!(net.topo.capacity(e), 10.0);
+            } else {
+                assert_eq!(net.topo.capacity(e), 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_reference_valid_sites() {
+        for &(a, b) in &SNET_EDGES {
+            assert!(a < 12 && b < 12 && a != b);
+        }
+    }
+}

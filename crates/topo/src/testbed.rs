@@ -1,0 +1,209 @@
+//! The paper's hardware testbed (§7, Figure 9): a WAN of 8 sites spread
+//! across 4 continents, one switch per site, every cross-site link
+//! 1 Gbps, TE controller at s5 (New York), control-message delays from
+//! geographic distance.
+//!
+//! The paper's figure is not reproduced in the text; the topology below
+//! contains every link and tunnel the text references — s4-s6-s5 and
+//! s4-s3-s5 as alternative tunnels for flow s4→s5, s3-s6-s7 for flow
+//! s3→s7, and the links s6-s7 (failed in the experiment) and s3-s5
+//! (congested without FFC) — plus enough extra links to make the WAN 2-connected.
+
+use ffc_net::{NodeId, Topology, TrafficMatrix, TunnelTable};
+
+use crate::sites::propagation_delay_s;
+
+/// The testbed network plus experiment fixtures.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The 8-switch topology (node index i = paper's s{i+1}).
+    pub topo: Topology,
+    /// Site coordinates for delay computation, indexed like nodes.
+    pub coords: Vec<(f64, f64)>,
+    /// The controller's node (s5, New York).
+    pub controller: NodeId,
+}
+
+/// City coordinates for s1..s8: Seattle, Palo Alto, Chicago, Virginia,
+/// New York, London, Hong Kong, Singapore.
+pub const TESTBED_COORDS: [(f64, f64); 8] = [
+    (47.6, -122.3), // s1 Seattle
+    (37.4, -122.1), // s2 Palo Alto
+    (41.9, -87.6),  // s3 Chicago
+    (39.0, -77.5),  // s4 Virginia
+    (40.7, -74.0),  // s5 New York
+    (51.5, -0.1),   // s6 London
+    (22.3, 114.2),  // s7 Hong Kong
+    (1.3, 103.8),   // s8 Singapore
+];
+
+/// Builds the 8-site testbed WAN with 1 Gbps links.
+pub fn testbed() -> Testbed {
+    let mut topo = Topology::new();
+    let ns: Vec<NodeId> = (1..=8).map(|i| topo.add_node(format!("s{i}"))).collect();
+    let edges = [
+        (1, 2), // Seattle - Palo Alto
+        (1, 3), // Seattle - Chicago
+        (2, 4), // Palo Alto - Virginia
+        (2, 3), // Palo Alto - Chicago
+        (3, 4), // Chicago - Virginia
+        (3, 5), // Chicago - New York
+        (3, 6), // Chicago - London
+        (4, 5), // Virginia - New York
+        (4, 6), // Virginia - London
+        (5, 6), // New York - London
+        (5, 7), // New York - Hong Kong
+        (6, 7), // London - Hong Kong
+        (7, 8), // Hong Kong - Singapore
+        (6, 8), // London - Singapore
+        (1, 7), // Seattle - Hong Kong (transpacific)
+    ];
+    for (a, b) in edges {
+        topo.add_bidi(ns[a - 1], ns[b - 1], 1.0);
+    }
+    Testbed { topo, coords: TESTBED_COORDS.to_vec(), controller: ns[4] }
+}
+
+impl Testbed {
+    /// The node for paper name `s1..s8`.
+    pub fn s(&self, i: usize) -> NodeId {
+        assert!((1..=8).contains(&i));
+        NodeId(i - 1)
+    }
+
+    /// One-way control-plane delay (seconds) between the controller and
+    /// a switch.
+    pub fn control_delay(&self, v: NodeId) -> f64 {
+        propagation_delay_s(self.coords[self.controller.index()], self.coords[v.index()])
+    }
+
+    /// One-way delay between two switches.
+    pub fn delay_between(&self, a: NodeId, b: NodeId) -> f64 {
+        propagation_delay_s(self.coords[a.index()], self.coords[b.index()])
+    }
+
+    /// The §7 experiment fixture: flows s3→s7 (1 Gbps) and s4→s5
+    /// (1 Gbps) with the tunnels named in the text.
+    ///
+    /// The two configurations reproduce Figure 10: both spread s3→s7 as
+    /// 0.5 on s3-s6-s7 + 0.5 on s3-s5-s7; FFC routes 0.5 of s4→s5 via
+    /// s4-s6-s5 while non-FFC uses s4-s3-s5, which shares link s3-s5
+    /// with the traffic s3 rescales after the s6-s7 failure.
+    pub fn experiment(&self) -> TestbedExperiment {
+        let mut tm = TrafficMatrix::new();
+        let f37 = tm.add_flow(self.s(3), self.s(7), 1.0, ffc_net::Priority::High);
+        let f45 = tm.add_flow(self.s(4), self.s(5), 1.0, ffc_net::Priority::High);
+
+        let mk = |hops: &[usize]| {
+            let links = hops
+                .windows(2)
+                .map(|w| {
+                    self.topo
+                        .find_link(self.s(w[0]), self.s(w[1]))
+                        .expect("testbed link")
+                })
+                .collect();
+            ffc_net::Tunnel::from_path(&self.topo, ffc_net::Path { links })
+        };
+        let mut tunnels = TunnelTable::new(2);
+        // s3 -> s7: via London (s3-s6-s7) and via New York (s3-s5-s7).
+        tunnels.push(f37, mk(&[3, 6, 7]));
+        tunnels.push(f37, mk(&[3, 5, 7]));
+        // s4 -> s5: direct, via Chicago (s4-s3-s5), via London (s4-s6-s5).
+        tunnels.push(f45, mk(&[4, 5]));
+        tunnels.push(f45, mk(&[4, 3, 5]));
+        tunnels.push(f45, mk(&[4, 6, 5]));
+
+        // Figure 10 traffic spreads (1 Gbps links). Both cases split
+        // s3->s7 as 0.5 + 0.5. The §7 difference: non-FFC routes
+        // s4->s5's second half via s4-s3-s5; when link s6-s7 fails, s3
+        // rescales its full 1 Gbps onto s3-s5-s7, and link s3-s5 then
+        // carries 1.0 + 0.5 = 1.5 Gbps — the congestion of Fig 11(b/c).
+        // FFC instead uses s4-s6-s5, leaving s3-s5 free for exactly the
+        // rescaled 1.0.
+        let non_ffc = ffc_core::TeConfig {
+            rate: vec![1.0, 1.0],
+            alloc: vec![vec![0.5, 0.5], vec![0.5, 0.5, 0.0]],
+        };
+        let ffc = ffc_core::TeConfig {
+            rate: vec![1.0, 1.0],
+            alloc: vec![vec![0.5, 0.5], vec![0.5, 0.0, 0.5]],
+        };
+        TestbedExperiment { tm, tunnels, ffc, non_ffc }
+    }
+}
+
+/// Fixture for the §7 testbed experiment.
+#[derive(Debug, Clone)]
+pub struct TestbedExperiment {
+    /// The two 1 Gbps flows.
+    pub tm: TrafficMatrix,
+    /// Their tunnels.
+    pub tunnels: TunnelTable,
+    /// The FFC traffic spread (Figure 10, FFC side).
+    pub ffc: ffc_core::TeConfig,
+    /// The non-FFC spread (Figure 10, non-FFC side).
+    pub non_ffc: ffc_core::TeConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffc_core::rescale::rescaled_link_loads;
+    use ffc_net::FaultScenario;
+
+    #[test]
+    fn testbed_shape() {
+        let tb = testbed();
+        assert_eq!(tb.topo.num_nodes(), 8);
+        assert_eq!(tb.topo.num_links(), 30);
+        assert!(ffc_net::graph::strongly_connected(&tb.topo));
+        assert_eq!(tb.topo.node_name(tb.controller), "s5");
+    }
+
+    #[test]
+    fn control_delays_scale_with_distance() {
+        let tb = testbed();
+        // NY to Virginia is close; NY to Singapore is far.
+        assert!(tb.control_delay(tb.s(4)) < tb.control_delay(tb.s(8)));
+        assert_eq!(tb.control_delay(tb.s(5)), 0.0);
+        // Symmetry.
+        let d1 = tb.delay_between(tb.s(3), tb.s(7));
+        let d2 = tb.delay_between(tb.s(7), tb.s(3));
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    /// §7's headline: after link s6-s7 fails, FFC's spread rescales
+    /// without congesting; non-FFC's congests link s3-s5 at 1.5 Gbps.
+    #[test]
+    fn fig11_failure_outcomes() {
+        let tb = testbed();
+        let ex = tb.experiment();
+        let l67 = tb.topo.find_link(tb.s(6), tb.s(7)).unwrap();
+        let scenario = FaultScenario::links([l67]);
+
+        // FFC: no oversubscription anywhere after rescaling.
+        let ffc_loads = rescaled_link_loads(&tb.topo, &ex.tm, &ex.tunnels, &ex.ffc, &scenario);
+        assert!(
+            ffc_loads.max_oversubscription_ratio(&tb.topo) < 1e-9,
+            "FFC congested: {}",
+            ffc_loads.max_oversubscription_ratio(&tb.topo)
+        );
+
+        // Non-FFC: s3's rescaled 1.0 Gbps lands on s3-s5, which also
+        // carries 0.5 of s4->s5 — 1.5 Gbps on a 1 Gbps link (50% over).
+        let non_loads =
+            rescaled_link_loads(&tb.topo, &ex.tm, &ex.tunnels, &ex.non_ffc, &scenario);
+        let l35 = tb.topo.find_link(tb.s(3), tb.s(5)).unwrap();
+        assert!(
+            (non_loads.load[l35.index()] - 1.5).abs() < 1e-9,
+            "s3-s5 load {}",
+            non_loads.load[l35.index()]
+        );
+        assert!(
+            (non_loads.max_oversubscription_ratio(&tb.topo) - 0.5).abs() < 1e-9,
+            "non-FFC oversubscription: {}",
+            non_loads.max_oversubscription_ratio(&tb.topo)
+        );
+    }
+}

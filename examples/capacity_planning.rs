@@ -1,0 +1,78 @@
+//! Capacity planning with FFC — the paper's §3.3 third use case:
+//! instead of asking "how much traffic fits this network safely?", ask
+//! "how much network does this traffic need to be safe?".
+//!
+//! ```text
+//! cargo run --release -p ffc-examples --bin capacity_planning
+//! ```
+
+use ffc_core::capacity_planning::{plan_capacities, PlanObjective};
+use ffc_core::MsumEncoding;
+use ffc_net::prelude::*;
+use ffc_topo::abilene;
+use ffc_topo::{gravity_trace_single_priority, TrafficConfig};
+
+fn main() {
+    // Abilene with a gravity traffic matrix.
+    let net = abilene();
+    let trace = gravity_trace_single_priority(
+        &net,
+        &TrafficConfig { mean_total: 60.0, keep_fraction: 0.7, ..TrafficConfig::default() },
+        1,
+    );
+    let tm = &trace.intervals[0];
+    let tunnels = layout_tunnels(
+        &net.topo,
+        tm,
+        &LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.5 },
+    );
+    println!(
+        "Abilene: {} links, {} flows, {:.1} Gbps total demand",
+        net.topo.num_links(),
+        tm.len(),
+        tm.total_demand()
+    );
+
+    println!("\nuniform headroom multiplier needed (existing 10G links):");
+    for ke in 0..=2usize {
+        match plan_capacities(
+            &net.topo,
+            tm,
+            &tunnels,
+            ke,
+            0,
+            PlanObjective::UniformScale,
+            MsumEncoding::SortingNetwork,
+        ) {
+            Ok(plan) => println!(
+                "  ke={ke}: γ = {:.3}  (network must be {:.1}% provisioned relative to today)",
+                plan.scale,
+                plan.scale * 100.0
+            ),
+            Err(e) => println!("  ke={ke}: {e} (tunnel layout cannot support this level)"),
+        }
+    }
+
+    println!("\nminimum total capacity (greenfield, per-link costs equal):");
+    for ke in 0..=2usize {
+        match plan_capacities(
+            &net.topo,
+            tm,
+            &tunnels,
+            ke,
+            0,
+            PlanObjective::TotalCapacity,
+            MsumEncoding::SortingNetwork,
+        ) {
+            Ok(plan) => {
+                let total: f64 = plan.capacity.iter().sum();
+                let used = plan.capacity.iter().filter(|&&c| c > 1e-6).count();
+                println!(
+                    "  ke={ke}: {total:.1} Gbps across {used} used links \
+                     (protection premium vs ke=0 shows the cost of resilience)"
+                );
+            }
+            Err(e) => println!("  ke={ke}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,4 @@
+flow seattle newyork 55 high
+flow chicago atlanta 30 high
+flow dallas newyork 25 medium
+flow newyork seattle 40 low

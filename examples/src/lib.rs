@@ -1,0 +1,1 @@
+//! Example helpers live in the individual binaries.

@@ -1,0 +1,49 @@
+//! The paper's §7 testbed experiment, end to end: the 8-site WAN of
+//! Figure 9, the Figure 10 traffic spreads, the s6-s7 link failure, and
+//! the Figure 11 event timelines for FFC vs non-FFC.
+//!
+//! ```text
+//! cargo run --release -p ffc-examples --bin testbed_failover
+//! ```
+
+use ffc_core::rescale::rescaled_link_loads;
+use ffc_net::FaultScenario;
+use ffc_sim::events::{ffc_timeline, non_ffc_timeline, TimelineConfig};
+use ffc_sim::SwitchModel;
+use ffc_topo::testbed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let tb = testbed();
+    let ex = tb.experiment();
+    println!("testbed: {} sites, {} directed links, controller at {}",
+        tb.topo.num_nodes(), tb.topo.num_links(), tb.topo.node_name(tb.controller));
+
+    // Fail link s6-s7 (as in every §7 trial) and compare loads.
+    let l67 = tb.topo.find_link(tb.s(6), tb.s(7)).expect("link s6-s7");
+    let scenario = FaultScenario::links([l67]);
+    for (name, cfg) in [("FFC", &ex.ffc), ("non-FFC", &ex.non_ffc)] {
+        let loads = rescaled_link_loads(&tb.topo, &ex.tm, &ex.tunnels, cfg, &scenario);
+        println!(
+            "\n{name}: after failure + rescaling, max oversubscription = {:.0}%",
+            loads.max_oversubscription_ratio(&tb.topo) * 100.0
+        );
+        let l35 = tb.topo.find_link(tb.s(3), tb.s(5)).expect("link s3-s5");
+        println!("  link s3-s5 carries {:.2} Gbps (capacity 1.0)", loads.load[l35.index()]);
+    }
+
+    // Figure 11 timelines.
+    let tcfg = TimelineConfig::default();
+    println!("\nFig 11(a) — FFC timeline:");
+    let tl = ffc_timeline(&tb, &tcfg);
+    print!("{}", tl.render());
+    println!("  loss ends at {:.1} ms (rescaling alone fixes it)", tl.loss_ends_at() * 1e3);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    println!("\nFig 11(b/c) — non-FFC timelines (three draws of switch-update delay):");
+    for i in 0..3 {
+        let tl = non_ffc_timeline(&tb, &tcfg, SwitchModel::Realistic, 10, &mut rng);
+        println!("  draw {i}: congestion lasts {:.0} ms", tl.loss_ends_at() * 1e3);
+    }
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+set -x
+while ! grep -q FINAL_DONE results/final.log 2>/dev/null; do sleep 20; done
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+echo CAPTURE_DONE

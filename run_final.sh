@@ -1,0 +1,5 @@
+#!/bin/sh
+set -x
+while ! grep -q FOLLOWUP_DONE results/followup.log 2>/dev/null; do sleep 20; done
+target/release/repro fig14 --intervals 12 --trials 200 > results/fig14.txt 2>> results/fig14.log
+echo FINAL_DONE

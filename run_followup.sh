@@ -1,0 +1,9 @@
+#!/bin/sh
+set -x
+BIN=target/release/repro
+# Wait for the primary driver to finish fig13.
+while ! grep -q ALL_DONE results/driver.log 2>/dev/null; do sleep 15; done
+# Longer runs for the ratio-based figures (fault-event statistics).
+$BIN fig13 --intervals 60 > results/fig13_long.txt 2>> results/fig13.log
+$BIN fig15 --intervals 60 > results/fig15_long.txt 2>> results/fig15.log
+echo FOLLOWUP_DONE

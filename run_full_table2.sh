@@ -1,0 +1,5 @@
+#!/bin/sh
+set -x
+while ! grep -q CAPTURE_DONE results/capture.log 2>/dev/null; do sleep 20; done
+timeout 900 target/release/repro table2 --full > results/table2_full.txt 2>&1
+echo TABLE2_FULL_DONE >> results/table2_full.log

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerates every paper table/figure, one output file per target.
+set -x
+BIN=target/release/repro
+for cmd in fig2 fig3 fig6 fig11 fig1a fig1b table2 fig16 fig12 fig15 fig14 fig13; do
+  $BIN $cmd --intervals 12 --trials 200 > results/$cmd.txt 2> results/$cmd.log
+done
+echo ALL_DONE

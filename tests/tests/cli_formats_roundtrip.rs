@@ -1,0 +1,80 @@
+//! Integration: the CLI file formats interoperate with the whole stack —
+//! parse a topology/traffic pair, lay out tunnels, solve FFC, serialize,
+//! re-parse, and verify the re-parsed configuration still satisfies the
+//! FFC guarantee it was solved for.
+
+use ffc_cli::formats::{parse_config, parse_topology, parse_traffic, write_config};
+use ffc_core::rescale::rescaled_link_loads;
+use ffc_core::{solve_ffc, FfcConfig, TeConfig, TeProblem};
+use ffc_net::failure::link_combinations_up_to;
+use ffc_net::{layout_tunnels, LayoutConfig, LinkId};
+
+const TOPO: &str = "
+node sea
+node chi
+node nyc
+node dal
+node atl
+bidi sea chi 100
+bidi chi nyc 100
+bidi nyc atl 100
+bidi atl dal 100
+bidi dal sea 100
+bidi chi dal 40
+bidi chi atl 40
+";
+
+const TM: &str = "
+flow sea nyc 55 high
+flow chi atl 30 high
+flow dal nyc 25 medium
+flow nyc sea 40 low
+";
+
+#[test]
+fn solve_serialize_reparse_check() {
+    let topo = parse_topology(TOPO).expect("topology parses");
+    let tm = parse_traffic(TM, &topo).expect("traffic parses");
+    let tunnels = layout_tunnels(
+        &topo,
+        &tm,
+        &LayoutConfig { tunnels_per_flow: 4, p: 1, q: 3, reuse_penalty: 0.4 },
+    );
+    let cfg = solve_ffc(
+        TeProblem::new(&topo, &tm, &tunnels),
+        &TeConfig::zero(&tunnels),
+        &FfcConfig::new(0, 1, 0),
+    )
+    .expect("FFC solves");
+
+    // Serialize and re-parse.
+    let text = write_config(&topo, &tunnels, &cfg);
+    let (tunnels2, cfg2) = parse_config(&text, &topo, tm.len()).expect("config re-parses");
+
+    // The re-parsed configuration carries the same totals...
+    assert!((cfg.throughput() - cfg2.throughput()).abs() < 1e-4);
+    // ...and still survives every single link failure end to end.
+    let links: Vec<LinkId> = topo.links().collect();
+    for sc in link_combinations_up_to(&links, 1) {
+        let loads = rescaled_link_loads(&topo, &tm, &tunnels2, &cfg2, &sc);
+        for e in topo.links() {
+            if sc.link_dead(&topo, e) {
+                continue;
+            }
+            assert!(
+                loads.load[e.index()] <= topo.capacity(e) + 1e-4,
+                "re-parsed config breaks under {:?}",
+                sc.failed_links
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_inputs_surface_line_numbers() {
+    let e = parse_topology("node a\nnode b\nlink a b oops\n").unwrap_err();
+    assert_eq!(e.line, 3);
+    let topo = parse_topology(TOPO).unwrap();
+    let e = parse_traffic("flow sea nowhere 10\n", &topo).unwrap_err();
+    assert!(e.to_string().contains("nowhere"));
+}

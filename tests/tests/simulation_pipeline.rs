@@ -1,0 +1,144 @@
+//! Integration: the full simulation pipeline (topo → core → sim) behaves
+//! per the paper's headline claims on small instances.
+
+use ffc_core::FfcConfig;
+use ffc_net::{layout_tunnels, LayoutConfig};
+use ffc_sim::runner::{Protection, SimConfig, Simulator};
+use ffc_sim::update_exec::{update_time_samples, UpdateExecConfig};
+use ffc_sim::{FaultModel, SwitchModel};
+use ffc_topo::{gravity_trace_single_priority, lnet, LNetConfig, TrafficConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(
+    sites: usize,
+) -> (ffc_net::Topology, ffc_net::TunnelTable, Vec<ffc_net::TrafficMatrix>) {
+    let net = lnet(&LNetConfig { sites, link_capacity: 2.0, ..LNetConfig::default() });
+    let trace = gravity_trace_single_priority(
+        &net,
+        &TrafficConfig { mean_total: net.topo.total_capacity() * 0.08, ..TrafficConfig::default() },
+        4,
+    );
+    let tunnels = layout_tunnels(
+        &net.topo,
+        &trace.intervals[0],
+        &LayoutConfig { tunnels_per_flow: 4, ..LayoutConfig::default() },
+    );
+    (net.topo, tunnels, trace.intervals)
+}
+
+/// FFC reduces congestion loss vs plain TE under an identical fault
+/// stream (the Fig 13 direction), and costs at most a bounded slice of
+/// throughput.
+#[test]
+fn ffc_vs_plain_loss_and_throughput() {
+    let (topo, tunnels, trace) = setup(6);
+    let fm = FaultModel {
+        link_failures_per_interval: 1.0,
+        switch_failures_per_interval: 0.0,
+        mean_repair_intervals: 2.0,
+    };
+    let run = |prot: Protection| {
+        let mut cfg = SimConfig::new(SwitchModel::Realistic, prot);
+        cfg.fault_model = fm.clone();
+        cfg.seed = 5;
+        Simulator::new(&topo, &tunnels, cfg).run(&trace)
+    };
+    let plain = run(Protection::None);
+    let ffc = run(Protection::Single(FfcConfig::new(2, 1, 0)));
+    let pc: f64 = plain.totals.lost_congestion.iter().sum();
+    let fc: f64 = ffc.totals.lost_congestion.iter().sum();
+    assert!(fc <= pc + 1e-9, "FFC congestion {fc} > plain {pc}");
+    let ratio = ffc.totals.throughput_ratio(&plain.totals);
+    assert!(ratio > 0.6 && ratio <= 1.001, "throughput ratio {ratio}");
+}
+
+/// Multi-priority FFC keeps high-priority congestion loss at (near)
+/// zero while plain TE spreads losses across classes (Fig 14).
+#[test]
+fn multi_priority_protects_high() {
+    let net = lnet(&LNetConfig { sites: 6, link_capacity: 2.0, ..LNetConfig::default() });
+    let trace = ffc_topo::gravity_trace(
+        &net,
+        &TrafficConfig {
+            mean_total: net.topo.total_capacity() * 0.09,
+            priority_split: (0.15, 0.3),
+            ..TrafficConfig::default()
+        },
+        4,
+    );
+    let tunnels = layout_tunnels(
+        &net.topo,
+        &trace.intervals[0],
+        &LayoutConfig { tunnels_per_flow: 4, ..LayoutConfig::default() },
+    );
+    let fm = FaultModel {
+        link_failures_per_interval: 1.5,
+        switch_failures_per_interval: 0.0,
+        mean_repair_intervals: 2.0,
+    };
+    let run = |prot: Protection| {
+        let mut cfg = SimConfig::new(SwitchModel::Realistic, prot);
+        cfg.fault_model = fm.clone();
+        cfg.seed = 9;
+        Simulator::new(&net.topo, &tunnels, cfg).run(&trace.intervals)
+    };
+    let base = run(Protection::None);
+    let pcfg = ffc_core::PriorityFfcConfig {
+        high: FfcConfig::new(2, 2, 0),
+        medium: FfcConfig::new(1, 1, 0),
+        low: FfcConfig::new(0, 0, 0),
+    };
+    let ffc = run(Protection::Multi(pcfg));
+    // High-priority losses with FFC no worse than without, and small in
+    // absolute terms relative to delivery.
+    assert!(ffc.totals.lost_of(0) <= base.totals.lost_of(0) + 1e-9);
+    if ffc.totals.delivered[0] > 0.0 {
+        assert!(
+            ffc.totals.lost_of(0) / ffc.totals.delivered[0] < 0.02,
+            "high-priority loss share {}",
+            ffc.totals.lost_of(0) / ffc.totals.delivered[0]
+        );
+    }
+}
+
+/// Fig 16 direction: FFC multi-step updates stall far less often under
+/// the Realistic model and are not slower under the Optimistic one.
+#[test]
+fn update_execution_comparison() {
+    let cfg0 = UpdateExecConfig::default();
+    let cfg2 = UpdateExecConfig { kc: 2, ..cfg0.clone() };
+    let trials = 300;
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let non = update_time_samples(&mut rng, SwitchModel::Realistic, &cfg0, trials);
+    let mut rng = StdRng::seed_from_u64(2);
+    let ffc = update_time_samples(&mut rng, SwitchModel::Realistic, &cfg2, trials);
+    let stall = |v: &[f64]| v.iter().filter(|&&t| t >= 300.0).count() as f64 / v.len() as f64;
+    assert!(stall(&non) > 0.25, "non-FFC stall {}", stall(&non));
+    assert!(stall(&ffc) < 0.1, "FFC stall {}", stall(&ffc));
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let non = update_time_samples(&mut rng, SwitchModel::Optimistic, &cfg0, trials);
+    let mut rng = StdRng::seed_from_u64(3);
+    let ffc = update_time_samples(&mut rng, SwitchModel::Optimistic, &cfg2, trials);
+    assert!(
+        ffc_sim::percentile(&ffc, 0.5) <= ffc_sim::percentile(&non, 0.5) + 1e-9,
+        "FFC median slower"
+    );
+}
+
+/// The whole pipeline is deterministic for a fixed seed.
+#[test]
+fn pipeline_determinism() {
+    let (topo, tunnels, trace) = setup(5);
+    let run = || {
+        let mut cfg = SimConfig::new(SwitchModel::Realistic, Protection::recommended());
+        cfg.seed = 21;
+        let r = Simulator::new(&topo, &tunnels, cfg).run(&trace);
+        (r.totals.total_delivered(), r.totals.total_lost())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
