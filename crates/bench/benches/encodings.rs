@@ -14,8 +14,12 @@ use ffc_lp::{Cmp, LinExpr, Model, Sense};
 /// base allocations.
 fn build_and_solve(n: usize, k: usize, enc: MsumEncoding) -> f64 {
     let mut m = Model::new();
-    let a: Vec<_> = (0..n).map(|i| m.add_var(0.0, 10.0, format!("a{i}"))).collect();
-    let beta: Vec<_> = (0..n).map(|i| m.add_var(0.0, 12.0, format!("b{i}"))).collect();
+    let a: Vec<_> = (0..n)
+        .map(|i| m.add_var(0.0, 10.0, format!("a{i}")))
+        .collect();
+    let beta: Vec<_> = (0..n)
+        .map(|i| m.add_var(0.0, 12.0, format!("b{i}")))
+        .collect();
     let mut load = LinExpr::zero();
     let mut gaps = Vec::with_capacity(n);
     for i in 0..n {
@@ -36,8 +40,12 @@ fn build_and_solve(n: usize, k: usize, enc: MsumEncoding) -> f64 {
 /// partial bubble network (O(n·log²n) vs O(n·k) comparators).
 fn build_and_solve_full_sort(n: usize, k: usize) -> f64 {
     let mut m = Model::new();
-    let a: Vec<_> = (0..n).map(|i| m.add_var(0.0, 10.0, format!("a{i}"))).collect();
-    let beta: Vec<_> = (0..n).map(|i| m.add_var(0.0, 12.0, format!("b{i}"))).collect();
+    let a: Vec<_> = (0..n)
+        .map(|i| m.add_var(0.0, 10.0, format!("a{i}")))
+        .collect();
+    let beta: Vec<_> = (0..n)
+        .map(|i| m.add_var(0.0, 12.0, format!("b{i}")))
+        .collect();
     let mut load = LinExpr::zero();
     let mut gaps = Vec::with_capacity(n);
     for i in 0..n {
@@ -47,7 +55,10 @@ fn build_and_solve_full_sort(n: usize, k: usize) -> f64 {
         gaps.push(LinExpr::from(beta[i]) - LinExpr::from(a[i]));
     }
     let sorted = batcher_sorted_values(&mut m, gaps);
-    let top: LinExpr = sorted.into_iter().take(k).fold(LinExpr::zero(), |x, e| x + e);
+    let top: LinExpr = sorted
+        .into_iter()
+        .take(k)
+        .fold(LinExpr::zero(), |x, e| x + e);
     let budget = LinExpr::constant(8.0 * n as f64) - load;
     m.add_con(top - budget, Cmp::Le, 0.0);
     m.set_objective(LinExpr::sum(a.iter().copied()), Sense::Maximize);

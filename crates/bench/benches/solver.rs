@@ -1,19 +1,25 @@
 //! Criterion benchmarks of the LP solver substrate itself: sparse LU
 //! factorization, FTRAN/BTRAN, and end-to-end simplex solves on random
-//! multicommodity-flow-like LPs.
+//! multicommodity-flow-like LPs — plus a pricing-rule and parallel-sweep
+//! comparison that records its measurements in `BENCH_pricing.json` at
+//! the repo root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
-use ffc_lp::{Cmp, LinExpr, Model, Sense};
+use ffc_core::{solve_te_batch, TeProblem};
+use ffc_lp::{Cmp, LinExpr, Model, Pricing, Sense, SimplexOptions};
 
 /// Builds a random transportation-style LP: `rows` capacity constraints
 /// over `cols` variables, ~4 nonzeros per column.
 fn random_lp(rows: usize, cols: usize, seed: u64) -> Model {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut m = Model::new();
-    let xs: Vec<_> = (0..cols).map(|i| m.add_var(0.0, 10.0, format!("x{i}"))).collect();
+    let xs: Vec<_> = (0..cols)
+        .map(|i| m.add_var(0.0, 10.0, format!("x{i}")))
+        .collect();
     let mut row_exprs: Vec<LinExpr> = vec![LinExpr::zero(); rows];
     for &x in &xs {
         for _ in 0..4 {
@@ -79,5 +85,115 @@ fn bench_lu(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simplex, bench_lu);
+/// Compares the pricing rules head to head and the serial vs parallel
+/// TE sweep, then records the measurements in `BENCH_pricing.json`.
+fn bench_pricing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pricing");
+    group.sample_size(10);
+    let rules = [
+        ("dantzig", Pricing::Dantzig),
+        ("devex", Pricing::Devex),
+        ("partial_devex", Pricing::PartialDevex { candidates: 0 }),
+    ];
+    let model = random_lp(400, 1200, 7);
+    for (name, pricing) in rules {
+        group.bench_with_input(
+            BenchmarkId::new("solve_400x1200", name),
+            &pricing,
+            |b, &p| {
+                b.iter(|| {
+                    model
+                        .solve_with(&SimplexOptions {
+                            pricing: p,
+                            ..SimplexOptions::default()
+                        })
+                        .expect("solvable")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // ---- recorded comparison: pricing rules on random LPs ----
+    let mut rows = Vec::new();
+    for (rows_n, cols_n) in [(100usize, 300usize), (400, 1200), (1000, 3000)] {
+        let model = random_lp(rows_n, cols_n, 7);
+        for (name, pricing) in rules {
+            let opts = SimplexOptions {
+                pricing,
+                ..SimplexOptions::default()
+            };
+            // Min of 3 runs: wall time is noisy, iteration counts are not.
+            let mut best: Option<ffc_lp::SolveStats> = None;
+            for _ in 0..3 {
+                let sol = model.solve_with(&opts).expect("solvable");
+                if best
+                    .map(|b| sol.stats.solve_time < b.solve_time)
+                    .unwrap_or(true)
+                {
+                    best = Some(sol.stats);
+                }
+            }
+            let s = best.unwrap();
+            rows.push(format!(
+                "    {{\"size\": \"{rows_n}x{cols_n}\", \"rule\": \"{name}\", \
+                 \"iterations\": {}, \"full_pricing_passes\": {}, \
+                 \"refactorizations\": {}, \"solve_time_ms\": {:.3}}}",
+                s.iterations(),
+                s.full_pricing_passes,
+                s.refactorizations,
+                s.solve_time.as_secs_f64() * 1e3
+            ));
+        }
+    }
+
+    // ---- recorded comparison: serial vs parallel TE sweep ----
+    let inst = ffc_bench::snet_instance(42, 8);
+    let topo = &inst.net.topo;
+    let problems: Vec<TeProblem> = inst
+        .trace
+        .intervals
+        .iter()
+        .map(|tm| TeProblem::new(topo, tm, &inst.tunnels))
+        .collect();
+    let opts = SimplexOptions::default();
+
+    let t0 = Instant::now();
+    let serial: Vec<f64> = problems
+        .iter()
+        .map(|p| ffc_core::solve_te(*p).expect("TE").throughput())
+        .collect();
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let batch = solve_te_batch(&problems, &opts);
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for (s, b) in serial.iter().zip(&batch) {
+        let b = b.as_ref().expect("TE").config.throughput();
+        assert!((s - b).abs() < 1e-6, "batch result diverged: {s} vs {b}");
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"pricing\": [\n{}\n  ],\n  \"sweep\": {{\"instance\": \"{}\", \
+         \"intervals\": {}, \"workers\": {workers}, \"serial_ms\": {serial_ms:.1}, \
+         \"parallel_ms\": {parallel_ms:.1}, \"speedup\": {:.2}, \
+         \"note\": \"fan-out speedup is bounded by available_parallelism; \
+         expect ~min(workers, intervals)x on multicore hosts\"}}\n}}\n",
+        rows.join(",\n"),
+        inst.name,
+        problems.len(),
+        serial_ms / parallel_ms.max(1e-9)
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pricing.json");
+    std::fs::write(path, &json).expect("write BENCH_pricing.json");
+    eprintln!(
+        "wrote {path}: sweep speedup {:.2}x",
+        serial_ms / parallel_ms.max(1e-9)
+    );
+}
+
+criterion_group!(benches, bench_simplex, bench_lu, bench_pricing);
 criterion_main!(benches);

@@ -13,8 +13,12 @@ fn bench_te_compute(c: &mut Criterion) {
     let instances: Vec<Instance> = vec![lnet_instance(42, 2), snet_instance(42, 2)];
     for inst in &instances {
         let topo = &inst.net.topo;
-        let old = solve_te(TeProblem::new(topo, &inst.trace.intervals[0], &inst.tunnels))
-            .expect("old TE");
+        let old = solve_te(TeProblem::new(
+            topo,
+            &inst.trace.intervals[0],
+            &inst.tunnels,
+        ))
+        .expect("old TE");
         let tm = &inst.trace.intervals[1];
 
         group.bench_with_input(BenchmarkId::new("non-FFC", inst.name), &(), |b, _| {

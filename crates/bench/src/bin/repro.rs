@@ -19,8 +19,10 @@ use ffc_core::priority::rates_by_priority;
 use ffc_core::rescale::{rescaled_link_loads, stale_link_loads};
 use ffc_core::te::TeModelBuilder;
 use ffc_core::{
-    solve_ffc, solve_te, FfcConfig, PriorityFfcConfig, TeConfig, TeProblem,
+    solve_ffc, solve_ffc_batch, solve_te, solve_te_batch, FfcConfig, FfcJob, PriorityFfcConfig,
+    TeConfig, TeProblem,
 };
+use ffc_lp::SimplexOptions;
 use ffc_net::NodeId;
 use ffc_sim::events::{ffc_timeline, non_ffc_timeline, TimelineConfig};
 use ffc_sim::metrics::{percentile, Cdf};
@@ -55,7 +57,11 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--seed" => args.seed = it.next().expect("--seed N").parse().expect("seed"),
             "--intervals" => {
-                args.intervals = it.next().expect("--intervals N").parse().expect("intervals")
+                args.intervals = it
+                    .next()
+                    .expect("--intervals N")
+                    .parse()
+                    .expect("intervals")
             }
             "--trials" => args.trials = it.next().expect("--trials N").parse().expect("trials"),
             "--fast" => args.fast = true,
@@ -116,7 +122,11 @@ fn print_cdf_quantiles(label: &str, samples: &[f64], unit: &str, scale: f64) {
     let qs = [0.25, 0.5, 0.75, 0.9, 0.95, 0.99];
     print!("  {label:<28}");
     for q in qs {
-        print!(" p{:<2}={:>8.1}{unit}", (q * 100.0) as u32, percentile(samples, q) * scale);
+        print!(
+            " p{:<2}={:>8.1}{unit}",
+            (q * 100.0) as u32,
+            percentile(samples, q) * scale
+        );
     }
     println!();
 }
@@ -130,13 +140,26 @@ fn fig1a(args: &Args) {
     let inst = lnet_instance(args.seed, args.intervals);
     let topo = &inst.net.topo;
     let mut rng = StdRng::seed_from_u64(args.seed);
-    let cases: [(&str, usize, usize); 4] =
-        [("1 link", 1, 0), ("2 links", 2, 0), ("3 links", 3, 0), ("1 switch", 0, 1)];
+    // One parallel batch of plain-TE solves, shared by all fault cases.
+    let n = args.intervals.min(inst.trace.len());
+    let problems: Vec<TeProblem> = inst.trace.intervals[..n]
+        .iter()
+        .map(|tm| TeProblem::new(topo, tm, &inst.tunnels))
+        .collect();
+    let configs: Vec<TeConfig> = solve_te_batch(&problems, &SimplexOptions::default())
+        .into_iter()
+        .map(|o| o.expect("TE").config)
+        .collect();
+    let cases: [(&str, usize, usize); 4] = [
+        ("1 link", 1, 0),
+        ("2 links", 2, 0),
+        ("3 links", 3, 0),
+        ("1 switch", 0, 1),
+    ];
     for (label, nl, ns) in cases {
         let mut samples = Vec::new();
-        for i in 0..args.intervals.min(inst.trace.len()) {
+        for (i, cfg) in configs.iter().enumerate() {
             let tm = &inst.trace.intervals[i];
-            let cfg = solve_te(TeProblem::new(topo, tm, &inst.tunnels)).expect("TE");
             for _ in 0..(args.trials / args.intervals).max(3) {
                 let mut sc = ffc_net::FaultScenario::none();
                 // Random link failures take both directions (physical cut).
@@ -151,7 +174,7 @@ fn fig1a(args: &Args) {
                 for _ in 0..ns {
                     sc.fail_switch(NodeId(rng.gen_range(0..topo.num_nodes())));
                 }
-                let loads = rescaled_link_loads(topo, tm, &inst.tunnels, &cfg, &sc);
+                let loads = rescaled_link_loads(topo, tm, &inst.tunnels, cfg, &sc);
                 samples.push(loads.max_oversubscription_ratio(topo));
             }
         }
@@ -170,10 +193,17 @@ fn fig1b(args: &Args) {
     let mut rng = StdRng::seed_from_u64(args.seed + 1);
     // Successive interval pairs: old = TE(i-1), new = TE(i); stale
     // switches keep old weights while rate limiters move to new rates.
-    let mut configs = Vec::new();
-    for tm in &inst.trace.intervals {
-        configs.push(solve_te(TeProblem::new(topo, tm, &inst.tunnels)).expect("TE"));
-    }
+    // All intervals are independent, so solve them as one parallel batch.
+    let problems: Vec<TeProblem> = inst
+        .trace
+        .intervals
+        .iter()
+        .map(|tm| TeProblem::new(topo, tm, &inst.tunnels))
+        .collect();
+    let configs: Vec<TeConfig> = solve_te_batch(&problems, &SimplexOptions::default())
+        .into_iter()
+        .map(|o| o.expect("TE").config)
+        .collect();
     let ingresses: Vec<NodeId> = topo.nodes().collect();
     for faults in 1..=3usize {
         let mut samples = Vec::new();
@@ -228,16 +258,13 @@ fn fig2() {
         &FfcConfig::new(0, 1, 0).exact(),
     )
     .expect("FFC");
-    let worst = ffc_net::failure::link_combinations_up_to(
-        &s.topo.links().collect::<Vec<_>>(),
-        1,
-    )
-    .into_iter()
-    .map(|sc| {
-        rescaled_link_loads(&s.topo, &s.tm, &s.tunnels, &ffc, &sc)
-            .max_oversubscription_ratio(&s.topo)
-    })
-    .fold(0.0, f64::max);
+    let worst = ffc_net::failure::link_combinations_up_to(&s.topo.links().collect::<Vec<_>>(), 1)
+        .into_iter()
+        .map(|sc| {
+            rescaled_link_loads(&s.topo, &s.tm, &s.tunnels, &ffc, &sc)
+                .max_oversubscription_ratio(&s.topo)
+        })
+        .fold(0.0, f64::max);
     println!(
         "  Fig 4(a): FFC (k=1) spread: throughput {:.1}, worst oversubscription over all single link failures = {:.4}",
         ffc.throughput(),
@@ -274,11 +301,15 @@ fn fig6(args: &Args) {
     println!("\n=== Figure 6: switch update latency models ===");
     let mut rng = StdRng::seed_from_u64(args.seed + 2);
     let n = 20_000;
-    let rpc: Vec<f64> = (0..n).map(|_| SwitchModel::Realistic.sample_rpc(&mut rng)).collect();
-    let per_rule_real: Vec<f64> =
-        (0..n).map(|_| SwitchModel::Realistic.sample_per_rule(&mut rng)).collect();
-    let per_rule_opt: Vec<f64> =
-        (0..n).map(|_| SwitchModel::Optimistic.sample_per_rule(&mut rng)).collect();
+    let rpc: Vec<f64> = (0..n)
+        .map(|_| SwitchModel::Realistic.sample_rpc(&mut rng))
+        .collect();
+    let per_rule_real: Vec<f64> = (0..n)
+        .map(|_| SwitchModel::Realistic.sample_per_rule(&mut rng))
+        .collect();
+    let per_rule_opt: Vec<f64> = (0..n)
+        .map(|_| SwitchModel::Optimistic.sample_per_rule(&mut rng))
+        .collect();
     println!("  Fig 6(a) (B4-like Realistic model):");
     print_cdf_quantiles("RPC delay", &rpc, "s", 1.0);
     print_cdf_quantiles("per-rule update", &per_rule_real, "ms", 1e3);
@@ -297,7 +328,10 @@ fn fig11(args: &Args) {
     println!("Fig 11(a) — FFC:");
     let tl = ffc_timeline(&tb, &cfg);
     print!("{}", tl.render());
-    println!("  -> loss stops at {:.1} ms; no controller involvement", tl.loss_ends_at() * 1e3);
+    println!(
+        "  -> loss stops at {:.1} ms; no controller involvement",
+        tl.loss_ends_at() * 1e3
+    );
 
     // Non-FFC: best and bad draws over many samples.
     let mut rng = StdRng::seed_from_u64(args.seed + 3);
@@ -305,10 +339,18 @@ fn fig11(args: &Args) {
     let mut worst: Option<ffc_sim::events::Timeline> = None;
     for _ in 0..args.trials {
         let t = non_ffc_timeline(&tb, &cfg, SwitchModel::Realistic, 10, &mut rng);
-        if best.as_ref().map(|b| t.loss_ends_at() < b.loss_ends_at()).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|b| t.loss_ends_at() < b.loss_ends_at())
+            .unwrap_or(true)
+        {
             best = Some(t.clone());
         }
-        if worst.as_ref().map(|w| t.loss_ends_at() > w.loss_ends_at()).unwrap_or(true) {
+        if worst
+            .as_ref()
+            .map(|w| t.loss_ends_at() > w.loss_ends_at())
+            .unwrap_or(true)
+        {
             worst = Some(t);
         }
     }
@@ -327,31 +369,65 @@ fn fig11(args: &Args) {
 /// Figure 12: throughput overhead of control- and data-plane FFC.
 fn fig12(args: &Args) {
     println!("\n=== Figure 12: FFC throughput overhead (1 - ratio, %) ===");
-    for inst in [lnet_instance(args.seed, args.intervals), snet_instance(args.seed, args.intervals)] {
+    for inst in [
+        lnet_instance(args.seed, args.intervals),
+        snet_instance(args.seed, args.intervals),
+    ] {
         let topo = &inst.net.topo;
         println!("--- {} ---", inst.name);
         for scale in [0.5, 1.0, 2.0] {
             let trace = inst.trace_at(scale);
+            let opts = SimplexOptions::default();
+            let problems: Vec<TeProblem> = trace
+                .intervals
+                .iter()
+                .map(|tm| TeProblem::new(topo, tm, &inst.tunnels))
+                .collect();
             // Plain TE per interval gives both the baseline and the old
-            // configs for control FFC.
-            let mut plain = Vec::new();
-            for tm in &trace.intervals {
-                plain.push(solve_te(TeProblem::new(topo, tm, &inst.tunnels)).expect("TE"));
-            }
-            // Control-plane FFC overheads (Fig 12 a/b).
+            // configs for control FFC — one parallel batch.
+            let plain: Vec<TeConfig> = solve_te_batch(&problems, &opts)
+                .into_iter()
+                .map(|o| o.expect("TE").config)
+                .collect();
+            // Control-plane FFC overheads (Fig 12 a/b): the whole
+            // (kc, interval) grid fans out as a single batch.
+            let zero = TeConfig::zero(&inst.tunnels);
+            let mut jobs = Vec::new();
             for kc in 1..=3usize {
-                let mut overheads = Vec::new();
                 for i in 1..trace.intervals.len() {
-                    let tm = &trace.intervals[i];
-                    let ffc = solve_ffc(
-                        TeProblem::new(topo, tm, &inst.tunnels),
-                        &plain[i - 1],
-                        &FfcConfig::new(kc, 0, 0),
-                    )
-                    .expect("control FFC");
-                    overheads
-                        .push((1.0 - ffc.throughput() / plain[i].throughput().max(1e-9)) * 100.0);
+                    jobs.push(FfcJob {
+                        problem: problems[i],
+                        old: &plain[i - 1],
+                        cfg: FfcConfig::new(kc, 0, 0),
+                    });
                 }
+            }
+            // Data-plane FFC overheads (Fig 12 c/d). (1,3)-disjoint
+            // tunnels make ke=3 also cover kv=1 (§4.4.1).
+            let data_cases = [
+                ("ke=1", 1usize, 0usize),
+                ("ke=2", 2, 0),
+                ("ke=3", 3, 0),
+                ("kv=1", 0, 1),
+            ];
+            for (_, ke, kv) in data_cases {
+                for &problem in &problems {
+                    jobs.push(FfcJob {
+                        problem,
+                        old: &zero,
+                        cfg: FfcConfig::new(0, ke, kv),
+                    });
+                }
+            }
+            let mut outcomes = solve_ffc_batch(&jobs, &opts).into_iter();
+            let per_interval = trace.intervals.len() - 1;
+            for kc in 1..=3usize {
+                let overheads: Vec<f64> = (1..=per_interval)
+                    .map(|i| {
+                        let ffc = outcomes.next().unwrap().expect("control FFC").config;
+                        (1.0 - ffc.throughput() / plain[i].throughput().max(1e-9)) * 100.0
+                    })
+                    .collect();
                 println!(
                     "  scale={scale:<4} control kc={kc}: p50={:>5.2}%  p90={:>5.2}%  p99={:>5.2}%",
                     percentile(&overheads, 0.5),
@@ -359,22 +435,13 @@ fn fig12(args: &Args) {
                     percentile(&overheads, 0.99)
                 );
             }
-            // Data-plane FFC overheads (Fig 12 c/d). (1,3)-disjoint
-            // tunnels make ke=3 also cover kv=1 (§4.4.1).
-            for (label, ke, kv) in
-                [("ke=1", 1usize, 0usize), ("ke=2", 2, 0), ("ke=3", 3, 0), ("kv=1", 0, 1)]
-            {
-                let mut overheads = Vec::new();
-                for (i, tm) in trace.intervals.iter().enumerate() {
-                    let ffc = solve_ffc(
-                        TeProblem::new(topo, tm, &inst.tunnels),
-                        &TeConfig::zero(&inst.tunnels),
-                        &FfcConfig::new(0, ke, kv),
-                    )
-                    .expect("data FFC");
-                    overheads
-                        .push((1.0 - ffc.throughput() / plain[i].throughput().max(1e-9)) * 100.0);
-                }
+            for (label, _, _) in data_cases {
+                let overheads: Vec<f64> = (0..trace.intervals.len())
+                    .map(|i| {
+                        let ffc = outcomes.next().unwrap().expect("data FFC").config;
+                        (1.0 - ffc.throughput() / plain[i].throughput().max(1e-9)) * 100.0
+                    })
+                    .collect();
                 println!(
                     "  scale={scale:<4} data {label}: p50={:>5.2}%  p90={:>5.2}%  p99={:>5.2}%",
                     percentile(&overheads, 0.5),
@@ -400,8 +467,12 @@ fn table2(args: &Args) {
     for inst in &instances {
         let topo = &inst.net.topo;
         let tm = &inst.trace.intervals[1];
-        let old = solve_te(TeProblem::new(topo, &inst.trace.intervals[0], &inst.tunnels))
-            .expect("old TE");
+        let old = solve_te(TeProblem::new(
+            topo,
+            &inst.trace.intervals[0],
+            &inst.tunnels,
+        ))
+        .expect("old TE");
 
         let time = |f: &dyn Fn()| {
             let t0 = Instant::now();
@@ -437,7 +508,12 @@ fn table2(args: &Args) {
     let inst = snet_instance(args.seed, 2);
     let topo = &inst.net.topo;
     let tm = &inst.trace.intervals[1];
-    let old = solve_te(TeProblem::new(topo, &inst.trace.intervals[0], &inst.tunnels)).unwrap();
+    let old = solve_te(TeProblem::new(
+        topo,
+        &inst.trace.intervals[0],
+        &inst.tunnels,
+    ))
+    .unwrap();
     let t0 = Instant::now();
     {
         let mut b = TeModelBuilder::new(TeProblem::new(topo, tm, &inst.tunnels));
@@ -457,7 +533,10 @@ fn table2(args: &Args) {
 /// priority, FFC (2,1,0) vs non-FFC.
 fn fig13(args: &Args) {
     println!("\n=== Figure 13: single-priority throughput & data-loss ratios (FFC/non-FFC, %) ===");
-    for inst in [lnet_instance(args.seed, args.intervals), snet_instance(args.seed, args.intervals)] {
+    for inst in [
+        lnet_instance(args.seed, args.intervals),
+        snet_instance(args.seed, args.intervals),
+    ] {
         for model in [SwitchModel::Realistic, SwitchModel::Optimistic] {
             for scale in [0.5, 1.0, 2.0] {
                 let trace = inst.trace_at(scale);
@@ -514,8 +593,7 @@ fn fig14(args: &Args) {
             println!(
                 "  {:<5} throughput={:>6.1}%  data-loss={:>8.2}%",
                 labels[p],
-                ffc_sim::metrics::ratio(ffc.totals.delivered[p], base.totals.delivered[p])
-                    * 100.0,
+                ffc_sim::metrics::ratio(ffc.totals.delivered[p], base.totals.delivered[p]) * 100.0,
                 ffc_sim::metrics::ratio(ffc.totals.lost_of(p), base.totals.lost_of(p)) * 100.0,
             );
         }
@@ -588,11 +666,14 @@ fn fig16(args: &Args) {
         println!("--- {model:?} ---");
         for (label, kc) in [("non-FFC", 0usize), ("FFC kc=2", 2)] {
             let mut rng = StdRng::seed_from_u64(args.seed + 4);
-            let cfg = UpdateExecConfig { kc, ..UpdateExecConfig::default() };
+            let cfg = UpdateExecConfig {
+                kc,
+                ..UpdateExecConfig::default()
+            };
             let samples = update_time_samples(&mut rng, model, &cfg, args.trials.max(100));
             let cdf = Cdf::new(samples.clone());
-            let stalled =
-                samples.iter().filter(|&&t| t >= cfg.cap_secs).count() as f64 / samples.len() as f64;
+            let stalled = samples.iter().filter(|&&t| t >= cfg.cap_secs).count() as f64
+                / samples.len() as f64;
             print_cdf_quantiles(label, &samples, "s", 1.0);
             println!(
                 "    median={:.2}s  stalled(>={:.0}s)={:.1}%",
@@ -602,7 +683,9 @@ fn fig16(args: &Args) {
             );
         }
     }
-    println!("  (paper: Realistic non-FFC ~40% unfinished at 300 s; Optimistic ~3x median speedup)");
+    println!(
+        "  (paper: Realistic non-FFC ~40% unfinished at 300 s; Optimistic ~3x median speedup)"
+    );
 }
 
 // Keep rates_by_priority linked for the priority sanity print used when

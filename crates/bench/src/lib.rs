@@ -33,7 +33,12 @@ impl Instance {
 
 /// The paper's tunnel layout: six (1,3) link-switch disjoint tunnels.
 pub fn paper_layout() -> LayoutConfig {
-    LayoutConfig { tunnels_per_flow: 6, p: 1, q: 3, reuse_penalty: 0.4 }
+    LayoutConfig {
+        tunnels_per_flow: 6,
+        p: 1,
+        q: 3,
+        reuse_penalty: 0.4,
+    }
 }
 
 fn build_instance(
@@ -54,7 +59,12 @@ fn build_instance(
     // Calibrate so 99% of interval-0 demand is satisfiable ("scale 1").
     let s = calibrate_scale(&net.topo, &trace.intervals[0], &tunnels, 0.99);
     let trace = trace.scale(s);
-    Instance { name, net, trace, tunnels }
+    Instance {
+        name,
+        net,
+        trace,
+        tunnels,
+    }
 }
 
 /// The (scaled-down, see `ffc_topo::lnet`) L-Net instance with a
@@ -62,7 +72,10 @@ fn build_instance(
 pub fn lnet_instance(seed: u64, intervals: usize) -> Instance {
     build_instance(
         "L-Net",
-        lnet(&LNetConfig { seed, ..LNetConfig::default() }),
+        lnet(&LNetConfig {
+            seed,
+            ..LNetConfig::default()
+        }),
         seed.wrapping_add(1),
         intervals,
         (1.0, 0.0),
@@ -79,7 +92,10 @@ pub fn snet_instance(seed: u64, intervals: usize) -> Instance {
 pub fn lnet_multi_priority(seed: u64, intervals: usize) -> Instance {
     build_instance(
         "L-Net",
-        lnet(&LNetConfig { seed, ..LNetConfig::default() }),
+        lnet(&LNetConfig {
+            seed,
+            ..LNetConfig::default()
+        }),
         seed.wrapping_add(3),
         intervals,
         (0.1, 0.3),
@@ -96,7 +112,10 @@ pub fn snet_multi_priority(seed: u64, intervals: usize) -> Instance {
 pub fn lnet_full_instance(seed: u64, intervals: usize) -> Instance {
     build_instance(
         "L-Net(full)",
-        lnet(&LNetConfig { seed, ..LNetConfig::full() }),
+        lnet(&LNetConfig {
+            seed,
+            ..LNetConfig::full()
+        }),
         seed.wrapping_add(5),
         intervals,
         (1.0, 0.0),

@@ -46,7 +46,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, msg: impl Into<String>) -> ParseError {
-    ParseError { line, msg: msg.into() }
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Strips comments and splits a file into `(line_no, tokens)`.
@@ -65,8 +68,12 @@ fn tokens(text: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
 pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
     let mut topo = Topology::new();
     let lookup = |topo: &Topology, name: &str, line: usize| {
-        topo.node_by_name(name)
-            .ok_or_else(|| err(line, format!("unknown node '{name}' (declare it with `node`)")))
+        topo.node_by_name(name).ok_or_else(|| {
+            err(
+                line,
+                format!("unknown node '{name}' (declare it with `node`)"),
+            )
+        })
     };
     for (line, t) in tokens(text) {
         match t.as_slice() {
@@ -109,8 +116,9 @@ pub fn parse_traffic(text: &str, topo: &Topology) -> Result<TrafficMatrix, Parse
                 let nb = topo
                     .node_by_name(b)
                     .ok_or_else(|| err(line, format!("unknown node '{b}'")))?;
-                let demand: f64 =
-                    d.parse().map_err(|_| err(line, format!("bad demand '{d}'")))?;
+                let demand: f64 = d
+                    .parse()
+                    .map_err(|_| err(line, format!("bad demand '{d}'")))?;
                 if !(demand.is_finite() && demand >= 0.0) {
                     return Err(err(line, "demand must be non-negative"));
                 }
@@ -118,9 +126,7 @@ pub fn parse_traffic(text: &str, topo: &Topology) -> Result<TrafficMatrix, Parse
                     [] | ["high"] => Priority::High,
                     ["medium"] => Priority::Medium,
                     ["low"] => Priority::Low,
-                    other => {
-                        return Err(err(line, format!("bad priority '{}'", other.join(" "))))
-                    }
+                    other => return Err(err(line, format!("bad priority '{}'", other.join(" ")))),
                 };
                 if na == nb {
                     return Err(err(line, "flow endpoints must differ"));
@@ -138,11 +144,7 @@ pub fn write_config(topo: &Topology, tunnels: &TunnelTable, cfg: &TeConfig) -> S
     let mut out = String::new();
     let _ = writeln!(out, "# ffc configuration: tunnels, rates, allocations");
     for (f, ti, tunnel) in tunnels.iter_all() {
-        let hops: Vec<&str> = tunnel
-            .nodes
-            .iter()
-            .map(|&v| topo.node_name(v))
-            .collect();
+        let hops: Vec<&str> = tunnel.nodes.iter().map(|&v| topo.node_name(v)).collect();
         let _ = writeln!(out, "tunnel {} {} {}", f.index(), ti, hops.join(" "));
     }
     for (fi, r) in cfg.rate.iter().enumerate() {
@@ -170,10 +172,12 @@ pub fn parse_config(
     for (line, t) in tokens(text) {
         match t.as_slice() {
             ["tunnel", f, ti, hops @ ..] => {
-                let fi: usize =
-                    f.parse().map_err(|_| err(line, format!("bad flow index '{f}'")))?;
-                let tidx: usize =
-                    ti.parse().map_err(|_| err(line, format!("bad tunnel index '{ti}'")))?;
+                let fi: usize = f
+                    .parse()
+                    .map_err(|_| err(line, format!("bad flow index '{f}'")))?;
+                let tidx: usize = ti
+                    .parse()
+                    .map_err(|_| err(line, format!("bad tunnel index '{ti}'")))?;
                 if fi >= num_flows {
                     return Err(err(line, format!("flow index {fi} out of range")));
                 }
@@ -215,24 +219,29 @@ pub fn parse_config(
                 per_flow_tunnels[fi].push(Tunnel::from_path(topo, Path { links: links? }));
             }
             ["rate", f, r] => {
-                let fi: usize =
-                    f.parse().map_err(|_| err(line, format!("bad flow index '{f}'")))?;
+                let fi: usize = f
+                    .parse()
+                    .map_err(|_| err(line, format!("bad flow index '{f}'")))?;
                 if fi >= num_flows {
                     return Err(err(line, format!("flow index {fi} out of range")));
                 }
-                rates[fi] =
-                    r.parse().map_err(|_| err(line, format!("bad rate '{r}'")))?;
+                rates[fi] = r
+                    .parse()
+                    .map_err(|_| err(line, format!("bad rate '{r}'")))?;
             }
             ["alloc", f, ti, a] => {
-                let fi: usize =
-                    f.parse().map_err(|_| err(line, format!("bad flow index '{f}'")))?;
+                let fi: usize = f
+                    .parse()
+                    .map_err(|_| err(line, format!("bad flow index '{f}'")))?;
                 if fi >= num_flows {
                     return Err(err(line, format!("flow index {fi} out of range")));
                 }
-                let tidx: usize =
-                    ti.parse().map_err(|_| err(line, format!("bad tunnel index '{ti}'")))?;
-                let v: f64 =
-                    a.parse().map_err(|_| err(line, format!("bad allocation '{a}'")))?;
+                let tidx: usize = ti
+                    .parse()
+                    .map_err(|_| err(line, format!("bad tunnel index '{ti}'")))?;
+                let v: f64 = a
+                    .parse()
+                    .map_err(|_| err(line, format!("bad allocation '{a}'")))?;
                 allocs[fi].push((tidx, v));
             }
             _ => return Err(err(line, format!("unrecognized directive '{}'", t[0]))),
@@ -245,7 +254,10 @@ pub fn parse_config(
         let mut row = vec![0.0; nt];
         for &(ti, v) in pairs {
             if ti >= nt {
-                return Err(err(0, format!("alloc tunnel index {ti} out of range for flow {fi}")));
+                return Err(err(
+                    0,
+                    format!("alloc tunnel index {ti} out of range for flow {fi}"),
+                ));
             }
             row[ti] = v;
         }
@@ -298,11 +310,7 @@ bidi paris london 40
     #[test]
     fn traffic_parsing() {
         let topo = parse_topology(TOPO).unwrap();
-        let tm = parse_traffic(
-            "flow ny london 10\nflow paris ny 5 low\n",
-            &topo,
-        )
-        .unwrap();
+        let tm = parse_traffic("flow ny london 10\nflow paris ny 5 low\n", &topo).unwrap();
         assert_eq!(tm.len(), 2);
         assert_eq!(tm.flow(ffc_net::FlowId(1)).priority, Priority::Low);
         assert!(parse_traffic("flow ny ny 1\n", &topo).is_err());
@@ -316,7 +324,12 @@ bidi paris london 40
         let tunnels = ffc_net::layout_tunnels(
             &topo,
             &tm,
-            &ffc_net::LayoutConfig { tunnels_per_flow: 2, p: 1, q: 3, reuse_penalty: 0.5 },
+            &ffc_net::LayoutConfig {
+                tunnels_per_flow: 2,
+                p: 1,
+                q: 3,
+                reuse_penalty: 0.5,
+            },
         );
         let cfg = ffc_core::solve_te(ffc_core::TeProblem::new(&topo, &tm, &tunnels)).unwrap();
         let text = write_config(&topo, &tunnels, &cfg);

@@ -20,7 +20,8 @@
 use std::process::ExitCode;
 
 use ffc_core::rescale::rescaled_link_loads_mixed;
-use ffc_core::{solve_ffc, FfcConfig, TeConfig, TeProblem};
+use ffc_core::{build_ffc_model, FfcConfig, TeConfig, TeProblem};
+use ffc_lp::SimplexOptions;
 use ffc_net::failure::{config_combinations_up_to, link_combinations_up_to};
 use ffc_net::{layout_tunnels, LayoutConfig, LinkId, NodeId};
 
@@ -37,12 +38,13 @@ struct Opts {
     ke: usize,
     kv: usize,
     tunnels: usize,
+    verbose: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ffc <solve|check|info> --topo FILE [--traffic FILE] [--config FILE]\n\
-         \x20          [--old FILE] [--out FILE] [--kc N] [--ke N] [--kv N] [--tunnels N]"
+         \x20          [--old FILE] [--out FILE] [--kc N] [--ke N] [--kv N] [--tunnels N] [--verbose]"
     );
     std::process::exit(2)
 }
@@ -59,13 +61,16 @@ fn parse_opts() -> Opts {
         ke: 0,
         kv: 0,
         tunnels: 6,
+        verbose: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut val = |name: &str| it.next().unwrap_or_else(|| {
-            eprintln!("{name} needs a value");
-            usage()
-        });
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
         match a.as_str() {
             "--topo" => o.topo = Some(val("--topo")),
             "--traffic" => o.traffic = Some(val("--traffic")),
@@ -76,6 +81,7 @@ fn parse_opts() -> Opts {
             "--ke" => o.ke = val("--ke").parse().unwrap_or_else(|_| usage()),
             "--kv" => o.kv = val("--kv").parse().unwrap_or_else(|_| usage()),
             "--tunnels" => o.tunnels = val("--tunnels").parse().unwrap_or_else(|_| usage()),
+            "-v" | "--verbose" => o.verbose = true,
             "-h" | "--help" => usage(),
             other if o.cmd.is_empty() => o.cmd = other.to_string(),
             other => {
@@ -113,8 +119,12 @@ fn main() -> ExitCode {
 
     match o.cmd.as_str() {
         "info" => {
-            println!("topology: {} switches, {} directed links, total capacity {:.1}",
-                topo.num_nodes(), topo.num_links(), topo.total_capacity());
+            println!(
+                "topology: {} switches, {} directed links, total capacity {:.1}",
+                topo.num_nodes(),
+                topo.num_links(),
+                topo.total_capacity()
+            );
             if let Some(tp) = &o.traffic {
                 match parse_traffic(&read(tp), &topo) {
                     Ok(tm) => println!(
@@ -145,7 +155,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let layout = LayoutConfig { tunnels_per_flow: o.tunnels, ..LayoutConfig::default() };
+            let layout = LayoutConfig {
+                tunnels_per_flow: o.tunnels,
+                ..LayoutConfig::default()
+            };
             let tunnels = layout_tunnels(&topo, &tm, &layout);
             // The old configuration (for control-plane FFC).
             let old = match &o.old {
@@ -174,13 +187,29 @@ fn main() -> ExitCode {
                 None => TeConfig::zero(&tunnels),
             };
             let ffc = FfcConfig::new(o.kc, o.ke, o.kv);
-            let cfg = match solve_ffc(TeProblem::new(&topo, &tm, &tunnels), &old, &ffc) {
-                Ok(c) => c,
+            let builder = build_ffc_model(TeProblem::new(&topo, &tm, &tunnels), &old, &ffc);
+            let (cfg, sol) = match builder.solve_detailed(&SimplexOptions::default()) {
+                Ok(x) => x,
                 Err(e) => {
                     eprintln!("solve failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            if o.verbose {
+                let s = &sol.stats;
+                eprintln!(
+                    "solver: {} iterations (phase1 {} / phase2 {}), {} degenerate, \
+                     {} bound flips, {} refactorizations, {} full pricing passes, {:.1?}",
+                    s.iterations(),
+                    s.phase1_iterations,
+                    s.phase2_iterations,
+                    s.degenerate_pivots,
+                    s.bound_flips,
+                    s.refactorizations,
+                    s.full_pricing_passes,
+                    s.solve_time
+                );
+            }
             eprintln!(
                 "granted {:.2} of {:.2} demanded ({} flows, protection kc={} ke={} kv={})",
                 cfg.throughput(),

@@ -1,0 +1,366 @@
+//! Parallel fan-out over independent TE/FFC solves.
+//!
+//! The repro harness and the tradeoff sweeps all share the same shape:
+//! many *independent* LP solves — one per protection level `k`, one per
+//! fault scenario, one per traffic-matrix interval. Each solve is
+//! single-threaded, so the natural speedup is to fan the solves out
+//! across OS threads. This module provides that fan-out on plain
+//! `std::thread::scope` (no external crates):
+//!
+//! * [`par_map`] — an order-preserving parallel map over a slice, used
+//!   by everything below.
+//! * [`solve_te_batch`] — solve a batch of plain TE problems.
+//! * [`solve_ffc_batch`] / [`solve_ffc_ksweep`] — solve FFC instances
+//!   that differ in their protection configuration (the `k = 0..K`
+//!   sweeps of Figures 9–12).
+//! * [`solve_ffc_scenarios`] — verify one FFC configuration against a
+//!   list of fault scenarios, chaining **warm starts** within each
+//!   worker: consecutive scenarios differ only in which `a_{f,t}`
+//!   variables are pinned to zero, so the optimal basis of one scenario
+//!   is an excellent starting basis for the next.
+//!
+//! Every solve returns a [`BatchOutcome`] carrying the extracted
+//! [`TeConfig`] together with the solver's [`SolveStats`], so harnesses
+//! can aggregate iteration counts and wall time per scenario.
+
+use crate::combined::{build_ffc_model, FfcConfig};
+use crate::te::{TeConfig, TeModelBuilder, TeProblem};
+use ffc_lp::{LpError, SimplexOptions, SolveStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The result of one solve in a batch: the extracted configuration plus
+/// the solver's performance counters.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The optimal TE configuration.
+    pub config: TeConfig,
+    /// Iteration counts, refactorizations, pricing passes, wall time.
+    pub stats: SolveStats,
+}
+
+/// Order-preserving parallel map over a slice.
+///
+/// Spawns up to `available_parallelism()` scoped threads that pull work
+/// items off a shared atomic counter (dynamic load balancing — LP solve
+/// times vary wildly between scenarios), and reassembles the results in
+/// input order. Falls back to a serial loop for 0 or 1 items.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, f(i, &items[i])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Solves a batch of independent TE problems in parallel.
+///
+/// Each problem is built and solved from scratch on a worker thread;
+/// results come back in input order.
+pub fn solve_te_batch(
+    problems: &[TeProblem<'_>],
+    opts: &SimplexOptions,
+) -> Vec<Result<BatchOutcome, LpError>> {
+    par_map(problems, |_, problem| {
+        let builder = TeModelBuilder::new(*problem);
+        let (config, sol) = builder.solve_detailed(opts)?;
+        Ok(BatchOutcome {
+            config,
+            stats: sol.stats,
+        })
+    })
+}
+
+/// One FFC solve request: a problem instance plus the protection
+/// configuration to solve it under.
+#[derive(Debug, Clone)]
+pub struct FfcJob<'a> {
+    /// The TE problem instance.
+    pub problem: TeProblem<'a>,
+    /// The previous configuration (for update-consistency constraints).
+    pub old: &'a TeConfig,
+    /// The FFC protection levels and encoding.
+    pub cfg: FfcConfig,
+}
+
+/// Solves a batch of independent FFC instances in parallel.
+pub fn solve_ffc_batch(
+    jobs: &[FfcJob<'_>],
+    opts: &SimplexOptions,
+) -> Vec<Result<BatchOutcome, LpError>> {
+    par_map(jobs, |_, job| {
+        let builder = build_ffc_model(job.problem, job.old, &job.cfg);
+        let (config, sol) = builder.solve_detailed(opts)?;
+        Ok(BatchOutcome {
+            config,
+            stats: sol.stats,
+        })
+    })
+}
+
+/// Solves one problem under several protection configurations in
+/// parallel — the `k = 0..K` sweep that dominates the repro harness.
+pub fn solve_ffc_ksweep(
+    problem: TeProblem<'_>,
+    old: &TeConfig,
+    cfgs: &[FfcConfig],
+    opts: &SimplexOptions,
+) -> Vec<Result<BatchOutcome, LpError>> {
+    par_map(cfgs, |_, cfg| {
+        let builder = build_ffc_model(problem, old, cfg);
+        let (config, sol) = builder.solve_detailed(opts)?;
+        Ok(BatchOutcome {
+            config,
+            stats: sol.stats,
+        })
+    })
+}
+
+/// Verifies one FFC configuration against many fault scenarios in
+/// parallel, chaining warm starts within each worker.
+///
+/// The base model (no faults) is built and solved **once** with
+/// presolve disabled — presolve eliminates fixed columns, which would
+/// change the model's column space and make the resulting basis useless
+/// as a warm-start hint for the full model. Each worker then walks a
+/// contiguous chunk of scenarios: it clones the base model, pins the
+/// `a_{f,t}` variables of tunnels killed by the scenario to zero
+/// (bounds `[0, 0]` — the model *shape* never changes), and re-solves
+/// from the most recent successful basis in its chain.
+///
+/// The outer `Result` is the base solve; the inner per-scenario results
+/// come back in input order.
+pub fn solve_ffc_scenarios(
+    problem: TeProblem<'_>,
+    old: &TeConfig,
+    cfg: &FfcConfig,
+    scenarios: &[ffc_net::FaultScenario],
+    opts: &SimplexOptions,
+) -> Result<Vec<Result<BatchOutcome, LpError>>, LpError> {
+    let mut warm_opts = opts.clone();
+    warm_opts.presolve = false;
+
+    let builder = build_ffc_model(problem, old, cfg);
+    let base_sol = builder.model.solve_with(&warm_opts)?;
+
+    let n = scenarios.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    let chunk = n.div_ceil(workers.max(1)).max(1);
+
+    let solve_chunk = |slice: &[ffc_net::FaultScenario]| {
+        let mut hint = base_sol.basis.clone();
+        let mut out = Vec::with_capacity(slice.len());
+        for scenario in slice {
+            let result = if scenario.data_plane_clean() {
+                // No tunnels die: the base solution is already optimal.
+                Ok(BatchOutcome {
+                    config: builder.extract(&base_sol),
+                    stats: base_sol.stats,
+                })
+            } else {
+                let mut model = builder.model.clone();
+                let topo = builder.problem.topo;
+                for (f, ti, tunnel) in builder.problem.tunnels.iter_all() {
+                    if scenario.kills_tunnel(topo, tunnel) {
+                        model.set_bounds(builder.a[f.index()][ti], 0.0, 0.0);
+                    }
+                }
+                model.solve_warm(&warm_opts, &hint).map(|sol| {
+                    hint = sol.basis.clone();
+                    BatchOutcome {
+                        config: builder.extract(&sol),
+                        stats: sol.stats,
+                    }
+                })
+            };
+            out.push(result);
+        }
+        out
+    };
+
+    if workers <= 1 {
+        return Ok(solve_chunk(scenarios));
+    }
+
+    let solve_chunk = &solve_chunk;
+    let results: Vec<Vec<Result<BatchOutcome, LpError>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scenarios
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || solve_chunk(slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario worker panicked"))
+            .collect()
+    });
+    Ok(results.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::te::solve_te;
+    use ffc_net::prelude::*;
+
+    /// A 5-node ring with chords (same shape as the combined-FFC tests).
+    fn fixture() -> (Topology, TrafficMatrix, TunnelTable) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(5, "r");
+        for i in 0..5 {
+            t.add_bidi(ns[i], ns[(i + 1) % 5], 10.0);
+        }
+        t.add_bidi(ns[0], ns[2], 10.0);
+        t.add_bidi(ns[1], ns[3], 10.0);
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(ns[0], ns[3], 6.0, Priority::High);
+        tm.add_flow(ns[1], ns[4], 6.0, Priority::High);
+        tm.add_flow(ns[2], ns[0], 6.0, Priority::High);
+        let tunnels = layout_tunnels(
+            &t,
+            &tm,
+            &LayoutConfig {
+                tunnels_per_flow: 3,
+                p: 1,
+                q: 3,
+                reuse_penalty: 0.5,
+            },
+        );
+        (t, tm, tunnels)
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn batch_matches_serial_te() {
+        let (topo, tm, tunnels) = fixture();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        let problems = vec![problem; 4];
+        let serial = solve_te(problem).unwrap();
+        let batch = solve_te_batch(&problems, &SimplexOptions::default());
+        assert_eq!(batch.len(), 4);
+        for outcome in batch {
+            let outcome = outcome.unwrap();
+            assert!(
+                (outcome.config.throughput() - serial.throughput()).abs() < 1e-6,
+                "batch solve diverged from serial"
+            );
+            assert!(outcome.stats.iterations() > 0);
+        }
+    }
+
+    #[test]
+    fn ksweep_throughput_is_monotone_in_protection() {
+        let (topo, tm, tunnels) = fixture();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        let old = TeConfig::zero(&tunnels);
+        let cfgs: Vec<FfcConfig> = (0..=2).map(|k| FfcConfig::new(0, k, 0)).collect();
+        let outcomes = solve_ffc_ksweep(problem, &old, &cfgs, &SimplexOptions::default());
+        let tputs: Vec<f64> = outcomes
+            .into_iter()
+            .map(|o| o.unwrap().config.throughput())
+            .collect();
+        for w in tputs.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-7,
+                "more protection must not increase throughput: {tputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_sweep_matches_serial_fault_solves() {
+        let (topo, tm, tunnels) = fixture();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        let old = TeConfig::zero(&tunnels);
+        let cfg = FfcConfig::new(0, 1, 0);
+
+        let links: Vec<LinkId> = topo.links().collect();
+        let mut scenarios = vec![FaultScenario::none()];
+        scenarios.extend(links.iter().map(|&l| FaultScenario::links([l])));
+
+        let batch =
+            solve_ffc_scenarios(problem, &old, &cfg, &scenarios, &SimplexOptions::default())
+                .unwrap();
+        assert_eq!(batch.len(), scenarios.len());
+        for (scenario, outcome) in scenarios.iter().zip(&batch) {
+            let outcome = outcome.as_ref().unwrap();
+            let serial =
+                crate::combined::solve_ffc_with_faults(problem, &old, &cfg, scenario).unwrap();
+            assert!(
+                (outcome.config.throughput() - serial.throughput()).abs() < 1e-6,
+                "scenario {scenario:?}: warm {} vs cold {}",
+                outcome.config.throughput(),
+                serial.throughput()
+            );
+        }
+    }
+
+    #[test]
+    fn ffc_batch_matches_individual_solves() {
+        let (topo, tm, tunnels) = fixture();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        let old = TeConfig::zero(&tunnels);
+        let jobs: Vec<FfcJob<'_>> = (0..=1)
+            .map(|k| FfcJob {
+                problem,
+                old: &old,
+                cfg: FfcConfig::new(0, k, 0),
+            })
+            .collect();
+        let batch = solve_ffc_batch(&jobs, &SimplexOptions::default());
+        for (job, outcome) in jobs.iter().zip(batch) {
+            let serial = crate::combined::solve_ffc(job.problem, job.old, &job.cfg).unwrap();
+            assert!((outcome.unwrap().config.throughput() - serial.throughput()).abs() < 1e-6);
+        }
+    }
+}

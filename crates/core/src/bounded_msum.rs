@@ -185,7 +185,9 @@ mod tests {
     fn le_encodings_agree() {
         for enc in ENCODINGS {
             let mut m = Model::new();
-            let xs: Vec<_> = (0..3).map(|i| m.add_var(0.0, 10.0, format!("x{i}"))).collect();
+            let xs: Vec<_> = (0..3)
+                .map(|i| m.add_var(0.0, 10.0, format!("x{i}")))
+                .collect();
             let exprs: Vec<LinExpr> = xs.iter().map(|&v| LinExpr::from(v)).collect();
             constrain_any_m_sum_le(&mut m, exprs, 2, LinExpr::constant(8.0), enc);
             m.set_objective(LinExpr::sum(xs.iter().copied()), Sense::Maximize);
@@ -208,7 +210,9 @@ mod tests {
     fn ge_encodings_agree() {
         for enc in ENCODINGS {
             let mut m = Model::new();
-            let xs: Vec<_> = (0..3).map(|i| m.add_var(0.0, 10.0, format!("x{i}"))).collect();
+            let xs: Vec<_> = (0..3)
+                .map(|i| m.add_var(0.0, 10.0, format!("x{i}")))
+                .collect();
             let exprs: Vec<LinExpr> = xs.iter().map(|&v| LinExpr::from(v)).collect();
             constrain_any_m_sum_ge(&mut m, exprs, 2, LinExpr::constant(6.0), enc);
             m.set_objective(LinExpr::sum(xs.iter().copied()), Sense::Minimize);
@@ -226,7 +230,9 @@ mod tests {
     fn m_at_least_n_is_full_sum() {
         for enc in ENCODINGS {
             let mut m = Model::new();
-            let xs: Vec<_> = (0..2).map(|i| m.add_var(0.0, 10.0, format!("x{i}"))).collect();
+            let xs: Vec<_> = (0..2)
+                .map(|i| m.add_var(0.0, 10.0, format!("x{i}")))
+                .collect();
             let exprs: Vec<LinExpr> = xs.iter().map(|&v| LinExpr::from(v)).collect();
             constrain_any_m_sum_le(&mut m, exprs, 5, LinExpr::constant(7.0), enc);
             m.set_objective(LinExpr::sum(xs.iter().copied()), Sense::Maximize);
@@ -240,14 +246,20 @@ mod tests {
     fn variable_budget() {
         for enc in ENCODINGS {
             let mut m = Model::new();
-            let xs: Vec<_> = (0..3).map(|i| m.add_var(0.0, 10.0, format!("x{i}"))).collect();
+            let xs: Vec<_> = (0..3)
+                .map(|i| m.add_var(0.0, 10.0, format!("x{i}")))
+                .collect();
             let cap = m.add_var(0.0, 5.0, "cap");
             let exprs: Vec<LinExpr> = xs.iter().map(|&v| LinExpr::from(v)).collect();
             constrain_any_m_sum_le(&mut m, exprs, 1, LinExpr::from(cap), enc);
             // max Σx - anything pushes cap to 5, so each x ≤ 5.
             m.set_objective(LinExpr::sum(xs.iter().copied()), Sense::Maximize);
             let sol = m.solve().unwrap();
-            assert!((sol.objective - 15.0).abs() < 1e-5, "{enc:?}: {}", sol.objective);
+            assert!(
+                (sol.objective - 15.0).abs() < 1e-5,
+                "{enc:?}: {}",
+                sol.objective
+            );
         }
     }
 
@@ -256,7 +268,13 @@ mod tests {
     fn degenerate_inputs_noop() {
         let mut m = Model::new();
         let x = m.add_var(0.0, 1.0, "x");
-        constrain_any_m_sum_le(&mut m, vec![], 2, LinExpr::constant(0.0), MsumEncoding::Cvar);
+        constrain_any_m_sum_le(
+            &mut m,
+            vec![],
+            2,
+            LinExpr::constant(0.0),
+            MsumEncoding::Cvar,
+        );
         constrain_any_m_sum_le(
             &mut m,
             vec![LinExpr::from(x)],
@@ -273,7 +291,9 @@ mod tests {
     fn randomized_encoding_agreement() {
         let mut state = 0xfeedbeefu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as f64 / 100.0
         };
         for trial in 0..15 {

@@ -14,7 +14,7 @@
 
 use ffc_lp::{Cmp, LinExpr, LpError, Model, Sense, VarId};
 use ffc_net::tunnel::residual_tunnel_bound;
-use ffc_net::{TrafficMatrix, Topology, TunnelTable};
+use ffc_net::{Topology, TrafficMatrix, TunnelTable};
 
 use crate::bounded_msum::{constrain_any_m_sum_ge, MsumEncoding};
 
@@ -161,7 +161,11 @@ pub fn plan_capacities(
             .map(|row| row.iter().map(|&v| sol.value(v).max(0.0)).collect())
             .collect(),
     };
-    Ok(CapacityPlan { capacity, scale, config })
+    Ok(CapacityPlan {
+        capacity,
+        scale,
+        config,
+    })
 }
 
 #[cfg(test)]
@@ -248,11 +252,23 @@ mod tests {
     fn uniform_scale_reports_headroom() {
         let (t, tm, tt) = diamond();
         let unprot = plan_capacities(
-            &t, &tm, &tt, 0, 0, PlanObjective::UniformScale, MsumEncoding::SortingNetwork,
+            &t,
+            &tm,
+            &tt,
+            0,
+            0,
+            PlanObjective::UniformScale,
+            MsumEncoding::SortingNetwork,
         )
         .unwrap();
         let prot = plan_capacities(
-            &t, &tm, &tt, 1, 0, PlanObjective::UniformScale, MsumEncoding::SortingNetwork,
+            &t,
+            &tm,
+            &tt,
+            1,
+            0,
+            PlanObjective::UniformScale,
+            MsumEncoding::SortingNetwork,
         )
         .unwrap();
         // Unprotected: 4 units per path on 10-capacity links -> γ = 0.4.
@@ -267,7 +283,13 @@ mod tests {
         // Strip to a single tunnel: ke=1 with p=1 -> τ=0.
         tt = TunnelTable::from_lists(vec![vec![tt.tunnels(FlowId(0))[0].clone()]]);
         let r = plan_capacities(
-            &t, &tm, &tt, 1, 0, PlanObjective::TotalCapacity, MsumEncoding::SortingNetwork,
+            &t,
+            &tm,
+            &tt,
+            1,
+            0,
+            PlanObjective::TotalCapacity,
+            MsumEncoding::SortingNetwork,
         );
         assert!(matches!(r, Err(LpError::Infeasible)));
     }

@@ -186,7 +186,12 @@ mod tests {
         let tunnels = layout_tunnels(
             &t,
             &tm,
-            &LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.5 },
+            &LayoutConfig {
+                tunnels_per_flow: 3,
+                p: 1,
+                q: 3,
+                reuse_penalty: 0.5,
+            },
         );
         // An "old" configuration from plain TE.
         let old = crate::te::solve_te(crate::te::TeProblem::new(&t, &tm, &tunnels)).unwrap();
@@ -230,8 +235,12 @@ mod tests {
         let (topo, tm, tunnels, old) = ring();
         let p = TeProblem::new(&topo, &tm, &tunnels);
         let t_none = solve_ffc(p, &old, &FfcConfig::none()).unwrap().throughput();
-        let t_ctrl = solve_ffc(p, &old, &FfcConfig::new(2, 0, 0)).unwrap().throughput();
-        let t_both = solve_ffc(p, &old, &FfcConfig::new(2, 1, 0)).unwrap().throughput();
+        let t_ctrl = solve_ffc(p, &old, &FfcConfig::new(2, 0, 0))
+            .unwrap()
+            .throughput();
+        let t_both = solve_ffc(p, &old, &FfcConfig::new(2, 1, 0))
+            .unwrap()
+            .throughput();
         assert!(t_none >= t_ctrl - 1e-6);
         assert!(t_ctrl >= t_both - 1e-6);
     }
@@ -286,7 +295,10 @@ mod tests {
         for i in 0..2 {
             b1.model.tighten_bounds(b1.b[i], 7.0, 7.0);
         }
-        assert!(b1.solve().is_err(), "fully-protected move should be infeasible");
+        assert!(
+            b1.solve().is_err(),
+            "fully-protected move should be infeasible"
+        );
 
         // ...but feasible once the overloaded link is unprotected.
         let mut cfg = FfcConfig::new(2, 0, 0);

@@ -238,7 +238,12 @@ mod tests {
             rate: vec![10.0, 10.0, 0.0],
             alloc: vec![vec![7.0, 3.0], vec![7.0, 3.0], vec![0.0]],
         };
-        Fig3 { topo, tm, tunnels, old }
+        Fig3 {
+            topo,
+            tm,
+            tunnels,
+            old,
+        }
     }
 
     fn solve_with_kc(s: &Fig3, kc: usize, encoding: MsumEncoding) -> TeConfig {
@@ -262,7 +267,11 @@ mod tests {
     #[test]
     fn kc1_grants_seven() {
         let s = fig3_scenario();
-        for enc in [MsumEncoding::SortingNetwork, MsumEncoding::Cvar, MsumEncoding::Enumeration] {
+        for enc in [
+            MsumEncoding::SortingNetwork,
+            MsumEncoding::Cvar,
+            MsumEncoding::Enumeration,
+        ] {
             let cfg = solve_with_kc(&s, 1, enc);
             assert!(
                 (cfg.rate[2] - 7.0).abs() < 1e-4,
@@ -279,7 +288,11 @@ mod tests {
     #[test]
     fn kc2_grants_four() {
         let s = fig3_scenario();
-        for enc in [MsumEncoding::SortingNetwork, MsumEncoding::Cvar, MsumEncoding::Enumeration] {
+        for enc in [
+            MsumEncoding::SortingNetwork,
+            MsumEncoding::Cvar,
+            MsumEncoding::Enumeration,
+        ] {
             let cfg = solve_with_kc(&s, 2, enc);
             assert!(
                 (cfg.rate[2] - 4.0).abs() < 1e-4,
@@ -302,7 +315,11 @@ mod tests {
             let mut load = vec![0.0; s.topo.num_links()];
             for (f, _flow) in s.tm.iter() {
                 let fi = f.index();
-                let w = if s.tm.flow(f).src.index() == stale { &old_w[fi] } else { &new_w[fi] };
+                let w = if s.tm.flow(f).src.index() == stale {
+                    &old_w[fi]
+                } else {
+                    &new_w[fi]
+                };
                 for (ti, tun) in s.tunnels.tunnels(f).iter().enumerate() {
                     let traffic = cfg.rate[fi] * w[ti];
                     for &l in &tun.links {
@@ -362,7 +379,10 @@ mod tests {
     #[should_panic(expected = "old config")]
     fn shape_mismatch_panics() {
         let s = fig3_scenario();
-        let bad = TeConfig { rate: vec![0.0], alloc: vec![vec![0.0]] };
+        let bad = TeConfig {
+            rate: vec![0.0],
+            alloc: vec![vec![0.0]],
+        };
         let problem = TeProblem::new(&s.topo, &s.tm, &s.tunnels);
         let mut builder = crate::te::TeModelBuilder::new(problem);
         let ffc = ControlFfc::new(1, &bad);

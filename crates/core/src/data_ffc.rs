@@ -79,7 +79,12 @@ impl DataFfc {
     /// Data-plane FFC with the paper's defaults: sorting-network
     /// encoding, 1% mice fraction.
     pub fn new(ke: usize, kv: usize) -> Self {
-        DataFfc { ke, kv, encoding: MsumEncoding::SortingNetwork, mice_fraction: 0.01 }
+        DataFfc {
+            ke,
+            kv,
+            encoding: MsumEncoding::SortingNetwork,
+            mice_fraction: 0.01,
+        }
     }
 
     /// Disables the mice optimization (exact formulation for all flows).
@@ -251,13 +256,19 @@ mod tests {
         // shared backup link s1-s4 caps b0 + b1 at 10. That is also the
         // true optimum: failing s2-s4 moves all of b0 onto s1-s4, which
         // already carries flow 1's via-allocation.
-        assert!((cfg.throughput() - 10.0).abs() < 1e-4, "throughput {}", cfg.throughput());
+        assert!(
+            (cfg.throughput() - 10.0).abs() < 1e-4,
+            "throughput {}",
+            cfg.throughput()
+        );
     }
 
     #[test]
     fn ffc_never_beats_plain_te() {
         let (topo, tm, tt) = fig2();
-        let base = solve_te(TeProblem::new(&topo, &tm, &tt)).unwrap().throughput();
+        let base = solve_te(TeProblem::new(&topo, &tm, &tt))
+            .unwrap()
+            .throughput();
         for ke in 0..3 {
             let ffc = DataFfc::new(ke, 0).exact();
             let cfg = solve_data_ffc(&topo, &tm, &tt, &ffc);
@@ -288,7 +299,11 @@ mod tests {
         // a_direct ≥ b_f and allow throughput 16. Eqn 15's extra
         // protection ("any single tunnel may die") caps it at 10 —
         // the imprecision the paper discusses in §4.4.1.
-        assert!((cfg.throughput() - 10.0).abs() < 1e-4, "{}", cfg.throughput());
+        assert!(
+            (cfg.throughput() - 10.0).abs() < 1e-4,
+            "{}",
+            cfg.throughput()
+        );
         // The direct-tunnel allocation covers the rate.
         for f in 0..2 {
             assert!(cfg.alloc[f][0] >= cfg.rate[f] - 1e-6);
@@ -317,7 +332,12 @@ mod tests {
         tt.push(FlowId(0), mk(&[ns[1], ns[0], ns[3]]));
         tt.push(FlowId(1), mk(&[ns[2], ns[3]]));
         tt.push(FlowId(1), mk(&[ns[2], ns[0], ns[3]]));
-        let ffc = DataFfc { ke: 1, kv: 0, encoding: MsumEncoding::SortingNetwork, mice_fraction: 0.01 };
+        let ffc = DataFfc {
+            ke: 1,
+            kv: 0,
+            encoding: MsumEncoding::SortingNetwork,
+            mice_fraction: 0.01,
+        };
         let mut builder = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tt));
         apply_data_ffc(&mut builder, &ffc);
         let cfg = builder.solve().unwrap();
@@ -335,8 +355,17 @@ mod tests {
     fn encodings_agree_on_fig2() {
         let (topo, tm, tt) = fig2();
         let mut objs = Vec::new();
-        for enc in [MsumEncoding::SortingNetwork, MsumEncoding::Cvar, MsumEncoding::Enumeration] {
-            let ffc = DataFfc { ke: 1, kv: 0, encoding: enc, mice_fraction: 0.0 };
+        for enc in [
+            MsumEncoding::SortingNetwork,
+            MsumEncoding::Cvar,
+            MsumEncoding::Enumeration,
+        ] {
+            let ffc = DataFfc {
+                ke: 1,
+                kv: 0,
+                encoding: enc,
+                mice_fraction: 0.0,
+            };
             objs.push(solve_data_ffc(&topo, &tm, &tt, &ffc).throughput());
         }
         assert!((objs[0] - objs[1]).abs() < 1e-5, "{objs:?}");

@@ -47,7 +47,11 @@ impl DemandRobustness {
     /// Budget `gamma` deviations of up to `ratio ×` nominal demand.
     pub fn new(gamma: usize, ratio: f64) -> Self {
         assert!(ratio >= 1.0, "inflation ratio must be ≥ 1");
-        Self { gamma, ratio, encoding: MsumEncoding::SortingNetwork }
+        Self {
+            gamma,
+            ratio,
+            encoding: MsumEncoding::SortingNetwork,
+        }
     }
 }
 
@@ -77,10 +81,8 @@ pub fn apply_demand_robustness(builder: &mut TeModelBuilder<'_>, cfg: &DemandRob
                 .add_term(builder.a[f.index()][ti], 1.0);
         }
         // Deviation headroom terms (ρ−1)·load_{f,e}.
-        let extras: Vec<LinExpr> =
-            per_flow.values().map(|l| l.clone() * slack).collect();
-        let budget =
-            LinExpr::constant(builder.problem.capacity(e)) - builder.link_load_expr(e);
+        let extras: Vec<LinExpr> = per_flow.values().map(|l| l.clone() * slack).collect();
+        let budget = LinExpr::constant(builder.problem.capacity(e)) - builder.link_load_expr(e);
         constrain_any_m_sum_le(&mut builder.model, extras, cfg.gamma, budget, cfg.encoding);
     }
 }
@@ -108,7 +110,12 @@ mod tests {
         let tunnels = layout_tunnels(
             &t,
             &tm,
-            &LayoutConfig { tunnels_per_flow: 2, p: 1, q: 3, reuse_penalty: 0.5 },
+            &LayoutConfig {
+                tunnels_per_flow: 2,
+                p: 1,
+                q: 3,
+                reuse_penalty: 0.5,
+            },
         );
         (t, tm, tunnels)
     }
@@ -172,7 +179,9 @@ mod tests {
         let (topo, tm, tunnels) = setup();
         let mut plain = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
         for (id, f) in tm.iter() {
-            plain.model.set_bounds(plain.b[id.index()], f.demand, f.demand);
+            plain
+                .model
+                .set_bounds(plain.b[id.index()], f.demand, f.demand);
         }
         let base = plain.solve().expect("TE");
 
@@ -195,7 +204,12 @@ mod tests {
         let tunnels = layout_tunnels(
             &topo,
             &tm,
-            &LayoutConfig { tunnels_per_flow: 1, p: 1, q: 3, reuse_penalty: 0.5 },
+            &LayoutConfig {
+                tunnels_per_flow: 1,
+                p: 1,
+                q: 3,
+                reuse_penalty: 0.5,
+            },
         );
         let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
         for (id, f) in tm.iter() {
@@ -210,7 +224,14 @@ mod tests {
         let (topo, tm, tunnels) = setup();
         let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
         let before = b.model.num_cons();
-        apply_demand_robustness(&mut b, &DemandRobustness { gamma: 0, ratio: 2.0, encoding: MsumEncoding::SortingNetwork });
+        apply_demand_robustness(
+            &mut b,
+            &DemandRobustness {
+                gamma: 0,
+                ratio: 2.0,
+                encoding: MsumEncoding::SortingNetwork,
+            },
+        );
         assert_eq!(b.model.num_cons(), before);
     }
 
@@ -218,13 +239,21 @@ mod tests {
     fn encodings_agree() {
         let (topo, tm, tunnels) = setup();
         let mut objs = Vec::new();
-        for enc in [MsumEncoding::SortingNetwork, MsumEncoding::Cvar, MsumEncoding::Enumeration] {
+        for enc in [
+            MsumEncoding::SortingNetwork,
+            MsumEncoding::Cvar,
+            MsumEncoding::Enumeration,
+        ] {
             let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tunnels));
             // Leave rates free: maximize admissible nominal traffic
             // under robustness.
             apply_demand_robustness(
                 &mut b,
-                &DemandRobustness { gamma: 1, ratio: 1.5, encoding: enc },
+                &DemandRobustness {
+                    gamma: 1,
+                    ratio: 1.5,
+                    encoding: enc,
+                },
             );
             objs.push(b.solve().expect("feasible").throughput());
         }

@@ -19,11 +19,7 @@ use crate::te::{TeConfig, TeModelBuilder};
 
 /// Adds exact control-plane FFC constraints: one capacity constraint per
 /// link per `λ ∈ Λ_kc` (Eqn 5).
-pub fn apply_control_ffc_enumerated(
-    builder: &mut TeModelBuilder<'_>,
-    kc: usize,
-    old: &TeConfig,
-) {
+pub fn apply_control_ffc_enumerated(builder: &mut TeModelBuilder<'_>, kc: usize, old: &TeConfig) {
     if kc == 0 {
         return;
     }
@@ -42,7 +38,9 @@ pub fn apply_control_ffc_enumerated(
             if w_old <= 1e-12 {
                 continue;
             }
-            let bv = builder.model.add_var(0.0, f64::INFINITY, format!("betaE_{f}_{ti}"));
+            let bv = builder
+                .model
+                .add_var(0.0, f64::INFINITY, format!("betaE_{f}_{ti}"));
             builder.model.add_con(
                 LinExpr::term(builder.b[fi], w_old) - LinExpr::from(bv),
                 Cmp::Le,
@@ -65,7 +63,10 @@ pub fn apply_control_ffc_enumerated(
                 seen[t.src().index()] = true;
             }
         }
-        (0..topo.num_nodes()).filter(|&i| seen[i]).map(NodeId).collect()
+        (0..topo.num_nodes())
+            .filter(|&i| seen[i])
+            .map(NodeId)
+            .collect()
     };
 
     for scenario in config_combinations_up_to(&ingresses, kc) {
@@ -190,7 +191,12 @@ mod tests {
         let tunnels = layout_tunnels(
             &t,
             &tm,
-            &LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.5 },
+            &LayoutConfig {
+                tunnels_per_flow: 3,
+                p: 1,
+                q: 3,
+                reuse_penalty: 0.5,
+            },
         );
         let old = crate::te::solve_te(TeProblem::new(&t, &tm, &tunnels)).unwrap();
         (t, tm, tunnels, old)
@@ -241,9 +247,7 @@ mod tests {
             );
             // (1,3)-disjoint layout means p=1: link failures are the
             // equivalent special case.
-            let all_p1 = tm
-                .ids()
-                .all(|f| tunnels.disjointness(f).p <= 1);
+            let all_p1 = tm.ids().all(|f| tunnels.disjointness(f).p <= 1);
             if all_p1 {
                 assert!(
                     (t_compact - t_enum).abs() < 1e-5,

@@ -10,7 +10,7 @@
 //! flexible.
 
 use ffc_lp::{BasisStatuses, LpError, Sense, SimplexOptions};
-use ffc_net::{TrafficMatrix, Topology, TunnelTable};
+use ffc_net::{Topology, TrafficMatrix, TunnelTable};
 
 use crate::combined::{build_ffc_model, FfcConfig};
 use crate::te::{TeConfig, TeProblem};
@@ -28,7 +28,11 @@ pub struct FairnessConfig {
 
 impl Default for FairnessConfig {
     fn default() -> Self {
-        Self { alpha: 2.0, t0_fraction: 1.0 / 64.0, max_rounds: 64 }
+        Self {
+            alpha: 2.0,
+            t0_fraction: 1.0 / 64.0,
+            max_rounds: 64,
+        }
     }
 }
 
@@ -84,9 +88,10 @@ pub fn solve_max_min_ffc(
             Some(h) => builder.model.solve_warm(&SimplexOptions::default(), h)?,
             // Round 1: skip presolve so the exported basis lives in the
             // full column space the later warm starts will see.
-            None => builder
-                .model
-                .solve_with(&SimplexOptions { presolve: false, ..SimplexOptions::default() })?,
+            None => builder.model.solve_with(&SimplexOptions {
+                presolve: false,
+                ..SimplexOptions::default()
+            })?,
         };
         basis_hint = Some(sol.basis.clone());
         last = builder.extract(&sol);
@@ -171,7 +176,11 @@ mod tests {
         )
         .unwrap();
         // The small flow gets its full 4 units; the hog cannot starve it.
-        assert!(fair.rate[1] >= 4.0 - 1e-5, "small flow got {}", fair.rate[1]);
+        assert!(
+            fair.rate[1] >= 4.0 - 1e-5,
+            "small flow got {}",
+            fair.rate[1]
+        );
         // And the hog still fills the remaining bottleneck (work
         // conservation): ~10 on its link.
         assert!(fair.rate[0] >= 9.0, "hog got {}", fair.rate[0]);
@@ -256,8 +265,16 @@ mod tests {
         // is within a factor alpha on the *freezing* granularity; accept
         // [2.8, 4.2] for the hogs and exactly 2 for the small flow.
         assert!((fair.rate[0] - 2.0).abs() < 1e-4, "small {}", fair.rate[0]);
-        assert!(fair.rate[1] > 2.8 && fair.rate[1] < 4.3, "hog A {}", fair.rate[1]);
-        assert!(fair.rate[2] > 2.8 && fair.rate[2] < 4.3, "hog B {}", fair.rate[2]);
+        assert!(
+            fair.rate[1] > 2.8 && fair.rate[1] < 4.3,
+            "hog A {}",
+            fair.rate[1]
+        );
+        assert!(
+            fair.rate[2] > 2.8 && fair.rate[2] < 4.3,
+            "hog B {}",
+            fair.rate[2]
+        );
         // Work conservation: the bottleneck is full.
         let total: f64 = fair.rate.iter().sum();
         assert!((total - 9.0).abs() < 1e-4, "total {total}");

@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bounded_msum;
 pub mod capacity_planning;
 pub mod combined;
@@ -71,6 +72,10 @@ pub mod te;
 pub mod uncertainty;
 pub mod update;
 
+pub use batch::{
+    par_map, solve_ffc_batch, solve_ffc_ksweep, solve_ffc_scenarios, solve_te_batch, BatchOutcome,
+    FfcJob,
+};
 pub use bounded_msum::MsumEncoding;
 pub use capacity_planning::{plan_capacities, CapacityPlan, PlanObjective};
 pub use combined::{
@@ -82,7 +87,9 @@ pub use data_ffc::{apply_data_ffc, DataFfc};
 pub use demand_robust::{apply_demand_robustness, DemandRobustness};
 pub use fairness::{solve_max_min_ffc, FairnessConfig};
 pub use mlu::{solve_min_mlu, MluSolution};
-pub use priority::{solve_priority_ffc, solve_priority_ffc_with_faults, PriorityFfcConfig, PrioritySolution};
+pub use priority::{
+    solve_priority_ffc, solve_priority_ffc_with_faults, PriorityFfcConfig, PrioritySolution,
+};
 pub use rate_limiter::{apply_limiter_ffc, LimiterFfc, UpdateOrdering};
 pub use rescale::{rescaled_link_loads, rescaled_link_loads_mixed, RescaledLoads};
 pub use te::{solve_te, TeConfig, TeModelBuilder, TeProblem};

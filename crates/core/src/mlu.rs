@@ -14,7 +14,7 @@
 //! carry over unchanged.
 
 use ffc_lp::{Cmp, LinExpr, LpError, Sense};
-use ffc_net::{TrafficMatrix, Topology, TunnelTable};
+use ffc_net::{Topology, TrafficMatrix, TunnelTable};
 
 use crate::bounded_msum::constrain_any_m_sum_le;
 use crate::combined::FfcConfig;
@@ -56,7 +56,11 @@ pub fn solve_min_mlu(
     let b: Vec<ffc_lp::VarId> = tm
         .iter()
         .map(|(id, f)| {
-            let pinned = if tunnels.tunnels(id).is_empty() { 0.0 } else { f.demand };
+            let pinned = if tunnels.tunnels(id).is_empty() {
+                0.0
+            } else {
+                f.demand
+            };
             model.add_var(pinned, pinned, format!("b_{id}"))
         })
         .collect();
@@ -101,7 +105,13 @@ pub fn solve_min_mlu(
     }
 
     // Wrap in a builder shell so the FFC generators can attach to it.
-    let mut builder = TeModelBuilder { model, b, a, link_tunnels, problem };
+    let mut builder = TeModelBuilder {
+        model,
+        b,
+        a,
+        link_tunnels,
+        problem,
+    };
 
     // Data-plane FFC (Eqn 15, rates pinned to demand).
     if ffc.ke > 0 || ffc.kv > 0 {
@@ -132,7 +142,9 @@ pub fn solve_min_mlu(
                 if w_old <= 1e-9 {
                     continue;
                 }
-                let bv = builder.model.add_var(0.0, f64::INFINITY, format!("beta_{f}_{ti}"));
+                let bv = builder
+                    .model
+                    .add_var(0.0, f64::INFINITY, format!("beta_{f}_{ti}"));
                 builder.model.add_con(
                     LinExpr::term(builder.b[fi], w_old) - LinExpr::from(bv),
                     Cmp::Le,
@@ -169,11 +181,9 @@ pub fn solve_min_mlu(
         }
     } else {
         // uf tracks u when unused so reporting stays meaningful.
-        builder.model.add_con(
-            LinExpr::from(uf) - LinExpr::from(u),
-            Cmp::Eq,
-            0.0,
-        );
+        builder
+            .model
+            .add_con(LinExpr::from(uf) - LinExpr::from(u), Cmp::Eq, 0.0);
     }
 
     // Objective: Θ(u) + σ·Θ(u_f), Θ = identity.
@@ -184,7 +194,11 @@ pub fn solve_min_mlu(
     let sol = builder.model.solve()?;
     let mlu = sol.value(u);
     let fault_mlu = sol.value(uf).max(mlu);
-    Ok(MluSolution { config: builder.extract(&sol), mlu, fault_mlu })
+    Ok(MluSolution {
+        config: builder.extract(&sol),
+        mlu,
+        fault_mlu,
+    })
 }
 
 #[cfg(test)]
@@ -217,8 +231,7 @@ mod tests {
     fn balances_to_minimize_mlu() {
         let (topo, tm, tt) = setup();
         let old = TeConfig::zero(&tt);
-        let sol =
-            solve_min_mlu(&topo, &tm, &tt, &old, &FfcConfig::none(), 1.0).unwrap();
+        let sol = solve_min_mlu(&topo, &tm, &tt, &old, &FfcConfig::none(), 1.0).unwrap();
         // 12 units over two 10-capacity paths: best split 6/6, MLU 0.6.
         assert!((sol.mlu - 0.6).abs() < 1e-5, "mlu {}", sol.mlu);
         assert!((sol.config.rate[0] - 12.0).abs() < 1e-9);
@@ -231,8 +244,7 @@ mod tests {
         let mut tm2 = tm.clone();
         tm2.set_demand(FlowId(0), 30.0);
         let old = TeConfig::zero(&tt);
-        let sol =
-            solve_min_mlu(&topo, &tm2, &tt, &old, &FfcConfig::none(), 1.0).unwrap();
+        let sol = solve_min_mlu(&topo, &tm2, &tt, &old, &FfcConfig::none(), 1.0).unwrap();
         // 30 over 20 capacity: MLU 1.5.
         assert!((sol.mlu - 1.5).abs() < 1e-5, "mlu {}", sol.mlu);
     }
@@ -241,8 +253,7 @@ mod tests {
     fn data_ffc_forces_backup_headroom() {
         let (topo, tm, tt) = setup();
         let old = TeConfig::zero(&tt);
-        let sol = solve_min_mlu(&topo, &tm, &tt, &old, &FfcConfig::new(0, 1, 0), 1.0)
-            .unwrap();
+        let sol = solve_min_mlu(&topo, &tm, &tt, &old, &FfcConfig::new(0, 1, 0), 1.0).unwrap();
         // τ=1: each tunnel alone must cover d=12 -> per-tunnel alloc 12
         // on 10-capacity links -> MLU 1.2.
         assert!((sol.mlu - 1.2).abs() < 1e-4, "mlu {}", sol.mlu);
@@ -252,14 +263,21 @@ mod tests {
     fn control_ffc_bounds_fault_mlu() {
         let (topo, tm, tt) = setup();
         // Old config: everything on the via path.
-        let old = TeConfig { rate: vec![12.0], alloc: vec![vec![0.0, 12.0]] };
+        let old = TeConfig {
+            rate: vec![12.0],
+            alloc: vec![vec![0.0, 12.0]],
+        };
         let none = solve_min_mlu(&topo, &tm, &tt, &old, &FfcConfig::none(), 1.0).unwrap();
-        let prot = solve_min_mlu(&topo, &tm, &tt, &old, &FfcConfig::new(1, 0, 0), 1.0)
-            .unwrap();
+        let prot = solve_min_mlu(&topo, &tm, &tt, &old, &FfcConfig::new(1, 0, 0), 1.0).unwrap();
         // A stale s0 sends all 12 on the via path: fault MLU ≥ 1.2
         // regardless; the protected objective must report it.
         assert!(prot.fault_mlu >= 1.2 - 1e-5, "fault mlu {}", prot.fault_mlu);
         // Normal-case MLU should not be much worse than unprotected.
-        assert!(prot.mlu <= none.mlu + 0.61, "mlu {} vs {}", prot.mlu, none.mlu);
+        assert!(
+            prot.mlu <= none.mlu + 0.61,
+            "mlu {} vs {}",
+            prot.mlu,
+            none.mlu
+        );
     }
 }

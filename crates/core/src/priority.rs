@@ -40,7 +40,7 @@
 //! assert!(sol.throughput_of(Priority::Low) > 0.0);
 //! ```
 use ffc_lp::LpError;
-use ffc_net::{FlowId, Priority, TrafficMatrix, Topology, TunnelTable};
+use ffc_net::{FlowId, Priority, Topology, TrafficMatrix, TunnelTable};
 
 use crate::combined::FfcConfig;
 use crate::te::{TeConfig, TeProblem};
@@ -150,7 +150,12 @@ pub fn solve_priority_ffc_with_faults(
                 tm_p.set_demand(id, 0.0);
             }
         }
-        let problem = TeProblem { topo, tm: &tm_p, tunnels, reserved: Some(&reserved) };
+        let problem = TeProblem {
+            topo,
+            tm: &tm_p,
+            tunnels,
+            reserved: Some(&reserved),
+        };
         let sol = {
             let mut builder = crate::combined::build_ffc_model(problem, old, cfg.for_priority(p));
             if let Some(sc) = scenario {
@@ -178,7 +183,10 @@ pub fn solve_priority_ffc_with_faults(
         }
     }
     let per_priority: [TeConfig; 3] = per_priority.try_into().expect("three priorities");
-    Ok(PrioritySolution { per_priority, merged })
+    Ok(PrioritySolution {
+        per_priority,
+        merged,
+    })
 }
 
 /// Splits a merged configuration back into per-priority rates (useful
@@ -186,7 +194,10 @@ pub fn solve_priority_ffc_with_faults(
 pub fn rates_by_priority(tm: &TrafficMatrix, cfg: &TeConfig) -> [f64; 3] {
     let mut out = [0.0; 3];
     for (id, f) in tm.iter() {
-        let pi = Priority::ALL.iter().position(|&q| q == f.priority).expect("valid");
+        let pi = Priority::ALL
+            .iter()
+            .position(|&q| q == f.priority)
+            .expect("valid");
         out[pi] += cfg.rate[id.index()];
     }
     out
@@ -194,7 +205,10 @@ pub fn rates_by_priority(tm: &TrafficMatrix, cfg: &TeConfig) -> [f64; 3] {
 
 /// Convenience: flow ids of one priority.
 pub fn flows_of(tm: &TrafficMatrix, p: Priority) -> Vec<FlowId> {
-    tm.iter().filter(|(_, f)| f.priority == p).map(|(id, _)| id).collect()
+    tm.iter()
+        .filter(|(_, f)| f.priority == p)
+        .map(|(id, _)| id)
+        .collect()
 }
 
 #[cfg(test)]
@@ -217,7 +231,12 @@ mod tests {
         let tunnels = layout_tunnels(
             &t,
             &tm,
-            &LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.5 },
+            &LayoutConfig {
+                tunnels_per_flow: 3,
+                p: 1,
+                q: 3,
+                reuse_penalty: 0.5,
+            },
         );
         (t, tm, tunnels)
     }

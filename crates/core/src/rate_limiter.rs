@@ -82,7 +82,11 @@ pub fn apply_limiter_ffc(builder: &mut TeModelBuilder<'_>, ffc: &LimiterFfc<'_>)
     let tunnels = builder.problem.tunnels;
     let topo = builder.problem.topo;
     let tm = builder.problem.tm;
-    assert_eq!(ffc.old.alloc.len(), tunnels.num_flows(), "old config shape mismatch");
+    assert_eq!(
+        ffc.old.alloc.len(),
+        tunnels.num_flows(),
+        "old config shape mismatch"
+    );
 
     let old_weights = ffc.old.all_weights();
 
@@ -95,7 +99,9 @@ pub fn apply_limiter_ffc(builder: &mut TeModelBuilder<'_>, ffc: &LimiterFfc<'_>)
             if ffc.old.rate[fi] <= 0.0 {
                 continue;
             }
-            let h = builder.model.add_var(0.0, f64::INFINITY, format!("shrink_{f}"));
+            let h = builder
+                .model
+                .add_var(0.0, f64::INFINITY, format!("shrink_{f}"));
             // h ≥ b'_f − b_f.
             builder.model.add_con(
                 LinExpr::constant(ffc.old.rate[fi])
@@ -128,7 +134,9 @@ pub fn apply_limiter_ffc(builder: &mut TeModelBuilder<'_>, ffc: &LimiterFfc<'_>)
             if !needs_beta {
                 continue;
             }
-            let bv = builder.model.add_var(0.0, f64::INFINITY, format!("betaL_{f}_{ti}"));
+            let bv = builder
+                .model
+                .add_var(0.0, f64::INFINITY, format!("betaL_{f}_{ti}"));
             // β ≥ a_{f,t} (always).
             builder.model.add_con(
                 LinExpr::from(builder.a[fi][ti]) - LinExpr::from(bv),
@@ -154,8 +162,7 @@ pub fn apply_limiter_ffc(builder: &mut TeModelBuilder<'_>, ffc: &LimiterFfc<'_>)
                     // β ≥ a_{f,t} + h_f  (≥ b'_f·w_{f,t}, see module docs).
                     if let Some(h) = shrink[fi] {
                         builder.model.add_con(
-                            LinExpr::from(builder.a[fi][ti]) + LinExpr::from(h)
-                                - LinExpr::from(bv),
+                            LinExpr::from(builder.a[fi][ti]) + LinExpr::from(h) - LinExpr::from(bv),
                             Cmp::Le,
                             0.0,
                         );
@@ -217,11 +224,17 @@ mod tests {
         let mut tt = TunnelTable::new(1);
         tt.push(FlowId(0), mk(&[ns[0], ns[2]]));
         tt.push(FlowId(0), mk(&[ns[0], ns[1], ns[2]]));
-        let old = TeConfig { rate: vec![8.0], alloc: vec![vec![0.0, 8.0]] };
+        let old = TeConfig {
+            rate: vec![8.0],
+            alloc: vec![vec![0.0, 8.0]],
+        };
         (t, tm, tt, old)
     }
 
-    fn solve(ordering: UpdateOrdering, kc: usize) -> (TeConfig, TeConfig, Topology, TunnelTable, TrafficMatrix) {
+    fn solve(
+        ordering: UpdateOrdering,
+        kc: usize,
+    ) -> (TeConfig, TeConfig, Topology, TunnelTable, TrafficMatrix) {
         let (topo, tm, tt, old) = setup();
         let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tt));
         let mut ffc = LimiterFfc::new(kc, &old);
@@ -247,7 +260,11 @@ mod tests {
         // max(8, a_via) ≤ 10 -> a_via ≤ 10: total = 20 achievable?
         // b ≤ d = 20, and via capacity must hold β = max(8, a_via):
         // if a_via = 10, β = 10 ≤ 10 OK -> throughput 20.
-        assert!((cfg.throughput() - 20.0).abs() < 1e-4, "{}", cfg.throughput());
+        assert!(
+            (cfg.throughput() - 20.0).abs() < 1e-4,
+            "{}",
+            cfg.throughput()
+        );
         for e in topo.links() {
             assert!(loads_new[e.index()] <= topo.capacity(e) + 1e-6);
         }

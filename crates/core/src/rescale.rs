@@ -12,7 +12,7 @@
 //! sends the *new* rate through the *old* weights. (Stale rate limiters
 //! are modeled separately; see [`crate::rate_limiter`].)
 
-use ffc_net::{FaultScenario, TrafficMatrix, Topology, TunnelTable};
+use ffc_net::{FaultScenario, Topology, TrafficMatrix, TunnelTable};
 
 use crate::te::TeConfig;
 
@@ -131,7 +131,11 @@ pub fn rescaled_link_loads_mixed(
             }
         }
     }
-    RescaledLoads { load, sent, blackholed }
+    RescaledLoads {
+        load,
+        sent,
+        blackholed,
+    }
 }
 
 /// [`rescaled_link_loads_mixed`] for data-plane-only scenarios.
@@ -207,7 +211,10 @@ mod tests {
         let mut tt = TunnelTable::new(1);
         tt.push(FlowId(0), mk(&[ns[0], ns[2]]));
         tt.push(FlowId(0), mk(&[ns[0], ns[1], ns[2]]));
-        let cfg = TeConfig { rate: vec![8.0], alloc: vec![vec![6.0, 2.0]] };
+        let cfg = TeConfig {
+            rate: vec![8.0],
+            alloc: vec![vec![6.0, 2.0]],
+        };
         (t, tm, tt, cfg)
     }
 
@@ -254,7 +261,10 @@ mod tests {
     #[test]
     fn stale_ingress_uses_old_weights() {
         let (t, tm, tt, cfg) = fig2_like();
-        let old = TeConfig { rate: vec![8.0], alloc: vec![vec![0.0, 8.0]] }; // all via
+        let old = TeConfig {
+            rate: vec![8.0],
+            alloc: vec![vec![0.0, 8.0]],
+        }; // all via
         let loads = stale_link_loads(&t, &tm, &tt, &cfg, &old, &[NodeId(0)]);
         // Stale s0 splits the NEW rate 8 by OLD weights (0, 1).
         assert_eq!(loads.load[0], 0.0);
@@ -265,7 +275,10 @@ mod tests {
     fn oversubscription_metrics() {
         let (t, tm, tt, _) = fig2_like();
         // Force 15 units over the 10-capacity direct link.
-        let cfg = TeConfig { rate: vec![15.0], alloc: vec![vec![15.0, 0.0]] };
+        let cfg = TeConfig {
+            rate: vec![15.0],
+            alloc: vec![vec![15.0, 0.0]],
+        };
         let loads = rescaled_link_loads(&t, &tm, &tt, &cfg, &FaultScenario::none());
         let over = loads.oversubscription(&t);
         assert!((over[0] - 5.0).abs() < 1e-9);

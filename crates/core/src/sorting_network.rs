@@ -209,7 +209,11 @@ mod tests {
         // outputs may trade against each other across alternate optima:
         // inflating a comparator's z raises the max output exactly as
         // much as it lowers a rest entry.)
-        assert!((sol.eval(&total) - 16.0).abs() < 1e-6, "{}", sol.eval(&total));
+        assert!(
+            (sol.eval(&total) - 16.0).abs() < 1e-6,
+            "{}",
+            sol.eval(&total)
+        );
         // Output 1 always dominates the true maximum.
         assert!(sol.eval(&tops[0]) >= 9.0 - 1e-6);
         // And consequently output 2 cannot exceed the complement.
@@ -226,7 +230,11 @@ mod tests {
         m.set_objective(total.clone(), Sense::Maximize);
         let sol = m.solve().unwrap();
         // 1 + 2 + 5 = 8.
-        assert!((sol.eval(&total) - 8.0).abs() < 1e-6, "{}", sol.eval(&total));
+        assert!(
+            (sol.eval(&total) - 8.0).abs() < 1e-6,
+            "{}",
+            sol.eval(&total)
+        );
     }
 
     #[test]
@@ -330,7 +338,9 @@ mod tests {
         // split with top-2 <= 8): total maximized = 8 + third <= min(top2
         // values)... With symmetric optimum all equal to 4: total 12.
         let mut m = Model::new();
-        let xs: Vec<_> = (0..3).map(|i| m.add_var(0.0, 10.0, format!("x{i}"))).collect();
+        let xs: Vec<_> = (0..3)
+            .map(|i| m.add_var(0.0, 10.0, format!("x{i}")))
+            .collect();
         let exprs: Vec<LinExpr> = xs.iter().map(|&v| LinExpr::from(v)).collect();
         let top2 = sum_largest(&mut m, exprs, 2);
         m.add_con(top2, Cmp::Le, 8.0);
@@ -344,7 +354,11 @@ mod tests {
             }
         }
         // And the optimum should reach 12 (all at 4).
-        assert!((sol.objective - 12.0).abs() < 1e-5, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 12.0).abs() < 1e-5,
+            "objective {}",
+            sol.objective
+        );
     }
 
     #[test]
@@ -353,7 +367,9 @@ mod tests {
         // Optimum: all three... two smallest sum >= 6 -> best is x =
         // [3, 3, 3] (any pair sums 6), total 9.
         let mut m = Model::new();
-        let xs: Vec<_> = (0..3).map(|i| m.add_var(0.0, 10.0, format!("x{i}"))).collect();
+        let xs: Vec<_> = (0..3)
+            .map(|i| m.add_var(0.0, 10.0, format!("x{i}")))
+            .collect();
         let exprs: Vec<LinExpr> = xs.iter().map(|&v| LinExpr::from(v)).collect();
         let bottom2 = sum_smallest(&mut m, exprs, 2);
         m.add_con(bottom2, Cmp::Ge, 6.0);
@@ -365,6 +381,10 @@ mod tests {
                 assert!(s >= 6.0 - 1e-6, "pair ({i},{j}) sums to {s}");
             }
         }
-        assert!((sol.objective - 9.0).abs() < 1e-5, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 9.0).abs() < 1e-5,
+            "objective {}",
+            sol.objective
+        );
     }
 }

@@ -15,7 +15,7 @@
 //! FFC modules can graft their constraints on top before solving.
 
 use ffc_lp::{Cmp, LinExpr, LpError, Model, Sense, VarId};
-use ffc_net::{FlowId, LinkId, TrafficMatrix, Topology, TunnelTable};
+use ffc_net::{FlowId, LinkId, Topology, TrafficMatrix, TunnelTable};
 
 /// A TE configuration: granted rates and per-tunnel allocations.
 ///
@@ -60,7 +60,9 @@ impl TeConfig {
 
     /// All splitting weights.
     pub fn all_weights(&self) -> Vec<Vec<f64>> {
-        (0..self.alloc.len()).map(|f| self.weights(FlowId(f))).collect()
+        (0..self.alloc.len())
+            .map(|f| self.weights(FlowId(f)))
+            .collect()
     }
 
     /// The *allocated* load each link would carry if every flow filled
@@ -122,7 +124,12 @@ pub struct TeProblem<'a> {
 impl<'a> TeProblem<'a> {
     /// A problem using full link capacities.
     pub fn new(topo: &'a Topology, tm: &'a TrafficMatrix, tunnels: &'a TunnelTable) -> Self {
-        TeProblem { topo, tm, tunnels, reserved: None }
+        TeProblem {
+            topo,
+            tm,
+            tunnels,
+            reserved: None,
+        }
     }
 
     /// Residual capacity of a link after reservations.
@@ -212,7 +219,13 @@ impl<'a> TeModelBuilder<'a> {
         let obj = LinExpr::sum(b.iter().copied());
         model.set_objective(obj, Sense::Maximize);
 
-        TeModelBuilder { model, b, a, link_tunnels, problem }
+        TeModelBuilder {
+            model,
+            b,
+            a,
+            link_tunnels,
+            problem,
+        }
     }
 
     /// The capacity expression `Σ a_{f,t}` over tunnels crossing `e`
@@ -229,6 +242,17 @@ impl<'a> TeModelBuilder<'a> {
     pub fn solve(&self) -> Result<TeConfig, LpError> {
         let sol = self.model.solve()?;
         Ok(self.extract(&sol))
+    }
+
+    /// Solves with explicit simplex options, returning the configuration
+    /// together with the raw LP solution (solver statistics, basis) for
+    /// callers that need them — e.g. the batch API and the benchmarks.
+    pub fn solve_detailed(
+        &self,
+        opts: &ffc_lp::SimplexOptions,
+    ) -> Result<(TeConfig, ffc_lp::Solution), LpError> {
+        let sol = self.model.solve_with(opts)?;
+        Ok((self.extract(&sol), sol))
     }
 
     /// Extracts a configuration from an LP solution.
@@ -271,7 +295,12 @@ mod tests {
         layout_tunnels(
             topo,
             tm,
-            &LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.5 },
+            &LayoutConfig {
+                tunnels_per_flow: 3,
+                p: 1,
+                q: 3,
+                reuse_penalty: 0.5,
+            },
         )
     }
 
@@ -283,7 +312,11 @@ mod tests {
         let tunnels = build_tunnels(&topo, &tm);
         let cfg = solve_te(TeProblem::new(&topo, &tm, &tunnels)).unwrap();
         // s2 can reach s4 direct (10) + via s1 (10): 20 total.
-        assert!((cfg.throughput() - 20.0).abs() < 1e-5, "got {}", cfg.throughput());
+        assert!(
+            (cfg.throughput() - 20.0).abs() < 1e-5,
+            "got {}",
+            cfg.throughput()
+        );
     }
 
     #[test]
@@ -322,7 +355,12 @@ mod tests {
         tm.add_flow(ns[1], ns[3], 25.0, Priority::High);
         let tunnels = build_tunnels(&topo, &tm);
         let reserved = vec![5.0; topo.num_links()];
-        let problem = TeProblem { topo: &topo, tm: &tm, tunnels: &tunnels, reserved: Some(&reserved) };
+        let problem = TeProblem {
+            topo: &topo,
+            tm: &tm,
+            tunnels: &tunnels,
+            reserved: Some(&reserved),
+        };
         let cfg = solve_te(problem).unwrap();
         // Each path loses 5 units: direct 5 + via-s1 5 = 10.
         assert!(cfg.throughput() <= 10.0 + 1e-6, "got {}", cfg.throughput());
@@ -330,7 +368,10 @@ mod tests {
 
     #[test]
     fn weights_normalize() {
-        let cfg = TeConfig { rate: vec![4.0], alloc: vec![vec![3.0, 1.0]] };
+        let cfg = TeConfig {
+            rate: vec![4.0],
+            alloc: vec![vec![3.0, 1.0]],
+        };
         let w = cfg.weights(FlowId(0));
         assert!((w[0] - 0.75).abs() < 1e-12);
         assert!((w[1] - 0.25).abs() < 1e-12);
@@ -338,7 +379,10 @@ mod tests {
 
     #[test]
     fn zero_alloc_zero_weights() {
-        let cfg = TeConfig { rate: vec![0.0], alloc: vec![vec![0.0, 0.0]] };
+        let cfg = TeConfig {
+            rate: vec![0.0],
+            alloc: vec![vec![0.0, 0.0]],
+        };
         assert_eq!(cfg.weights(FlowId(0)), vec![0.0, 0.0]);
     }
 
@@ -350,10 +394,17 @@ mod tests {
         let tunnels = build_tunnels(&topo, &tm);
         let nt = tunnels.tunnels(FlowId(0)).len();
         // Allocate twice the rate: traffic should still total the rate.
-        let cfg = TeConfig { rate: vec![4.0], alloc: vec![vec![8.0 / nt as f64; nt]] };
+        let cfg = TeConfig {
+            rate: vec![4.0],
+            alloc: vec![vec![8.0 / nt as f64; nt]],
+        };
         let traffic = cfg.link_traffic(&topo, &tunnels);
         // Sum of traffic leaving s2 equals the rate.
-        let out: f64 = topo.out_links(ns[1]).iter().map(|l| traffic[l.index()]).sum();
+        let out: f64 = topo
+            .out_links(ns[1])
+            .iter()
+            .map(|l| traffic[l.index()])
+            .sum();
         assert!((out - 4.0).abs() < 1e-9, "out {out}");
     }
 

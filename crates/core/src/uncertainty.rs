@@ -114,8 +114,14 @@ mod tests {
     fn uncertain_flow_pinned_and_headroom_reserved() {
         let (topo, tm, tt) = setup();
         // Flow 0: commanded to shrink 8 -> 3 on the shared link s0-s1.
-        let prev = TeConfig { rate: vec![8.0, 0.0], alloc: vec![vec![8.0], vec![0.0, 0.0]] };
-        let last = TeConfig { rate: vec![3.0, 0.0], alloc: vec![vec![3.0], vec![0.0, 0.0]] };
+        let prev = TeConfig {
+            rate: vec![8.0, 0.0],
+            alloc: vec![vec![8.0], vec![0.0, 0.0]],
+        };
+        let last = TeConfig {
+            rate: vec![3.0, 0.0],
+            alloc: vec![vec![3.0], vec![0.0, 0.0]],
+        };
         let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tt));
         apply_uncertainty(&mut b, &last, &prev, &[FlowId(0)]);
         let cfg = b.solve().unwrap();
@@ -134,8 +140,14 @@ mod tests {
     fn growing_uncertain_flow_needs_no_headroom() {
         let (topo, tm, tt) = setup();
         // Commanded to grow 2 -> 6: the stale case (2) is dominated.
-        let prev = TeConfig { rate: vec![2.0, 0.0], alloc: vec![vec![2.0], vec![0.0, 0.0]] };
-        let last = TeConfig { rate: vec![6.0, 0.0], alloc: vec![vec![6.0], vec![0.0, 0.0]] };
+        let prev = TeConfig {
+            rate: vec![2.0, 0.0],
+            alloc: vec![vec![2.0], vec![0.0, 0.0]],
+        };
+        let last = TeConfig {
+            rate: vec![6.0, 0.0],
+            alloc: vec![vec![6.0], vec![0.0, 0.0]],
+        };
         let mut b = TeModelBuilder::new(TeProblem::new(&topo, &tm, &tt));
         let n_cons_before = b.model.num_cons();
         apply_uncertainty(&mut b, &last, &prev, &[FlowId(0)]);

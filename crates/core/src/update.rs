@@ -25,7 +25,7 @@
 //! is again a bounded M-sum and is compressed with the same machinery.
 
 use ffc_lp::{Cmp, LinExpr, LpError, Model, Sense, VarId};
-use ffc_net::{TrafficMatrix, Topology, TunnelTable};
+use ffc_net::{Topology, TrafficMatrix, TunnelTable};
 
 use crate::bounded_msum::{constrain_any_m_sum_le, MsumEncoding};
 use crate::te::TeConfig;
@@ -59,12 +59,20 @@ pub struct UpdateConfig {
 impl UpdateConfig {
     /// A plain (non-FFC) plan with `m` steps.
     pub fn plain(num_steps: usize) -> Self {
-        Self { num_steps, kc: 0, encoding: MsumEncoding::SortingNetwork }
+        Self {
+            num_steps,
+            kc: 0,
+            encoding: MsumEncoding::SortingNetwork,
+        }
     }
 
     /// An FFC plan tolerating `kc` cumulative failures.
     pub fn ffc(num_steps: usize, kc: usize) -> Self {
-        Self { num_steps, kc, encoding: MsumEncoding::SortingNetwork }
+        Self {
+            num_steps,
+            kc,
+            encoding: MsumEncoding::SortingNetwork,
+        }
     }
 }
 
@@ -261,7 +269,11 @@ pub fn plan_update_auto(
     assert!(max_steps >= 1);
     let mut last_err = LpError::Infeasible;
     for steps in 1..=max_steps {
-        let cfg = if kc == 0 { UpdateConfig::plain(steps) } else { UpdateConfig::ffc(steps, kc) };
+        let cfg = if kc == 0 {
+            UpdateConfig::plain(steps)
+        } else {
+            UpdateConfig::ffc(steps, kc)
+        };
         match plan_update(topo, tm, tunnels, from, to, &cfg) {
             Ok(plan) => return Ok(plan),
             Err(e) => last_err = e,
@@ -325,8 +337,14 @@ mod tests {
         tt.push(FlowId(0), mk(&[ns[0], ns[1], ns[3]]));
         tt.push(FlowId(0), mk(&[ns[0], ns[2], ns[3]]));
         // From: 10 up / 6 down. To: 6 up / 10 down.
-        let from = TeConfig { rate: vec![16.0], alloc: vec![vec![10.0, 6.0]] };
-        let to = TeConfig { rate: vec![16.0], alloc: vec![vec![6.0, 10.0]] };
+        let from = TeConfig {
+            rate: vec![16.0],
+            alloc: vec![vec![10.0, 6.0]],
+        };
+        let to = TeConfig {
+            rate: vec![16.0],
+            alloc: vec![vec![6.0, 10.0]],
+        };
         (t, tm, tt, from, to)
     }
 
@@ -337,8 +355,7 @@ mod tests {
         // max(10,6)=10 <= 10 OK; link down: max(6,10)=10 <= 10 OK.
         // This is feasible in one step. Tighten: rates at capacity 20
         // would make any move infeasible; instead verify plan validity.
-        let plan =
-            plan_update(&topo, &tm, &tt, &from, &to, &UpdateConfig::plain(1)).unwrap();
+        let plan = plan_update(&topo, &tm, &tt, &from, &to, &UpdateConfig::plain(1)).unwrap();
         assert_eq!(plan.num_steps(), 1);
         assert!(max_transition_violation(&topo, &tt, &from, &plan) <= 1e-9);
     }
@@ -362,7 +379,10 @@ mod tests {
     #[test]
     fn rate_schedule_interpolates() {
         let (topo, tm, tt, from, _) = swap_scenario();
-        let to = TeConfig { rate: vec![8.0], alloc: vec![vec![4.0, 4.0]] };
+        let to = TeConfig {
+            rate: vec![8.0],
+            alloc: vec![vec![4.0, 4.0]],
+        };
         let plan = plan_update(&topo, &tm, &tt, &from, &to, &UpdateConfig::plain(2)).unwrap();
         // Midpoint rate: (16 + 8) / 2 = 12.
         assert!((plan.steps[0].rate[0] - 12.0).abs() < 1e-9);
@@ -374,8 +394,7 @@ mod tests {
     #[test]
     fn ffc_plan_survives_a_stuck_switch() {
         let (topo, tm, tt, from, to) = swap_scenario();
-        let plan =
-            plan_update(&topo, &tm, &tt, &from, &to, &UpdateConfig::ffc(3, 1)).unwrap();
+        let plan = plan_update(&topo, &tm, &tt, &from, &to, &UpdateConfig::ffc(3, 1)).unwrap();
         // Worst case: the (single) ingress is stuck at ANY earlier
         // config while the network believes it is at step i. Check all
         // (stuck_at, current) pairs: the stuck switch's per-tunnel
@@ -427,9 +446,15 @@ mod tests {
         tt.push(FlowId(1), mk(&[ns[1], ns[3]]));
         tt.push(FlowId(1), mk(&[ns[1], ns[2], ns[3]]));
         // From: both flows half direct, half via the shared link.
-        let from = TeConfig { rate: vec![8.0, 8.0], alloc: vec![vec![4.0, 4.0], vec![4.0, 4.0]] };
+        let from = TeConfig {
+            rate: vec![8.0, 8.0],
+            alloc: vec![vec![4.0, 4.0], vec![4.0, 4.0]],
+        };
         // To: both fully direct.
-        let to = TeConfig { rate: vec![8.0, 8.0], alloc: vec![vec![8.0, 0.0], vec![8.0, 0.0]] };
+        let to = TeConfig {
+            rate: vec![8.0, 8.0],
+            alloc: vec![vec![8.0, 0.0], vec![8.0, 0.0]],
+        };
         let plan = plan_update(&t, &tm, &tt, &from, &to, &UpdateConfig::ffc(2, 1)).unwrap();
         assert!(max_transition_violation(&t, &tt, &from, &plan) <= 1e-7);
 
@@ -490,8 +515,14 @@ mod tests {
         let mut tt = TunnelTable::new(1);
         tt.push(FlowId(0), mk(&[ns[0], ns[1], ns[3]]));
         tt.push(FlowId(0), mk(&[ns[0], ns[2], ns[3]]));
-        let from = TeConfig { rate: vec![19.0], alloc: vec![vec![10.0, 9.0]] };
-        let to = TeConfig { rate: vec![19.0], alloc: vec![vec![9.0, 10.0]] };
+        let from = TeConfig {
+            rate: vec![19.0],
+            alloc: vec![vec![10.0, 9.0]],
+        };
+        let to = TeConfig {
+            rate: vec![19.0],
+            alloc: vec![vec![9.0, 10.0]],
+        };
         let plan = plan_update_auto(&t, &tm, &tt, &from, &to, 4, 0).unwrap();
         assert!(max_transition_violation(&t, &tt, &from, &plan) <= 1e-7);
         // Per-link transient max(10, 9) = 10 fits: one step suffices,
@@ -505,8 +536,14 @@ mod tests {
         // Both paths full: 20 units; swapping anything in one step
         // overloads; even multi-step cannot help because max(a,a') >
         // capacity whenever allocations move.
-        let from = TeConfig { rate: vec![20.0], alloc: vec![vec![10.0, 10.0]] };
-        let to = TeConfig { rate: vec![20.0], alloc: vec![vec![5.0, 15.0]] };
+        let from = TeConfig {
+            rate: vec![20.0],
+            alloc: vec![vec![10.0, 10.0]],
+        };
+        let to = TeConfig {
+            rate: vec![20.0],
+            alloc: vec![vec![5.0, 15.0]],
+        };
         let r = plan_update(&topo, &tm, &tt, &from, &to, &UpdateConfig::plain(3));
         assert!(r.is_err(), "expected infeasible: to-link needs 15 > 10");
     }

@@ -212,6 +212,7 @@ pub fn solve_dense(model: &Model) -> Result<Solution, LpError> {
         values,
         iterations: 0,
         basis: crate::model::BasisStatuses(Vec::new()),
+        stats: crate::model::SolveStats::default(),
     })
 }
 
@@ -318,7 +319,10 @@ mod tests {
         m.add_con(LinExpr::from(x), Cmp::Le, 4.0);
         m.add_con(LinExpr::term(y, 2.0), Cmp::Le, 12.0);
         m.add_con(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Cmp::Le, 18.0);
-        m.set_objective(LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0), Sense::Maximize);
+        m.set_objective(
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0),
+            Sense::Maximize,
+        );
         let s = solve_dense(&m).unwrap();
         almost(s.objective, 36.0);
     }

@@ -50,12 +50,18 @@ impl LinExpr {
 
     /// An expression that is just a constant.
     pub fn constant(c: f64) -> Self {
-        Self { terms: Vec::new(), constant: c }
+        Self {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// An expression consisting of a single `coeff·var` term.
     pub fn term(var: VarId, coeff: f64) -> Self {
-        Self { terms: vec![(var, coeff)], constant: 0.0 }
+        Self {
+            terms: vec![(var, coeff)],
+            constant: 0.0,
+        }
     }
 
     /// Builds `Σ vars[i]` with unit coefficients.
@@ -68,7 +74,10 @@ impl LinExpr {
 
     /// Builds a weighted sum `Σ coeffᵢ·varᵢ`.
     pub fn weighted_sum<I: IntoIterator<Item = (VarId, f64)>>(terms: I) -> Self {
-        Self { terms: terms.into_iter().collect(), constant: 0.0 }
+        Self {
+            terms: terms.into_iter().collect(),
+            constant: 0.0,
+        }
     }
 
     /// Adds `coeff·var` to the expression in place.
@@ -198,7 +207,8 @@ impl AddAssign for LinExpr {
 impl Sub for LinExpr {
     type Output = LinExpr;
     fn sub(mut self, rhs: LinExpr) -> LinExpr {
-        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
         self.constant -= rhs.constant;
         self
     }
@@ -222,7 +232,8 @@ impl Sub<f64> for LinExpr {
 
 impl SubAssign for LinExpr {
     fn sub_assign(&mut self, rhs: LinExpr) {
-        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
         self.constant -= rhs.constant;
     }
 }

@@ -37,6 +37,7 @@
 //! | [`lu`] | Gilbert–Peierls sparse LU with partial pivoting |
 //! | [`basis`] | factorization + eta-file updates (FTRAN/BTRAN) |
 //! | [`presolve`] | fixed-variable elimination + trivial-row checks |
+//! | [`pricing`] | entering-column rules: Dantzig, devex, partial devex |
 //! | [`simplex`] | the bounded-variable two-phase revised simplex |
 //! | [`dense`] | an independent dense tableau oracle for testing |
 
@@ -48,10 +49,14 @@ pub mod expr;
 pub mod lu;
 pub mod model;
 pub mod presolve;
+pub mod pricing;
 pub mod simplex;
 pub mod sparse;
 pub mod standard;
 
 pub use expr::{LinExpr, VarId};
-pub use model::{BasisStatuses, Cmp, ColStatus, ConId, LpError, Model, Sense, Solution};
+pub use model::{
+    BasisStatuses, Cmp, ColStatus, ConId, LpError, Model, Sense, Solution, SolveStats,
+};
+pub use pricing::Pricing;
 pub use simplex::SimplexOptions;

@@ -13,7 +13,9 @@
 //! * [`LuFactors::ftran`] — `B·w = v`, i.e. `w = U⁻¹ L⁻¹ P v`
 //! * [`LuFactors::btran`] — `Bᵀ·y = c`, i.e. `y = Pᵀ L⁻ᵀ U⁻ᵀ c`
 
-use crate::sparse::CscMatrix;
+use crate::sparse::{CscMatrix, ScatterVec};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Error raised when the basis matrix is (numerically) singular.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +51,26 @@ pub struct LuFactors {
     q: Vec<usize>,
     /// Scratch for the solve permutations.
     tmp: Vec<f64>,
+    /// Lazily built transposes/permutation inverses for the sparse-RHS
+    /// solves (only paid for when a sparse solve is requested).
+    aux: Option<SparseAux>,
+    /// Scratch workspace for the sparse solves (permuted coordinates).
+    tmp_sp: ScatterVec,
+    /// Reusable heaps ordering the sparse triangular eliminations.
+    heap_asc: BinaryHeap<Reverse<usize>>,
+    heap_desc: BinaryHeap<usize>,
+}
+
+/// Row-access views and inverse permutations needed by
+/// [`LuFactors::btran_sparse`]: `lt.col(j)` / `ut.col(j)` hold row `j` of
+/// `L` / `U`, `qinv` inverts the column preorder and `rowof` inverts the
+/// row permutation.
+#[derive(Debug, Clone)]
+struct SparseAux {
+    lt: CscMatrix,
+    ut: CscMatrix,
+    qinv: Vec<usize>,
+    rowof: Vec<usize>,
 }
 
 /// Absolute pivot magnitude below which a column is declared singular.
@@ -175,10 +197,7 @@ impl LuFactors {
             let mut ipiv = NONE;
             let mut best_count = usize::MAX;
             for &i in &topo {
-                if pinv[i] == NONE
-                    && x[i].abs() >= THRESHOLD * best
-                    && row_count[i] < best_count
-                {
+                if pinv[i] == NONE && x[i].abs() >= THRESHOLD * best && row_count[i] < best_count {
                     best_count = row_count[i];
                     ipiv = i;
                 }
@@ -225,6 +244,10 @@ impl LuFactors {
             pinv,
             q,
             tmp: vec![0.0; m],
+            aux: None,
+            tmp_sp: ScatterVec::new(m),
+            heap_asc: BinaryHeap::new(),
+            heap_desc: BinaryHeap::new(),
         })
     }
 
@@ -304,6 +327,174 @@ impl LuFactors {
         for i in 0..self.m {
             out[i] = c[self.pinv[i]];
         }
+    }
+
+    /// Sparse-RHS FTRAN: solves `B·w = v` for `v` given as `(row, value)`
+    /// pairs in original row coordinates, writing the (sparse) result
+    /// into `out` indexed by basis position.
+    ///
+    /// The triangular solves touch only the reachable pattern: indices
+    /// are processed in elimination order via a heap, so the cost scales
+    /// with the solution's nonzeros rather than with `m`. Entering
+    /// simplex columns have a handful of nonzeros, making this far
+    /// cheaper than the dense [`LuFactors::ftran`] on large bases.
+    pub fn ftran_sparse(&mut self, rhs: &[(usize, f64)], out: &mut ScatterVec) {
+        debug_assert_eq!(out.len(), self.m);
+        let t = &mut self.tmp_sp;
+        t.clear();
+        for &(i, v) in rhs {
+            if v != 0.0 {
+                t.add(self.pinv[i], v);
+            }
+        }
+        // Forward solve L z = P v, ascending (fill lands at rows > j).
+        self.heap_asc.clear();
+        for &k in t.pattern() {
+            self.heap_asc.push(Reverse(k));
+        }
+        while let Some(Reverse(j)) = self.heap_asc.pop() {
+            while self.heap_asc.peek() == Some(&Reverse(j)) {
+                self.heap_asc.pop();
+            }
+            let xj = t.get(j);
+            if xj == 0.0 {
+                continue;
+            }
+            for (r, val) in self.l.col(j) {
+                let fresh = !t.contains(r);
+                t.add(r, -val * xj);
+                if fresh {
+                    self.heap_asc.push(Reverse(r));
+                }
+            }
+        }
+        // Back solve U x = z, descending (fill lands at rows < j).
+        self.heap_desc.clear();
+        for &k in t.pattern() {
+            self.heap_desc.push(k);
+        }
+        while let Some(j) = self.heap_desc.pop() {
+            while self.heap_desc.peek() == Some(&j) {
+                self.heap_desc.pop();
+            }
+            let tj = t.get(j);
+            if tj == 0.0 {
+                continue;
+            }
+            let xj = tj / self.u_diag[j];
+            t.set(j, xj);
+            for (r, val) in self.u.col(j) {
+                let fresh = !t.contains(r);
+                t.add(r, -val * xj);
+                if fresh {
+                    self.heap_desc.push(r);
+                }
+            }
+        }
+        // Undo the column preorder: out[q[k]] = t[k].
+        out.clear();
+        for &k in t.pattern() {
+            let v = t.get(k);
+            if v != 0.0 {
+                out.set(self.q[k], v);
+            }
+        }
+    }
+
+    /// Sparse-RHS BTRAN: solves `Bᵀ·y = c` for `c` given as
+    /// `(basis_position, value)` pairs, writing the (sparse) result into
+    /// `out` in original row coordinates.
+    ///
+    /// The transposed solves need row access to `L`/`U`; the transposes
+    /// are built lazily on the first sparse BTRAN after a factorization
+    /// (an `O(nnz)` pass, negligible next to the factorization itself).
+    pub fn btran_sparse(&mut self, rhs: &[(usize, f64)], out: &mut ScatterVec) {
+        debug_assert_eq!(out.len(), self.m);
+        self.ensure_aux();
+        let aux = self.aux.as_ref().expect("just built");
+        let t = &mut self.tmp_sp;
+        t.clear();
+        for &(j, v) in rhs {
+            if v != 0.0 {
+                t.add(aux.qinv[j], v);
+            }
+        }
+        // Solve Uᵀ z = c', ascending: Uᵀ is lower triangular and
+        // ut.col(j) holds row j of U (the entries U[j, r], r > j).
+        self.heap_asc.clear();
+        for &k in t.pattern() {
+            self.heap_asc.push(Reverse(k));
+        }
+        while let Some(Reverse(j)) = self.heap_asc.pop() {
+            while self.heap_asc.peek() == Some(&Reverse(j)) {
+                self.heap_asc.pop();
+            }
+            let tj = t.get(j);
+            if tj == 0.0 {
+                continue;
+            }
+            let zj = tj / self.u_diag[j];
+            t.set(j, zj);
+            for (r, val) in aux.ut.col(j) {
+                let fresh = !t.contains(r);
+                t.add(r, -val * zj);
+                if fresh {
+                    self.heap_asc.push(Reverse(r));
+                }
+            }
+        }
+        // Solve Lᵀ y' = z, descending: Lᵀ is unit upper triangular and
+        // lt.col(j) holds row j of L (the entries L[j, r], r < j).
+        self.heap_desc.clear();
+        for &k in t.pattern() {
+            self.heap_desc.push(k);
+        }
+        while let Some(j) = self.heap_desc.pop() {
+            while self.heap_desc.peek() == Some(&j) {
+                self.heap_desc.pop();
+            }
+            let yj = t.get(j);
+            if yj == 0.0 {
+                continue;
+            }
+            for (r, val) in aux.lt.col(j) {
+                let fresh = !t.contains(r);
+                t.add(r, -val * yj);
+                if fresh {
+                    self.heap_desc.push(r);
+                }
+            }
+        }
+        // y = Pᵀ y': out[rowof[k]] = y'[k].
+        out.clear();
+        for &k in t.pattern() {
+            let v = t.get(k);
+            if v != 0.0 {
+                out.set(aux.rowof[k], v);
+            }
+        }
+    }
+
+    /// Builds the transposed factors and inverse permutations used by
+    /// [`LuFactors::btran_sparse`], once per factorization.
+    fn ensure_aux(&mut self) {
+        if self.aux.is_some() {
+            return;
+        }
+        let mut qinv = vec![0usize; self.m];
+        for (k, &j) in self.q.iter().enumerate() {
+            qinv[j] = k;
+        }
+        let mut rowof = vec![0usize; self.m];
+        for (i, &k) in self.pinv.iter().enumerate() {
+            rowof[k] = i;
+        }
+        self.aux = Some(SparseAux {
+            lt: self.l.transpose(),
+            ut: self.u.transpose(),
+            qinv,
+            rowof,
+        });
     }
 }
 
@@ -408,21 +599,130 @@ mod tests {
         assert!(LuFactors::factorize(&b).is_err());
     }
 
+    fn check_sparse_matches_dense(a: &[&[f64]], rhs: &[(usize, f64)]) {
+        let m = a.len();
+        let b = dense_to_csc(a);
+        let mut lu = LuFactors::factorize(&b).expect("nonsingular");
+        let mut dense_in = vec![0.0; m];
+        for &(i, v) in rhs {
+            dense_in[i] += v;
+        }
+        // FTRAN.
+        let mut w = vec![0.0; m];
+        lu.ftran(&dense_in, &mut w);
+        let mut w_sp = ScatterVec::new(m);
+        lu.ftran_sparse(rhs, &mut w_sp);
+        for (i, &wi) in w.iter().enumerate() {
+            assert!(
+                (wi - w_sp.get(i)).abs() < 1e-9,
+                "ftran_sparse[{i}]: {} vs dense {wi}",
+                w_sp.get(i),
+            );
+        }
+        // BTRAN.
+        let mut c = dense_in.clone();
+        let mut y = vec![0.0; m];
+        lu.btran(&mut c, &mut y);
+        let mut y_sp = ScatterVec::new(m);
+        lu.btran_sparse(rhs, &mut y_sp);
+        for (i, &yi) in y.iter().enumerate() {
+            assert!(
+                (yi - y_sp.get(i)).abs() < 1e-9,
+                "btran_sparse[{i}]: {} vs dense {yi}",
+                y_sp.get(i),
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_solves_match_dense() {
+        let a: &[&[f64]] = &[
+            &[2.0, 1.0, 0.0, 0.0],
+            &[4.0, -6.0, 0.0, 1.0],
+            &[-2.0, 7.0, 2.0, 0.0],
+            &[0.0, 0.0, 1.0, 3.0],
+        ];
+        check_sparse_matches_dense(a, &[(2, 5.0)]);
+        check_sparse_matches_dense(a, &[(0, 1.0), (3, -2.0)]);
+        check_sparse_matches_dense(a, &[(1, 0.5), (2, 1.0), (0, -1.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn sparse_solves_random_matrices() {
+        let mut state = 0xfeed_beefu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for trial in 0..20 {
+            let m = 4 + (trial % 6);
+            let mut rows: Vec<Vec<f64>> = (0..m)
+                .map(|_| {
+                    (0..m)
+                        .map(|_| {
+                            let v = next();
+                            if v.abs() < 0.5 {
+                                0.0
+                            } else {
+                                v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            for (i, row) in rows.iter_mut().enumerate() {
+                row[i] = 5.0 + next().abs();
+            }
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            // One- and two-nonzero right-hand sides, like simplex RHS.
+            let i1 = (next().abs() * m as f64) as usize % m;
+            let i2 = (next().abs() * m as f64) as usize % m;
+            check_sparse_matches_dense(&refs, &[(i1, 1.0)]);
+            if i1 != i2 {
+                check_sparse_matches_dense(&refs, &[(i1, next() * 3.0), (i2, next() * 3.0)]);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_solve_empty_rhs() {
+        let a: &[&[f64]] = &[&[1.0, 0.0], &[0.0, 1.0]];
+        let b = dense_to_csc(a);
+        let mut lu = LuFactors::factorize(&b).unwrap();
+        let mut out = ScatterVec::new(2);
+        lu.ftran_sparse(&[], &mut out);
+        assert!(out.pattern().is_empty());
+        lu.btran_sparse(&[], &mut out);
+        assert!(out.pattern().is_empty());
+    }
+
     #[test]
     fn random_matrices_roundtrip() {
         // Small deterministic pseudo-random matrices.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for trial in 0..20 {
             let m = 3 + (trial % 5);
             let mut rows: Vec<Vec<f64>> = (0..m)
-                .map(|_| (0..m).map(|_| {
-                    let v = next();
-                    if v.abs() < 0.3 { 0.0 } else { v }
-                }).collect())
+                .map(|_| {
+                    (0..m)
+                        .map(|_| {
+                            let v = next();
+                            if v.abs() < 0.3 {
+                                0.0
+                            } else {
+                                v
+                            }
+                        })
+                        .collect()
+                })
                 .collect();
             // Make it strongly diagonally dominant to guarantee nonsingular.
             for (i, row) in rows.iter_mut().enumerate() {

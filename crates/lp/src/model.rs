@@ -134,6 +134,36 @@ pub enum ColStatus {
 #[derive(Debug, Clone)]
 pub struct BasisStatuses(pub Vec<ColStatus>);
 
+/// Per-solve performance counters, filled by the simplex engine and
+/// carried on every [`Solution`]. The dense cross-check solver reports
+/// all-zero stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Simplex iterations spent driving artificials to zero.
+    pub phase1_iterations: usize,
+    /// Simplex iterations spent optimizing the real objective.
+    pub phase2_iterations: usize,
+    /// Pivots whose step length was within the feasibility tolerance.
+    pub degenerate_pivots: usize,
+    /// Iterations resolved by a bound flip (no basis change).
+    pub bound_flips: usize,
+    /// Basis refactorizations (including the initial one per phase).
+    pub refactorizations: usize,
+    /// Full passes over all columns during pricing. With partial
+    /// pricing this is much smaller than the iteration count; for full
+    /// pricing rules it equals iterations + optimality checks.
+    pub full_pricing_passes: usize,
+    /// Wall-clock time of the solve (both phases, excluding presolve).
+    pub solve_time: std::time::Duration,
+}
+
+impl SolveStats {
+    /// Total simplex iterations across both phases.
+    pub fn iterations(&self) -> usize {
+        self.phase1_iterations + self.phase2_iterations
+    }
+}
+
 /// Result of a successful solve.
 #[derive(Debug, Clone)]
 pub struct Solution {
@@ -145,6 +175,8 @@ pub struct Solution {
     pub iterations: usize,
     /// The optimal basis, for warm-starting related solves.
     pub basis: BasisStatuses,
+    /// Detailed performance counters for this solve.
+    pub stats: SolveStats,
 }
 
 impl Solution {
@@ -193,7 +225,11 @@ impl Model {
     /// and a debug name.
     pub fn add_var(&mut self, lb: f64, ub: f64, name: impl Into<String>) -> VarId {
         let id = VarId(self.vars.len());
-        self.vars.push(VarDef { lb, ub, name: Some(name.into()) });
+        self.vars.push(VarDef {
+            lb,
+            ub,
+            name: Some(name.into()),
+        });
         id
     }
 
@@ -221,7 +257,12 @@ impl Model {
         let shift = expr.constant_part();
         expr.add_constant(-shift);
         let id = ConId(self.cons.len());
-        self.cons.push(ConDef { expr, cmp, rhs: rhs - shift, name: None });
+        self.cons.push(ConDef {
+            expr,
+            cmp,
+            rhs: rhs - shift,
+            name: None,
+        });
         id
     }
 
@@ -310,7 +351,11 @@ impl Model {
                 return Err(LpError::NotANumber);
             }
             if v.lb > v.ub {
-                return Err(LpError::InvalidBounds { var: i, lb: v.lb, ub: v.ub });
+                return Err(LpError::InvalidBounds {
+                    var: i,
+                    lb: v.lb,
+                    ub: v.ub,
+                });
             }
         }
         for c in &self.cons {

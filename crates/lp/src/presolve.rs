@@ -102,7 +102,11 @@ pub fn presolve(model: &Model) -> Result<Presolved, LpError> {
     let obj = rewrite(&model.objective);
     reduced.set_objective(obj, model.sense);
 
-    Ok(Presolved { model: reduced, map, original_vars: n })
+    Ok(Presolved {
+        model: reduced,
+        map,
+        original_vars: n,
+    })
 }
 
 /// Expands a reduced-space value vector back to the original variables.

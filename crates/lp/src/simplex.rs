@@ -7,17 +7,23 @@
 //! * **Start basis**: all slacks. Rows whose slack value would violate the
 //!   slack's bounds receive an *artificial* column (`±eᵢ`, bounds
 //!   `[0, ∞)`); phase 1 minimizes the sum of artificials.
-//! * **Pricing**: Dantzig (most negative reduced cost), switching to
-//!   Bland's rule after a long run of degenerate pivots to guarantee
-//!   termination.
+//! * **Pricing**: selectable via [`SimplexOptions::pricing`] — Dantzig,
+//!   devex (default), or devex over a bounded candidate list
+//!   ([`crate::pricing`]). All rules switch to Bland's rule after a long
+//!   run of degenerate pivots to guarantee termination.
 //! * **Ratio test**: bounded-variable, including bound flips of the
 //!   entering variable (no basis change).
 //! * **Factorization**: sparse LU ([`crate::lu`]) with product-form eta
 //!   updates ([`crate::basis`]), refactorizing periodically and
-//!   recomputing basic values from scratch to contain drift.
+//!   recomputing basic values from scratch to contain drift. The
+//!   per-iteration solves (entering column FTRAN, devex pivot-row BTRAN)
+//!   use the sparse-RHS paths; only the per-refactorization value
+//!   recomputation and the cost-vector BTRAN stay dense.
 
 use crate::basis::Basis;
-use crate::model::{BasisStatuses, ColStatus, LpError, Model, Solution};
+use crate::model::{BasisStatuses, ColStatus, LpError, Model, Solution, SolveStats};
+use crate::pricing::{Pricer, Pricing};
+use crate::sparse::ScatterVec;
 use crate::standard::StdForm;
 
 /// Tunable parameters for the simplex engine.
@@ -43,6 +49,8 @@ pub struct SimplexOptions {
     /// original bounds by at most this much — keep it at or below the
     /// feasibility tolerance you can stand.
     pub perturb: f64,
+    /// Pricing rule choosing the entering column (see [`Pricing`]).
+    pub pricing: Pricing,
 }
 
 impl Default for SimplexOptions {
@@ -55,6 +63,7 @@ impl Default for SimplexOptions {
             degen_switch: 2000,
             presolve: true,
             perturb: 0.0,
+            pricing: Pricing::default(),
         }
     }
 }
@@ -91,14 +100,21 @@ struct Engine<'a> {
     /// Whether Bland's anti-cycling rule is currently active.
     bland: bool,
     degen_run: usize,
-    /// Devex reference weights (Forrest–Goldfarb), one per column.
-    devex: Vec<f64>,
+    /// Pricing state: rule, reference weights, candidate list.
+    pricer: Pricer,
+    /// Performance counters reported on the solution.
+    stats: SolveStats,
     // Scratch buffers.
     w: Vec<f64>,
     y: Vec<f64>,
     rhs: Vec<f64>,
     cb: Vec<f64>,
-    rho: Vec<f64>,
+    /// FTRAN'd entering column `B⁻¹A_q` (sparse).
+    w_sp: ScatterVec,
+    /// Devex pivot row `ρ = B⁻ᵀe_pos` (sparse).
+    rho_sp: ScatterVec,
+    /// Gathered entries of the entering column.
+    col_buf: Vec<(usize, f64)>,
 }
 
 /// Applies `f(row, value)` over sparse column `j` of the extended column
@@ -144,7 +160,9 @@ impl<'a> Engine<'a> {
         if opts.perturb > 0.0 {
             let mut state = 0x853c_49e6_748f_ea9bu64;
             let mut unit = || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 0.25 + 0.75 * ((state >> 33) as f64 / (1u64 << 31) as f64)
             };
             for j in 0..std.n {
@@ -156,6 +174,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        let pricing = opts.pricing;
         Engine {
             std,
             opts,
@@ -169,12 +188,15 @@ impl<'a> Engine<'a> {
             iterations: 0,
             bland: false,
             degen_run: 0,
-            devex: Vec::new(),
+            pricer: Pricer::new(pricing),
+            stats: SolveStats::default(),
             w: vec![0.0; m],
             y: vec![0.0; m],
             rhs: vec![0.0; m],
             cb: vec![0.0; m],
-            rho: vec![0.0; m],
+            w_sp: ScatterVec::new(m),
+            rho_sp: ScatterVec::new(m),
+            col_buf: Vec::new(),
         }
     }
 
@@ -249,7 +271,8 @@ impl<'a> Engine<'a> {
                 .filter(|&j| matches!(self.stat[j], VStat::FreeZero))
                 .collect();
             // count[j] = j's remaining eligible equality rows.
-            let mut count: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+            let mut count: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
             let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); std.m];
             for &j in &free_cols {
                 let mut c = 0;
@@ -265,8 +288,11 @@ impl<'a> Engine<'a> {
             }
             let mut row_open: Vec<bool> = is_eq_row.clone();
             let mut col_used: Vec<bool> = vec![false; std.n_struct];
-            let mut queue: Vec<usize> =
-                count.iter().filter(|&(_, &c)| c == 1).map(|(&j, _)| j).collect();
+            let mut queue: Vec<usize> = count
+                .iter()
+                .filter(|&(_, &c)| c == 1)
+                .map(|(&j, _)| j)
+                .collect();
             while let Some(j) = queue.pop() {
                 if col_used[j] || count.get(&j).copied().unwrap_or(0) != 1 {
                     continue;
@@ -365,7 +391,11 @@ impl<'a> Engine<'a> {
             }
             let clamped = v.clamp(l, u);
             debug_assert!(clamped.is_finite(), "slack has at least one finite bound");
-            self.stat[c] = if clamped == l { VStat::AtLower } else { VStat::AtUpper };
+            self.stat[c] = if clamped == l {
+                VStat::AtLower
+            } else {
+                VStat::AtUpper
+            };
             self.xval[c] = clamped;
             pending_arts.push((pos, row, v - clamped));
         }
@@ -385,9 +415,13 @@ impl<'a> Engine<'a> {
 
     /// Attempts a warm start from exported basis statuses. Returns
     /// `false` (leaving the engine pristine) when the hint does not fit:
-    /// wrong shape, singular basis, or a *structural* basic variable
-    /// outside its (possibly changed) bounds — slack violations are
-    /// repairable with artificials, structural ones are not.
+    /// wrong shape or a singular basis. Structural basic variables that
+    /// land outside their (possibly changed) bounds are *repaired*: they
+    /// are demoted to the nearest bound and replaced with spare slacks,
+    /// whose own violations the artificial patching below absorbs. This
+    /// is what makes warm-starting across fault scenarios effective —
+    /// pinning a handful of tunnel variables to zero no longer discards
+    /// the whole basis.
     fn warm_basis(&mut self, hint: &BasisStatuses) -> bool {
         let std = self.std;
         if hint.0.len() != std.n {
@@ -453,23 +487,84 @@ impl<'a> Engine<'a> {
         }
         self.basis = basics;
 
-        if self.compute_tentative_values().is_err() {
-            self.reset_state();
-            return false;
-        }
-        // Structural basic variables must already be within bounds.
+        // Demote-and-refill rounds: structural basics landing outside
+        // their (possibly changed) bounds go nonbasic at the nearest
+        // bound, and a spare slack takes over each vacated position.
+        // The replacement slack for position `pos` must keep the basis
+        // nonsingular, which holds iff `(B⁻¹)[pos][r]` is nonzero for
+        // the slack's row `r` — exactly the nonzero pattern of the
+        // BTRAN'd unit vector `B⁻ᵀ e_pos`, so candidates are read off a
+        // single sparse solve and applied as an eta update. Refilled
+        // slacks' own bound violations are absorbed by artificials via
+        // `patch_infeasible_basic_slacks`, which phase 1 repairs.
         let tol = self.opts.feas_tol * 10.0;
-        for &j in &self.basis {
-            if j < std.n_struct {
+        for _round in 0..3 {
+            if self.compute_tentative_values().is_err() {
+                self.reset_state();
+                return false;
+            }
+            let violating: Vec<usize> = self
+                .basis
+                .iter()
+                .enumerate()
+                .filter(|&(_, &j)| {
+                    j < std.n_struct
+                        && (self.xval[j] < self.lb[j] - tol || self.xval[j] > self.ub[j] + tol)
+                })
+                .map(|(pos, _)| pos)
+                .collect();
+            if violating.is_empty() {
+                self.patch_infeasible_basic_slacks();
+                return true;
+            }
+            for pos in violating {
+                let j = self.basis[pos];
+                let (l, u) = (self.lb[j], self.ub[j]);
                 let v = self.xval[j];
-                if v < self.lb[j] - tol || v > self.ub[j] + tol {
+                let (st, x) = if !l.is_finite() && !u.is_finite() {
+                    (VStat::FreeZero, 0.0)
+                } else if !u.is_finite() || (l.is_finite() && (v - l).abs() <= (v - u).abs()) {
+                    (VStat::AtLower, l)
+                } else {
+                    (VStat::AtUpper, u)
+                };
+                // Pick the nonbasic slack with the largest pivot
+                // magnitude in row `pos` of B⁻¹.
+                let factors = self.factors.as_mut().expect("factorized above");
+                factors.btran_sparse(&[(pos, 1.0)], &mut self.rho_sp);
+                let mut best: Option<(usize, f64)> = None;
+                for &r in self.rho_sp.pattern() {
+                    let s = std.n_struct + r;
+                    if !matches!(self.stat[s], VStat::Basic(_)) {
+                        let mag = self.rho_sp.get(r).abs();
+                        if mag > best.map_or(1e-8, |(_, b)| b) {
+                            best = Some((s, mag));
+                        }
+                    }
+                }
+                let Some((s, _)) = best else {
+                    self.reset_state();
+                    return false;
+                };
+                self.col_buf.clear();
+                let (a, arts, n, col_buf) =
+                    (&self.std.a, &self.arts, self.std.n, &mut self.col_buf);
+                col_apply(a, arts, n, s, |r, aij| col_buf.push((r, aij)));
+                let factors = self.factors.as_mut().expect("factorized above");
+                factors.ftran_sparse(&self.col_buf, &mut self.w_sp);
+                if factors.push_eta_sparse(pos, &self.w_sp).is_err() {
                     self.reset_state();
                     return false;
                 }
+                self.stat[j] = st;
+                self.xval[j] = x;
+                self.stat[s] = VStat::Basic(pos);
+                self.basis[pos] = s;
             }
         }
-        self.patch_infeasible_basic_slacks();
-        true
+        // Still violating after the repair budget: start cold instead.
+        self.reset_state();
+        false
     }
 
     /// Clears all crash/warm state so another start can be attempted.
@@ -516,6 +611,7 @@ impl<'a> Engine<'a> {
 
     /// (Re)factorizes the basis and recomputes basic values from scratch.
     fn refactorize(&mut self) -> Result<(), LpError> {
+        self.stats.refactorizations += 1;
         let m = self.std.m;
         let mut cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
         for &j in &self.basis {
@@ -557,7 +653,8 @@ impl<'a> Engine<'a> {
         let m = self.std.m;
         self.bland = false;
         self.degen_run = 0;
-        self.devex = vec![1.0; self.ncols()];
+        let ncols = self.ncols();
+        self.pricer.reset(ncols);
         loop {
             if self
                 .factors
@@ -579,27 +676,30 @@ impl<'a> Engine<'a> {
                 self.cb = cb;
             }
 
-            // Pricing.
-            let entering = self.price(cost);
+            // Pricing: the pricer is temporarily moved out so the
+            // reduced-cost closure can borrow the engine.
+            let entering = {
+                let mut pricer = std::mem::take(&mut self.pricer);
+                let bland = self.bland;
+                let got = pricer.select(ncols, bland, |j| self.reduced_cost(j, cost));
+                self.pricer = pricer;
+                got
+            };
             let Some((q, dir)) = entering else {
                 return Ok(PhaseEnd::Optimal);
             };
 
-            // FTRAN the entering column.
-            for v in self.rhs.iter_mut() {
-                *v = 0.0;
-            }
+            // Sparse FTRAN of the entering column: w_sp = B⁻¹ A_q.
+            self.col_buf.clear();
             {
                 let (a, arts, n) = (&self.std.a, &self.arts, self.std.n);
-                let rhs = &mut self.rhs;
-                col_apply(a, arts, n, q, |r, v| rhs[r] = v);
+                let buf = &mut self.col_buf;
+                col_apply(a, arts, n, q, |r, v| buf.push((r, v)));
             }
-            {
-                let rhs = std::mem::take(&mut self.rhs);
-                let factors = self.factors.as_mut().expect("factorized above");
-                factors.ftran(&rhs, &mut self.w);
-                self.rhs = rhs;
-            }
+            self.factors
+                .as_mut()
+                .expect("factorized above")
+                .ftran_sparse(&self.col_buf, &mut self.w_sp);
 
             // Ratio test.
             let step = self.ratio_test(q, dir);
@@ -613,6 +713,7 @@ impl<'a> Engine<'a> {
                     ));
                 }
                 Step::BoundFlip { t } => {
+                    self.stats.bound_flips += 1;
                     self.apply_step(q, dir, t);
                     self.stat[q] = match self.stat[q] {
                         VStat::AtLower => VStat::AtUpper,
@@ -623,21 +724,21 @@ impl<'a> Engine<'a> {
                 }
                 Step::Pivot { t, pos } => {
                     let leaving = self.basis[pos];
-                    self.update_devex(q, pos, leaving);
+                    self.update_pricing(q, pos, leaving);
                     // Record the eta before mutating values; on a bad
                     // pivot, force a refactorization and retry.
                     let push = self
                         .factors
                         .as_mut()
                         .expect("factorized above")
-                        .push_eta(pos, &self.w);
+                        .push_eta_sparse(pos, &self.w_sp);
                     if push.is_err() {
                         self.refactorize()?;
                         continue;
                     }
                     self.apply_step(q, dir, t);
                     // Snap the leaving variable exactly onto its bound.
-                    let delta_r = -dir * self.w[pos];
+                    let delta_r = -dir * self.w_sp.get(pos);
                     let (ll, lu) = (self.lb[leaving], self.ub[leaving]);
                     let (new_stat, snapped) = if delta_r < 0.0 {
                         (VStat::AtLower, ll)
@@ -659,55 +760,75 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Devex weight update (Forrest–Goldfarb) after choosing entering
-    /// column `q` and leaving basis position `pos`: for every nonbasic
-    /// `j`, `γ_j ← max(γ_j, (α_j/α_q)²·γ_q)` where `α` is the pivot row
-    /// of the simplex tableau, obtained via one extra BTRAN.
-    fn update_devex(&mut self, q: usize, pos: usize, leaving: usize) {
-        let gamma_q = self.devex[q].max(1.0);
-        // Reference-framework reset when weights blow up.
-        if gamma_q > 1e8 {
-            for g in self.devex.iter_mut() {
-                *g = 1.0;
-            }
+    /// Devex weight update after choosing entering column `q` and
+    /// leaving basis position `pos`. The pivot row `ρ = B⁻ᵀe_pos` is
+    /// obtained with one *sparse* BTRAN (the RHS is a unit vector), and
+    /// the update itself lives in [`Pricer::update_weights`] — which
+    /// restricts the pass to the candidate list under partial pricing
+    /// and skips everything for Dantzig (no BTRAN at all).
+    fn update_pricing(&mut self, q: usize, pos: usize, leaving: usize) {
+        if !self.pricer.needs_weights() {
             return;
         }
-        let alpha_q = self.w[pos];
-        if alpha_q.abs() < 1e-12 {
-            return;
-        }
-        // ρ = B⁻ᵀ e_pos.
-        for v in self.cb.iter_mut() {
-            *v = 0.0;
-        }
-        self.cb[pos] = 1.0;
-        {
-            let mut cb = std::mem::take(&mut self.cb);
-            let factors = self.factors.as_mut().expect("factorized");
-            factors.btran(&mut cb, &mut self.rho);
-            self.cb = cb;
-        }
-        let scale = gamma_q / (alpha_q * alpha_q);
-        for j in 0..self.ncols() {
-            if matches!(self.stat[j], VStat::Basic(_)) || j == q {
-                continue;
+        let alpha_q = self.w_sp.get(pos);
+        self.factors
+            .as_mut()
+            .expect("factorized")
+            .btran_sparse(&[(pos, 1.0)], &mut self.rho_sp);
+        let mut pricer = std::mem::take(&mut self.pricer);
+        pricer.update_weights(q, leaving, alpha_q, |j| {
+            if matches!(self.stat[j], VStat::Basic(_)) {
+                return None;
             }
-            let alpha_j = self.col_dot(j, &self.rho);
-            if alpha_j != 0.0 {
-                let cand = alpha_j * alpha_j * scale;
-                if cand > self.devex[j] {
-                    self.devex[j] = cand;
+            let alpha_j = self.col_dot_sp(j, &self.rho_sp);
+            (alpha_j != 0.0).then_some(alpha_j)
+        });
+        self.pricer = pricer;
+    }
+
+    /// Reduced cost eligibility for pricing: `Some((d_j, dir))` when
+    /// column `j` may enter moving in `dir`, `None` otherwise.
+    #[inline]
+    fn reduced_cost(&self, j: usize, cost: &[f64]) -> Option<(f64, f64)> {
+        let st = self.stat[j];
+        if matches!(st, VStat::Basic(_)) {
+            return None;
+        }
+        // Fixed variables and artificials never (re-)enter.
+        if self.lb[j] == self.ub[j] || self.is_artificial(j) {
+            return None;
+        }
+        let tol = self.opts.opt_tol;
+        let cj = cost.get(j).copied().unwrap_or(0.0);
+        let d = cj - self.col_dot(j, &self.y);
+        match st {
+            VStat::AtLower => (d < -tol).then_some((d, 1.0)),
+            VStat::AtUpper => (d > tol).then_some((d, -1.0)),
+            VStat::FreeZero => {
+                if d < -tol {
+                    Some((d, 1.0))
+                } else if d > tol {
+                    Some((d, -1.0))
+                } else {
+                    None
                 }
             }
+            VStat::Basic(_) => unreachable!(),
         }
-        // The leaving variable's fresh weight.
-        self.devex[leaving] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
-        self.devex[q] = 1.0;
+    }
+
+    /// Dot of column `j` with a sparse row-space vector.
+    #[inline]
+    fn col_dot_sp(&self, j: usize, x: &ScatterVec) -> f64 {
+        let mut acc = 0.0;
+        self.for_col(j, |r, v| acc += v * x.get(r));
+        acc
     }
 
     /// Tracks degenerate-pivot runs and toggles Bland's rule.
     fn note_progress(&mut self, t: f64) {
         if t <= self.opts.feas_tol {
+            self.stats.degenerate_pivots += 1;
             self.degen_run += 1;
             if self.degen_run > self.opts.degen_switch {
                 self.bland = true;
@@ -718,54 +839,8 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Chooses an entering column and its direction (+1 increase, −1
-    /// decrease), or `None` if the current basis is optimal.
-    fn price(&self, cost: &[f64]) -> Option<(usize, f64)> {
-        let tol = self.opts.opt_tol;
-        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
-        for j in 0..self.ncols() {
-            let st = self.stat[j];
-            if matches!(st, VStat::Basic(_)) {
-                continue;
-            }
-            // Fixed variables and artificials never (re-)enter.
-            if self.lb[j] == self.ub[j] || self.is_artificial(j) {
-                continue;
-            }
-            let cj = cost.get(j).copied().unwrap_or(0.0);
-            let d = cj - self.col_dot(j, &self.y);
-            let (eligible, dir) = match st {
-                VStat::AtLower => (d < -tol, 1.0),
-                VStat::AtUpper => (d > tol, -1.0),
-                VStat::FreeZero => {
-                    if d < -tol {
-                        (true, 1.0)
-                    } else if d > tol {
-                        (true, -1.0)
-                    } else {
-                        (false, 0.0)
-                    }
-                }
-                VStat::Basic(_) => unreachable!(),
-            };
-            if !eligible {
-                continue;
-            }
-            if self.bland {
-                // Bland: first eligible index.
-                return Some((j, dir));
-            }
-            // Devex: steepest-edge approximation d² / γ.
-            let score = d * d / self.devex[j].max(1e-12);
-            if best.map(|(_, _, s)| score > s).unwrap_or(true) {
-                best = Some((j, dir, score));
-            }
-        }
-        best.map(|(j, dir, _)| (j, dir))
-    }
-
     /// Bounded-variable ratio test for entering column `q` moving in
-    /// direction `dir`, with `self.w` holding `B⁻¹ A_q`.
+    /// direction `dir`, with `self.w_sp` holding `B⁻¹ A_q` (sparse).
     fn ratio_test(&self, q: usize, dir: f64) -> Step {
         let ptol = self.opts.pivot_tol;
         let ftol = self.opts.feas_tol;
@@ -777,13 +852,18 @@ impl<'a> Engine<'a> {
             // (termination guarantee while anti-cycling).
             let mut t_min = f64::INFINITY;
             let mut blocking: Option<usize> = None;
-            for (i, &wi) in self.w.iter().enumerate() {
+            for &i in self.w_sp.pattern() {
+                let wi = self.w_sp.get(i);
                 if wi.abs() <= ptol {
                     continue;
                 }
                 let bj = self.basis[i];
                 let delta = -dir * wi;
-                let bound = if delta < 0.0 { self.lb[bj] } else { self.ub[bj] };
+                let bound = if delta < 0.0 {
+                    self.lb[bj]
+                } else {
+                    self.ub[bj]
+                };
                 if !bound.is_finite() {
                     continue;
                 }
@@ -811,13 +891,18 @@ impl<'a> Engine<'a> {
         // exact ratio is within that relaxed step. Larger pivots mean
         // better numerics and far fewer degenerate stalls.
         let mut t_relaxed = f64::INFINITY;
-        for (i, &wi) in self.w.iter().enumerate() {
+        for &i in self.w_sp.pattern() {
+            let wi = self.w_sp.get(i);
             if wi.abs() <= ptol {
                 continue;
             }
             let bj = self.basis[i];
             let delta = -dir * wi;
-            let bound = if delta < 0.0 { self.lb[bj] } else { self.ub[bj] };
+            let bound = if delta < 0.0 {
+                self.lb[bj]
+            } else {
+                self.ub[bj]
+            };
             if !bound.is_finite() {
                 continue;
             }
@@ -836,13 +921,18 @@ impl<'a> Engine<'a> {
         let mut blocking: Option<usize> = None;
         let mut block_piv = 0.0f64;
         let mut t_exact = f64::INFINITY;
-        for (i, &wi) in self.w.iter().enumerate() {
+        for &i in self.w_sp.pattern() {
+            let wi = self.w_sp.get(i);
             if wi.abs() <= ptol {
                 continue;
             }
             let bj = self.basis[i];
             let delta = -dir * wi;
-            let bound = if delta < 0.0 { self.lb[bj] } else { self.ub[bj] };
+            let bound = if delta < 0.0 {
+                self.lb[bj]
+            } else {
+                self.ub[bj]
+            };
             if !bound.is_finite() {
                 continue;
             }
@@ -860,11 +950,13 @@ impl<'a> Engine<'a> {
     }
 
     /// Moves the entering variable by `t` along `dir` and updates all
-    /// basic values via `self.w`.
+    /// basic values via the sparse `self.w_sp`.
     fn apply_step(&mut self, q: usize, dir: f64, t: f64) {
         if t != 0.0 {
             self.xval[q] += dir * t;
-            for (i, &wi) in self.w.iter().enumerate() {
+            for idx in 0..self.w_sp.pattern().len() {
+                let i = self.w_sp.pattern()[idx];
+                let wi = self.w_sp.get(i);
                 if wi != 0.0 {
                     let bj = self.basis[i];
                     self.xval[bj] -= dir * t * wi;
@@ -896,6 +988,7 @@ pub fn solve_model(
     opts: &SimplexOptions,
     hint: Option<&BasisStatuses>,
 ) -> Result<Solution, LpError> {
+    let t0 = std::time::Instant::now();
     let std = StdForm::from_model(model);
     let mut eng = Engine::new(&std, opts);
     let warm = hint.map(|h| eng.warm_basis(h)).unwrap_or(false);
@@ -927,6 +1020,7 @@ pub fn solve_model(
             }
         }
     }
+    eng.stats.phase1_iterations = eng.iterations;
 
     // Phase 2: optimize the real objective.
     let cost2 = std.obj.clone();
@@ -934,6 +1028,9 @@ pub fn solve_model(
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
     }
+    eng.stats.phase2_iterations = eng.iterations - eng.stats.phase1_iterations;
+    eng.stats.full_pricing_passes = eng.pricer.full_passes;
+    eng.stats.solve_time = t0.elapsed();
 
     // Report, including the basis for warm-starting future solves.
     let min_val: f64 = (0..std.n).map(|j| std.obj[j] * eng.xval[j]).sum();
@@ -951,6 +1048,7 @@ pub fn solve_model(
         values,
         iterations: eng.iterations,
         basis: BasisStatuses(statuses),
+        stats: eng.stats,
     })
 }
 
@@ -983,7 +1081,10 @@ mod tests {
         m.add_con(LinExpr::from(x), Cmp::Le, 4.0);
         m.add_con(LinExpr::term(y, 2.0), Cmp::Le, 12.0);
         m.add_con(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Cmp::Le, 18.0);
-        m.set_objective(LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0), Sense::Maximize);
+        m.set_objective(
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0),
+            Sense::Maximize,
+        );
         let s = m.solve().unwrap();
         almost(s.objective, 36.0);
         almost(s.value(x), 2.0);
@@ -1118,8 +1219,14 @@ mod tests {
         m.add_con(LinExpr::from(x), Cmp::Le, 4.0);
         m.add_con(LinExpr::term(y, 2.0), Cmp::Le, 12.0);
         m.add_con(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Cmp::Le, 18.0);
-        m.set_objective(LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0), Sense::Maximize);
-        let opts = SimplexOptions { perturb: 1e-7, ..SimplexOptions::default() };
+        m.set_objective(
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0),
+            Sense::Maximize,
+        );
+        let opts = SimplexOptions {
+            perturb: 1e-7,
+            ..SimplexOptions::default()
+        };
         let s = m.solve_with(&opts).unwrap();
         assert!((s.objective - 36.0).abs() < 1e-4, "{}", s.objective);
     }
@@ -1172,14 +1279,16 @@ mod tests {
         let x6 = m.add_nonneg("x6");
         let x7 = m.add_nonneg("x7");
         m.add_con(
-            LinExpr::term(x4, 0.25) + LinExpr::term(x5, -60.0)
+            LinExpr::term(x4, 0.25)
+                + LinExpr::term(x5, -60.0)
                 + LinExpr::term(x6, -1.0 / 25.0)
                 + LinExpr::term(x7, 9.0),
             Cmp::Le,
             0.0,
         );
         m.add_con(
-            LinExpr::term(x4, 0.5) + LinExpr::term(x5, -90.0)
+            LinExpr::term(x4, 0.5)
+                + LinExpr::term(x5, -90.0)
                 + LinExpr::term(x6, -1.0 / 50.0)
                 + LinExpr::term(x7, 3.0),
             Cmp::Le,
@@ -1187,7 +1296,8 @@ mod tests {
         );
         m.add_con(LinExpr::from(x6), Cmp::Le, 1.0);
         m.set_objective(
-            LinExpr::term(x4, -0.75) + LinExpr::term(x5, 150.0)
+            LinExpr::term(x4, -0.75)
+                + LinExpr::term(x5, 150.0)
                 + LinExpr::term(x6, -1.0 / 50.0)
                 + LinExpr::term(x7, 6.0),
             Sense::Minimize,
@@ -1204,12 +1314,21 @@ mod tests {
         m.add_con(LinExpr::from(x), Cmp::Le, 4.0);
         m.add_con(LinExpr::term(y, 2.0), Cmp::Le, 12.0);
         m.add_con(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Cmp::Le, 18.0);
-        m.set_objective(LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0), Sense::Maximize);
+        m.set_objective(
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0),
+            Sense::Maximize,
+        );
         let cold = m.solve().unwrap();
-        let warm = m.solve_warm(&SimplexOptions::default(), &cold.basis).unwrap();
+        let warm = m
+            .solve_warm(&SimplexOptions::default(), &cold.basis)
+            .unwrap();
         almost(warm.objective, cold.objective);
         // Re-solving from the optimal basis needs no pivots at all.
-        assert_eq!(warm.iterations, 0, "warm took {} iterations", warm.iterations);
+        assert_eq!(
+            warm.iterations, 0,
+            "warm took {} iterations",
+            warm.iterations
+        );
     }
 
     #[test]
@@ -1221,7 +1340,10 @@ mod tests {
             m.add_con(LinExpr::from(x), Cmp::Le, cap);
             m.add_con(LinExpr::term(y, 2.0), Cmp::Le, 12.0);
             m.add_con(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Cmp::Le, 18.0);
-            m.set_objective(LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0), Sense::Maximize);
+            m.set_objective(
+                LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0),
+                Sense::Maximize,
+            );
             m
         };
         let cold = build(4.0).solve().unwrap();
@@ -1229,7 +1351,9 @@ mod tests {
         // optimum (x = 2 is interior now; answer still 36 since row 3
         // binds, then grows when it relaxes... here just compare).
         let m2 = build(10.0);
-        let warm = m2.solve_warm(&SimplexOptions::default(), &cold.basis).unwrap();
+        let warm = m2
+            .solve_warm(&SimplexOptions::default(), &cold.basis)
+            .unwrap();
         let fresh = m2.solve().unwrap();
         almost(warm.objective, fresh.objective);
     }
@@ -1259,9 +1383,132 @@ mod tests {
         };
         let cold = build(10.0).solve().unwrap();
         let m2 = build(1.0);
-        let warm = m2.solve_warm(&SimplexOptions::default(), &cold.basis).unwrap();
+        let warm = m2
+            .solve_warm(&SimplexOptions::default(), &cold.basis)
+            .unwrap();
         let fresh = m2.solve().unwrap();
         almost(warm.objective, fresh.objective);
+    }
+
+    /// Builds the classic 2-variable LP used by several tests.
+    fn classic_model() -> Model {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::from(x), Cmp::Le, 4.0);
+        m.add_con(LinExpr::term(y, 2.0), Cmp::Le, 12.0);
+        m.add_con(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Cmp::Le, 18.0);
+        m.set_objective(
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0),
+            Sense::Maximize,
+        );
+        m
+    }
+
+    #[test]
+    fn all_pricing_rules_agree() {
+        let m = classic_model();
+        for pricing in [
+            crate::pricing::Pricing::Dantzig,
+            crate::pricing::Pricing::Devex,
+            crate::pricing::Pricing::PartialDevex { candidates: 0 },
+            crate::pricing::Pricing::PartialDevex { candidates: 2 },
+        ] {
+            let opts = SimplexOptions {
+                pricing,
+                ..SimplexOptions::default()
+            };
+            let s = m
+                .solve_with(&opts)
+                .unwrap_or_else(|e| panic!("{pricing:?}: {e}"));
+            assert!(
+                (s.objective - 36.0).abs() < 1e-6,
+                "{pricing:?}: {}",
+                s.objective
+            );
+        }
+    }
+
+    #[test]
+    fn pricing_rules_agree_on_transport() {
+        let build = || {
+            let mut m = Model::new();
+            let x00 = m.add_nonneg("x00");
+            let x01 = m.add_nonneg("x01");
+            let x10 = m.add_nonneg("x10");
+            let x11 = m.add_nonneg("x11");
+            m.add_con(LinExpr::from(x00) + x01, Cmp::Eq, 3.0);
+            m.add_con(LinExpr::from(x10) + x11, Cmp::Eq, 4.0);
+            m.add_con(LinExpr::from(x00) + x10, Cmp::Eq, 5.0);
+            m.add_con(LinExpr::from(x01) + x11, Cmp::Eq, 2.0);
+            m.set_objective(
+                LinExpr::term(x00, 1.0)
+                    + LinExpr::term(x01, 4.0)
+                    + LinExpr::term(x10, 2.0)
+                    + LinExpr::term(x11, 1.0),
+                Sense::Minimize,
+            );
+            m
+        };
+        for pricing in [
+            crate::pricing::Pricing::Dantzig,
+            crate::pricing::Pricing::PartialDevex { candidates: 2 },
+        ] {
+            let opts = SimplexOptions {
+                pricing,
+                ..SimplexOptions::default()
+            };
+            let s = build().solve_with(&opts).unwrap();
+            almost(s.objective, 9.0);
+        }
+    }
+
+    #[test]
+    fn solve_stats_populated() {
+        let m = classic_model();
+        let s = m.solve().unwrap();
+        assert_eq!(s.stats.iterations(), s.iterations);
+        assert!(s.stats.refactorizations >= 1);
+        assert!(s.stats.full_pricing_passes >= 1);
+        assert!(s.stats.solve_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn partial_pricing_makes_fewer_full_passes() {
+        // A larger LP where the candidate list actually amortizes: many
+        // parallel capacitated variables sharing one coupling row.
+        let mut m = Model::new();
+        let n = 60;
+        let mut total = LinExpr::default();
+        let mut obj = LinExpr::default();
+        for i in 0..n {
+            let v = m.add_var(0.0, 1.0, format!("v{i}"));
+            m.add_con(LinExpr::from(v), Cmp::Le, 0.9);
+            total += LinExpr::from(v);
+            obj += LinExpr::term(v, 1.0 + (i % 7) as f64 * 0.1);
+        }
+        m.add_con(total, Cmp::Le, n as f64 * 0.6);
+        m.set_objective(obj, Sense::Maximize);
+
+        let full = m
+            .solve_with(&SimplexOptions {
+                pricing: crate::pricing::Pricing::Devex,
+                ..SimplexOptions::default()
+            })
+            .unwrap();
+        let partial = m
+            .solve_with(&SimplexOptions {
+                pricing: crate::pricing::Pricing::PartialDevex { candidates: 8 },
+                ..SimplexOptions::default()
+            })
+            .unwrap();
+        almost(full.objective, partial.objective);
+        assert!(
+            partial.stats.full_pricing_passes < full.stats.full_pricing_passes,
+            "partial {} vs full {}",
+            partial.stats.full_pricing_passes,
+            full.stats.full_pricing_passes
+        );
     }
 
     #[test]
@@ -1278,7 +1525,9 @@ mod tests {
         m.add_con(LinExpr::from(x00) + x10, Cmp::Eq, 5.0);
         m.add_con(LinExpr::from(x01) + x11, Cmp::Eq, 2.0);
         m.set_objective(
-            LinExpr::term(x00, 1.0) + LinExpr::term(x01, 4.0) + LinExpr::term(x10, 2.0)
+            LinExpr::term(x00, 1.0)
+                + LinExpr::term(x01, 4.0)
+                + LinExpr::term(x10, 2.0)
                 + LinExpr::term(x11, 1.0),
             Sense::Minimize,
         );

@@ -63,7 +63,13 @@ impl CscMatrix {
             }
             colptr.push(rowidx.len());
         }
-        Self { nrows, ncols, colptr, rowidx, values }
+        Self {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        }
     }
 
     /// Number of stored entries.
@@ -76,7 +82,10 @@ impl CscMatrix {
     pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.colptr[j];
         let hi = self.colptr[j + 1];
-        self.rowidx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.rowidx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Number of entries stored in column `j`.
@@ -232,8 +241,7 @@ impl ScatterVec {
 
     /// Drains the pattern into `(index, value)` pairs and clears.
     pub fn drain(&mut self) -> Vec<(usize, f64)> {
-        let out: Vec<(usize, f64)> =
-            self.pattern.iter().map(|&i| (i, self.values[i])).collect();
+        let out: Vec<(usize, f64)> = self.pattern.iter().map(|&i| (i, self.values[i])).collect();
         self.clear();
         out
     }
@@ -264,7 +272,11 @@ mod tests {
     fn transpose_roundtrip() {
         let a = CscMatrix::from_columns(
             3,
-            &[vec![(0, 1.0), (2, 5.0)], vec![(1, -2.0)], vec![(0, 4.0), (1, 3.0)]],
+            &[
+                vec![(0, 1.0), (2, 5.0)],
+                vec![(1, -2.0)],
+                vec![(0, 4.0), (1, 3.0)],
+            ],
         );
         let t = a.transpose();
         assert_eq!(t.nrows, 3);

@@ -3,7 +3,7 @@
 //! reported solutions must actually satisfy the constraints they claim to.
 
 use ffc_lp::dense::solve_dense;
-use ffc_lp::{Cmp, LinExpr, LpError, Model, Sense};
+use ffc_lp::{Cmp, LinExpr, LpError, Model, Pricing, Sense, SimplexOptions};
 use proptest::prelude::*;
 
 /// One constraint: sparse terms, a comparison selector, and a rhs.
@@ -23,8 +23,8 @@ fn lp_strategy(max_vars: usize, max_cons: usize) -> impl Strategy<Value = Random
     (2..=max_vars).prop_flat_map(move |nvars| {
         let bounds = prop::collection::vec(
             (0..3u8, -5.0..5.0f64, 0.1..8.0f64).prop_map(|(kind, lo, span)| match kind {
-                0 => (lo, lo + span),          // box
-                1 => (0.0, f64::INFINITY),     // nonneg
+                0 => (lo, lo + span),                   // box
+                1 => (0.0, f64::INFINITY),              // nonneg
                 _ => (lo.min(0.0), lo.min(0.0) + span), // box crossing zero-ish
             }),
             nvars,
@@ -38,8 +38,12 @@ fn lp_strategy(max_vars: usize, max_cons: usize) -> impl Strategy<Value = Random
         );
         let cons = prop::collection::vec(con, 1..=max_cons);
         let obj = prop::collection::vec(-4.0..4.0f64, nvars);
-        (bounds, cons, obj, any::<bool>()).prop_map(move |(bounds, cons, obj, maximize)| {
-            RandomLp { nvars, bounds, cons, obj, maximize }
+        (bounds, cons, obj, any::<bool>()).prop_map(move |(bounds, cons, obj, maximize)| RandomLp {
+            nvars,
+            bounds,
+            cons,
+            obj,
+            maximize,
         })
     })
 }
@@ -71,7 +75,11 @@ fn build(lp: &RandomLp) -> Model {
     }
     m.set_objective(
         obj,
-        if lp.maximize { Sense::Maximize } else { Sense::Minimize },
+        if lp.maximize {
+            Sense::Maximize
+        } else {
+            Sense::Minimize
+        },
     );
     m
 }
@@ -161,6 +169,50 @@ proptest! {
                 std::mem::discriminant(&a), std::mem::discriminant(&b)
             ),
             other => prop_assert!(false, "warm/cold disagreement: {:?}", other),
+        }
+    }
+
+    /// Every pricing rule (Dantzig, devex, partial devex) reaches the
+    /// same optimum — compared against each other and against the dense
+    /// tableau oracle — or agrees on infeasibility/unboundedness.
+    #[test]
+    fn pricing_rules_match_dantzig_and_dense(lp in lp_strategy(6, 8)) {
+        let m = build(&lp);
+        let solve = |pricing: Pricing| {
+            m.solve_with(&SimplexOptions { pricing, ..SimplexOptions::default() })
+        };
+        let dantzig = solve(Pricing::Dantzig);
+        let dense = solve_dense(&m);
+        for rule in [
+            Pricing::Devex,
+            Pricing::PartialDevex { candidates: 0 },
+            Pricing::PartialDevex { candidates: 2 },
+        ] {
+            let got = solve(rule);
+            match (&dantzig, &got) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert!(
+                        (a.objective - b.objective).abs() <= 1e-5 * (1.0 + a.objective.abs()),
+                        "{rule:?} found {} but Dantzig found {}",
+                        b.objective,
+                        a.objective
+                    );
+                    if let Ok(d) = &dense {
+                        prop_assert!(
+                            (d.objective - b.objective).abs()
+                                <= 1e-5 * (1.0 + d.objective.abs()),
+                            "{rule:?} found {} but dense oracle found {}",
+                            b.objective,
+                            d.objective
+                        );
+                    }
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    std::mem::discriminant(a), std::mem::discriminant(b),
+                    "{:?} classified differently than Dantzig", rule
+                ),
+                other => prop_assert!(false, "{rule:?} disagreement: {other:?}"),
+            }
         }
     }
 

@@ -29,17 +29,26 @@ impl FaultScenario {
 
     /// A scenario with the given failed links.
     pub fn links<I: IntoIterator<Item = LinkId>>(links: I) -> Self {
-        Self { failed_links: links.into_iter().collect(), ..Self::default() }
+        Self {
+            failed_links: links.into_iter().collect(),
+            ..Self::default()
+        }
     }
 
     /// A scenario with the given failed switches.
     pub fn switches<I: IntoIterator<Item = NodeId>>(switches: I) -> Self {
-        Self { failed_switches: switches.into_iter().collect(), ..Self::default() }
+        Self {
+            failed_switches: switches.into_iter().collect(),
+            ..Self::default()
+        }
     }
 
     /// A scenario with the given configuration (control-plane) failures.
     pub fn config<I: IntoIterator<Item = NodeId>>(switches: I) -> Self {
-        Self { config_failures: switches.into_iter().collect(), ..Self::default() }
+        Self {
+            config_failures: switches.into_iter().collect(),
+            ..Self::default()
+        }
     }
 
     /// Adds a failed link.
@@ -147,7 +156,9 @@ pub fn link_combinations(universe: &[LinkId], n: usize) -> Vec<FaultScenario> {
 
 /// Enumerates all scenarios with *up to* `k` failed links.
 pub fn link_combinations_up_to(universe: &[LinkId], k: usize) -> Vec<FaultScenario> {
-    (0..=k).flat_map(|n| link_combinations(universe, n)).collect()
+    (0..=k)
+        .flat_map(|n| link_combinations(universe, n))
+        .collect()
 }
 
 /// Enumerates all scenarios with exactly `n` config-failed switches.
@@ -159,16 +170,16 @@ pub fn config_combinations(universe: &[NodeId], n: usize) -> Vec<FaultScenario> 
     // Reuse the combination machinery by index.
     link_combinations(&links, n)
         .into_iter()
-        .map(|s| {
-            FaultScenario::config(s.failed_links.iter().map(|l| universe[l.index()]))
-        })
+        .map(|s| FaultScenario::config(s.failed_links.iter().map(|l| universe[l.index()])))
         .collect()
 }
 
 /// Enumerates all scenarios with *up to* `k` config-failed switches —
 /// the paper's `Λ_kc` set (§4.2).
 pub fn config_combinations_up_to(universe: &[NodeId], k: usize) -> Vec<FaultScenario> {
-    (0..=k).flat_map(|n| config_combinations(universe, n)).collect()
+    (0..=k)
+        .flat_map(|n| config_combinations(universe, n))
+        .collect()
 }
 
 #[cfg(test)]
@@ -200,7 +211,9 @@ mod tests {
         let (t, ns) = topo();
         let direct = Tunnel::from_path(
             &t,
-            Path { links: vec![t.find_link(ns[0], ns[2]).unwrap()] },
+            Path {
+                links: vec![t.find_link(ns[0], ns[2]).unwrap()],
+            },
         );
         let via1 = Tunnel::from_path(
             &t,
@@ -216,7 +229,10 @@ mod tests {
         assert_eq!(s.residual_tunnels(&t, &tunnels), vec![0]);
         let s2 = FaultScenario::links([t.find_link(ns[0], ns[2]).unwrap()]);
         assert_eq!(s2.residual_tunnels(&t, &tunnels), vec![1]);
-        assert_eq!(FaultScenario::none().residual_tunnels(&t, &tunnels), vec![0, 1]);
+        assert_eq!(
+            FaultScenario::none().residual_tunnels(&t, &tunnels),
+            vec![0, 1]
+        );
     }
 
     #[test]

@@ -82,11 +82,22 @@ impl TrafficMatrix {
     ///
     /// # Panics
     /// Panics on a negative or non-finite demand or a src == dst flow.
-    pub fn add_flow(&mut self, src: NodeId, dst: NodeId, demand: f64, priority: Priority) -> FlowId {
+    pub fn add_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        demand: f64,
+        priority: Priority,
+    ) -> FlowId {
         assert!(src != dst, "flow endpoints must differ");
         assert!(demand.is_finite() && demand >= 0.0, "bad demand {demand}");
         let id = FlowId(self.flows.len());
-        self.flows.push(Flow { src, dst, demand, priority });
+        self.flows.push(Flow {
+            src,
+            dst,
+            demand,
+            priority,
+        });
         id
     }
 
@@ -129,7 +140,10 @@ impl TrafficMatrix {
             flows: self
                 .flows
                 .iter()
-                .map(|f| Flow { demand: f.demand * factor, ..*f })
+                .map(|f| Flow {
+                    demand: f.demand * factor,
+                    ..*f
+                })
                 .collect(),
         }
     }

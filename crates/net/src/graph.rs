@@ -90,7 +90,10 @@ pub fn shortest_path(
     let mut prev: Vec<Option<LinkId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src.0] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: src.0 });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src.0,
+    });
 
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if d > dist[u] {
@@ -114,7 +117,10 @@ pub fn shortest_path(
             if nd < dist[v.0] {
                 dist[v.0] = nd;
                 prev[v.0] = Some(lid);
-                heap.push(HeapEntry { dist: nd, node: v.0 });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: v.0,
+                });
             }
         }
     }
@@ -169,7 +175,8 @@ pub fn strongly_connected(topo: &Topology) -> bool {
     if topo.num_nodes() == 0 {
         return true;
     }
-    topo.nodes().all(|v| reachable(topo, v, |_| true).iter().all(|&b| b))
+    topo.nodes()
+        .all(|v| reachable(topo, v, |_| true).iter().all(|&b| b))
 }
 
 #[cfg(test)]

@@ -68,7 +68,10 @@ pub fn k_shortest_paths(
 
             // Reject spur paths that re-enter the root.
             let spur_nodes = spur_path.nodes(topo);
-            if spur_nodes[1..].iter().any(|n| banned_nodes.contains(n) || *n == spur_node) {
+            if spur_nodes[1..]
+                .iter()
+                .any(|n| banned_nodes.contains(n) || *n == spur_node)
+            {
                 continue;
             }
 

@@ -38,7 +38,12 @@ impl Default for LayoutConfig {
     fn default() -> Self {
         // The paper's evaluation setup (§8.1): six (1, 3)-disjoint
         // tunnels per flow.
-        Self { tunnels_per_flow: 6, p: 1, q: 3, reuse_penalty: 0.4 }
+        Self {
+            tunnels_per_flow: 6,
+            p: 1,
+            q: 3,
+            reuse_penalty: 0.4,
+        }
     }
 }
 
@@ -120,7 +125,12 @@ mod tests {
     #[test]
     fn respects_p_cap() {
         let (t, ns) = grid();
-        let cfg = LayoutConfig { tunnels_per_flow: 4, p: 1, q: 3, reuse_penalty: 0.4 };
+        let cfg = LayoutConfig {
+            tunnels_per_flow: 4,
+            p: 1,
+            q: 3,
+            reuse_penalty: 0.4,
+        };
         let tunnels = layout_flow_tunnels(&t, ns[0], ns[5], &cfg);
         assert!(!tunnels.is_empty());
         let d = disjointness(&tunnels);
@@ -131,7 +141,12 @@ mod tests {
     #[test]
     fn respects_q_cap() {
         let (t, ns) = grid();
-        let cfg = LayoutConfig { tunnels_per_flow: 6, p: 2, q: 1, reuse_penalty: 0.4 };
+        let cfg = LayoutConfig {
+            tunnels_per_flow: 6,
+            p: 2,
+            q: 1,
+            reuse_penalty: 0.4,
+        };
         let tunnels = layout_flow_tunnels(&t, ns[0], ns[5], &cfg);
         let d = disjointness(&tunnels);
         assert!(d.q <= 1, "q cap violated: {}", d.q);
@@ -142,7 +157,12 @@ mod tests {
         let (t, ns) = grid();
         // A penalty large enough that a 4-hop detour beats reusing the
         // 2-hop shortest path.
-        let cfg = LayoutConfig { tunnels_per_flow: 2, p: 2, q: 2, reuse_penalty: 1.5 };
+        let cfg = LayoutConfig {
+            tunnels_per_flow: 2,
+            p: 2,
+            q: 2,
+            reuse_penalty: 1.5,
+        };
         let tunnels = layout_flow_tunnels(&t, ns[0], ns[2], &cfg);
         assert_eq!(tunnels.len(), 2);
         // Both caps would allow sharing, but the penalty should produce
@@ -165,7 +185,12 @@ mod tests {
         let mut tm = TrafficMatrix::new();
         tm.add_flow(ns[0], ns[5], 1.0, Priority::High);
         tm.add_flow(ns[2], ns[3], 2.0, Priority::Low);
-        let cfg = LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.4 };
+        let cfg = LayoutConfig {
+            tunnels_per_flow: 3,
+            p: 1,
+            q: 3,
+            reuse_penalty: 0.4,
+        };
         let table = layout_tunnels(&t, &tm, &cfg);
         assert_eq!(table.num_flows(), 2);
         for f in tm.ids() {

@@ -89,9 +89,19 @@ pub fn disjoint_pair(
         if p1_set.contains(&l) {
             // Reverse arc with weight 0 (reduced cost of a shortest-path
             // link is 0).
-            adj[v].push(Arc { to: u, w: 0.0, link: l, forward: false });
+            adj[v].push(Arc {
+                to: u,
+                w: 0.0,
+                link: l,
+                forward: false,
+            });
         } else {
-            adj[u].push(Arc { to: v, w: rw, link: l, forward: true });
+            adj[u].push(Arc {
+                to: v,
+                w: rw,
+                link: l,
+                forward: true,
+            });
         }
     }
 
@@ -241,8 +251,8 @@ mod tests {
         t.add_link(a, c, 2.0);
         t.add_link(c, z, 2.0);
         let weights = |l: LinkId| t.link(l).capacity; // capacity doubles as weight
-        // Greedy check: removing s-a-d-z leaves s-b-d..? d->z removed ->
-        // no second path via greedy.
+                                                      // Greedy check: removing s-a-d-z leaves s-b-d..? d->z removed ->
+                                                      // no second path via greedy.
         let (p1, p2) = disjoint_pair(&t, s, z, weights).expect("Suurballe finds the pair");
         assert_disjoint(&t, &p1, &p2, s, z);
         let total = p1.weight(weights) + p2.weight(weights);

@@ -83,7 +83,9 @@ impl Topology {
 
     /// Adds `n` switches named `prefix0..prefix{n-1}`, returning their ids.
     pub fn add_nodes(&mut self, n: usize, prefix: &str) -> Vec<NodeId> {
-        (0..n).map(|i| self.add_node(format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.add_node(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Adds a directed link, returning its id.

@@ -35,7 +35,10 @@ impl Tunnel {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), nodes.len(), "tunnel path revisits a node");
-        Tunnel { links: path.links, nodes }
+        Tunnel {
+            links: path.links,
+            nodes,
+        }
     }
 
     /// The ingress switch (paper: `S[t, v] = 1`).
@@ -121,7 +124,9 @@ pub struct TunnelTable {
 impl TunnelTable {
     /// Creates a table with an empty tunnel list per flow.
     pub fn new(num_flows: usize) -> Self {
-        Self { per_flow: vec![Vec::new(); num_flows] }
+        Self {
+            per_flow: vec![Vec::new(); num_flows],
+        }
     }
 
     /// Builds a table directly from per-flow tunnel lists.
@@ -146,9 +151,7 @@ impl TunnelTable {
     }
 
     /// Iterates `(flow, tunnel_index, tunnel)` over all tunnels.
-    pub fn iter_all(
-        &self,
-    ) -> impl Iterator<Item = (crate::flow::FlowId, usize, &Tunnel)> {
+    pub fn iter_all(&self) -> impl Iterator<Item = (crate::flow::FlowId, usize, &Tunnel)> {
         self.per_flow.iter().enumerate().flat_map(|(fi, ts)| {
             ts.iter()
                 .enumerate()

@@ -20,13 +20,14 @@ struct RandNet {
 fn net_strategy() -> impl Strategy<Value = RandNet> {
     (4usize..10).prop_flat_map(|n| {
         let chord = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
-        (
-            prop::collection::vec(chord, 0..5),
-            0..n,
-            0..n,
-        )
+        (prop::collection::vec(chord, 0..5), 0..n, 0..n)
             .prop_filter("distinct endpoints", |(_, s, d)| s != d)
-            .prop_map(move |(chords, src, dst)| RandNet { n, chords, src, dst })
+            .prop_map(move |(chords, src, dst)| RandNet {
+                n,
+                chords,
+                src,
+                dst,
+            })
     })
 }
 

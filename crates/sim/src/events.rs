@@ -28,7 +28,11 @@ pub struct Timeline {
 
 impl Timeline {
     fn push(&mut self, label: &str, start: f64, end: f64) {
-        self.events.push(TimelineEvent { label: label.to_string(), start, end });
+        self.events.push(TimelineEvent {
+            label: label.to_string(),
+            start,
+            end,
+        });
     }
 
     /// When congestion/loss stops (the end of the last loss span).
@@ -70,7 +74,11 @@ pub struct TimelineConfig {
 
 impl Default for TimelineConfig {
     fn default() -> Self {
-        Self { detection_secs: 0.005, rescale_secs: 0.002, compute_secs: 0.050 }
+        Self {
+            detection_secs: 0.005,
+            rescale_secs: 0.002,
+            compute_secs: 0.050,
+        }
     }
 }
 

@@ -140,9 +140,7 @@ impl FaultProcess {
             let t = rng.gen_range(0.0..interval_secs);
             out.new_links.push((l, t));
             if let Some(r) = rev {
-                if let std::collections::btree_map::Entry::Vacant(e) =
-                    self.active_links.entry(r)
-                {
+                if let std::collections::btree_map::Entry::Vacant(e) = self.active_links.entry(r) {
                     e.insert(dur);
                     out.new_links.push((r, t));
                 }
@@ -159,7 +157,8 @@ impl FaultProcess {
             }
             let dur = sample_repair(rng, model.mean_repair_intervals);
             self.active_switches.insert(v, dur);
-            out.new_switches.push((v, rng.gen_range(0.0..interval_secs)));
+            out.new_switches
+                .push((v, rng.gen_range(0.0..interval_secs)));
         }
         out
     }
@@ -215,8 +214,10 @@ mod tests {
     fn poisson_mean() {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 50_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_poisson(&mut rng, 0.5) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_poisson(&mut rng, 0.5) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 
@@ -224,8 +225,10 @@ mod tests {
     fn repair_mean() {
         let mut rng = StdRng::seed_from_u64(6);
         let n = 50_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_repair(&mut rng, 3.0) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_repair(&mut rng, 3.0) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
     }
 
@@ -268,10 +271,7 @@ mod tests {
             for (l, _) in &f.new_links {
                 let link = t.link(*l);
                 if let Some(rev) = t.find_link(link.dst, link.src) {
-                    assert!(
-                        sc.failed_links.contains(&rev),
-                        "reverse of {l} not failed"
-                    );
+                    assert!(sc.failed_links.contains(&rev), "reverse of {l} not failed");
                 }
             }
         }

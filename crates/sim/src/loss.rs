@@ -3,9 +3,9 @@
 //! (link oversubscription × duration), optionally split by priority
 //! with priority queueing (lower priorities dropped first, §8.4).
 
-use ffc_core::te::TeConfig;
 use ffc_core::rescale::{rescale_split, RescaledLoads};
-use ffc_net::{FaultScenario, Priority, TrafficMatrix, Topology, TunnelTable};
+use ffc_core::te::TeConfig;
+use ffc_net::{FaultScenario, Priority, Topology, TrafficMatrix, TunnelTable};
 
 /// Per-priority volumes (indexed like [`Priority::ALL`]).
 pub type PerPriority = [f64; 3];
@@ -81,7 +81,11 @@ pub fn priority_link_loads(
             }
         }
     }
-    PriorityLoads { load, sent, blackholed }
+    PriorityLoads {
+        load,
+        sent,
+        blackholed,
+    }
 }
 
 impl PriorityLoads {
@@ -185,12 +189,20 @@ mod tests {
         tm.add_flow(ns[0], ns[2], 8.0, Priority::High);
         tm.add_flow(ns[1], ns[2], 8.0, Priority::Low);
         let mk = |a: NodeId, b: NodeId| {
-            Tunnel::from_path(&t, ffc_net::Path { links: vec![t.find_link(a, b).unwrap()] })
+            Tunnel::from_path(
+                &t,
+                ffc_net::Path {
+                    links: vec![t.find_link(a, b).unwrap()],
+                },
+            )
         };
         let mut tt = TunnelTable::new(2);
         tt.push(FlowId(0), mk(ns[0], ns[2]));
         tt.push(FlowId(1), mk(ns[1], ns[2]));
-        let cfg = TeConfig { rate: vec![8.0, 8.0], alloc: vec![vec![8.0], vec![8.0]] };
+        let cfg = TeConfig {
+            rate: vec![8.0, 8.0],
+            alloc: vec![vec![8.0], vec![8.0]],
+        };
         (t, tm, tt, cfg)
     }
 
@@ -213,18 +225,31 @@ mod tests {
         let mut tm = TrafficMatrix::new();
         tm.add_flow(a, b, 7.0, Priority::High);
         tm.add_flow(a, b, 6.0, Priority::Low);
-        let mk = || Tunnel::from_path(&t, ffc_net::Path { links: vec![LinkId(0)] });
+        let mk = || {
+            Tunnel::from_path(
+                &t,
+                ffc_net::Path {
+                    links: vec![LinkId(0)],
+                },
+            )
+        };
         let mut tt = TunnelTable::new(2);
         tt.push(FlowId(0), mk());
         tt.push(FlowId(1), mk());
-        let cfg = TeConfig { rate: vec![7.0, 6.0], alloc: vec![vec![7.0], vec![6.0]] };
+        let cfg = TeConfig {
+            rate: vec![7.0, 6.0],
+            alloc: vec![vec![7.0], vec![6.0]],
+        };
         let loads = priority_link_loads(&t, &tm, &tt, &cfg, None, &FaultScenario::none());
         let drops = loads.congestion_drops(&t);
         // 13 offered on 10: high fully served, low loses 3.
         assert_eq!(drops[pidx(Priority::High)], 0.0);
         assert_eq!(drops[pidx(Priority::Low)], 3.0);
         // High overload alone also drops high.
-        let cfg2 = TeConfig { rate: vec![12.0, 0.0], alloc: vec![vec![12.0], vec![0.0]] };
+        let cfg2 = TeConfig {
+            rate: vec![12.0, 0.0],
+            alloc: vec![vec![12.0], vec![0.0]],
+        };
         let loads2 = priority_link_loads(&t, &tm, &tt, &cfg2, None, &FaultScenario::none());
         let drops2 = loads2.congestion_drops(&t);
         assert_eq!(drops2[pidx(Priority::High)], 2.0);

@@ -324,8 +324,9 @@ impl<'a> Simulator<'a> {
 
         // Data-plane faults this interval.
         let fault_model = self.cfg.fault_model.clone();
-        let new_faults =
-            self.faults.step(&mut self.fault_rng, self.topo, &fault_model, interval);
+        let new_faults = self
+            .faults
+            .step(&mut self.fault_rng, self.topo, &fault_model, interval);
         rec.fault_events = new_faults.new_links.len() + new_faults.new_switches.len();
         let rescale_lag = self.cfg.detection_secs + self.cfg.notify_secs + self.cfg.rescale_secs;
 
@@ -462,14 +463,8 @@ impl<'a> Simulator<'a> {
                 _ => (&target, &old),
             };
 
-            let loads = priority_link_loads(
-                self.topo,
-                &tm,
-                self.tunnels,
-                cfg_now,
-                Some(old_now),
-                &sc,
-            );
+            let loads =
+                priority_link_loads(self.topo, &tm, self.tunnels, cfg_now, Some(old_now), &sc);
             let drops = priority_congestion_loss(self.topo, &loads, dur);
             for p in 0..3 {
                 rec.lost_congestion[p] += drops[p];
@@ -504,12 +499,7 @@ impl<'a> Simulator<'a> {
 
 /// Distributes a loss volume over priorities in proportion to each
 /// priority's share of the granted rates.
-fn distribute_by_priority(
-    tm: &TrafficMatrix,
-    cfg: &TeConfig,
-    volume: f64,
-    out: &mut [f64; 3],
-) {
+fn distribute_by_priority(tm: &TrafficMatrix, cfg: &TeConfig, volume: f64, out: &mut [f64; 3]) {
     if volume <= 0.0 {
         return;
     }
@@ -533,16 +523,25 @@ mod tests {
     use ffc_topo::{gravity_trace_single_priority, lnet, LNetConfig, TrafficConfig};
 
     fn tiny_setup() -> (Topology, TunnelTable, Vec<TrafficMatrix>) {
-        let net = lnet(&LNetConfig { sites: 5, ..LNetConfig::default() });
+        let net = lnet(&LNetConfig {
+            sites: 5,
+            ..LNetConfig::default()
+        });
         let trace = gravity_trace_single_priority(
             &net,
-            &TrafficConfig { mean_total: 30.0, ..TrafficConfig::default() },
+            &TrafficConfig {
+                mean_total: 30.0,
+                ..TrafficConfig::default()
+            },
             3,
         );
         let tunnels = layout_tunnels(
             &net.topo,
             &trace.intervals[0],
-            &LayoutConfig { tunnels_per_flow: 3, ..LayoutConfig::default() },
+            &LayoutConfig {
+                tunnels_per_flow: 3,
+                ..LayoutConfig::default()
+            },
         );
         (net.topo, tunnels, trace.intervals)
     }
@@ -555,7 +554,11 @@ mod tests {
         let mut sim = Simulator::new(&topo, &tunnels, cfg);
         let report = sim.run(&trace);
         assert_eq!(report.intervals.len(), 3);
-        assert!(report.totals.total_lost() < 1e-9, "lost {}", report.totals.total_lost());
+        assert!(
+            report.totals.total_lost() < 1e-9,
+            "lost {}",
+            report.totals.total_lost()
+        );
         assert!(report.totals.total_delivered() > 0.0);
     }
 
@@ -584,13 +587,19 @@ mod tests {
         });
         let trace_full = gravity_trace_single_priority(
             &net,
-            &TrafficConfig { mean_total: 20.0, ..TrafficConfig::default() },
+            &TrafficConfig {
+                mean_total: 20.0,
+                ..TrafficConfig::default()
+            },
             5,
         );
         let tunnels = layout_tunnels(
             &net.topo,
             &trace_full.intervals[0],
-            &LayoutConfig { tunnels_per_flow: 3, ..LayoutConfig::default() },
+            &LayoutConfig {
+                tunnels_per_flow: 3,
+                ..LayoutConfig::default()
+            },
         );
         let topo = net.topo;
         let trace = trace_full.intervals;
@@ -605,7 +614,10 @@ mod tests {
         let report = sim.run(&trace);
         let events: usize = report.intervals.iter().map(|r| r.fault_events).sum();
         assert!(events > 0, "no faults injected");
-        assert!(report.totals.total_lost() > 0.0, "no loss despite {events} faults");
+        assert!(
+            report.totals.total_lost() > 0.0,
+            "no loss despite {events} faults"
+        );
     }
 
     #[test]

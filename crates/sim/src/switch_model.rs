@@ -119,8 +119,9 @@ mod tests {
     #[test]
     fn optimistic_per_rule_matches_paper() {
         let mut rng = StdRng::seed_from_u64(1);
-        let samples: Vec<f64> =
-            (0..20_000).map(|_| SwitchModel::Optimistic.sample_per_rule(&mut rng)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| SwitchModel::Optimistic.sample_per_rule(&mut rng))
+            .collect();
         let med = percentile(samples.clone(), 0.5);
         let max = samples.iter().cloned().fold(0.0, f64::max);
         // §2.3: median 10 ms, worst case ~200 ms.
@@ -144,8 +145,9 @@ mod tests {
     #[test]
     fn realistic_has_seconds_scale_rpc() {
         let mut rng = StdRng::seed_from_u64(3);
-        let samples: Vec<f64> =
-            (0..10_000).map(|_| SwitchModel::Realistic.sample_rpc(&mut rng)).collect();
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| SwitchModel::Realistic.sample_rpc(&mut rng))
+            .collect();
         let med = percentile(samples.clone(), 0.5);
         let p99 = percentile(samples, 0.99);
         assert!(med > 0.3 && med < 1.2, "median {med}");

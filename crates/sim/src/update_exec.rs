@@ -67,8 +67,9 @@ pub fn simulate_update<R: Rng + ?Sized>(
     let n = cfg.num_switches;
     assert!(n >= 1);
     // One failure draw per switch per update window.
-    let broken: Vec<bool> =
-        (0..n).map(|_| rng.gen::<f64>() < model.config_failure_rate()).collect();
+    let broken: Vec<bool> = (0..n)
+        .map(|_| rng.gen::<f64>() < model.config_failure_rate())
+        .collect();
     // Per-switch completion time of the *previous* step.
     let mut c: Vec<f64> = vec![0.0; n];
     let mut issue = 0.0f64; // A_{i-1}
@@ -107,7 +108,9 @@ pub fn update_time_samples<R: Rng + ?Sized>(
     cfg: &UpdateExecConfig,
     trials: usize,
 ) -> Vec<f64> {
-    (0..trials).map(|_| simulate_update(rng, model, cfg)).collect()
+    (0..trials)
+        .map(|_| simulate_update(rng, model, cfg))
+        .collect()
 }
 
 #[cfg(test)]
@@ -174,8 +177,14 @@ mod tests {
     #[test]
     fn more_steps_take_longer() {
         let mut rng = StdRng::seed_from_u64(4);
-        let short = UpdateExecConfig { num_steps: 1, ..UpdateExecConfig::default() };
-        let long = UpdateExecConfig { num_steps: 5, ..UpdateExecConfig::default() };
+        let short = UpdateExecConfig {
+            num_steps: 1,
+            ..UpdateExecConfig::default()
+        };
+        let long = UpdateExecConfig {
+            num_steps: 5,
+            ..UpdateExecConfig::default()
+        };
         let a: f64 = update_time_samples(&mut rng, SwitchModel::Optimistic, &short, 200)
             .iter()
             .sum();

@@ -4,7 +4,7 @@
 //! and 2 then model well-provisioned and under-provisioned networks.
 
 use ffc_core::te::{solve_te, TeProblem};
-use ffc_net::{TrafficMatrix, Topology, TunnelTable};
+use ffc_net::{Topology, TrafficMatrix, TunnelTable};
 
 /// The fraction of demand that plain TE can satisfy at the given scale.
 pub fn satisfied_fraction(

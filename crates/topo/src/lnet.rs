@@ -57,7 +57,10 @@ impl Default for LNetConfig {
 impl LNetConfig {
     /// Paper-scale L-Net: 50 sites, 100 switches, ≈1000 directed links.
     pub fn full() -> Self {
-        Self { sites: 50, ..Self::default() }
+        Self {
+            sites: 50,
+            ..Self::default()
+        }
     }
 }
 
@@ -161,7 +164,11 @@ mod tests {
         assert_eq!(net.topo.num_nodes(), 32);
         // Ring(16) + ~24 chords ≈ 40 site edges × 8 directed switch
         // links + 16 intra pairs × 2.
-        assert!(net.topo.num_links() >= 16 * 8, "links {}", net.topo.num_links());
+        assert!(
+            net.topo.num_links() >= 16 * 8,
+            "links {}",
+            net.topo.num_links()
+        );
         assert!(strongly_connected(&net.topo));
     }
 
@@ -183,7 +190,10 @@ mod tests {
         let b = lnet(&LNetConfig::default());
         assert_eq!(a.topo.num_links(), b.topo.num_links());
         assert_eq!(a.site_edges, b.site_edges);
-        let c = lnet(&LNetConfig { seed: 7, ..LNetConfig::default() });
+        let c = lnet(&LNetConfig {
+            seed: 7,
+            ..LNetConfig::default()
+        });
         // Different seed should (almost surely) differ.
         assert_ne!(a.site_edges, c.site_edges);
     }

@@ -88,9 +88,17 @@ mod tests {
         let tunnels = layout_tunnels(
             &net.topo,
             &tm,
-            &LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.4 },
+            &LayoutConfig {
+                tunnels_per_flow: 3,
+                p: 1,
+                q: 3,
+                reuse_penalty: 0.4,
+            },
         );
-        assert!(tunnels.tunnels(ffc_net::FlowId(0)).len() >= 2, "Abilene has disjoint paths");
+        assert!(
+            tunnels.tunnels(ffc_net::FlowId(0)).len() >= 2,
+            "Abilene has disjoint paths"
+        );
         let cfg = solve_ffc(
             TeProblem::new(&net.topo, &tm, &tunnels),
             &TeConfig::zero(&tunnels),

@@ -79,14 +79,22 @@ pub fn expand_site_graph(
     }
     // Inter-site switch-pair meshes.
     for &(x, y) in site_edges {
-        assert!(x < num_sites && y < num_sites && x != y, "bad site edge ({x},{y})");
+        assert!(
+            x < num_sites && y < num_sites && x != y,
+            "bad site edge ({x},{y})"
+        );
         for &wx in &switches[x] {
             for &wy in &switches[y] {
                 topo.add_bidi(wx, wy, link_capacity);
             }
         }
     }
-    SiteNetwork { topo, switches, site_edges: site_edges.to_vec(), coords }
+    SiteNetwork {
+        topo,
+        switches,
+        site_edges: site_edges.to_vec(),
+        coords,
+    }
 }
 
 /// Great-circle distance between two `(lat, lon)` points, in km.
@@ -131,14 +139,7 @@ mod tests {
 
     #[test]
     fn single_switch_sites_have_no_intra_links() {
-        let net = expand_site_graph(
-            2,
-            &[(0, 1)],
-            vec![(0.0, 0.0), (1.0, 1.0)],
-            1,
-            10.0,
-            100.0,
-        );
+        let net = expand_site_graph(2, &[(0, 1)], vec![(0.0, 0.0), (1.0, 1.0)], 1, 10.0, 100.0);
         assert_eq!(net.topo.num_links(), 2);
     }
 

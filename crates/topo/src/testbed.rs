@@ -61,7 +61,11 @@ pub fn testbed() -> Testbed {
     for (a, b) in edges {
         topo.add_bidi(ns[a - 1], ns[b - 1], 1.0);
     }
-    Testbed { topo, coords: TESTBED_COORDS.to_vec(), controller: ns[4] }
+    Testbed {
+        topo,
+        coords: TESTBED_COORDS.to_vec(),
+        controller: ns[4],
+    }
 }
 
 impl Testbed {
@@ -129,7 +133,12 @@ impl Testbed {
             rate: vec![1.0, 1.0],
             alloc: vec![vec![0.5, 0.5], vec![0.5, 0.0, 0.5]],
         };
-        TestbedExperiment { tm, tunnels, ffc, non_ffc }
+        TestbedExperiment {
+            tm,
+            tunnels,
+            ffc,
+            non_ffc,
+        }
     }
 }
 
@@ -192,8 +201,7 @@ mod tests {
 
         // Non-FFC: s3's rescaled 1.0 Gbps lands on s3-s5, which also
         // carries 0.5 of s4->s5 — 1.5 Gbps on a 1 Gbps link (50% over).
-        let non_loads =
-            rescaled_link_loads(&tb.topo, &ex.tm, &ex.tunnels, &ex.non_ffc, &scenario);
+        let non_loads = rescaled_link_loads(&tb.topo, &ex.tm, &ex.tunnels, &ex.non_ffc, &scenario);
         let l35 = tb.topo.find_link(tb.s(3), tb.s(5)).unwrap();
         assert!(
             (non_loads.load[l35.index()] - 1.5).abs() < 1e-9,

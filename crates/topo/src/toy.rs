@@ -48,8 +48,16 @@ pub fn fig2_scenario() -> ToyScenario {
     tunnels.push(f1, mk_tunnel(&topo, &[ns[2], ns[3]]));
     tunnels.push(f1, mk_tunnel(&topo, &[ns[2], ns[0], ns[3]]));
     // Figure 2(a): s2->s4 splits 6 direct + 2 via s1; s3->s4 the same.
-    let old = TeConfig { rate: vec![8.0, 8.0], alloc: vec![vec![6.0, 2.0], vec![6.0, 2.0]] };
-    ToyScenario { topo, tm, tunnels, old: Some(old) }
+    let old = TeConfig {
+        rate: vec![8.0, 8.0],
+        alloc: vec![vec![6.0, 2.0], vec![6.0, 2.0]],
+    };
+    ToyScenario {
+        topo,
+        tm,
+        tunnels,
+        old: Some(old),
+    }
 }
 
 /// Figure 3/5: adds the new flow s1→s4 whose safe size depends on the
@@ -77,7 +85,12 @@ pub fn fig3_scenario() -> ToyScenario {
         rate: vec![10.0, 10.0, 0.0],
         alloc: vec![vec![7.0, 3.0], vec![7.0, 3.0], vec![0.0]],
     };
-    ToyScenario { topo, tm, tunnels, old: Some(old) }
+    ToyScenario {
+        topo,
+        tm,
+        tunnels,
+        old: Some(old),
+    }
 }
 
 /// Convenience: the id of the "new" flow s1→s4 in [`fig3_scenario`].

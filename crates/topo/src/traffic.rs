@@ -80,17 +80,15 @@ impl TrafficTrace {
 /// ingress-egress flow per kept pair, alternating the concrete switch by
 /// pair parity so both switches of a site carry traffic). Each flow is
 /// split into up to three priority flows per `priority_split`.
-pub fn gravity_trace(
-    net: &SiteNetwork,
-    cfg: &TrafficConfig,
-    num_intervals: usize,
-) -> TrafficTrace {
+pub fn gravity_trace(net: &SiteNetwork, cfg: &TrafficConfig, num_intervals: usize) -> TrafficTrace {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let n = net.num_sites();
     assert!(n >= 2);
 
     // Site weights.
-    let w: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 0.0, cfg.site_sigma)).collect();
+    let w: Vec<f64> = (0..n)
+        .map(|_| log_normal(&mut rng, 0.0, cfg.site_sigma))
+        .collect();
     let wsum: f64 = w.iter().sum();
     // Normalizer over off-diagonal pairs so totals hit `mean_total`.
     let denom = wsum * wsum - w.iter().map(|x| x * x).sum::<f64>();
@@ -153,7 +151,10 @@ pub fn gravity_trace_single_priority(
     cfg: &TrafficConfig,
     num_intervals: usize,
 ) -> TrafficTrace {
-    let cfg = TrafficConfig { priority_split: (1.0, 0.0), ..cfg.clone() };
+    let cfg = TrafficConfig {
+        priority_split: (1.0, 0.0),
+        ..cfg.clone()
+    };
     gravity_trace(net, &cfg, num_intervals)
 }
 
@@ -163,7 +164,10 @@ mod tests {
     use crate::lnet::{lnet, LNetConfig};
 
     fn small_net() -> SiteNetwork {
-        lnet(&LNetConfig { sites: 6, ..LNetConfig::default() })
+        lnet(&LNetConfig {
+            sites: 6,
+            ..LNetConfig::default()
+        })
     }
 
     #[test]
@@ -229,12 +233,18 @@ mod tests {
         let net = small_net();
         let dense = gravity_trace(
             &net,
-            &TrafficConfig { keep_fraction: 1.0, ..TrafficConfig::default() },
+            &TrafficConfig {
+                keep_fraction: 1.0,
+                ..TrafficConfig::default()
+            },
             1,
         );
         let sparse = gravity_trace(
             &net,
-            &TrafficConfig { keep_fraction: 0.5, ..TrafficConfig::default() },
+            &TrafficConfig {
+                keep_fraction: 0.5,
+                ..TrafficConfig::default()
+            },
             1,
         );
         assert!(sparse.intervals[0].len() < dense.intervals[0].len());
@@ -246,8 +256,7 @@ mod tests {
         let trace = gravity_trace(&net, &TrafficConfig::default(), 2);
         let doubled = trace.scale(2.0);
         assert!(
-            (doubled.intervals[0].total_demand() - 2.0 * trace.intervals[0].total_demand())
-                .abs()
+            (doubled.intervals[0].total_demand() - 2.0 * trace.intervals[0].total_demand()).abs()
                 < 1e-9
         );
     }

@@ -17,14 +17,23 @@ fn main() {
     let net = abilene();
     let trace = gravity_trace_single_priority(
         &net,
-        &TrafficConfig { mean_total: 60.0, keep_fraction: 0.7, ..TrafficConfig::default() },
+        &TrafficConfig {
+            mean_total: 60.0,
+            keep_fraction: 0.7,
+            ..TrafficConfig::default()
+        },
         1,
     );
     let tm = &trace.intervals[0];
     let tunnels = layout_tunnels(
         &net.topo,
         tm,
-        &LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.5 },
+        &LayoutConfig {
+            tunnels_per_flow: 3,
+            p: 1,
+            q: 3,
+            reuse_penalty: 0.5,
+        },
     );
     println!(
         "Abilene: {} links, {} flows, {:.1} Gbps total demand",

@@ -27,23 +27,43 @@ fn main() {
     let mut tm = TrafficMatrix::new();
     tm.add_flow(n[0], n[3], 16.0, Priority::High);
     let mk = |hops: &[NodeId]| {
-        let links = hops.windows(2).map(|w| topo.find_link(w[0], w[1]).unwrap()).collect();
+        let links = hops
+            .windows(2)
+            .map(|w| topo.find_link(w[0], w[1]).unwrap())
+            .collect();
         Tunnel::from_path(&topo, ffc_net::Path { links })
     };
     let mut tunnels = TunnelTable::new(1);
     tunnels.push(FlowId(0), mk(&[n[0], n[1], n[3]]));
     tunnels.push(FlowId(0), mk(&[n[0], n[2], n[3]]));
-    let from = TeConfig { rate: vec![16.0], alloc: vec![vec![10.0, 6.0]] };
-    let to = TeConfig { rate: vec![16.0], alloc: vec![vec![6.0, 10.0]] };
+    let from = TeConfig {
+        rate: vec![16.0],
+        alloc: vec![vec![10.0, 6.0]],
+    };
+    let to = TeConfig {
+        rate: vec![16.0],
+        alloc: vec![vec![6.0, 10.0]],
+    };
 
     for steps in [1usize, 2, 3] {
-        match plan_update(&topo, &tm, &tunnels, &from, &to, &UpdateConfig::plain(steps)) {
+        match plan_update(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &UpdateConfig::plain(steps),
+        ) {
             Ok(plan) => {
                 let viol = max_transition_violation(&topo, &tunnels, &from, &plan);
                 println!(
                     "plain plan, {steps} step(s): worst transition overload = {:.1}% {}",
                     viol * 100.0,
-                    if viol <= 1e-9 { "(congestion-free)" } else { "" }
+                    if viol <= 1e-9 {
+                        "(congestion-free)"
+                    } else {
+                        ""
+                    }
                 );
                 for (i, s) in plan.steps.iter().enumerate() {
                     println!("   step {}: alloc = {:?}", i + 1, s.alloc[0]);
@@ -55,8 +75,8 @@ fn main() {
 
     // FFC plan: also safe if up to one switch gets stuck at ANY earlier
     // step (§5.2).
-    let plan = plan_update(&topo, &tm, &tunnels, &from, &to, &UpdateConfig::ffc(3, 1))
-        .expect("FFC plan");
+    let plan =
+        plan_update(&topo, &tm, &tunnels, &from, &to, &UpdateConfig::ffc(3, 1)).expect("FFC plan");
     println!("\nFFC plan (kc=1, 3 steps): every config in the chain fits alone:");
     for (i, s) in plan.steps.iter().enumerate() {
         println!("   step {}: alloc = {:?}", i + 1, s.alloc[0]);
@@ -66,7 +86,10 @@ fn main() {
     println!("\nexecution over 50 switches, 3 steps (Realistic model, 1% failures):");
     for (label, kc) in [("non-FFC", 0usize), ("FFC kc=2", 2)] {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = UpdateExecConfig { kc, ..UpdateExecConfig::default() };
+        let cfg = UpdateExecConfig {
+            kc,
+            ..UpdateExecConfig::default()
+        };
         let samples = update_time_samples(&mut rng, SwitchModel::Realistic, &cfg, 400);
         let stalled =
             samples.iter().filter(|&&t| t >= cfg.cap_secs).count() as f64 / samples.len() as f64;

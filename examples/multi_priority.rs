@@ -13,7 +13,10 @@ use ffc_topo::{gravity_trace, lnet, LNetConfig, TrafficConfig};
 
 fn main() {
     // A 10-site L-Net-style WAN with a 10/30/60 priority split.
-    let net = lnet(&LNetConfig { sites: 10, ..LNetConfig::default() });
+    let net = lnet(&LNetConfig {
+        sites: 10,
+        ..LNetConfig::default()
+    });
     let cfg = TrafficConfig {
         mean_total: net.topo.total_capacity() * 0.04,
         priority_split: (0.1, 0.3),
@@ -32,13 +35,12 @@ fn main() {
 
     // The paper's §8.4 protection levels.
     let pcfg = PriorityFfcConfig {
-        high: FfcConfig::new(3, 3, 0),   // ∪ (3,0,1) via the Eqn-15 slack
+        high: FfcConfig::new(3, 3, 0), // ∪ (3,0,1) via the Eqn-15 slack
         medium: FfcConfig::new(2, 1, 0),
         low: FfcConfig::new(0, 0, 0),
     };
     let old = TeConfig::zero(&tunnels);
-    let sol = solve_priority_ffc(&net.topo, tm, &tunnels, &old, &pcfg)
-        .expect("cascade solves");
+    let sol = solve_priority_ffc(&net.topo, tm, &tunnels, &old, &pcfg).expect("cascade solves");
 
     let rates = rates_by_priority(tm, &sol.merged);
     println!("\ngranted (cascaded FFC):");
@@ -69,5 +71,8 @@ fn main() {
         .links()
         .map(|e| traffic[e.index()] / net.topo.capacity(e))
         .fold(0.0, f64::max);
-    println!("peak link utilization of the merged config: {:.0}%", worst * 100.0);
+    println!(
+        "peak link utilization of the merged config: {:.0}%",
+        worst * 100.0
+    );
 }

@@ -25,7 +25,12 @@ fn main() {
     tm.add_flow(n[2], n[0], 5.0, Priority::High);
 
     // 3. (1,3) link-switch disjoint tunnels, up to 4 per flow (§4.3).
-    let layout = LayoutConfig { tunnels_per_flow: 4, p: 1, q: 3, reuse_penalty: 0.5 };
+    let layout = LayoutConfig {
+        tunnels_per_flow: 4,
+        p: 1,
+        q: 3,
+        reuse_penalty: 0.5,
+    };
     let tunnels = layout_tunnels(&topo, &tm, &layout);
     for f in tm.ids() {
         let d = tunnels.disjointness(f);
@@ -46,7 +51,11 @@ fn main() {
         &FfcConfig::new(0, 1, 0), // (kc, ke, kv): survive any 1 link failure
     )
     .expect("FFC solves");
-    println!("\nthroughput: plain = {:.1}, FFC(ke=1) = {:.1}", plain.throughput(), ffc.throughput());
+    println!(
+        "\nthroughput: plain = {:.1}, FFC(ke=1) = {:.1}",
+        plain.throughput(),
+        ffc.throughput()
+    );
     println!(
         "FFC overhead: {:.1}%",
         (1.0 - ffc.throughput() / plain.throughput()) * 100.0
@@ -63,7 +72,13 @@ fn main() {
         ffc_worst = ffc_worst.max(lf.max_oversubscription_ratio(&topo));
     }
     println!("\nworst oversubscription over all single link failures:");
-    println!("  plain TE: {:.1}%  (congestion until the controller reacts)", plain_worst * 100.0);
-    println!("  FFC:      {:.1}%  (guaranteed zero — no reaction needed)", ffc_worst * 100.0);
+    println!(
+        "  plain TE: {:.1}%  (congestion until the controller reacts)",
+        plain_worst * 100.0
+    );
+    println!(
+        "  FFC:      {:.1}%  (guaranteed zero — no reaction needed)",
+        ffc_worst * 100.0
+    );
     assert!(ffc_worst < 1e-9, "FFC must be congestion-free under k=1");
 }

@@ -17,8 +17,12 @@ use rand::SeedableRng;
 fn main() {
     let tb = testbed();
     let ex = tb.experiment();
-    println!("testbed: {} sites, {} directed links, controller at {}",
-        tb.topo.num_nodes(), tb.topo.num_links(), tb.topo.node_name(tb.controller));
+    println!(
+        "testbed: {} sites, {} directed links, controller at {}",
+        tb.topo.num_nodes(),
+        tb.topo.num_links(),
+        tb.topo.node_name(tb.controller)
+    );
 
     // Fail link s6-s7 (as in every §7 trial) and compare loads.
     let l67 = tb.topo.find_link(tb.s(6), tb.s(7)).expect("link s6-s7");
@@ -30,7 +34,10 @@ fn main() {
             loads.max_oversubscription_ratio(&tb.topo) * 100.0
         );
         let l35 = tb.topo.find_link(tb.s(3), tb.s(5)).expect("link s3-s5");
-        println!("  link s3-s5 carries {:.2} Gbps (capacity 1.0)", loads.load[l35.index()]);
+        println!(
+            "  link s3-s5 carries {:.2} Gbps (capacity 1.0)",
+            loads.load[l35.index()]
+        );
     }
 
     // Figure 11 timelines.
@@ -38,12 +45,18 @@ fn main() {
     println!("\nFig 11(a) — FFC timeline:");
     let tl = ffc_timeline(&tb, &tcfg);
     print!("{}", tl.render());
-    println!("  loss ends at {:.1} ms (rescaling alone fixes it)", tl.loss_ends_at() * 1e3);
+    println!(
+        "  loss ends at {:.1} ms (rescaling alone fixes it)",
+        tl.loss_ends_at() * 1e3
+    );
 
     let mut rng = StdRng::seed_from_u64(7);
     println!("\nFig 11(b/c) — non-FFC timelines (three draws of switch-update delay):");
     for i in 0..3 {
         let tl = non_ffc_timeline(&tb, &tcfg, SwitchModel::Realistic, 10, &mut rng);
-        println!("  draw {i}: congestion lasts {:.0} ms", tl.loss_ends_at() * 1e3);
+        println!(
+            "  draw {i}: congestion lasts {:.0} ms",
+            tl.loss_ends_at() * 1e3
+        );
     }
 }

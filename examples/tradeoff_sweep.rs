@@ -14,7 +14,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let net = lnet(&LNetConfig { sites: 10, ..LNetConfig::default() });
+    let net = lnet(&LNetConfig {
+        sites: 10,
+        ..LNetConfig::default()
+    });
     let cfg = TrafficConfig {
         mean_total: net.topo.total_capacity() * 0.05,
         ..TrafficConfig::default()
@@ -24,7 +27,10 @@ fn main() {
     let tunnels = layout_tunnels(&net.topo, tm, &LayoutConfig::default());
     let plain = solve_te(TeProblem::new(&net.topo, tm, &tunnels)).expect("TE");
 
-    println!("{:<6} {:>12} {:>12} {:>22}", "ke", "throughput", "overhead", "residual congestion*");
+    println!(
+        "{:<6} {:>12} {:>12} {:>22}",
+        "ke", "throughput", "overhead", "residual congestion*"
+    );
     let mut rng = StdRng::seed_from_u64(99);
     let links: Vec<LinkId> = net.topo.links().collect();
     for ke in 0..=3usize {

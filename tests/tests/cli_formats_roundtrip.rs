@@ -38,7 +38,12 @@ fn solve_serialize_reparse_check() {
     let tunnels = layout_tunnels(
         &topo,
         &tm,
-        &LayoutConfig { tunnels_per_flow: 4, p: 1, q: 3, reuse_penalty: 0.4 },
+        &LayoutConfig {
+            tunnels_per_flow: 4,
+            p: 1,
+            q: 3,
+            reuse_penalty: 0.4,
+        },
     );
     let cfg = solve_ffc(
         TeProblem::new(&topo, &tm, &tunnels),

@@ -10,7 +10,11 @@ use ffc_net::prelude::*;
 use ffc_topo::{gravity_trace_single_priority, lnet, LNetConfig, TrafficConfig};
 
 fn instance(sites: usize, seed: u64) -> (Topology, TrafficMatrix, TunnelTable) {
-    let net = lnet(&LNetConfig { sites, seed, ..LNetConfig::default() });
+    let net = lnet(&LNetConfig {
+        sites,
+        seed,
+        ..LNetConfig::default()
+    });
     let trace = gravity_trace_single_priority(
         &net,
         &TrafficConfig {
@@ -24,7 +28,12 @@ fn instance(sites: usize, seed: u64) -> (Topology, TrafficMatrix, TunnelTable) {
     let tunnels = layout_tunnels(
         &net.topo,
         &tm,
-        &LayoutConfig { tunnels_per_flow: 4, p: 1, q: 3, reuse_penalty: 0.4 },
+        &LayoutConfig {
+            tunnels_per_flow: 4,
+            p: 1,
+            q: 3,
+            reuse_penalty: 0.4,
+        },
     );
     (net.topo, tm, tunnels)
 }
@@ -107,7 +116,10 @@ fn plain_te_is_not_robust() {
             }
         }
     }
-    assert!(violated, "plain TE never congested — instances too idle to be meaningful");
+    assert!(
+        violated,
+        "plain TE never congested — instances too idle to be meaningful"
+    );
 }
 
 /// FFC throughput overhead is monotone in each protection dimension.
@@ -116,9 +128,13 @@ fn overhead_monotonicity() {
     let (topo, tm, tunnels) = instance(6, 3);
     let old = solve_te(TeProblem::new(&topo, &tm, &tunnels)).expect("TE");
     let t = |kc: usize, ke: usize| {
-        solve_ffc(TeProblem::new(&topo, &tm, &tunnels), &old, &FfcConfig::new(kc, ke, 0))
-            .expect("FFC")
-            .throughput()
+        solve_ffc(
+            TeProblem::new(&topo, &tm, &tunnels),
+            &old,
+            &FfcConfig::new(kc, ke, 0),
+        )
+        .expect("FFC")
+        .throughput()
     };
     let base = t(0, 0);
     assert!(base >= t(1, 0) - 1e-6);

@@ -55,9 +55,7 @@ fn testbed_outcome() {
 fn testbed_ffc_spread_survives_any_single_failure() {
     let tb = testbed();
     let ex = tb.experiment();
-    for sc in
-        ffc_net::failure::link_combinations_up_to(&tb.topo.links().collect::<Vec<_>>(), 1)
-    {
+    for sc in ffc_net::failure::link_combinations_up_to(&tb.topo.links().collect::<Vec<_>>(), 1) {
         let loads = rescaled_link_loads(&tb.topo, &ex.tm, &ex.tunnels, &ex.ffc, &sc);
         for e in tb.topo.links() {
             if sc.link_dead(&tb.topo, e) {

@@ -22,8 +22,7 @@ fn net_strategy() -> impl Strategy<Value = RandomNet> {
         let chord = (0..nodes, 0..nodes).prop_filter("distinct", |(a, b)| a != b);
         let chords = prop::collection::vec(chord, 1..4);
         let caps = prop::collection::vec(5.0..20.0f64, nodes + 4);
-        let demand = (0..nodes, 0..nodes, 1.0..12.0f64)
-            .prop_filter("distinct", |(a, b, _)| a != b);
+        let demand = (0..nodes, 0..nodes, 1.0..12.0f64).prop_filter("distinct", |(a, b, _)| a != b);
         let demands = prop::collection::vec(demand, 1..5);
         (chords, caps, demands).prop_map(move |(chords, caps, demands)| RandomNet {
             nodes,
@@ -39,7 +38,11 @@ fn build(net: &RandomNet) -> (Topology, TrafficMatrix, TunnelTable) {
     let ns = topo.add_nodes(net.nodes, "n");
     let mut cap_iter = net.caps.iter().cycle();
     for i in 0..net.nodes {
-        topo.add_bidi(ns[i], ns[(i + 1) % net.nodes], *cap_iter.next().expect("cycle"));
+        topo.add_bidi(
+            ns[i],
+            ns[(i + 1) % net.nodes],
+            *cap_iter.next().expect("cycle"),
+        );
     }
     for &(a, b) in &net.chords {
         if topo.find_link(ns[a], ns[b]).is_none() {
@@ -53,7 +56,12 @@ fn build(net: &RandomNet) -> (Topology, TrafficMatrix, TunnelTable) {
     let tunnels = layout_tunnels(
         &topo,
         &tm,
-        &LayoutConfig { tunnels_per_flow: 3, p: 1, q: 3, reuse_penalty: 0.4 },
+        &LayoutConfig {
+            tunnels_per_flow: 3,
+            p: 1,
+            q: 3,
+            reuse_penalty: 0.4,
+        },
     );
     (topo, tm, tunnels)
 }

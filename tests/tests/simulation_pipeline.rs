@@ -12,17 +12,31 @@ use rand::SeedableRng;
 
 fn setup(
     sites: usize,
-) -> (ffc_net::Topology, ffc_net::TunnelTable, Vec<ffc_net::TrafficMatrix>) {
-    let net = lnet(&LNetConfig { sites, link_capacity: 2.0, ..LNetConfig::default() });
+) -> (
+    ffc_net::Topology,
+    ffc_net::TunnelTable,
+    Vec<ffc_net::TrafficMatrix>,
+) {
+    let net = lnet(&LNetConfig {
+        sites,
+        link_capacity: 2.0,
+        ..LNetConfig::default()
+    });
     let trace = gravity_trace_single_priority(
         &net,
-        &TrafficConfig { mean_total: net.topo.total_capacity() * 0.08, ..TrafficConfig::default() },
+        &TrafficConfig {
+            mean_total: net.topo.total_capacity() * 0.08,
+            ..TrafficConfig::default()
+        },
         4,
     );
     let tunnels = layout_tunnels(
         &net.topo,
         &trace.intervals[0],
-        &LayoutConfig { tunnels_per_flow: 4, ..LayoutConfig::default() },
+        &LayoutConfig {
+            tunnels_per_flow: 4,
+            ..LayoutConfig::default()
+        },
     );
     (net.topo, tunnels, trace.intervals)
 }
@@ -57,7 +71,11 @@ fn ffc_vs_plain_loss_and_throughput() {
 /// zero while plain TE spreads losses across classes (Fig 14).
 #[test]
 fn multi_priority_protects_high() {
-    let net = lnet(&LNetConfig { sites: 6, link_capacity: 2.0, ..LNetConfig::default() });
+    let net = lnet(&LNetConfig {
+        sites: 6,
+        link_capacity: 2.0,
+        ..LNetConfig::default()
+    });
     let trace = ffc_topo::gravity_trace(
         &net,
         &TrafficConfig {
@@ -70,7 +88,10 @@ fn multi_priority_protects_high() {
     let tunnels = layout_tunnels(
         &net.topo,
         &trace.intervals[0],
-        &LayoutConfig { tunnels_per_flow: 4, ..LayoutConfig::default() },
+        &LayoutConfig {
+            tunnels_per_flow: 4,
+            ..LayoutConfig::default()
+        },
     );
     let fm = FaultModel {
         link_failures_per_interval: 1.5,
@@ -107,7 +128,10 @@ fn multi_priority_protects_high() {
 #[test]
 fn update_execution_comparison() {
     let cfg0 = UpdateExecConfig::default();
-    let cfg2 = UpdateExecConfig { kc: 2, ..cfg0.clone() };
+    let cfg2 = UpdateExecConfig {
+        kc: 2,
+        ..cfg0.clone()
+    };
     let trials = 300;
 
     let mut rng = StdRng::seed_from_u64(2);

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the harness surface the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_with_input`] / `bench_function`,
+//! [`BenchmarkId::new`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each sample times a batch of iterations sized so a
+//! batch takes roughly a millisecond (or one iteration for slow bodies),
+//! after a short warmup. Results print mean/min/max per-iteration times
+//! to stdout — there are no plots, baselines, or statistical tests.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmark body.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Entry point handed to each registered bench function.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_secs(2),
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            samples: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_samples;
+        let (warmup, measure) = (self.warmup, self.measure);
+        run_one(&name.to_string(), samples, warmup, measure, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    #[allow(dead_code)]
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(2));
+        self
+    }
+
+    /// Caps measurement wall-time per benchmark (advisory upstream; here
+    /// it directly bounds the sampling loop).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        let (warmup, measure) = (self.criterion.warmup, self.criterion.measure);
+        run_one(&id.label, samples, warmup, measure, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        let (warmup, measure) = (self.criterion.warmup, self.criterion.measure);
+        run_one(&name.to_string(), samples, warmup, measure, f);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Two-part benchmark label: function name + parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("solve", "100x300")` → label `solve/100x300`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    samples: usize,
+    warmup: Duration,
+    measure: Duration,
+    /// Per-iteration times of each recorded sample, filled by `iter`.
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `body`, recording per-iteration durations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warmup, also estimating the per-iteration cost so batches can
+        // be sized to dominate timer overhead.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(body());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((1.0e-3 / per_iter.max(1.0e-9)) as usize).clamp(1, 1_000_000);
+
+        let deadline = Instant::now() + self.measure;
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            self.recorded.push(t0.elapsed() / batch as u32);
+            if Instant::now() > deadline && self.recorded.len() >= 2 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    warmup: Duration,
+    measure: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples,
+        warmup,
+        measure,
+        recorded: Vec::new(),
+    };
+    f(&mut b);
+    if b.recorded.is_empty() {
+        println!("{label:<40} (no samples recorded)");
+        return;
+    }
+    let mean: Duration = b.recorded.iter().sum::<Duration>() / b.recorded.len() as u32;
+    let min = *b.recorded.iter().min().unwrap();
+    let max = *b.recorded.iter().max().unwrap();
+    println!(
+        "{label:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({n} samples)",
+        n = b.recorded.len()
+    );
+}
+
+/// Registers bench functions under a runner name:
+/// `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` calling each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(50),
+            recorded: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(!b.recorded.is_empty());
+    }
+
+    #[test]
+    fn id_formats_label() {
+        let id = BenchmarkId::new("solve", format!("{}x{}", 10, 30));
+        assert_eq!(id.label, "solve/10x30");
+    }
+}

@@ -1,0 +1,176 @@
+//! Deterministic case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SampleRange, SeedableRng};
+
+/// Runner configuration (`#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of passing cases required for the test to succeed.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Error carried by `prop_assert*` / `Err(..)` returns inside a case body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure from any message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result of executing one generated case.
+#[derive(Debug)]
+pub enum CaseOutcome {
+    /// The body ran and all assertions held.
+    Pass,
+    /// Generation was rejected (filter exhausted its retries).
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// RNG handed to strategies. Wraps the vendored [`StdRng`] and exposes
+/// the few draws strategies need.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic construction from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform draw from a range (`a..b` or `a..=b`), any numeric type.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform draw from `[lo, hi]`; `lo == hi` is allowed.
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Fair coin.
+    pub fn gen_bool(&mut self) -> bool {
+        self.inner.gen::<bool>()
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from the test name so runs are
+/// deterministic without global state.
+fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives `case` until `config.cases` passes, panicking on the first
+/// failure or when rejects outnumber the allowance (cases × 256).
+pub fn run<F>(config: &Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> CaseOutcome,
+{
+    let mut rng = TestRng::from_seed(seed_from_name(name));
+    let max_rejects = (config.cases as u64).saturating_mul(256);
+    let mut passes: u64 = 0;
+    let mut rejects: u64 = 0;
+    while passes < config.cases as u64 {
+        match case(&mut rng) {
+            CaseOutcome::Pass => passes += 1,
+            CaseOutcome::Reject => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejects} rejects for {passes} passes) — \
+                         filters are too strict"
+                    );
+                }
+            }
+            CaseOutcome::Fail(message) => {
+                panic!(
+                    "proptest '{name}' failed at case {n}: {message}\n\
+                     (deterministic seed derived from test name; \
+                     re-run reproduces this case)",
+                    n = passes + 1,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0;
+        run(&Config::with_cases(64), "counting", |_rng| {
+            count += 1;
+            CaseOutcome::Pass
+        });
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics() {
+        run(&Config::with_cases(8), "failing", |_rng| {
+            CaseOutcome::Fail("boom".into())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn reject_storm_panics() {
+        run(&Config::with_cases(4), "rejecting", |_rng| {
+            CaseOutcome::Reject
+        });
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_seed(seed_from_name("x"));
+        let mut b = TestRng::from_seed(seed_from_name("x"));
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0..1000u64), b.gen_range(0..1000u64));
+        }
+    }
+}
