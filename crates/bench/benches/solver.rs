@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 use ffc_core::{solve_te_batch, TeProblem};
-use ffc_lp::{Cmp, LinExpr, Model, Pricing, Sense, SimplexOptions};
+use ffc_lp::{Algorithm, Cmp, LinExpr, Model, Pricing, Sense, SimplexOptions};
 
 /// Builds a random transportation-style LP: `rows` capacity constraints
 /// over `cols` variables, ~4 nonzeros per column.
@@ -173,6 +173,54 @@ fn bench_pricing(c: &mut Criterion) {
         assert!((s - b).abs() < 1e-6, "batch result diverged: {s} vs {b}");
     }
 
+    // ---- recorded comparison: warm scenario re-solves, primal vs dual ----
+    // Same shape as `repro --quick`: S-Net ke=1, the first five
+    // single-link fault scenarios, each re-optimized warm from the base
+    // optimum's basis. `Auto` restarts dual-feasible warm bases in dual
+    // iterations; `Primal` is the phase-1 repair baseline.
+    let inst1 = ffc_bench::snet_instance(42, 1);
+    let topo1 = &inst1.net.topo;
+    let tm1 = &inst1.trace.intervals[0];
+    let sweep_problem = TeProblem::new(topo1, tm1, &inst1.tunnels);
+    let old = ffc_core::TeConfig::zero(&inst1.tunnels);
+    let ffc_cfg = ffc_core::FfcConfig::new(0, 1, 0);
+    let scenarios: Vec<ffc_net::FaultScenario> = topo1
+        .links()
+        .take(5)
+        .map(|l| ffc_net::FaultScenario::links([l]))
+        .collect();
+    let mut algo_rows = Vec::new();
+    for (name, algorithm) in [
+        ("primal", Algorithm::Primal),
+        ("auto_dual", Algorithm::Auto),
+    ] {
+        let t0 = Instant::now();
+        let outcomes = ffc_core::solve_ffc_scenarios(
+            sweep_problem,
+            &old,
+            &ffc_cfg,
+            &scenarios,
+            &SimplexOptions {
+                algorithm,
+                ..SimplexOptions::default()
+            },
+        )
+        .expect("scenario sweep");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (mut iters, mut dual, mut flips) = (0usize, 0usize, 0usize);
+        for o in &outcomes {
+            let o = o.as_ref().expect("scenario re-solve");
+            iters += o.stats.iterations();
+            dual += o.stats.dual_iterations;
+            flips += o.stats.dual_bound_flips;
+        }
+        algo_rows.push(format!(
+            "      {{\"algorithm\": \"{name}\", \"iterations\": {iters}, \
+             \"dual_iterations\": {dual}, \"dual_bound_flips\": {flips}, \
+             \"sweep_ms\": {ms:.1}}}"
+        ));
+    }
+
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -181,11 +229,15 @@ fn bench_pricing(c: &mut Criterion) {
          \"intervals\": {}, \"workers\": {workers}, \"serial_ms\": {serial_ms:.1}, \
          \"parallel_ms\": {parallel_ms:.1}, \"speedup\": {:.2}, \
          \"note\": \"fan-out speedup is bounded by available_parallelism; \
-         expect ~min(workers, intervals)x on multicore hosts\"}}\n}}\n",
+         expect ~min(workers, intervals)x on multicore hosts\"}},\n  \
+         \"warm_dual\": {{\"instance\": \"S-Net\", \"ke\": 1, \"scenarios\": {}, \
+         \"workers\": {workers}, \"algorithms\": [\n{}\n  ]}}\n}}\n",
         rows.join(",\n"),
         inst.name,
         problems.len(),
-        serial_ms / parallel_ms.max(1e-9)
+        serial_ms / parallel_ms.max(1e-9),
+        scenarios.len(),
+        algo_rows.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pricing.json");
     std::fs::write(path, &json).expect("write BENCH_pricing.json");

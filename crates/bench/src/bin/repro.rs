@@ -5,8 +5,12 @@
 //!
 //! ```text
 //! repro <fig1a|fig1b|fig2|fig3|fig6|fig11|fig12|table2|fig13|fig14|fig15|fig16|all>
-//!       [--seed N] [--intervals N] [--trials N] [--fast]
+//!       [--seed N] [--intervals N] [--trials N] [--fast] [--quick]
 //! ```
+//!
+//! `--quick` (or the `quick` subcommand) runs a ~30-second smoke: one
+//! Figure-3 check plus a warm dual-vs-primal scenario sweep on S-Net,
+//! for CI to catch solver regressions without the full harness cost.
 
 use std::time::Instant;
 
@@ -66,6 +70,7 @@ fn parse_args() -> Args {
             "--trials" => args.trials = it.next().expect("--trials N").parse().expect("trials"),
             "--fast" => args.fast = true,
             "--full" => args.full = true,
+            "--quick" => args.cmd = "quick".into(),
             other if args.cmd.is_empty() => args.cmd = other.to_string(),
             other => panic!("unexpected argument {other}"),
         }
@@ -96,6 +101,7 @@ fn main() {
         "fig14" => fig14(&args),
         "fig15" => fig15(&args),
         "fig16" => fig16(&args),
+        "quick" => quick(&args),
         "all" => {
             fig2();
             fig3();
@@ -367,6 +373,63 @@ fn fig11(args: &Args) {
 // ---------------------------------------------------------------- Fig 12
 
 /// Figure 12: throughput overhead of control- and data-plane FFC.
+/// CI smoke (`repro --quick`): one fast paper check plus the warm
+/// dual-vs-primal scenario sweep the solver work targets — prints total
+/// simplex iterations per algorithm so a dual regression is visible in
+/// the job log.
+fn quick(args: &Args) {
+    fig3();
+    println!("\n=== quick: warm scenario sweep, S-Net ke=1, primal vs auto(dual) ===");
+    let inst = snet_instance(args.seed, 1);
+    let topo = &inst.net.topo;
+    let tm = &inst.trace.intervals[0];
+    let problem = TeProblem::new(topo, tm, &inst.tunnels);
+    let old = TeConfig::zero(&inst.tunnels);
+    let cfg = FfcConfig::new(0, 1, 0);
+    // 5 scenarios keeps the whole smoke near the 30-second mark while
+    // still spanning several warm re-solves per worker chunk.
+    let scenarios: Vec<ffc_net::FaultScenario> = topo
+        .links()
+        .take(5)
+        .map(|l| ffc_net::FaultScenario::links([l]))
+        .collect();
+    let mut tputs: Vec<Vec<f64>> = Vec::new();
+    for (name, algorithm) in [
+        ("primal    ", ffc_lp::Algorithm::Primal),
+        ("auto(dual)", ffc_lp::Algorithm::Auto),
+    ] {
+        let opts = SimplexOptions {
+            algorithm,
+            ..SimplexOptions::default()
+        };
+        let t = Instant::now();
+        let outcomes = ffc_core::solve_ffc_scenarios(problem, &old, &cfg, &scenarios, &opts)
+            .expect("base FFC solve");
+        let (mut iters, mut dual, mut flips) = (0usize, 0usize, 0usize);
+        let mut tput = Vec::new();
+        for o in &outcomes {
+            let o = o.as_ref().expect("scenario solve");
+            iters += o.stats.iterations();
+            dual += o.stats.dual_iterations;
+            flips += o.stats.dual_bound_flips;
+            tput.push(o.config.throughput());
+        }
+        println!(
+            "  {name}: {} re-solves, {iters} simplex iterations ({dual} dual, {flips} dual flips), {:.2?}",
+            outcomes.len(),
+            t.elapsed()
+        );
+        tputs.push(tput);
+    }
+    for (i, (p, a)) in tputs[0].iter().zip(&tputs[1]).enumerate() {
+        assert!(
+            (p - a).abs() < 1e-5,
+            "scenario {i}: primal {p} vs auto {a} throughput mismatch"
+        );
+    }
+    println!("  throughputs agree across algorithms on all scenarios");
+}
+
 fn fig12(args: &Args) {
     println!("\n=== Figure 12: FFC throughput overhead (1 - ratio, %) ===");
     for inst in [

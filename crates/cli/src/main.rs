@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 use ffc_core::rescale::rescaled_link_loads_mixed;
 use ffc_core::{build_ffc_model, FfcConfig, TeConfig, TeProblem};
-use ffc_lp::SimplexOptions;
+use ffc_lp::{Algorithm, SimplexOptions};
 use ffc_net::failure::{config_combinations_up_to, link_combinations_up_to};
 use ffc_net::{layout_tunnels, LayoutConfig, LinkId, NodeId};
 
@@ -38,13 +38,15 @@ struct Opts {
     ke: usize,
     kv: usize,
     tunnels: usize,
+    algorithm: Algorithm,
     verbose: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ffc <solve|check|info> --topo FILE [--traffic FILE] [--config FILE]\n\
-         \x20          [--old FILE] [--out FILE] [--kc N] [--ke N] [--kv N] [--tunnels N] [--verbose]"
+         \x20          [--old FILE] [--out FILE] [--kc N] [--ke N] [--kv N] [--tunnels N]\n\
+         \x20          [--algorithm primal|dual|auto] [--verbose]"
     );
     std::process::exit(2)
 }
@@ -61,6 +63,7 @@ fn parse_opts() -> Opts {
         ke: 0,
         kv: 0,
         tunnels: 6,
+        algorithm: Algorithm::default(),
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -81,6 +84,17 @@ fn parse_opts() -> Opts {
             "--ke" => o.ke = val("--ke").parse().unwrap_or_else(|_| usage()),
             "--kv" => o.kv = val("--kv").parse().unwrap_or_else(|_| usage()),
             "--tunnels" => o.tunnels = val("--tunnels").parse().unwrap_or_else(|_| usage()),
+            "--algorithm" => {
+                o.algorithm = match val("--algorithm").as_str() {
+                    "primal" => Algorithm::Primal,
+                    "dual" => Algorithm::Dual,
+                    "auto" => Algorithm::Auto,
+                    other => {
+                        eprintln!("unknown algorithm '{other}' (primal, dual, or auto)");
+                        usage()
+                    }
+                }
+            }
             "-v" | "--verbose" => o.verbose = true,
             "-h" | "--help" => usage(),
             other if o.cmd.is_empty() => o.cmd = other.to_string(),
@@ -188,7 +202,11 @@ fn main() -> ExitCode {
             };
             let ffc = FfcConfig::new(o.kc, o.ke, o.kv);
             let builder = build_ffc_model(TeProblem::new(&topo, &tm, &tunnels), &old, &ffc);
-            let (cfg, sol) = match builder.solve_detailed(&SimplexOptions::default()) {
+            let opts = SimplexOptions {
+                algorithm: o.algorithm,
+                ..SimplexOptions::default()
+            };
+            let (cfg, sol) = match builder.solve_detailed(&opts) {
                 Ok(x) => x,
                 Err(e) => {
                     eprintln!("solve failed: {e}");
@@ -198,13 +216,15 @@ fn main() -> ExitCode {
             if o.verbose {
                 let s = &sol.stats;
                 eprintln!(
-                    "solver: {} iterations (phase1 {} / phase2 {}), {} degenerate, \
-                     {} bound flips, {} refactorizations, {} full pricing passes, {:.1?}",
+                    "solver: {} iterations (phase1 {} / phase2 {} / dual {}), {} degenerate, \
+                     {} bound flips ({} dual), {} refactorizations, {} full pricing passes, {:.1?}",
                     s.iterations(),
                     s.phase1_iterations,
                     s.phase2_iterations,
+                    s.dual_iterations,
                     s.degenerate_pivots,
                     s.bound_flips,
+                    s.dual_bound_flips,
                     s.refactorizations,
                     s.full_pricing_passes,
                     s.solve_time

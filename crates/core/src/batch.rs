@@ -132,20 +132,68 @@ pub fn solve_ffc_batch(
 
 /// Solves one problem under several protection configurations in
 /// parallel — the `k = 0..K` sweep that dominates the repro harness.
+///
+/// Within each worker chunk consecutive levels chain **warm starts**
+/// (presolve off to keep column spaces aligned): when adjacent `k`
+/// produce the same model shape, the previous optimal basis seeds the
+/// next solve — and with [`ffc_lp::Algorithm::Auto`] (the default) the
+/// re-solve restarts in the *dual* simplex, since a protection change
+/// leaves the old basis dual-feasible. When the encoding shape changes
+/// with `k`, the hint no longer fits and the solver transparently falls
+/// back to a cold start.
 pub fn solve_ffc_ksweep(
     problem: TeProblem<'_>,
     old: &TeConfig,
     cfgs: &[FfcConfig],
     opts: &SimplexOptions,
 ) -> Vec<Result<BatchOutcome, LpError>> {
-    par_map(cfgs, |_, cfg| {
-        let builder = build_ffc_model(problem, old, cfg);
-        let (config, sol) = builder.solve_detailed(opts)?;
-        Ok(BatchOutcome {
-            config,
-            stats: sol.stats,
-        })
-    })
+    let mut warm_opts = opts.clone();
+    warm_opts.presolve = false;
+
+    let n = cfgs.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    let chunk = n.div_ceil(workers.max(1)).max(1);
+
+    let solve_chunk = |slice: &[FfcConfig]| {
+        let mut hint: Option<ffc_lp::BasisStatuses> = None;
+        let mut out = Vec::with_capacity(slice.len());
+        for cfg in slice {
+            let builder = build_ffc_model(problem, old, cfg);
+            let result = match &hint {
+                Some(h) => builder.model.solve_warm(&warm_opts, h),
+                None => builder.model.solve_with(&warm_opts),
+            }
+            .map(|sol| {
+                let outcome = BatchOutcome {
+                    config: builder.extract(&sol),
+                    stats: sol.stats,
+                };
+                hint = Some(sol.basis);
+                outcome
+            });
+            out.push(result);
+        }
+        out
+    };
+
+    if workers <= 1 {
+        return solve_chunk(cfgs);
+    }
+    let solve_chunk = &solve_chunk;
+    let results: Vec<Vec<Result<BatchOutcome, LpError>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cfgs
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || solve_chunk(slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ksweep worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
 }
 
 /// Verifies one FFC configuration against many fault scenarios in
@@ -159,6 +207,12 @@ pub fn solve_ffc_ksweep(
 /// `a_{f,t}` variables of tunnels killed by the scenario to zero
 /// (bounds `[0, 0]` — the model *shape* never changes), and re-solves
 /// from the most recent successful basis in its chain.
+///
+/// Pinning bounds never touches the objective, so the previous optimal
+/// basis stays **dual**-feasible: with [`ffc_lp::Algorithm::Auto`] (the
+/// default) each re-solve restarts directly in the dual simplex instead
+/// of repairing primal feasibility through phase 1. Pass
+/// [`ffc_lp::Algorithm::Primal`] in `opts` to force the old behaviour.
 ///
 /// The outer `Result` is the base solve; the inner per-scenario results
 /// come back in input order.
@@ -343,6 +397,45 @@ mod tests {
                 serial.throughput()
             );
         }
+    }
+
+    #[test]
+    fn scenario_sweep_auto_matches_primal_and_uses_dual() {
+        let (topo, tm, tunnels) = fixture();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        let old = TeConfig::zero(&tunnels);
+        let cfg = FfcConfig::new(0, 1, 0);
+        let links: Vec<LinkId> = topo.links().collect();
+        let scenarios: Vec<FaultScenario> =
+            links.iter().map(|&l| FaultScenario::links([l])).collect();
+
+        let run = |algorithm| {
+            let opts = SimplexOptions {
+                algorithm,
+                ..SimplexOptions::default()
+            };
+            solve_ffc_scenarios(problem, &old, &cfg, &scenarios, &opts).unwrap()
+        };
+        let primal = run(ffc_lp::Algorithm::Primal);
+        let auto = run(ffc_lp::Algorithm::Auto);
+        let mut dual_iters = 0;
+        let mut dual_flips = 0;
+        for (p, a) in primal.iter().zip(&auto) {
+            let (p, a) = (p.as_ref().unwrap(), a.as_ref().unwrap());
+            assert!(
+                (p.config.throughput() - a.config.throughput()).abs() < 1e-6,
+                "Auto diverged from Primal: {} vs {}",
+                a.config.throughput(),
+                p.config.throughput()
+            );
+            assert_eq!(p.stats.dual_iterations, 0, "Primal must never run the dual");
+            dual_iters += a.stats.dual_iterations;
+            dual_flips += a.stats.dual_bound_flips;
+        }
+        assert!(
+            dual_iters > 0 || dual_flips > 0,
+            "Auto warm chain never engaged the dual simplex"
+        );
     }
 
     #[test]

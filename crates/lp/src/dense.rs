@@ -184,6 +184,23 @@ pub fn solve_dense(model: &Model) -> Result<Solution, LpError> {
         if z > 1e-6 {
             return Err(LpError::Infeasible);
         }
+        // Drive any zero-level artificial that is still basic (degenerate
+        // phase-1 end) out of the basis. Leaving it in would let phase-2
+        // pivots re-inflate it, silently violating its row. Any structural
+        // or slack column with a nonzero entry works — the row's rhs is 0,
+        // so the pivot is degenerate and keeps feasibility regardless of
+        // sign. If the whole row is zero outside the artificials the row
+        // is redundant and can never be touched by phase-2 pivots (every
+        // entering column has a zero entry there), so it is safe to keep.
+        for i in 0..nrows {
+            if basis[i] >= art_start {
+                if let Some(q) =
+                    (0..art_start).find(|&j| !basis.contains(&j) && t[i][j].abs() > 1e-9)
+                {
+                    pivot(&mut t, &mut basis, i, q);
+                }
+            }
+        }
     }
 
     // --- Phase 2 (artificials barred by passing art_start). ---
@@ -282,23 +299,31 @@ fn run_tableau(
         let Some(p) = leave else {
             return Err(LpError::Unbounded);
         };
-        // Pivot on (p, q).
-        let piv = t[p][q];
-        for v in t[p].iter_mut() {
-            *v /= piv;
-        }
-        for i in 0..nrows {
-            if i != p && t[i][q].abs() > 1e-12 {
-                let f = t[i][q];
-                for j in 0..=total {
-                    let tpj = t[p][j];
-                    t[i][j] -= f * tpj;
-                }
-            }
-        }
-        basis[p] = q;
+        pivot(t, basis, p, q);
     }
     Err(LpError::IterationLimit)
+}
+
+/// Pivots the tableau on row `p`, column `q`: row `p` is scaled so the
+/// pivot entry becomes 1, the column is eliminated from every other row,
+/// and `q` replaces the old basic variable of row `p`.
+#[allow(clippy::needless_range_loop)] // dense tableau math is index-shaped
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], p: usize, q: usize) {
+    let total = t[p].len() - 1;
+    let piv = t[p][q];
+    for v in t[p].iter_mut() {
+        *v /= piv;
+    }
+    for i in 0..t.len() {
+        if i != p && t[i][q].abs() > 1e-12 {
+            let f = t[i][q];
+            for j in 0..=total {
+                let tpj = t[p][j];
+                t[i][j] -= f * tpj;
+            }
+        }
+    }
+    basis[p] = q;
 }
 
 #[cfg(test)]
@@ -369,6 +394,46 @@ mod tests {
         let x = m.add_nonneg("x");
         m.set_objective(LinExpr::from(x), Sense::Maximize);
         assert_eq!(solve_dense(&m).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_artificial_not_reinflated_in_phase2() {
+        // Found by the differential oracle proptests: zero-rhs rows can
+        // leave artificials basic at level 0 after phase 1, and phase 2
+        // used to re-inflate one, returning the infeasible all-zero
+        // point with objective 0. The only feasible assignment here is
+        // x2 = x3 = 0 (from 4x2 + 3x3 = 0), x1 = 1 (from 2x1 - x2 = 2),
+        // x0 >= 0.5, for an objective of 1.
+        let mut m = Model::new();
+        let x0 = m.add_var(0.0, 1.0, "x0");
+        let x1 = m.add_var(0.0, 1.0, "x1");
+        let x2 = m.add_var(0.0, 3.0, "x2");
+        let x3 = m.add_var(0.0, 3.0, "x3");
+        m.add_con(
+            LinExpr::term(x2, 4.0) - LinExpr::term(x3, 2.0),
+            Cmp::Ge,
+            0.0,
+        );
+        m.add_con(
+            LinExpr::term(x2, 4.0) + LinExpr::term(x3, 3.0),
+            Cmp::Eq,
+            0.0,
+        );
+        m.add_con(LinExpr::term(x1, 2.0) - LinExpr::from(x2), Cmp::Eq, 2.0);
+        m.add_con(
+            LinExpr::term(x0, -2.0) + LinExpr::from(x1) + LinExpr::term(x3, 2.0),
+            Cmp::Le,
+            0.0,
+        );
+        m.set_objective(
+            LinExpr::from(x1) - LinExpr::term(x2, 2.0) + LinExpr::from(x3),
+            Sense::Minimize,
+        );
+        let s = solve_dense(&m).unwrap();
+        almost(s.objective, 1.0);
+        almost(s.value(x1), 1.0);
+        almost(s.value(x2), 0.0);
+        almost(s.value(x3), 0.0);
     }
 
     #[test]

@@ -59,4 +59,4 @@ pub use model::{
     BasisStatuses, Cmp, ColStatus, ConId, LpError, Model, Sense, Solution, SolveStats,
 };
 pub use pricing::Pricing;
-pub use simplex::SimplexOptions;
+pub use simplex::{Algorithm, SimplexOptions};

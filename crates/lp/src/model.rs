@@ -147,6 +147,14 @@ pub struct SolveStats {
     pub degenerate_pivots: usize,
     /// Iterations resolved by a bound flip (no basis change).
     pub bound_flips: usize,
+    /// Iterations taken by the dual simplex (warm restarts after bound
+    /// changes). Counted inside `phase2_iterations`, which on a dual
+    /// solve also includes the primal cleanup pass.
+    pub dual_iterations: usize,
+    /// Nonbasic bound flips performed on the dual path: long-step
+    /// ratio-test flips plus the flips that restore dual feasibility of
+    /// a warm basis. Also counted in `bound_flips`.
+    pub dual_bound_flips: usize,
     /// Basis refactorizations (including the initial one per phase).
     pub refactorizations: usize,
     /// Full passes over all columns during pricing. With partial

@@ -35,6 +35,15 @@ fn auto_candidates(ncols: usize) -> usize {
     ((ncols as f64).sqrt() as usize * 4).clamp(32, 1024)
 }
 
+/// Column count below which [`Pricing::PartialDevex`] with automatic
+/// sizing (`candidates == 0`) disables the candidate list and prices
+/// like full devex. On small and dense-ish LPs the list's staler devex
+/// picks cost more iterations than the cheap partial passes save (see
+/// `BENCH_pricing.json`), while a full pass is cheap anyway; the list
+/// only pays off when columns vastly outnumber rows. An explicit
+/// nonzero `candidates` always keeps partial pricing on.
+pub const AUTO_PARTIAL_MIN_COLS: usize = 4000;
+
 /// Simplex pricing rule, selected via `SimplexOptions::pricing`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Pricing {
@@ -68,6 +77,10 @@ pub(crate) struct Pricer {
     /// score at rebuild time.
     candidates: Vec<usize>,
     cand_cap: usize,
+    /// Whether the candidate list is in use this phase. `false` for a
+    /// [`Pricing::PartialDevex`] rule auto-disabled on a small column
+    /// count (behaves as full devex).
+    partial_active: bool,
     /// Full passes over all columns (every pass for Dantzig/Devex; only
     /// rebuild/optimality passes for PartialDevex).
     pub(crate) full_passes: usize,
@@ -92,10 +105,13 @@ impl Pricer {
         }
         self.candidates.clear();
         self.cand_cap = match self.rule {
+            Pricing::PartialDevex { candidates: 0 } if ncols < AUTO_PARTIAL_MIN_COLS => 0,
             Pricing::PartialDevex { candidates: 0 } => auto_candidates(ncols),
             Pricing::PartialDevex { candidates } => candidates,
             _ => 0,
         };
+        self.partial_active =
+            matches!(self.rule, Pricing::PartialDevex { .. }) && self.cand_cap > 0;
     }
 
     /// Whether the engine must maintain weights (i.e. compute the pivot
@@ -131,7 +147,7 @@ impl Pricer {
             self.full_passes += 1;
             return (0..ncols).find_map(|j| reduced(j).map(|(_, dir)| (j, dir)));
         }
-        if let Pricing::PartialDevex { .. } = self.rule {
+        if self.partial_active {
             // Partial pass over the candidate list.
             let mut best: Option<(usize, f64, f64)> = None;
             for idx in 0..self.candidates.len() {
@@ -204,35 +220,31 @@ impl Pricer {
             return;
         }
         let scale = gamma_q / (alpha_q * alpha_q);
-        match self.rule {
-            Pricing::Devex => {
-                for j in 0..self.weights.len() {
-                    if j == q {
-                        continue;
-                    }
-                    if let Some(alpha_j) = alpha(j) {
-                        let cand = alpha_j * alpha_j * scale;
-                        if cand > self.weights[j] {
-                            self.weights[j] = cand;
-                        }
+        if self.partial_active {
+            for idx in 0..self.candidates.len() {
+                let j = self.candidates[idx];
+                if j == q {
+                    continue;
+                }
+                if let Some(alpha_j) = alpha(j) {
+                    let cand = alpha_j * alpha_j * scale;
+                    if cand > self.weights[j] {
+                        self.weights[j] = cand;
                     }
                 }
             }
-            Pricing::PartialDevex { .. } => {
-                for idx in 0..self.candidates.len() {
-                    let j = self.candidates[idx];
-                    if j == q {
-                        continue;
-                    }
-                    if let Some(alpha_j) = alpha(j) {
-                        let cand = alpha_j * alpha_j * scale;
-                        if cand > self.weights[j] {
-                            self.weights[j] = cand;
-                        }
+        } else {
+            for j in 0..self.weights.len() {
+                if j == q {
+                    continue;
+                }
+                if let Some(alpha_j) = alpha(j) {
+                    let cand = alpha_j * alpha_j * scale;
+                    if cand > self.weights[j] {
+                        self.weights[j] = cand;
                     }
                 }
             }
-            Pricing::Dantzig => unreachable!("needs_weights is false"),
         }
         self.weights[leaving] = scale.max(1.0);
         self.weights[q] = 1.0;
@@ -349,6 +361,38 @@ mod tests {
         assert!(!p.needs_weights());
         p.update_weights(0, 1, 1.0, |_| Some(100.0));
         assert!(p.weights.is_empty());
+    }
+
+    #[test]
+    fn auto_partial_disables_below_column_threshold() {
+        let elig = |j: usize| (j < 3).then(|| (-((j + 1) as f64), 1.0));
+        // Automatic sizing on a small column count: the list is off and
+        // every select is a full devex pass.
+        let mut p = Pricer::new(Pricing::PartialDevex { candidates: 0 });
+        p.reset(AUTO_PARTIAL_MIN_COLS - 1);
+        assert!(p.select(4, false, elig).is_some());
+        assert!(p.select(4, false, elig).is_some());
+        assert_eq!(p.full_passes, 2, "candidate list must be disabled");
+        // At the threshold the list engages: the second select prices
+        // only the candidates built by the first full pass.
+        let mut p = Pricer::new(Pricing::PartialDevex { candidates: 0 });
+        p.reset(AUTO_PARTIAL_MIN_COLS);
+        assert!(p.select(4, false, elig).is_some());
+        assert!(p.select(4, false, elig).is_some());
+        assert_eq!(p.full_passes, 1, "candidate list must be active");
+    }
+
+    #[test]
+    fn explicit_candidates_stay_partial_below_threshold() {
+        let elig = |j: usize| (j < 3).then(|| (-((j + 1) as f64), 1.0));
+        let mut p = Pricer::new(Pricing::PartialDevex { candidates: 2 });
+        p.reset(4);
+        assert!(p.select(4, false, elig).is_some());
+        assert!(p.select(4, false, elig).is_some());
+        assert_eq!(
+            p.full_passes, 1,
+            "explicit list size is never auto-disabled"
+        );
     }
 
     #[test]

@@ -26,6 +26,27 @@ use crate::pricing::{Pricer, Pricing};
 use crate::sparse::ScatterVec;
 use crate::standard::StdForm;
 
+/// Which simplex variant drives a solve (see [`SimplexOptions::algorithm`]).
+///
+/// The dual simplex targets the re-solve workload: after a bound change
+/// (a fault scenario pinning tunnel variables, a protection-level change)
+/// the old optimal basis stays **dual**-feasible — the objective did not
+/// move — while primal feasibility is lost. The dual restarts from that
+/// basis directly instead of re-running primal phase 1 + a degenerate
+/// phase-2 walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Bounded-variable two-phase primal simplex.
+    Primal,
+    /// Dual simplex. Falls back to the primal when no dual-feasible
+    /// start basis can be constructed (see [`SimplexOptions::algorithm`]).
+    Dual,
+    /// Dual for warm starts whose basis is (or can be flipped to be)
+    /// dual-feasible; primal otherwise. Cold solves always run primal.
+    #[default]
+    Auto,
+}
+
 /// Tunable parameters for the simplex engine.
 #[derive(Debug, Clone)]
 pub struct SimplexOptions {
@@ -51,6 +72,9 @@ pub struct SimplexOptions {
     pub perturb: f64,
     /// Pricing rule choosing the entering column (see [`Pricing`]).
     pub pricing: Pricing,
+    /// Simplex variant selection (see [`Algorithm`]). The default,
+    /// [`Algorithm::Auto`], only changes warm-hinted solves.
+    pub algorithm: Algorithm,
 }
 
 impl Default for SimplexOptions {
@@ -64,6 +88,7 @@ impl Default for SimplexOptions {
             presolve: true,
             perturb: 0.0,
             pricing: Pricing::default(),
+            algorithm: Algorithm::default(),
         }
     }
 }
@@ -141,6 +166,17 @@ fn col_apply(
 enum PhaseEnd {
     Optimal,
     Unbounded,
+}
+
+/// Outcome of the dual simplex loop.
+enum DualEnd {
+    /// Every basic variable is within bounds: the basis is primal
+    /// feasible while still dual feasible, i.e. optimal (up to the
+    /// primal cleanup pass certifying it).
+    Feasible,
+    /// Some violated row admits no entering column: the dual is
+    /// unbounded, so the primal LP is infeasible.
+    Infeasible,
 }
 
 impl<'a> Engine<'a> {
@@ -240,6 +276,19 @@ impl<'a> Engine<'a> {
     /// 2. slacks for every other row, with artificials where the
     ///    starting value violates the slack's bounds.
     fn crash_basis(&mut self) -> Result<(), LpError> {
+        self.crash_basis_core()?;
+        // --- Stage 3: artificials for slack-basic rows out of bounds. ---
+        self.patch_infeasible_basic_slacks();
+        Ok(())
+    }
+
+    /// Stages 1–2 of [`Self::crash_basis`] without the artificial
+    /// patching: basic slacks may sit outside their bounds. This is the
+    /// cold start for the dual simplex, which consumes exactly that
+    /// primal infeasibility (and needs no artificials, since the slack
+    /// basis prices out dual-feasibly after bound flips on box-bounded
+    /// columns).
+    fn crash_basis_core(&mut self) -> Result<(), LpError> {
         let std = self.std;
         // Nonbasic placement for structural variables (at the possibly
         // perturbed bounds).
@@ -364,9 +413,6 @@ impl<'a> Engine<'a> {
             self.compute_tentative_values()
                 .map_err(|e| LpError::NumericalFailure(format!("slack basis singular: {e}")))?;
         }
-
-        // --- Stage 3: artificials for slack-basic rows out of bounds. ---
-        self.patch_infeasible_basic_slacks();
         Ok(())
     }
 
@@ -423,6 +469,18 @@ impl<'a> Engine<'a> {
     /// pinning a handful of tunnel variables to zero no longer discards
     /// the whole basis.
     fn warm_basis(&mut self, hint: &BasisStatuses) -> bool {
+        if !self.load_hint_basis(hint) {
+            return false;
+        }
+        self.repair_warm_basis()
+    }
+
+    /// Installs the hinted statuses and factorizes, without any primal
+    /// repair. Returns `false` (engine pristine) on a shape mismatch or
+    /// singular basis. The dual start uses this directly: the repair in
+    /// [`Self::repair_warm_basis`] would destroy exactly the
+    /// primal-infeasible-but-dual-feasible state the dual consumes.
+    fn load_hint_basis(&mut self, hint: &BasisStatuses) -> bool {
         let std = self.std;
         if hint.0.len() != std.n {
             return false;
@@ -486,20 +544,32 @@ impl<'a> Engine<'a> {
             self.stat[j] = VStat::Basic(pos);
         }
         self.basis = basics;
+        if self.compute_tentative_values().is_err() {
+            self.reset_state();
+            return false;
+        }
+        true
+    }
 
-        // Demote-and-refill rounds: structural basics landing outside
-        // their (possibly changed) bounds go nonbasic at the nearest
-        // bound, and a spare slack takes over each vacated position.
-        // The replacement slack for position `pos` must keep the basis
-        // nonsingular, which holds iff `(B⁻¹)[pos][r]` is nonzero for
-        // the slack's row `r` — exactly the nonzero pattern of the
-        // BTRAN'd unit vector `B⁻ᵀ e_pos`, so candidates are read off a
-        // single sparse solve and applied as an eta update. Refilled
-        // slacks' own bound violations are absorbed by artificials via
-        // `patch_infeasible_basic_slacks`, which phase 1 repairs.
+    /// Primal repair of a loaded warm basis (assumes
+    /// [`Self::load_hint_basis`] succeeded: values computed, factors
+    /// valid).
+    ///
+    /// Demote-and-refill rounds: structural basics landing outside
+    /// their (possibly changed) bounds go nonbasic at the nearest
+    /// bound, and a spare slack takes over each vacated position.
+    /// The replacement slack for position `pos` must keep the basis
+    /// nonsingular, which holds iff `(B⁻¹)[pos][r]` is nonzero for
+    /// the slack's row `r` — exactly the nonzero pattern of the
+    /// BTRAN'd unit vector `B⁻ᵀ e_pos`, so candidates are read off a
+    /// single sparse solve and applied as an eta update. Refilled
+    /// slacks' own bound violations are absorbed by artificials via
+    /// `patch_infeasible_basic_slacks`, which phase 1 repairs.
+    fn repair_warm_basis(&mut self) -> bool {
+        let std = self.std;
         let tol = self.opts.feas_tol * 10.0;
-        for _round in 0..3 {
-            if self.compute_tentative_values().is_err() {
+        for round in 0..3 {
+            if round > 0 && self.compute_tentative_values().is_err() {
                 self.reset_state();
                 return false;
             }
@@ -622,8 +692,15 @@ impl<'a> Engine<'a> {
         let factors = Basis::factorize(m, &cols)
             .map_err(|e| LpError::NumericalFailure(format!("refactorization failed: {e}")))?;
         self.factors = Some(factors);
+        self.recompute_basic_values();
+        Ok(())
+    }
 
-        // Recompute basic values: B x_B = b − A_N x_N.
+    /// Recomputes basic values `B x_B = b − A_N x_N` with the current
+    /// factors (which must be valid). Used after refactorization and
+    /// after batches of nonbasic bound flips.
+    fn recompute_basic_values(&mut self) {
+        let m = self.std.m;
         self.rhs.copy_from_slice(&self.std.b);
         let ncols = self.ncols();
         let (a, arts, n) = (&self.std.a, &self.arts, self.std.n);
@@ -639,13 +716,12 @@ impl<'a> Engine<'a> {
         }
         // Work around split borrows: rhs is read, w written.
         let rhs = std::mem::take(&mut self.rhs);
-        let factors = self.factors.as_mut().expect("just set");
+        let factors = self.factors.as_mut().expect("factorized");
         factors.ftran(&rhs, &mut self.w);
         self.rhs = rhs;
         for i in 0..m {
             self.xval[self.basis[i]] = self.w[i];
         }
-        Ok(())
     }
 
     /// Runs one phase to optimality with the given minimization costs.
@@ -754,6 +830,335 @@ impl<'a> Engine<'a> {
             }
 
             self.iterations += 1;
+            if self.iterations > self.opts.max_iters {
+                return Err(LpError::IterationLimit);
+            }
+        }
+    }
+
+    /// Checks dual feasibility of the current (factorized) basis for
+    /// `cost`, flipping box-bounded nonbasic columns whose reduced cost
+    /// has the wrong sign for their bound onto the other bound. Returns
+    /// `false` — without modifying any state — when some wrong-sign
+    /// column has no opposite finite bound to flip to, i.e. the basis
+    /// cannot be made dual-feasible by bound flips alone.
+    fn dual_feasibilize(&mut self, cost: &[f64]) -> bool {
+        let m = self.std.m;
+        for i in 0..m {
+            self.cb[i] = cost.get(self.basis[i]).copied().unwrap_or(0.0);
+        }
+        {
+            let mut cb = std::mem::take(&mut self.cb);
+            let factors = self.factors.as_mut().expect("factorized");
+            factors.btran(&mut cb, &mut self.y);
+            self.cb = cb;
+        }
+        // Mild wrong-sign reduced costs are tolerated: the dual ratio
+        // test clamps their (negative) ratios to zero, so they resolve
+        // as degenerate steps rather than lost dual feasibility.
+        let tol = self.opts.opt_tol * 10.0;
+        let mut flips: Vec<usize> = Vec::new();
+        for j in 0..self.ncols() {
+            let st = self.stat[j];
+            if matches!(st, VStat::Basic(_)) || self.lb[j] == self.ub[j] {
+                continue;
+            }
+            let d = cost.get(j).copied().unwrap_or(0.0) - self.col_dot(j, &self.y);
+            match st {
+                VStat::AtLower if d < -tol => {
+                    if self.ub[j].is_finite() {
+                        flips.push(j);
+                    } else {
+                        return false;
+                    }
+                }
+                VStat::AtUpper if d > tol => {
+                    if self.lb[j].is_finite() {
+                        flips.push(j);
+                    } else {
+                        return false;
+                    }
+                }
+                VStat::FreeZero if d.abs() > tol => return false,
+                _ => {}
+            }
+        }
+        if !flips.is_empty() {
+            for &j in &flips {
+                let (st, v) = match self.stat[j] {
+                    VStat::AtLower => (VStat::AtUpper, self.ub[j]),
+                    _ => (VStat::AtLower, self.lb[j]),
+                };
+                self.stat[j] = st;
+                self.xval[j] = v;
+            }
+            self.stats.bound_flips += flips.len();
+            self.stats.dual_bound_flips += flips.len();
+            self.recompute_basic_values();
+        }
+        true
+    }
+
+    /// Dual simplex loop: from a dual-feasible basis, drives out primal
+    /// infeasibility while keeping reduced-cost signs valid. Row pricing
+    /// is dual devex (violation² over a reference weight); the ratio
+    /// test is bound-flipping (long-step): box-bounded blockers whose
+    /// full flip leaves the leaving variable still out of bounds are
+    /// flipped in bulk instead of pivoted on.
+    fn optimize_dual(&mut self, cost: &[f64]) -> Result<DualEnd, LpError> {
+        let m = self.std.m;
+        self.bland = false;
+        self.degen_run = 0;
+        let ncols = self.ncols();
+        let ftol = self.opts.feas_tol;
+        let ptol = self.opts.pivot_tol;
+        let dtol = self.opts.opt_tol;
+        // Dual devex reference weights, one per basis *position*.
+        let mut dw = vec![1.0f64; m];
+        // (column, pivot-row entry α_j, dual ratio) per iteration.
+        let mut cands: Vec<(usize, f64, f64)> = Vec::new();
+        let mut retried = false;
+        loop {
+            if self
+                .factors
+                .as_ref()
+                .map(|f| f.should_refactorize())
+                .unwrap_or(true)
+            {
+                self.refactorize()?;
+            }
+
+            // Leaving row: the (devex-weighted) worst bound violation;
+            // lowest violated row index under Bland anti-cycling.
+            let mut leave: Option<(usize, f64, f64)> = None; // (pos, viol, score)
+            for (pos, &w) in dw.iter().enumerate().take(m) {
+                let j = self.basis[pos];
+                let v = self.xval[j];
+                let viol = if v < self.lb[j] - ftol {
+                    v - self.lb[j]
+                } else if v > self.ub[j] + ftol {
+                    v - self.ub[j]
+                } else {
+                    continue;
+                };
+                if self.bland {
+                    leave = Some((pos, viol, 0.0));
+                    break;
+                }
+                let score = viol * viol / w.max(1e-12);
+                if leave.map(|(_, _, s)| score > s).unwrap_or(true) {
+                    leave = Some((pos, viol, score));
+                }
+            }
+            let Some((r, viol, _)) = leave else {
+                return Ok(DualEnd::Feasible);
+            };
+            let leaving = self.basis[r];
+            // σ = +1: leaves at its upper bound (row value must drop);
+            // σ = −1: leaves at its lower bound.
+            let sigma = if viol > 0.0 { 1.0 } else { -1.0 };
+
+            // y = B⁻ᵀc_B for reduced costs; ρ = B⁻ᵀe_r for the pivot row.
+            for i in 0..m {
+                self.cb[i] = cost.get(self.basis[i]).copied().unwrap_or(0.0);
+            }
+            {
+                let mut cb = std::mem::take(&mut self.cb);
+                let factors = self.factors.as_mut().expect("factorized above");
+                factors.btran(&mut cb, &mut self.y);
+                self.cb = cb;
+            }
+            self.factors
+                .as_mut()
+                .expect("factorized above")
+                .btran_sparse(&[(r, 1.0)], &mut self.rho_sp);
+
+            // Entering candidates: nonbasic columns whose pivot-row
+            // entry lets the leaving variable move toward its bound
+            // without that column's own reduced cost crossing zero the
+            // wrong way (a_j = σ·α_j must oppose the column's bound).
+            cands.clear();
+            for j in 0..ncols {
+                let st = self.stat[j];
+                if matches!(st, VStat::Basic(_))
+                    || self.lb[j] == self.ub[j]
+                    || self.is_artificial(j)
+                {
+                    continue;
+                }
+                let alpha = self.col_dot_sp(j, &self.rho_sp);
+                let a = sigma * alpha;
+                let eligible = match st {
+                    VStat::AtLower => a > ptol,
+                    VStat::AtUpper => a < -ptol,
+                    VStat::FreeZero => alpha.abs() > ptol,
+                    VStat::Basic(_) => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = cost.get(j).copied().unwrap_or(0.0) - self.col_dot(j, &self.y);
+                let ratio = (d / a).max(0.0);
+                cands.push((j, alpha, ratio));
+            }
+            if cands.is_empty() {
+                // A violated row no entering column can repair: the dual
+                // is unbounded, i.e. the primal is infeasible.
+                return Ok(DualEnd::Infeasible);
+            }
+            cands.sort_unstable_by(|x, z| x.2.total_cmp(&z.2).then(x.0.cmp(&z.0)));
+
+            // Bound-flipping walk in ratio order: flipping a boxed
+            // blocker moves the leaving row by span·|α| — as long as
+            // that leaves it out of bounds, flip and keep walking; the
+            // first candidate that must enter pivots. (Disabled under
+            // Bland: plain smallest-ratio, lowest-index entering.)
+            let mut delta = viol.abs();
+            let mut q_idx = cands.len() - 1;
+            for (idx, &(j, alpha, _)) in cands.iter().enumerate() {
+                let span = self.ub[j] - self.lb[j];
+                let can_flip = !self.bland
+                    && span.is_finite()
+                    && idx + 1 < cands.len()
+                    && matches!(self.stat[j], VStat::AtLower | VStat::AtUpper)
+                    && delta - span * alpha.abs() > ftol;
+                if can_flip {
+                    delta -= span * alpha.abs();
+                } else {
+                    q_idx = idx;
+                    break;
+                }
+            }
+            let nflips = q_idx;
+            if nflips > 0 {
+                // All flipped columns update the basics via one FTRAN of
+                // the combined flip column Σ Δx_j·A_j.
+                self.rhs.iter_mut().for_each(|v| *v = 0.0);
+                for &(j, _, _) in &cands[..nflips] {
+                    let (st, target) = match self.stat[j] {
+                        VStat::AtLower => (VStat::AtUpper, self.ub[j]),
+                        VStat::AtUpper => (VStat::AtLower, self.lb[j]),
+                        _ => unreachable!("only boxed bounded columns are flipped"),
+                    };
+                    let dx = target - self.xval[j];
+                    self.stat[j] = st;
+                    self.xval[j] = target;
+                    let (a, arts, n, rhs) = (&self.std.a, &self.arts, self.std.n, &mut self.rhs);
+                    col_apply(a, arts, n, j, |row, aij| rhs[row] += aij * dx);
+                }
+                {
+                    let rhs = std::mem::take(&mut self.rhs);
+                    let factors = self.factors.as_mut().expect("factorized above");
+                    factors.ftran(&rhs, &mut self.w);
+                    self.rhs = rhs;
+                }
+                for i in 0..m {
+                    let bj = self.basis[i];
+                    self.xval[bj] -= self.w[i];
+                }
+                self.stats.bound_flips += nflips;
+                self.stats.dual_bound_flips += nflips;
+            }
+            let (q, _, t_dual) = cands[q_idx];
+
+            // FTRAN the entering column; the pivot element must agree
+            // with the BTRAN'd row entry — a tiny value means stale
+            // factors, so refactorize and retry the iteration once.
+            self.col_buf.clear();
+            {
+                let (a, arts, n) = (&self.std.a, &self.arts, self.std.n);
+                let buf = &mut self.col_buf;
+                col_apply(a, arts, n, q, |row, v| buf.push((row, v)));
+            }
+            self.factors
+                .as_mut()
+                .expect("factorized above")
+                .ftran_sparse(&self.col_buf, &mut self.w_sp);
+            let alpha_r = self.w_sp.get(r);
+            if alpha_r.abs() <= ptol {
+                if retried {
+                    return Err(LpError::NumericalFailure(
+                        "dual pivot vanished after refactorization".into(),
+                    ));
+                }
+                retried = true;
+                self.refactorize()?;
+                continue;
+            }
+            retried = false;
+
+            // Dual devex update of the row weights from the pivot column.
+            let wr = dw[r].max(1.0);
+            let inv2 = 1.0 / (alpha_r * alpha_r);
+            for &i in self.w_sp.pattern() {
+                if i == r {
+                    continue;
+                }
+                let wi = self.w_sp.get(i);
+                if wi != 0.0 {
+                    let cand = wi * wi * inv2 * wr;
+                    if cand > dw[i] {
+                        dw[i] = cand;
+                    }
+                }
+            }
+            dw[r] = (wr * inv2).max(1.0);
+            if dw[r] > 1e8 {
+                for g in dw.iter_mut() {
+                    *g = 1.0;
+                }
+            }
+
+            let push = self
+                .factors
+                .as_mut()
+                .expect("factorized above")
+                .push_eta_sparse(r, &self.w_sp);
+            if push.is_err() {
+                self.refactorize()?;
+                continue;
+            }
+
+            // Primal step: drive the leaving variable exactly onto its
+            // violated bound; the other basics move along −Δq·B⁻¹A_q.
+            let target = if sigma > 0.0 {
+                self.ub[leaving]
+            } else {
+                self.lb[leaving]
+            };
+            let dq = (self.xval[leaving] - target) / alpha_r;
+            for idx in 0..self.w_sp.pattern().len() {
+                let i = self.w_sp.pattern()[idx];
+                let wi = self.w_sp.get(i);
+                if wi != 0.0 {
+                    let bj = self.basis[i];
+                    self.xval[bj] -= dq * wi;
+                }
+            }
+            self.xval[q] += dq;
+            self.xval[leaving] = target;
+            self.stat[leaving] = if sigma > 0.0 {
+                VStat::AtUpper
+            } else {
+                VStat::AtLower
+            };
+            self.stat[q] = VStat::Basic(r);
+            self.basis[r] = q;
+
+            self.iterations += 1;
+            self.stats.dual_iterations += 1;
+            // A zero dual-objective step is the dual's degenerate pivot;
+            // long runs engage the same Bland switch as the primal loop.
+            if t_dual <= dtol {
+                self.stats.degenerate_pivots += 1;
+                self.degen_run += 1;
+                if self.degen_run > self.opts.degen_switch {
+                    self.bland = true;
+                }
+            } else {
+                self.degen_run = 0;
+                self.bland = false;
+            }
             if self.iterations > self.opts.max_iters {
                 return Err(LpError::IterationLimit);
             }
@@ -991,39 +1396,71 @@ pub fn solve_model(
     let t0 = std::time::Instant::now();
     let std = StdForm::from_model(model);
     let mut eng = Engine::new(&std, opts);
-    let warm = hint.map(|h| eng.warm_basis(h)).unwrap_or(false);
-    if !warm {
-        eng.crash_basis()?;
-    }
-
-    // Phase 1: drive artificials to zero.
-    if !eng.arts.is_empty() {
-        let mut cost1 = vec![0.0; eng.ncols()];
-        for c in cost1.iter_mut().skip(std.n) {
-            *c = 1.0;
-        }
-        match eng.optimize(&cost1, false)? {
-            PhaseEnd::Optimal => {}
-            PhaseEnd::Unbounded => {
-                return Err(LpError::NumericalFailure("phase 1 unbounded".into()))
-            }
-        }
-        if eng.infeasibility() > 1e-6 {
-            return Err(LpError::Infeasible);
-        }
-        // Freeze artificials at zero for phase 2.
-        for j in std.n..eng.ncols() {
-            eng.lb[j] = 0.0;
-            eng.ub[j] = 0.0;
-            if !matches!(eng.stat[j], VStat::Basic(_)) {
-                eng.xval[j] = 0.0;
-            }
-        }
-    }
-    eng.stats.phase1_iterations = eng.iterations;
-
-    // Phase 2: optimize the real objective.
     let cost2 = std.obj.clone();
+
+    // Dual attempt: explicitly requested, or `Auto` with a warm hint —
+    // the bound-perturbation re-solve the dual is built for. Any failure
+    // to construct a dual-feasible start falls through to the primal.
+    let try_dual = match eng.opts.algorithm {
+        Algorithm::Primal => false,
+        Algorithm::Dual => true,
+        Algorithm::Auto => hint.is_some(),
+    };
+    let mut dual_done = false;
+    if try_dual {
+        let loaded = match hint {
+            Some(h) => eng.load_hint_basis(h),
+            None => eng.crash_basis_core().is_ok(),
+        };
+        if loaded {
+            if eng.dual_feasibilize(&cost2) {
+                match eng.optimize_dual(&cost2)? {
+                    DualEnd::Feasible => dual_done = true,
+                    DualEnd::Infeasible => return Err(LpError::Infeasible),
+                }
+            } else {
+                eng.reset_state();
+            }
+        }
+    }
+
+    if !dual_done {
+        let warm = hint.map(|h| eng.warm_basis(h)).unwrap_or(false);
+        if !warm {
+            eng.crash_basis()?;
+        }
+
+        // Phase 1: drive artificials to zero.
+        if !eng.arts.is_empty() {
+            let mut cost1 = vec![0.0; eng.ncols()];
+            for c in cost1.iter_mut().skip(std.n) {
+                *c = 1.0;
+            }
+            match eng.optimize(&cost1, false)? {
+                PhaseEnd::Optimal => {}
+                PhaseEnd::Unbounded => {
+                    return Err(LpError::NumericalFailure("phase 1 unbounded".into()))
+                }
+            }
+            if eng.infeasibility() > 1e-6 {
+                return Err(LpError::Infeasible);
+            }
+            // Freeze artificials at zero for phase 2.
+            for j in std.n..eng.ncols() {
+                eng.lb[j] = 0.0;
+                eng.ub[j] = 0.0;
+                if !matches!(eng.stat[j], VStat::Basic(_)) {
+                    eng.xval[j] = 0.0;
+                }
+            }
+        }
+        eng.stats.phase1_iterations = eng.iterations;
+    }
+    // On the dual path phase 1 never runs: its iterations (and the
+    // primal cleanup below) all count as phase 2.
+
+    // Phase 2: optimize the real objective. After the dual loop this is
+    // a cleanup pass that certifies optimality — normally 0 iterations.
     match eng.optimize(&cost2, true)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
@@ -1509,6 +1946,113 @@ mod tests {
             partial.stats.full_pricing_passes,
             full.stats.full_pricing_passes
         );
+    }
+
+    #[test]
+    fn cold_dual_solves_boxed_lp() {
+        // All-boxed columns: the slack basis is always dual-feasible
+        // after bound flips, so an explicit Dual request runs the dual
+        // loop end to end (no primal fallback).
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 4.0, "x");
+        let y = m.add_var(0.0, 6.0, "y");
+        m.add_con(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Cmp::Le, 18.0);
+        m.add_con(LinExpr::from(x) + y, Cmp::Ge, 3.0);
+        m.set_objective(
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0),
+            Sense::Maximize,
+        );
+        let opts = SimplexOptions {
+            algorithm: Algorithm::Dual,
+            presolve: false,
+            ..SimplexOptions::default()
+        };
+        let s = m.solve_with(&opts).unwrap();
+        almost(s.objective, 36.0);
+        assert!(
+            s.stats.dual_iterations > 0,
+            "dual never iterated: {:?}",
+            s.stats
+        );
+        assert_eq!(s.stats.phase1_iterations, 0, "dual path must skip phase 1");
+    }
+
+    #[test]
+    fn cold_dual_detects_infeasible_boxed() {
+        // x + y = 10 with x, y ∈ [0, 2]: every entering candidate is
+        // exhausted by bound flips and the violated row stays violated.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 2.0, "x");
+        let y = m.add_var(0.0, 2.0, "y");
+        m.add_con(LinExpr::from(x) + y, Cmp::Eq, 10.0);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        let opts = SimplexOptions {
+            algorithm: Algorithm::Dual,
+            presolve: false,
+            ..SimplexOptions::default()
+        };
+        assert_eq!(m.solve_with(&opts).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn dual_falls_back_without_dual_feasible_start() {
+        // max x: the slack basis prices x out dual-infeasibly and x has
+        // no upper bound to flip to, so Dual must fall back to the
+        // primal and still solve correctly.
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        m.add_con(LinExpr::from(x), Cmp::Le, 5.0);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        let opts = SimplexOptions {
+            algorithm: Algorithm::Dual,
+            presolve: false,
+            ..SimplexOptions::default()
+        };
+        let s = m.solve_with(&opts).unwrap();
+        almost(s.objective, 5.0);
+        assert_eq!(s.stats.dual_iterations, 0);
+    }
+
+    #[test]
+    fn warm_auto_restarts_in_dual_after_bound_shrink() {
+        // Shrinking a basic variable's bound leaves the old optimal
+        // basis primal-infeasible but dual-feasible: Auto must re-enter
+        // via dual iterations, with no phase 1 at all.
+        let build = |xub: f64| {
+            let mut m = Model::new();
+            let x = m.add_var(0.0, xub, "x");
+            let y = m.add_var(0.0, 100.0, "y");
+            m.add_con(LinExpr::from(x) + y, Cmp::Ge, 2.0);
+            m.add_con(LinExpr::from(x) + LinExpr::term(y, 2.0), Cmp::Le, 30.0);
+            m.set_objective(LinExpr::from(x) + LinExpr::term(y, 2.0), Sense::Minimize);
+            m
+        };
+        let cold = build(10.0).solve().unwrap();
+        let m2 = build(1.0);
+        let warm = m2
+            .solve_warm(&SimplexOptions::default(), &cold.basis)
+            .unwrap();
+        let fresh = m2.solve().unwrap();
+        almost(warm.objective, fresh.objective);
+        assert_eq!(
+            warm.stats.phase1_iterations, 0,
+            "dual restart must not run phase 1: {:?}",
+            warm.stats
+        );
+    }
+
+    #[test]
+    fn warm_primal_algorithm_ignores_dual() {
+        let m = classic_model();
+        let cold = m.solve().unwrap();
+        let opts = SimplexOptions {
+            algorithm: Algorithm::Primal,
+            ..SimplexOptions::default()
+        };
+        let warm = m.solve_warm(&opts, &cold.basis).unwrap();
+        almost(warm.objective, cold.objective);
+        assert_eq!(warm.stats.dual_iterations, 0);
+        assert_eq!(warm.stats.dual_bound_flips, 0);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! validation (`ffc-core::rescale`).
 
 use ffc_core::rescale::{rescaled_link_loads, rescaled_link_loads_mixed};
-use ffc_core::{solve_ffc, solve_te, FfcConfig, TeConfig, TeProblem};
+use ffc_core::{solve_ffc, solve_ffc_scenarios, solve_te, FfcConfig, TeConfig, TeProblem};
+use ffc_lp::{Algorithm, SimplexOptions};
 use ffc_net::failure::{config_combinations_up_to, link_combinations_up_to};
 use ffc_net::prelude::*;
 use ffc_topo::{gravity_trace_single_priority, lnet, LNetConfig, TrafficConfig};
@@ -96,6 +97,67 @@ fn control_ffc_guarantee_on_generated_networks() {
             );
         }
     }
+}
+
+/// The warm scenario sweep (dual-simplex restart path) preserves the
+/// FFC guarantee end to end: every re-optimized configuration from
+/// [`solve_ffc_scenarios`] with `Algorithm::Auto` must survive every
+/// residual single-link failure *on top of* its scenario's dead links —
+/// after proportional ingress rescaling, no surviving link exceeds
+/// capacity.
+#[test]
+fn reoptimized_scenario_chain_stays_congestion_free() {
+    let (topo, tm, tunnels) = instance(6, 5);
+    let links: Vec<LinkId> = topo.links().collect();
+    let scenarios = link_combinations_up_to(&links, 1);
+    let opts = SimplexOptions {
+        algorithm: Algorithm::Auto,
+        ..SimplexOptions::default()
+    };
+    let outcomes = solve_ffc_scenarios(
+        TeProblem::new(&topo, &tm, &tunnels),
+        &TeConfig::zero(&tunnels),
+        &FfcConfig::new(0, 1, 0).exact(),
+        &scenarios,
+        &opts,
+    )
+    .expect("scenario sweep solvable");
+
+    let mut dual_iterations = 0;
+    for (sc, outcome) in scenarios.iter().zip(outcomes) {
+        let outcome = outcome.expect("scenario re-solve succeeds");
+        dual_iterations += outcome.stats.dual_iterations;
+        assert!(outcome.config.throughput() >= 0.0);
+        // The re-optimized model pins the scenario's dead tunnels and
+        // keeps exact ke=1 protection, so the new configuration must
+        // tolerate any one further link failure.
+        for extra in link_combinations_up_to(&links, 1) {
+            let union = FaultScenario::links(
+                sc.failed_links
+                    .iter()
+                    .chain(extra.failed_links.iter())
+                    .copied(),
+            );
+            let loads = rescaled_link_loads(&topo, &tm, &tunnels, &outcome.config, &union);
+            for e in topo.links() {
+                if union.link_dead(&topo, e) {
+                    continue;
+                }
+                assert!(
+                    loads.load[e.index()] <= topo.capacity(e) + 1e-5,
+                    "scenario {:?} + residual {:?} overloads {e} at {} > {}",
+                    sc.failed_links,
+                    extra.failed_links,
+                    loads.load[e.index()],
+                    topo.capacity(e)
+                );
+            }
+        }
+    }
+    assert!(
+        dual_iterations > 0,
+        "warm sweep never entered dual iterations"
+    );
 }
 
 /// Plain TE on the same instances is *not* robust: some single link
