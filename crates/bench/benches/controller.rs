@@ -1,0 +1,75 @@
+//! Controller-loop throughput: how many TE intervals per second the
+//! online controller sustains on S-Net under a Poisson fault/demand
+//! stream (plan warm → staged rollout → data-plane accounting).
+//!
+//! The per-interval cost is dominated by the warm FFC re-solve, so this
+//! is effectively an end-to-end benchmark of the basis-chaining path;
+//! a cold-start regression shows up here immediately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use ffc_core::FfcConfig;
+use ffc_ctrl::{generate_poisson_events, Controller, ControllerConfig};
+use ffc_sim::{FaultModel, SwitchModel};
+
+const INTERVALS: usize = 8;
+
+fn bench_controller(c: &mut Criterion) {
+    let inst = ffc_bench::snet_instance(42, 1);
+    let topo = &inst.net.topo;
+    let tm = &inst.trace.intervals[0];
+    let mut cfg = ControllerConfig::new(FfcConfig::new(0, 1, 0), SwitchModel::Realistic);
+    cfg.seed = 9;
+    let events = generate_poisson_events(
+        topo,
+        &FaultModel::default(),
+        cfg.seed,
+        INTERVALS,
+        cfg.interval_secs,
+        0.05,
+    );
+
+    let mut group = c.benchmark_group("controller");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("snet_poisson", format!("{INTERVALS}_intervals")),
+        &events,
+        |b, events| {
+            b.iter(|| {
+                let mut ctrl = Controller::new(topo, &inst.tunnels, cfg.clone());
+                ctrl.run(tm, events, INTERVALS, false)
+            })
+        },
+    );
+    group.finish();
+
+    // Headline number: intervals per second, printed so a bench run
+    // leaves a human-readable figure in the log.
+    let t0 = Instant::now();
+    let mut ctrl = Controller::new(topo, &inst.tunnels, cfg.clone());
+    let report = ctrl.run(tm, &events, INTERVALS, false);
+    let secs = t0.elapsed().as_secs_f64();
+    let warm = report
+        .telemetry
+        .iter()
+        .filter(|t| {
+            matches!(
+                t.path,
+                ffc_ctrl::SolvePath::WarmDual | ffc_ctrl::SolvePath::WarmPrimal
+            )
+        })
+        .count();
+    eprintln!(
+        "controller throughput: {:.1} intervals/sec on {} ({INTERVALS} intervals, \
+         {warm} warm re-solves, {} cores)",
+        INTERVALS as f64 / secs,
+        inst.name,
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

@@ -114,6 +114,12 @@ fn bench_pricing(c: &mut Criterion) {
     }
     group.finish();
 
+    // Host core count, recorded in every section: wall times and the
+    // fan-out speedup are meaningless without it.
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
     // ---- recorded comparison: pricing rules on random LPs ----
     let mut rows = Vec::new();
     for (rows_n, cols_n) in [(100usize, 300usize), (400, 1200), (1000, 3000)] {
@@ -137,7 +143,7 @@ fn bench_pricing(c: &mut Criterion) {
             let s = best.unwrap();
             rows.push(format!(
                 "    {{\"size\": \"{rows_n}x{cols_n}\", \"rule\": \"{name}\", \
-                 \"iterations\": {}, \"full_pricing_passes\": {}, \
+                 \"workers\": {workers}, \"iterations\": {}, \"full_pricing_passes\": {}, \
                  \"refactorizations\": {}, \"solve_time_ms\": {:.3}}}",
                 s.iterations(),
                 s.full_pricing_passes,
@@ -146,6 +152,48 @@ fn bench_pricing(c: &mut Criterion) {
             ));
         }
     }
+
+    // ---- recorded comparison: devex vs partial devex at L-Net scale ----
+    // The full-scale L-Net TE model is the one real instance whose
+    // column count clears `AUTO_PARTIAL_MIN_COLS`, so this is the
+    // measurement that justifies the threshold: partial pricing must
+    // win (or at least tie) here while staying disabled on the smaller
+    // random LPs above.
+    let lnet = ffc_bench::lnet_full_instance(42, 1);
+    let lnet_problem = TeProblem::new(&lnet.net.topo, &lnet.trace.intervals[0], &lnet.tunnels);
+    let lnet_model = ffc_core::TeModelBuilder::new(lnet_problem).model;
+    let mut lnet_rows = Vec::new();
+    for (name, pricing) in [
+        ("devex", Pricing::Devex),
+        ("partial_devex", Pricing::PartialDevex { candidates: 0 }),
+    ] {
+        let opts = SimplexOptions {
+            pricing,
+            ..SimplexOptions::default()
+        };
+        let mut best: Option<ffc_lp::SolveStats> = None;
+        for _ in 0..2 {
+            let sol = lnet_model.solve_with(&opts).expect("L-Net TE solvable");
+            if best
+                .map(|b| sol.stats.solve_time < b.solve_time)
+                .unwrap_or(true)
+            {
+                best = Some(sol.stats);
+            }
+        }
+        let s = best.unwrap();
+        lnet_rows.push(format!(
+            "    {{\"rule\": \"{name}\", \"workers\": {workers}, \"iterations\": {}, \
+             \"full_pricing_passes\": {}, \"refactorizations\": {}, \
+             \"solve_time_ms\": {:.1}}}",
+            s.iterations(),
+            s.full_pricing_passes,
+            s.refactorizations,
+            s.solve_time.as_secs_f64() * 1e3
+        ));
+    }
+    let lnet_cols = lnet_model.num_vars();
+    let lnet_rows_n = lnet_model.num_cons();
 
     // ---- recorded comparison: serial vs parallel TE sweep ----
     let inst = ffc_bench::snet_instance(42, 8);
@@ -221,11 +269,11 @@ fn bench_pricing(c: &mut Criterion) {
         ));
     }
 
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"pricing\": [\n{}\n  ],\n  \"sweep\": {{\"instance\": \"{}\", \
+        "{{\n  \"pricing\": [\n{}\n  ],\n  \"pricing_lnet\": {{\"instance\": \"{}\", \
+         \"lp_size\": \"{lnet_rows_n}x{lnet_cols}\", \
+         \"auto_partial_min_cols\": {}, \"rules\": [\n{}\n  ]}},\n  \
+         \"sweep\": {{\"instance\": \"{}\", \
          \"intervals\": {}, \"workers\": {workers}, \"serial_ms\": {serial_ms:.1}, \
          \"parallel_ms\": {parallel_ms:.1}, \"speedup\": {:.2}, \
          \"note\": \"fan-out speedup is bounded by available_parallelism; \
@@ -233,6 +281,9 @@ fn bench_pricing(c: &mut Criterion) {
          \"warm_dual\": {{\"instance\": \"S-Net\", \"ke\": 1, \"scenarios\": {}, \
          \"workers\": {workers}, \"algorithms\": [\n{}\n  ]}}\n}}\n",
         rows.join(",\n"),
+        lnet.name,
+        ffc_lp::AUTO_PARTIAL_MIN_COLS,
+        lnet_rows.join(",\n"),
         inst.name,
         problems.len(),
         serial_ms / parallel_ms.max(1e-9),

@@ -6,6 +6,9 @@
 //!           [--old current.cfg] [--tunnels 6] [--out next.cfg]
 //! ffc check --topo net.topo --traffic day.tm --config next.cfg --ke 1 [--kc 1 --old current.cfg]
 //! ffc info  --topo net.topo [--traffic day.tm]
+//! ffc ctrl run --topo net.topo --traffic day.tm [--intervals 6] [--seed 42]
+//!              [--jitter 0.05] [--switch-model realistic|optimistic] [--out run.trace]
+//! ffc ctrl replay run.trace
 //! ```
 //!
 //! * `solve` computes an FFC-protected TE configuration (plain TE when
@@ -14,6 +17,11 @@
 //!   failure (after proportional rescaling) and every ≤kc stale-switch
 //!   combination must leave all links within capacity.
 //! * `info` prints topology/traffic statistics.
+//! * `ctrl run` drives the online controller live over a Poisson
+//!   fault/demand event stream, prints per-interval JSONL telemetry to
+//!   stdout, and (with `--out`) writes a self-contained replayable trace.
+//! * `ctrl replay` re-runs a recorded trace deterministically — the
+//!   telemetry it prints is bit-identical to the live run's.
 //!
 //! File formats are documented in [`ffc_cli::formats`].
 
@@ -29,6 +37,9 @@ use ffc_cli::formats::{parse_config, parse_topology, parse_traffic, write_config
 
 struct Opts {
     cmd: String,
+    /// Positional arguments after the command (`ctrl` takes a
+    /// subcommand and `ctrl replay` a trace path).
+    args: Vec<String>,
     topo: Option<String>,
     traffic: Option<String>,
     config: Option<String>,
@@ -38,6 +49,10 @@ struct Opts {
     ke: usize,
     kv: usize,
     tunnels: usize,
+    intervals: usize,
+    seed: u64,
+    jitter: f64,
+    switch_model: ffc_sim::SwitchModel,
     algorithm: Algorithm,
     verbose: bool,
 }
@@ -46,7 +61,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: ffc <solve|check|info> --topo FILE [--traffic FILE] [--config FILE]\n\
          \x20          [--old FILE] [--out FILE] [--kc N] [--ke N] [--kv N] [--tunnels N]\n\
-         \x20          [--algorithm primal|dual|auto] [--verbose]"
+         \x20          [--algorithm primal|dual|auto] [--verbose]\n\
+         \x20      ffc ctrl run --topo FILE --traffic FILE [--intervals N] [--seed N]\n\
+         \x20          [--jitter F] [--switch-model realistic|optimistic] [--out TRACE]\n\
+         \x20      ffc ctrl replay TRACE"
     );
     std::process::exit(2)
 }
@@ -54,6 +72,7 @@ fn usage() -> ! {
 fn parse_opts() -> Opts {
     let mut o = Opts {
         cmd: String::new(),
+        args: Vec::new(),
         topo: None,
         traffic: None,
         config: None,
@@ -63,6 +82,10 @@ fn parse_opts() -> Opts {
         ke: 0,
         kv: 0,
         tunnels: 6,
+        intervals: 6,
+        seed: 42,
+        jitter: 0.05,
+        switch_model: ffc_sim::SwitchModel::Realistic,
         algorithm: Algorithm::default(),
         verbose: false,
     };
@@ -84,6 +107,19 @@ fn parse_opts() -> Opts {
             "--ke" => o.ke = val("--ke").parse().unwrap_or_else(|_| usage()),
             "--kv" => o.kv = val("--kv").parse().unwrap_or_else(|_| usage()),
             "--tunnels" => o.tunnels = val("--tunnels").parse().unwrap_or_else(|_| usage()),
+            "--intervals" => o.intervals = val("--intervals").parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--jitter" => o.jitter = val("--jitter").parse().unwrap_or_else(|_| usage()),
+            "--switch-model" => {
+                o.switch_model = match val("--switch-model").as_str() {
+                    "realistic" => ffc_sim::SwitchModel::Realistic,
+                    "optimistic" => ffc_sim::SwitchModel::Optimistic,
+                    other => {
+                        eprintln!("unknown switch model '{other}' (realistic or optimistic)");
+                        usage()
+                    }
+                }
+            }
             "--algorithm" => {
                 o.algorithm = match val("--algorithm").as_str() {
                     "primal" => Algorithm::Primal,
@@ -98,6 +134,7 @@ fn parse_opts() -> Opts {
             "-v" | "--verbose" => o.verbose = true,
             "-h" | "--help" => usage(),
             other if o.cmd.is_empty() => o.cmd = other.to_string(),
+            other if o.cmd == "ctrl" && o.args.len() < 2 => o.args.push(other.to_string()),
             other => {
                 eprintln!("unexpected argument '{other}'");
                 usage()
@@ -119,6 +156,9 @@ fn read(path: &str) -> String {
 
 fn main() -> ExitCode {
     let o = parse_opts();
+    if o.cmd == "ctrl" {
+        return run_ctrl(&o);
+    }
     let topo_path = o.topo.clone().unwrap_or_else(|| {
         eprintln!("--topo is required");
         usage()
@@ -338,4 +378,146 @@ fn main() -> ExitCode {
             usage()
         }
     }
+}
+
+/// `ffc ctrl run` / `ffc ctrl replay`: the online controller loop.
+fn run_ctrl(o: &Opts) -> ExitCode {
+    use ffc_ctrl::{generate_poisson_events, Controller, ControllerConfig, EventTrace};
+
+    match o.args.first().map(String::as_str) {
+        Some("run") => {
+            let (topo_path, traffic_path) = match (&o.topo, &o.traffic) {
+                (Some(t), Some(d)) => (t.clone(), d.clone()),
+                _ => {
+                    eprintln!("ctrl run needs --topo and --traffic");
+                    usage()
+                }
+            };
+            let topo_text = read(&topo_path);
+            let traffic_text = read(&traffic_path);
+            let topo = match parse_topology(&topo_text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{topo_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let tm = match parse_traffic(&traffic_text, &topo) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{traffic_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let layout = LayoutConfig {
+                tunnels_per_flow: o.tunnels,
+                ..LayoutConfig::default()
+            };
+            let tunnels = layout_tunnels(&topo, &tm, &layout);
+            let mut cfg = ControllerConfig::new(FfcConfig::new(o.kc, o.ke, o.kv), o.switch_model);
+            cfg.seed = o.seed;
+            let events = generate_poisson_events(
+                &topo,
+                &ffc_sim::FaultModel::default(),
+                o.seed,
+                o.intervals,
+                cfg.interval_secs,
+                o.jitter,
+            );
+            let mut ctrl = Controller::new(&topo, &tunnels, cfg.clone());
+            let report = ctrl.run(&tm, &events, o.intervals, false);
+            for t in &report.telemetry {
+                println!("{}", t.to_json());
+            }
+            print_ctrl_summary(&report);
+            if let Some(p) = &o.out {
+                let trace = EventTrace {
+                    header: cfg.to_header(o.intervals, o.tunnels),
+                    topo_text,
+                    traffic_text,
+                    events: report.recorded_events.clone(),
+                };
+                if let Err(e) = std::fs::write(p, trace.to_text()) {
+                    eprintln!("cannot write {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote replayable trace to {p}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("replay") => {
+            let trace_path = match o.args.get(1) {
+                Some(p) => p.clone(),
+                None => {
+                    eprintln!("ctrl replay needs a trace file");
+                    usage()
+                }
+            };
+            let trace = match EventTrace::parse(&read(&trace_path)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{trace_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let topo = match parse_topology(&trace.topo_text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{trace_path} [topo]: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let tm = match parse_traffic(&trace.traffic_text, &topo) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{trace_path} [traffic]: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let layout = LayoutConfig {
+                tunnels_per_flow: trace.header.tunnels_per_flow,
+                ..LayoutConfig::default()
+            };
+            let tunnels = layout_tunnels(&topo, &tm, &layout);
+            let cfg = ControllerConfig::from_header(&trace.header);
+            let mut ctrl = Controller::new(&topo, &tunnels, cfg);
+            let report = ctrl.run(&tm, &trace.events, trace.header.intervals, true);
+            for t in &report.telemetry {
+                println!("{}", t.to_json());
+            }
+            print_ctrl_summary(&report);
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown ctrl subcommand '{other}' (run or replay)");
+            usage()
+        }
+        None => {
+            eprintln!("ctrl needs a subcommand (run or replay)");
+            usage()
+        }
+    }
+}
+
+fn print_ctrl_summary(report: &ffc_ctrl::ControllerReport) {
+    let warm = report
+        .telemetry
+        .iter()
+        .filter(|t| {
+            matches!(
+                t.path,
+                ffc_ctrl::SolvePath::WarmDual | ffc_ctrl::SolvePath::WarmPrimal
+            )
+        })
+        .count();
+    eprintln!(
+        "{} intervals: delivered {:.1}, lost {:.1} (congestion {:.1} / blackhole {:.1}), \
+         {} warm re-solves",
+        report.telemetry.len(),
+        report.totals.total_delivered(),
+        report.totals.total_lost(),
+        report.totals.lost_congestion.iter().sum::<f64>(),
+        report.totals.lost_blackhole.iter().sum::<f64>(),
+        warm
+    );
 }

@@ -1,0 +1,252 @@
+//! Typed controller input events and their one-line text encoding.
+//!
+//! Events are the controller's only input channel: demand updates,
+//! data-plane faults and repairs, operator protection changes, and —
+//! for replay — the recorded per-switch rollout outcomes that a live
+//! run sampled from the switch model. Links and switches are addressed
+//! by raw topology indices so a trace is self-contained next to the
+//! topology text embedded in its header (see [`crate::replay`]).
+
+use ffc_net::{LinkId, NodeId};
+
+/// One controller input event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Scale every demand to `factor ×` the *base* traffic matrix
+    /// (absolute with respect to the base, not cumulative).
+    DemandScale(f64),
+    /// Set one flow's demand (index into the traffic matrix).
+    DemandSet {
+        /// Flow index.
+        flow: usize,
+        /// New demand rate.
+        demand: f64,
+    },
+    /// A directed link goes down (physical cuts emit both directions).
+    LinkDown(LinkId),
+    /// A directed link comes back.
+    LinkUp(LinkId),
+    /// A switch goes down.
+    SwitchDown(NodeId),
+    /// A switch comes back.
+    SwitchUp(NodeId),
+    /// Operator changes the protection level.
+    SetProtection {
+        /// Control-plane (stale/failed switch) protection.
+        kc: usize,
+        /// Link-failure protection.
+        ke: usize,
+        /// Switch-failure protection.
+        kv: usize,
+    },
+    /// Recorded rollout outcome: `switch` acknowledged rollout step
+    /// `step` after `delay` seconds. Written by live runs, consumed by
+    /// replays — this is what makes a replay bit-identical.
+    UpdateAck {
+        /// Acknowledging switch.
+        switch: NodeId,
+        /// Zero-based rollout step.
+        step: usize,
+        /// Rule-installation delay in seconds.
+        delay: f64,
+    },
+    /// Recorded rollout outcome: `switch` failed its update at `step`
+    /// and stays stale for the rest of the rollout.
+    UpdateTimeout {
+        /// Failing switch.
+        switch: NodeId,
+        /// Zero-based rollout step.
+        step: usize,
+    },
+}
+
+impl Event {
+    /// Whether this event is a recorded rollout outcome (as opposed to
+    /// an input the controller reacts to).
+    pub fn is_recorded_outcome(&self) -> bool {
+        matches!(self, Event::UpdateAck { .. } | Event::UpdateTimeout { .. })
+    }
+
+    /// One-line text encoding. Floats use Rust's shortest-roundtrip
+    /// `Display`, so `parse_line(to_line())` is bit-exact.
+    pub fn to_line(&self) -> String {
+        match self {
+            Event::DemandScale(f) => format!("demand-scale {f}"),
+            Event::DemandSet { flow, demand } => format!("demand-set {flow} {demand}"),
+            Event::LinkDown(l) => format!("link-down {}", l.index()),
+            Event::LinkUp(l) => format!("link-up {}", l.index()),
+            Event::SwitchDown(v) => format!("switch-down {}", v.index()),
+            Event::SwitchUp(v) => format!("switch-up {}", v.index()),
+            Event::SetProtection { kc, ke, kv } => format!("set-protection {kc} {ke} {kv}"),
+            Event::UpdateAck {
+                switch,
+                step,
+                delay,
+            } => format!("ack {} {step} {delay}", switch.index()),
+            Event::UpdateTimeout { switch, step } => {
+                format!("timeout {} {step}", switch.index())
+            }
+        }
+    }
+
+    /// Parses the encoding produced by [`Event::to_line`].
+    pub fn parse_line(line: &str) -> Result<Event, String> {
+        let mut it = line.split_whitespace();
+        let kind = it.next().ok_or("empty event line")?;
+        let mut next = |what: &str| -> Result<&str, String> {
+            it.next()
+                .ok_or_else(|| format!("event `{kind}`: missing {what}"))
+        };
+        let ev = match kind {
+            "demand-scale" => Event::DemandScale(parse_f64(next("factor")?)?),
+            "demand-set" => Event::DemandSet {
+                flow: parse_usize(next("flow")?)?,
+                demand: parse_f64(next("demand")?)?,
+            },
+            "link-down" => Event::LinkDown(LinkId(parse_usize(next("link")?)?)),
+            "link-up" => Event::LinkUp(LinkId(parse_usize(next("link")?)?)),
+            "switch-down" => Event::SwitchDown(NodeId(parse_usize(next("switch")?)?)),
+            "switch-up" => Event::SwitchUp(NodeId(parse_usize(next("switch")?)?)),
+            "set-protection" => Event::SetProtection {
+                kc: parse_usize(next("kc")?)?,
+                ke: parse_usize(next("ke")?)?,
+                kv: parse_usize(next("kv")?)?,
+            },
+            "ack" => Event::UpdateAck {
+                switch: NodeId(parse_usize(next("switch")?)?),
+                step: parse_usize(next("step")?)?,
+                delay: parse_f64(next("delay")?)?,
+            },
+            "timeout" => Event::UpdateTimeout {
+                switch: NodeId(parse_usize(next("switch")?)?),
+                step: parse_usize(next("step")?)?,
+            },
+            other => return Err(format!("unknown event `{other}`")),
+        };
+        if it.next().is_some() {
+            return Err(format!("event `{kind}`: trailing tokens"));
+        }
+        Ok(ev)
+    }
+}
+
+fn parse_usize(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|e| format!("bad integer `{s}`: {e}"))
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|e| format!("bad float `{s}`: {e}"))
+}
+
+/// An event pinned to the TE interval it arrives in (applied at the
+/// interval's start, before the re-solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Zero-based TE interval index.
+    pub interval: usize,
+    /// The event.
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// `"<interval> <event line>"`.
+    pub fn to_line(&self) -> String {
+        format!("{} {}", self.interval, self.event.to_line())
+    }
+
+    /// Parses the encoding produced by [`TimedEvent::to_line`].
+    pub fn parse_line(line: &str) -> Result<TimedEvent, String> {
+        let (interval, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("timed event `{line}`: missing interval"))?;
+        Ok(TimedEvent {
+            interval: parse_usize(interval)?,
+            event: Event::parse_line(rest)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let events = [
+            Event::DemandScale(1.0625),
+            Event::DemandSet {
+                flow: 3,
+                demand: 12.5,
+            },
+            Event::LinkDown(LinkId(4)),
+            Event::LinkUp(LinkId(4)),
+            Event::SwitchDown(NodeId(2)),
+            Event::SwitchUp(NodeId(2)),
+            Event::SetProtection {
+                kc: 0,
+                ke: 1,
+                kv: 0,
+            },
+            Event::UpdateAck {
+                switch: NodeId(5),
+                step: 0,
+                delay: 0.013_248_711_190_47,
+            },
+            Event::UpdateTimeout {
+                switch: NodeId(5),
+                step: 1,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            let t = TimedEvent {
+                interval: i,
+                event: e.clone(),
+            };
+            let back = TimedEvent::parse_line(&t.to_line()).expect("parse");
+            assert_eq!(t, back, "roundtrip of {e:?}");
+        }
+    }
+
+    #[test]
+    fn float_roundtrip_is_bit_exact() {
+        let delay = 0.1 + 0.2; // a value with no short decimal form
+        let e = Event::UpdateAck {
+            switch: NodeId(0),
+            step: 0,
+            delay,
+        };
+        match Event::parse_line(&e.to_line()).unwrap() {
+            Event::UpdateAck { delay: d, .. } => {
+                assert_eq!(d.to_bits(), delay.to_bits(), "Display roundtrip not exact")
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "frobnicate 1",
+            "link-down",
+            "link-down x",
+            "ack 1 2",
+            "0 link-down 1 extra",
+        ] {
+            assert!(
+                TimedEvent::parse_line(bad).is_err() && Event::parse_line(bad).is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert!(Event::UpdateTimeout {
+            switch: NodeId(0),
+            step: 0
+        }
+        .is_recorded_outcome());
+        assert!(!Event::LinkDown(LinkId(0)).is_recorded_outcome());
+    }
+}

@@ -1,0 +1,431 @@
+//! Staged rollout of a planned configuration against the switch model.
+//!
+//! The executor turns the planner's target into a congestion-free
+//! multi-step plan (`ffc-core::update`, §5.2) and pushes it step by
+//! step. Per §5.5 ordered updates the controller may issue step `i+1`
+//! as soon as at most `kc` switches are still behind — the plan is safe
+//! with up to `kc` switches stuck at *any* earlier configuration, so a
+//! slow or failed switch does not stall the rollout (its traffic stays
+//! within the `M^i = max_{j≤i} a^j` bound the plan budgeted).
+//!
+//! Per-switch behaviour mirrors `ffc-sim::update_exec`: one failure
+//! draw per switch per rollout window (a broken switch stays broken),
+//! sequential step application `c_s(i) = max(c_s(i−1), A_{i−1}) + d`,
+//! and the controller advancing at the `(n−kc)`-th smallest completion
+//! (the max when `kc = 0`). Completion is capped at the TE interval.
+//!
+//! In a **live** run the delays and failures are sampled from the
+//! [`SwitchModel`] and recorded as [`Event::UpdateAck`] /
+//! [`Event::UpdateTimeout`] events; a **replay** consumes exactly those
+//! recorded outcomes instead of sampling, which is what makes replayed
+//! telemetry bit-identical.
+
+use ffc_core::{plan_update_auto, TeConfig};
+use ffc_net::{NodeId, Topology, TrafficMatrix, TunnelTable};
+use ffc_sim::SwitchModel;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::event::{Event, TimedEvent};
+
+/// Rollout policy knobs.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Maximum plan steps to try (`plan_update_auto` uses the fewest
+    /// that admit a congestion-free chain).
+    pub max_steps: usize,
+    /// Stale switches tolerated while advancing (§5.5); usually the
+    /// protection level's `kc`.
+    pub kc: usize,
+    /// Rule changes per switch per step (drives update delays).
+    pub rules_per_step: usize,
+    /// Switch latency/failure behaviour.
+    pub switch_model: SwitchModel,
+    /// Wall-clock cap for the whole rollout (the TE interval).
+    pub cap_secs: f64,
+}
+
+impl ExecutorConfig {
+    /// Defaults matching `ffc-sim::UpdateExecConfig` and the paper.
+    pub fn new(switch_model: SwitchModel, kc: usize) -> Self {
+        ExecutorConfig {
+            max_steps: 3,
+            kc,
+            rules_per_step: 35,
+            switch_model,
+            cap_secs: 300.0,
+        }
+    }
+}
+
+/// Where per-switch update outcomes come from.
+pub enum OutcomeSource<'a> {
+    /// Sample from the switch model (live run); outcomes get recorded.
+    Sample(&'a mut StdRng),
+    /// Consume outcomes recorded by a previous live run (replay).
+    Recorded(&'a [TimedEvent]),
+}
+
+/// What one rollout did.
+#[derive(Debug, Clone)]
+pub struct RolloutReport {
+    /// Steps in the congestion-free plan (0 for a no-op rollout).
+    pub steps_planned: usize,
+    /// Steps fully issued before the interval cap.
+    pub steps_completed: usize,
+    /// Whether every planned step completed.
+    pub completed: bool,
+    /// Whether a congestion-free chain existed within `max_steps`
+    /// (otherwise the target was installed atomically — a documented
+    /// simplification, same as `ffc-sim::runner`).
+    pub congestion_free_plan: bool,
+    /// Switches whose update failed: they keep forwarding per the old
+    /// configuration this interval.
+    pub stale: Vec<NodeId>,
+    /// Wall-clock the rollout took (capped at `cap_secs`).
+    pub rollout_secs: f64,
+    /// Outcome events sampled by a live rollout (empty on replay).
+    pub recorded: Vec<TimedEvent>,
+}
+
+/// Rolls out `to` from `from` across the flow ingresses; returns the
+/// configuration the network actually reached (the last fully issued
+/// step) plus the report.
+#[allow(clippy::too_many_arguments)]
+pub fn rollout(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    tunnels: &TunnelTable,
+    from: &TeConfig,
+    to: &TeConfig,
+    ingresses: &[NodeId],
+    cfg: &ExecutorConfig,
+    interval: usize,
+    source: OutcomeSource<'_>,
+) -> (TeConfig, RolloutReport) {
+    let mut report = RolloutReport {
+        steps_planned: 0,
+        steps_completed: 0,
+        completed: true,
+        congestion_free_plan: true,
+        stale: Vec::new(),
+        rollout_secs: 0.0,
+        recorded: Vec::new(),
+    };
+    if from == to || ingresses.is_empty() {
+        return (to.clone(), report);
+    }
+
+    let plan = match plan_update_auto(topo, tm, tunnels, from, to, cfg.max_steps, cfg.kc) {
+        Ok(p) => p.steps,
+        Err(_) => {
+            // No congestion-free chain within the step budget: install
+            // atomically (transient overload is the sim's to account).
+            report.congestion_free_plan = false;
+            vec![to.clone()]
+        }
+    };
+    report.steps_planned = plan.len();
+
+    // Per-switch outcomes for every (switch, step).
+    let n = ingresses.len();
+    let m = plan.len();
+    // delay[s][i] = rule-install delay, or None when the switch is
+    // broken from step i on.
+    let mut delays: Vec<Vec<Option<f64>>> = vec![vec![None; m]; n];
+    match source {
+        OutcomeSource::Sample(rng) => {
+            for (s, &sw) in ingresses.iter().enumerate() {
+                // One failure draw per switch per rollout window.
+                let broken = rng.gen::<f64>() < cfg.switch_model.config_failure_rate();
+                if broken {
+                    // The failing step is uniform over the plan: the
+                    // switch wedges while applying one of them.
+                    let at = rng.gen_range(0..m);
+                    for d in delays[s].iter_mut().take(at) {
+                        *d = Some(
+                            cfg.switch_model
+                                .sample_update_delay(rng, cfg.rules_per_step),
+                        );
+                    }
+                    report.recorded.push(TimedEvent {
+                        interval,
+                        event: Event::UpdateTimeout {
+                            switch: sw,
+                            step: at,
+                        },
+                    });
+                } else {
+                    for d in delays[s].iter_mut() {
+                        *d = Some(
+                            cfg.switch_model
+                                .sample_update_delay(rng, cfg.rules_per_step),
+                        );
+                    }
+                }
+            }
+            // Record acks after all sampling so the RNG draw order stays
+            // a simple per-switch sequence.
+            for (s, &sw) in ingresses.iter().enumerate() {
+                for (i, d) in delays[s].iter().enumerate() {
+                    if let Some(delay) = *d {
+                        report.recorded.push(TimedEvent {
+                            interval,
+                            event: Event::UpdateAck {
+                                switch: sw,
+                                step: i,
+                                delay,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        OutcomeSource::Recorded(events) => {
+            for te in events.iter().filter(|te| te.interval == interval) {
+                match te.event {
+                    Event::UpdateAck {
+                        switch,
+                        step,
+                        delay,
+                    } => {
+                        if let Some(s) = ingresses.iter().position(|&v| v == switch) {
+                            if step < m {
+                                delays[s][step] = Some(delay);
+                            }
+                        }
+                    }
+                    Event::UpdateTimeout { .. } => {}
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Issue steps: c_s(i) = max(c_s(i-1), issue) + d_{s,i}; advance at
+    // the (n - kc)-th smallest completion (max when kc = 0).
+    let mut c = vec![0.0f64; n];
+    let mut issue = 0.0f64;
+    let mut completed_steps = 0usize;
+    #[allow(clippy::needless_range_loop)] // (switch, step) index grid
+    for step in 0..m {
+        for s in 0..n {
+            c[s] = match delays[s][step] {
+                Some(d) if c[s].is_finite() => c[s].max(issue) + d,
+                _ => f64::INFINITY,
+            };
+        }
+        let mut sorted = c.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("comparable"));
+        let advance_at = sorted[n.saturating_sub(cfg.kc + 1).min(n - 1)];
+        if advance_at >= cfg.cap_secs {
+            break;
+        }
+        issue = advance_at;
+        completed_steps = step + 1;
+    }
+    report.steps_completed = completed_steps;
+    report.completed = completed_steps == m;
+    report.rollout_secs = issue.min(cfg.cap_secs);
+    report.stale = ingresses
+        .iter()
+        .enumerate()
+        .filter(|&(s, _)| {
+            completed_steps > 0 && delays[s][..completed_steps].iter().any(|d| d.is_none())
+        })
+        .map(|(_, &sw)| sw)
+        .collect();
+
+    let reached = if completed_steps == 0 {
+        from.clone()
+    } else {
+        plan[completed_steps - 1].clone()
+    };
+    (reached, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffc_net::prelude::*;
+    use rand::SeedableRng;
+
+    fn diamond() -> (Topology, TrafficMatrix, TunnelTable, Vec<NodeId>) {
+        let mut topo = Topology::new();
+        let (a, b, c, d) = (
+            topo.add_node("a"),
+            topo.add_node("b"),
+            topo.add_node("c"),
+            topo.add_node("d"),
+        );
+        topo.add_bidi(a, b, 10.0);
+        topo.add_bidi(b, d, 10.0);
+        topo.add_bidi(a, c, 10.0);
+        topo.add_bidi(c, d, 10.0);
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(a, d, 8.0, Priority::High);
+        let tunnels = layout_tunnels(
+            &topo,
+            &tm,
+            &LayoutConfig {
+                tunnels_per_flow: 2,
+                ..LayoutConfig::default()
+            },
+        );
+        (topo, tm, tunnels, vec![a])
+    }
+
+    fn solve(topo: &Topology, tm: &TrafficMatrix, tunnels: &TunnelTable) -> TeConfig {
+        ffc_core::solve_te(ffc_core::TeProblem::new(topo, tm, tunnels)).expect("TE")
+    }
+
+    #[test]
+    fn noop_rollout_is_free() {
+        let (topo, tm, tunnels, ing) = diamond();
+        let cfg = ExecutorConfig::new(SwitchModel::Optimistic, 0);
+        let to = solve(&topo, &tm, &tunnels);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (reached, rep) = rollout(
+            &topo,
+            &tm,
+            &tunnels,
+            &to,
+            &to,
+            &ing,
+            &cfg,
+            0,
+            OutcomeSource::Sample(&mut rng),
+        );
+        assert_eq!(reached, to);
+        assert_eq!(rep.steps_planned, 0);
+        assert!(rep.completed && rep.recorded.is_empty());
+    }
+
+    #[test]
+    fn optimistic_rollout_completes_and_records_acks() {
+        let (topo, tm, tunnels, ing) = diamond();
+        let from = TeConfig::zero(&tunnels);
+        let to = solve(&topo, &tm, &tunnels);
+        let cfg = ExecutorConfig::new(SwitchModel::Optimistic, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (reached, rep) = rollout(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &ing,
+            &cfg,
+            3,
+            OutcomeSource::Sample(&mut rng),
+        );
+        assert_eq!(reached, to);
+        assert!(rep.completed);
+        assert!(rep.congestion_free_plan);
+        assert!(rep.stale.is_empty());
+        assert!(rep.rollout_secs > 0.0);
+        // One ack per ingress per step, all at this interval.
+        assert_eq!(rep.recorded.len(), ing.len() * rep.steps_planned);
+        assert!(rep
+            .recorded
+            .iter()
+            .all(|e| e.interval == 3 && matches!(e.event, Event::UpdateAck { .. })));
+    }
+
+    #[test]
+    fn replaying_recorded_outcomes_reproduces_the_rollout() {
+        let (topo, tm, tunnels, ing) = diamond();
+        let from = TeConfig::zero(&tunnels);
+        let to = solve(&topo, &tm, &tunnels);
+        let cfg = ExecutorConfig::new(SwitchModel::Realistic, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (reached, live) = rollout(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &ing,
+            &cfg,
+            0,
+            OutcomeSource::Sample(&mut rng),
+        );
+        let (replayed, rep) = rollout(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &ing,
+            &cfg,
+            0,
+            OutcomeSource::Recorded(&live.recorded),
+        );
+        assert_eq!(reached, replayed);
+        assert_eq!(live.steps_completed, rep.steps_completed);
+        assert_eq!(live.stale, rep.stale);
+        assert_eq!(live.rollout_secs.to_bits(), rep.rollout_secs.to_bits());
+    }
+
+    #[test]
+    fn broken_switch_goes_stale_but_ffc_advances() {
+        let (topo, tm, tunnels, _) = diamond();
+        let from = TeConfig::zero(&tunnels);
+        let to = solve(&topo, &tm, &tunnels);
+        // Two "ingresses" (only `a` really originates traffic; the
+        // second stands in for another participating switch).
+        let ing = vec![NodeId(0), NodeId(3)];
+        let cfg = ExecutorConfig::new(SwitchModel::Optimistic, 1);
+        // Hand-written outcomes: switch 3 times out at step 0, switch 0
+        // acks everything promptly.
+        let mut events = vec![TimedEvent {
+            interval: 0,
+            event: Event::UpdateTimeout {
+                switch: NodeId(3),
+                step: 0,
+            },
+        }];
+        for step in 0..cfg.max_steps {
+            events.push(TimedEvent {
+                interval: 0,
+                event: Event::UpdateAck {
+                    switch: NodeId(0),
+                    step,
+                    delay: 0.01,
+                },
+            });
+        }
+        let (reached, rep) = rollout(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &ing,
+            &cfg,
+            0,
+            OutcomeSource::Recorded(&events),
+        );
+        // kc = 1 tolerates the broken switch: rollout completes.
+        assert_eq!(reached, to);
+        assert!(rep.completed);
+        assert_eq!(rep.stale, vec![NodeId(3)]);
+
+        // With kc = 0 the same outcomes stall at step 0.
+        let cfg0 = ExecutorConfig::new(SwitchModel::Optimistic, 0);
+        let (reached0, rep0) = rollout(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &ing,
+            &cfg0,
+            0,
+            OutcomeSource::Recorded(&events),
+        );
+        assert_eq!(reached0, from);
+        assert_eq!(rep0.steps_completed, 0);
+        assert!(!rep0.completed);
+    }
+}

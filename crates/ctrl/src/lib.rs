@@ -1,0 +1,408 @@
+//! # ffc-ctrl — online TE controller loop
+//!
+//! The operational half the paper assumes but the offline solvers don't
+//! model (§2, §5.2): a controller that, every TE interval, ingests
+//! events (demand updates, faults, operator changes), re-optimizes the
+//! FFC model **warm** from the previous interval's basis, rolls the new
+//! configuration out congestion-free against the switch model, and
+//! drives the data plane — here `ffc-sim`'s step-wise
+//! [`DrivenSim`](ffc_sim::DrivenSim), which the controller owns rather
+//! than the other way around.
+//!
+//! ```text
+//!  events ─▶ Controller::run ─┬─ planner  (warm FFC re-solve, ladder)
+//!                             ├─ executor (§5.5 staged rollout)
+//!                             ├─ state    (versioned configs + basis)
+//!                             ├─ DrivenSim (loss accounting)
+//!                             └─ telemetry (JSONL) + recorded trace
+//! ```
+//!
+//! Live runs record the rollout outcomes they sample; replaying the
+//! recorded trace ([`replay::EventTrace`]) consumes them instead and
+//! reproduces the run's telemetry fingerprints bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod executor;
+pub mod planner;
+pub mod replay;
+pub mod state;
+pub mod telemetry;
+
+use std::time::Duration;
+
+use ffc_core::{FfcConfig, TeConfig, TeProblem};
+use ffc_lp::{Algorithm, SimplexOptions};
+use ffc_net::{NodeId, Topology, TrafficMatrix, TunnelTable};
+use ffc_sim::{DrivenSim, RunTotals, SwitchModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use event::{Event, TimedEvent};
+pub use executor::{ExecutorConfig, OutcomeSource, RolloutReport};
+pub use planner::{PlanOutcome, Planner, PlannerConfig, SolvePath};
+pub use replay::{generate_poisson_events, EventTrace, TraceHeader};
+pub use state::{ConfigStore, HintShape, VersionedConfig};
+pub use telemetry::IntervalTelemetry;
+
+/// Controller parameters (the union of planner + executor knobs).
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Requested protection level.
+    pub ffc: FfcConfig,
+    /// TE interval length in seconds.
+    pub interval_secs: f64,
+    /// Planner solve deadline.
+    pub solve_deadline: Duration,
+    /// Rescale-only recovery probe period (intervals).
+    pub recovery_probe: usize,
+    /// Rollout step budget.
+    pub max_update_steps: usize,
+    /// Rule changes per switch per rollout step.
+    pub rules_per_update: usize,
+    /// Switch latency/failure model.
+    pub switch_model: SwitchModel,
+    /// RNG seed for live-run sampling.
+    pub seed: u64,
+    /// Simplex options (`Auto` routes warm bases through the dual path).
+    pub opts: SimplexOptions,
+}
+
+impl ControllerConfig {
+    /// Defaults matching the paper's operating point.
+    pub fn new(ffc: FfcConfig, switch_model: SwitchModel) -> Self {
+        ControllerConfig {
+            ffc,
+            interval_secs: 300.0,
+            solve_deadline: Duration::from_secs(30),
+            recovery_probe: 3,
+            max_update_steps: 3,
+            rules_per_update: 35,
+            switch_model,
+            seed: 42,
+            opts: SimplexOptions {
+                algorithm: Algorithm::Auto,
+                ..SimplexOptions::default()
+            },
+        }
+    }
+
+    /// The configuration a trace header describes.
+    pub fn from_header(h: &replay::TraceHeader) -> Self {
+        let mut cfg = ControllerConfig::new(FfcConfig::new(h.kc, h.ke, h.kv), h.switch_model);
+        cfg.interval_secs = h.interval_secs;
+        cfg.solve_deadline = Duration::from_millis(h.solve_deadline_ms);
+        cfg.max_update_steps = h.max_update_steps;
+        cfg.seed = h.seed;
+        cfg
+    }
+
+    /// The header describing this configuration (for trace recording).
+    pub fn to_header(&self, intervals: usize, tunnels_per_flow: usize) -> replay::TraceHeader {
+        replay::TraceHeader {
+            intervals,
+            interval_secs: self.interval_secs,
+            kc: self.ffc.kc,
+            ke: self.ffc.ke,
+            kv: self.ffc.kv,
+            tunnels_per_flow,
+            switch_model: self.switch_model,
+            seed: self.seed,
+            max_update_steps: self.max_update_steps,
+            solve_deadline_ms: self.solve_deadline.as_millis() as u64,
+        }
+    }
+}
+
+/// What a controller run produced.
+#[derive(Debug, Clone)]
+pub struct ControllerReport {
+    /// One record per interval.
+    pub telemetry: Vec<IntervalTelemetry>,
+    /// Aggregate delivery/loss volumes.
+    pub totals: RunTotals,
+    /// The input events plus, on live runs, the recorded rollout
+    /// outcomes — replayable via [`Controller::run`] with `replay`.
+    pub recorded_events: Vec<TimedEvent>,
+}
+
+impl ControllerReport {
+    /// The deterministic fingerprint of the whole run (one line per
+    /// interval, see [`IntervalTelemetry::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        for t in &self.telemetry {
+            s.push_str(&t.fingerprint());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// The online controller: owns the planner, executor, config store, and
+/// the driven data-plane simulator.
+pub struct Controller<'a> {
+    topo: &'a Topology,
+    tunnels: &'a TunnelTable,
+    cfg: ControllerConfig,
+}
+
+impl<'a> Controller<'a> {
+    /// A controller over a fixed topology and tunnel layout.
+    pub fn new(topo: &'a Topology, tunnels: &'a TunnelTable, cfg: ControllerConfig) -> Self {
+        Controller { topo, tunnels, cfg }
+    }
+
+    /// Runs `intervals` TE intervals over the event stream.
+    ///
+    /// With `replay = false` the rollout samples switch behaviour from
+    /// the seeded RNG and the returned `recorded_events` include the
+    /// sampled outcomes. With `replay = true` the outcomes are taken
+    /// from `events` instead (they must have been recorded by a live
+    /// run) and the telemetry fingerprint reproduces the live run's.
+    pub fn run(
+        &mut self,
+        base_tm: &TrafficMatrix,
+        events: &[TimedEvent],
+        intervals: usize,
+        replay: bool,
+    ) -> ControllerReport {
+        let mut planner = Planner::new(PlannerConfig {
+            ffc: self.cfg.ffc.clone(),
+            solve_deadline: self.cfg.solve_deadline,
+            recovery_probe: self.cfg.recovery_probe,
+            opts: self.cfg.opts.clone(),
+        });
+        let mut store = ConfigStore::new(TeConfig::zero(self.tunnels));
+        let mut sim = DrivenSim::new(self.topo, self.tunnels);
+        sim.interval_secs = self.cfg.interval_secs;
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+
+        let mut tm = base_tm.clone();
+        let mut telemetry = Vec::with_capacity(intervals);
+        let mut totals = RunTotals::default();
+        let mut recorded: Vec<TimedEvent> = events
+            .iter()
+            .filter(|te| !replay || !te.event.is_recorded_outcome())
+            .cloned()
+            .collect();
+        if replay {
+            // Keep the recorded outcomes for the report too: a replay's
+            // recording is the trace it replayed.
+            recorded = events.to_vec();
+        }
+
+        for interval in 0..intervals {
+            // 1. Apply this interval's input events.
+            let mut events_applied = 0usize;
+            for te in events.iter().filter(|te| te.interval == interval) {
+                if te.event.is_recorded_outcome() {
+                    continue;
+                }
+                events_applied += 1;
+                match te.event {
+                    Event::DemandScale(f) => tm = base_tm.scale(f),
+                    Event::DemandSet { flow, demand } => {
+                        tm.set_demand(ffc_net::FlowId(flow), demand)
+                    }
+                    Event::LinkDown(l) => sim.fail_link(l),
+                    Event::LinkUp(l) => sim.repair_link(l),
+                    Event::SwitchDown(v) => sim.fail_switch(v),
+                    Event::SwitchUp(v) => sim.repair_switch(v),
+                    Event::SetProtection { kc, ke, kv } => {
+                        planner.set_protection(kc, ke, kv, &mut store)
+                    }
+                    Event::UpdateAck { .. } | Event::UpdateTimeout { .. } => unreachable!(),
+                }
+            }
+
+            // 2. Re-solve (or degrade) for the new demands + faults.
+            let old = store.installed().clone();
+            let problem = TeProblem::new(self.topo, &tm, self.tunnels);
+            let outcome = planner.plan(problem, &old, sim.scenario(), &mut store);
+            let rolled_back = outcome.path == SolvePath::Infeasible;
+            let target = match &outcome.target {
+                Some(t) => {
+                    store.stage(t.clone());
+                    t.clone()
+                }
+                None if rolled_back => store.rollback().clone(),
+                // Rescale-only: hold the installed config; ingress
+                // rescaling (inside the sim's load model) absorbs faults.
+                None => old.clone(),
+            };
+
+            // 3. Roll the target out across the flow ingresses.
+            let ingresses = flow_ingresses(&tm);
+            let exec_cfg = ExecutorConfig {
+                max_steps: self.cfg.max_update_steps,
+                kc: outcome.protection.0,
+                rules_per_step: self.cfg.rules_per_update,
+                switch_model: self.cfg.switch_model,
+                cap_secs: self.cfg.interval_secs,
+            };
+            let source = if replay {
+                OutcomeSource::Recorded(events)
+            } else {
+                OutcomeSource::Sample(&mut rng)
+            };
+            let (reached, rollout) = executor::rollout(
+                self.topo,
+                &tm,
+                self.tunnels,
+                &old,
+                &target,
+                &ingresses,
+                &exec_cfg,
+                interval,
+                source,
+            );
+            if !replay {
+                recorded.extend(rollout.recorded.iter().cloned());
+            }
+            let full = rollout.completed && rollout.congestion_free_plan && !rolled_back;
+            store.commit(reached.clone(), full);
+
+            // 4. Advance the data plane and account the interval.
+            let rec = sim.advance(&tm, &reached, &rollout.stale);
+            for p in 0..3 {
+                totals.delivered[p] += rec.delivered[p];
+                totals.lost_congestion[p] += rec.lost_congestion[p];
+                totals.lost_blackhole[p] += rec.lost_blackhole[p];
+            }
+            let stats = outcome.stats.as_ref();
+            telemetry.push(IntervalTelemetry {
+                interval,
+                events_applied,
+                protection: outcome.protection,
+                path: outcome.path,
+                degraded: outcome.degraded,
+                rolled_back,
+                iterations: stats.map_or(0, |s| s.iterations()),
+                dual_iterations: stats.map_or(0, |s| s.dual_iterations),
+                dual_bound_flips: stats.map_or(0, |s| s.dual_bound_flips),
+                solve_ms: outcome.wall.as_secs_f64() * 1e3,
+                config_version: store.installed_version(),
+                rollout_steps_planned: rollout.steps_planned,
+                rollout_steps_completed: rollout.steps_completed,
+                congestion_free_plan: rollout.congestion_free_plan,
+                stale_switches: rollout.stale.len(),
+                rollout_secs: rollout.rollout_secs,
+                overloaded_links: rec.overloaded_links,
+                max_oversubscription: rec.max_oversubscription,
+                delivered: rec.delivered.iter().sum(),
+                lost_congestion: rec.lost_congestion.iter().sum(),
+                lost_blackhole: rec.lost_blackhole.iter().sum(),
+            });
+        }
+
+        ControllerReport {
+            telemetry,
+            totals,
+            recorded_events: recorded,
+        }
+    }
+}
+
+/// The distinct flow sources — the switches a rollout must update.
+fn flow_ingresses(tm: &TrafficMatrix) -> Vec<NodeId> {
+    let mut s: Vec<NodeId> = tm.iter().map(|(_, f)| f.src).collect();
+    s.sort_unstable();
+    s.dedup();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffc_net::prelude::*;
+
+    fn diamond() -> (Topology, TrafficMatrix, TunnelTable) {
+        let mut topo = Topology::new();
+        let (a, b, c, d) = (
+            topo.add_node("a"),
+            topo.add_node("b"),
+            topo.add_node("c"),
+            topo.add_node("d"),
+        );
+        topo.add_bidi(a, b, 10.0);
+        topo.add_bidi(b, d, 10.0);
+        topo.add_bidi(a, c, 10.0);
+        topo.add_bidi(c, d, 10.0);
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(a, d, 8.0, Priority::High);
+        let tunnels = layout_tunnels(
+            &topo,
+            &tm,
+            &LayoutConfig {
+                tunnels_per_flow: 2,
+                ..LayoutConfig::default()
+            },
+        );
+        (topo, tm, tunnels)
+    }
+
+    #[test]
+    fn faultless_run_delivers_everything() {
+        let (topo, tm, tunnels) = diamond();
+        let cfg = ControllerConfig::new(FfcConfig::new(0, 1, 0), SwitchModel::Optimistic);
+        let mut ctrl = Controller::new(&topo, &tunnels, cfg);
+        let report = ctrl.run(&tm, &[], 4, false);
+        assert_eq!(report.telemetry.len(), 4);
+        assert!(report.totals.total_lost() < 1e-9, "{:?}", report.totals);
+        assert!(report.totals.total_delivered() > 0.0);
+        // First interval cold, later intervals warm (identical demands
+        // re-solve in zero iterations off the chained basis).
+        assert_eq!(report.telemetry[0].path, SolvePath::Cold);
+        for t in &report.telemetry[1..] {
+            assert!(
+                matches!(t.path, SolvePath::WarmDual | SolvePath::WarmPrimal),
+                "interval {}: {:?}",
+                t.interval,
+                t.path
+            );
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_fingerprint() {
+        let (topo, tm, tunnels) = diamond();
+        let cfg = ControllerConfig::new(FfcConfig::new(0, 1, 0), SwitchModel::Realistic);
+        let events = vec![
+            TimedEvent {
+                interval: 1,
+                event: Event::DemandScale(0.9),
+            },
+            TimedEvent {
+                interval: 2,
+                event: Event::LinkDown(LinkId(0)),
+            },
+            TimedEvent {
+                interval: 3,
+                event: Event::LinkUp(LinkId(0)),
+            },
+        ];
+        let mut ctrl = Controller::new(&topo, &tunnels, cfg.clone());
+        let live = ctrl.run(&tm, &events, 4, false);
+        let mut ctrl2 = Controller::new(&topo, &tunnels, cfg);
+        let replayed = ctrl2.run(&tm, &live.recorded_events, 4, true);
+        assert_eq!(live.fingerprint(), replayed.fingerprint());
+        assert!((live.totals.total_delivered() - replayed.totals.total_delivered()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_within_protection_causes_no_congestion_loss() {
+        let (topo, tm, tunnels) = diamond();
+        let cfg = ControllerConfig::new(FfcConfig::new(0, 1, 0), SwitchModel::Optimistic);
+        // One directed link down at interval 1 — within ke = 1.
+        let events = vec![TimedEvent {
+            interval: 1,
+            event: Event::LinkDown(LinkId(0)),
+        }];
+        let mut ctrl = Controller::new(&topo, &tunnels, cfg);
+        let report = ctrl.run(&tm, &events, 3, false);
+        let congestion: f64 = report.totals.lost_congestion.iter().sum();
+        assert!(congestion < 1e-9, "congestion {congestion}");
+    }
+}

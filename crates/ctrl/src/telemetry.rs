@@ -1,0 +1,163 @@
+//! Per-interval structured telemetry, emitted as JSONL.
+//!
+//! Every interval produces one [`IntervalTelemetry`] record: what the
+//! planner did (path, iterations, wall time, protection level), what
+//! the executor did (steps, stale switches, rollout time), and what the
+//! data plane saw (loss, overloaded links). [`IntervalTelemetry::to_json`]
+//! renders one JSON object per line; [`IntervalTelemetry::fingerprint`]
+//! renders the *deterministic* subset — everything except wall-clock
+//! measurements — which is what replays must reproduce bit-for-bit.
+
+use crate::planner::SolvePath;
+
+/// One TE interval's controller record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalTelemetry {
+    /// Zero-based interval index.
+    pub interval: usize,
+    /// Input events applied at the interval's start.
+    pub events_applied: usize,
+    /// Protection level the planner solved with `(kc, ke, kv)`.
+    pub protection: (usize, usize, usize),
+    /// Solve path taken.
+    pub path: SolvePath,
+    /// Whether the degradation ladder was below the requested level.
+    pub degraded: bool,
+    /// Whether this interval fell back to the last-known-good config.
+    pub rolled_back: bool,
+    /// Simplex iterations (phase 1 + phase 2 + dual), when a solve ran.
+    pub iterations: usize,
+    /// Dual simplex iterations within that.
+    pub dual_iterations: usize,
+    /// Dual bound flips within that.
+    pub dual_bound_flips: usize,
+    /// Solve wall time in milliseconds (not part of the fingerprint).
+    pub solve_ms: f64,
+    /// Installed config version after the interval.
+    pub config_version: u64,
+    /// Steps in the congestion-free rollout plan.
+    pub rollout_steps_planned: usize,
+    /// Steps the rollout actually completed.
+    pub rollout_steps_completed: usize,
+    /// Whether a congestion-free chain existed within the step budget.
+    pub congestion_free_plan: bool,
+    /// Switches stale at the end of the rollout.
+    pub stale_switches: usize,
+    /// Modeled rollout duration in seconds (deterministic: it is summed
+    /// from recorded/sampled switch delays, not measured).
+    pub rollout_secs: f64,
+    /// Links over capacity after ingress rescaling.
+    pub overloaded_links: usize,
+    /// Peak link oversubscription ratio.
+    pub max_oversubscription: f64,
+    /// Volume delivered this interval (all priorities).
+    pub delivered: f64,
+    /// Congestion loss volume.
+    pub lost_congestion: f64,
+    /// Blackhole loss volume.
+    pub lost_blackhole: f64,
+}
+
+impl IntervalTelemetry {
+    /// The deterministic subset of the record: equal across a live run
+    /// and its replay. Floats use shortest-roundtrip `Display`, so
+    /// equality is bit-equality.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{{\"interval\": {}, \"events_applied\": {}, \"protection\": [{}, {}, {}], \
+             \"path\": \"{}\", \"degraded\": {}, \"rolled_back\": {}, \
+             \"iterations\": {}, \"dual_iterations\": {}, \"dual_bound_flips\": {}, \
+             \"config_version\": {}, \"rollout_steps_planned\": {}, \
+             \"rollout_steps_completed\": {}, \"congestion_free_plan\": {}, \
+             \"stale_switches\": {}, \"rollout_secs\": {}, \"overloaded_links\": {}, \
+             \"max_oversubscription\": {}, \"delivered\": {}, \
+             \"lost_congestion\": {}, \"lost_blackhole\": {}}}",
+            self.interval,
+            self.events_applied,
+            self.protection.0,
+            self.protection.1,
+            self.protection.2,
+            self.path.as_str(),
+            self.degraded,
+            self.rolled_back,
+            self.iterations,
+            self.dual_iterations,
+            self.dual_bound_flips,
+            self.config_version,
+            self.rollout_steps_planned,
+            self.rollout_steps_completed,
+            self.congestion_free_plan,
+            self.stale_switches,
+            self.rollout_secs,
+            self.overloaded_links,
+            self.max_oversubscription,
+            self.delivered,
+            self.lost_congestion,
+            self.lost_blackhole,
+        )
+    }
+
+    /// One JSON object per line: the fingerprint fields plus wall-clock
+    /// measurements.
+    pub fn to_json(&self) -> String {
+        let fp = self.fingerprint();
+        // Splice timing into the closing brace.
+        format!(
+            "{}, \"solve_ms\": {:.3}}}",
+            &fp[..fp.len() - 1],
+            self.solve_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IntervalTelemetry {
+        IntervalTelemetry {
+            interval: 4,
+            events_applied: 2,
+            protection: (0, 1, 0),
+            path: SolvePath::WarmDual,
+            degraded: false,
+            rolled_back: false,
+            iterations: 17,
+            dual_iterations: 11,
+            dual_bound_flips: 3,
+            solve_ms: 12.75,
+            config_version: 5,
+            rollout_steps_planned: 2,
+            rollout_steps_completed: 2,
+            congestion_free_plan: true,
+            stale_switches: 0,
+            rollout_secs: 0.125,
+            overloaded_links: 0,
+            max_oversubscription: 0.0,
+            delivered: 1234.5,
+            lost_congestion: 0.0,
+            lost_blackhole: 0.25,
+        }
+    }
+
+    #[test]
+    fn fingerprint_excludes_wall_time() {
+        let a = sample();
+        let mut b = sample();
+        b.solve_ms = 9999.0;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"path\": \"warm_dual\""));
+        assert!(j.contains("\"solve_ms\": 12.750"));
+        assert!(!j.contains('\n'));
+        // Balanced braces and quotes.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('"').count() % 2, 0);
+    }
+}

@@ -58,5 +58,5 @@ pub use expr::{LinExpr, VarId};
 pub use model::{
     BasisStatuses, Cmp, ColStatus, ConId, LpError, Model, Sense, Solution, SolveStats,
 };
-pub use pricing::Pricing;
+pub use pricing::{Pricing, AUTO_PARTIAL_MIN_COLS};
 pub use simplex::{Algorithm, SimplexOptions};

@@ -35,14 +35,17 @@ fn auto_candidates(ncols: usize) -> usize {
     ((ncols as f64).sqrt() as usize * 4).clamp(32, 1024)
 }
 
-/// Column count below which [`Pricing::PartialDevex`] with automatic
-/// sizing (`candidates == 0`) disables the candidate list and prices
-/// like full devex. On small and dense-ish LPs the list's staler devex
-/// picks cost more iterations than the cheap partial passes save (see
-/// `BENCH_pricing.json`), while a full pass is cheap anyway; the list
-/// only pays off when columns vastly outnumber rows. An explicit
+/// Column count (structurals + slacks, as the engine prices them) below
+/// which [`Pricing::PartialDevex`] with automatic sizing
+/// (`candidates == 0`) disables the candidate list and prices like full
+/// devex. On small and dense-ish LPs the list's staler devex picks cost
+/// more iterations than the cheap partial passes save, while a full
+/// pass is cheap anyway. Calibrated against `BENCH_pricing.json`: the
+/// 1000×3000 random LP (4 000 engine columns) slows down ~2.3× with the
+/// list on, while the full-scale L-Net TE model (~10 400 columns)
+/// speeds up ~1.7–2.1× — so the threshold sits between them. An explicit
 /// nonzero `candidates` always keeps partial pricing on.
-pub const AUTO_PARTIAL_MIN_COLS: usize = 4000;
+pub const AUTO_PARTIAL_MIN_COLS: usize = 6000;
 
 /// Simplex pricing rule, selected via `SimplexOptions::pricing`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -40,6 +40,8 @@ pub mod update_exec;
 
 pub use faults::{FaultModel, FaultProcess, IntervalFaults};
 pub use metrics::{percentile, Cdf, RunTotals};
-pub use runner::{IntervalRecord, Protection, SimConfig, SimReport, Simulator};
+pub use runner::{
+    DrivenInterval, DrivenSim, IntervalRecord, Protection, SimConfig, SimReport, Simulator,
+};
 pub use switch_model::{SwitchModel, UpdateOutcome};
 pub use update_exec::{simulate_update, update_time_samples, UpdateExecConfig};

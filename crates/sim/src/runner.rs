@@ -330,24 +330,36 @@ impl<'a> Simulator<'a> {
         rec.fault_events = new_faults.new_links.len() + new_faults.new_switches.len();
         let rescale_lag = self.cfg.detection_secs + self.cfg.notify_secs + self.cfg.rescale_secs;
 
-        // Blackhole windows for each new fault.
+        // Blackhole windows for each new fault. The volume is attributed
+        // to priorities proportionally to the per-priority share of the
+        // dead traffic, approximated by the config's overall mix.
         for &(l, t) in &new_faults.new_links {
             let mut sc = FaultScenario::none();
             sc.fail_link(l);
-            let dead = rate_on_dead_tunnels(self.topo, &tm, self.tunnels, &target, &sc);
-            // Attribute blackhole volume to priorities proportionally to
-            // the per-priority share of the dead traffic: approximate
-            // with the overall priority mix of the config.
             let window = rescale_lag.min(interval - t);
-            let vol = dead * window;
-            distribute_by_priority(&tm, &target, vol, &mut rec.lost_blackhole);
+            charge_blackhole(
+                self.topo,
+                &tm,
+                self.tunnels,
+                &target,
+                &sc,
+                window,
+                &mut rec.lost_blackhole,
+            );
         }
         for &(v, t) in &new_faults.new_switches {
             let mut sc = FaultScenario::none();
             sc.fail_switch(v);
-            let dead = rate_on_dead_tunnels(self.topo, &tm, self.tunnels, &target, &sc);
             let window = rescale_lag.min(interval - t);
-            distribute_by_priority(&tm, &target, dead * window, &mut rec.lost_blackhole);
+            charge_blackhole(
+                self.topo,
+                &tm,
+                self.tunnels,
+                &target,
+                &sc,
+                window,
+                &mut rec.lost_blackhole,
+            );
         }
 
         // Reaction decision: non-FFC reacts to any new data-plane fault;
@@ -495,6 +507,207 @@ impl<'a> Simulator<'a> {
         self.installed = Some(final_cfg.clone());
         rec
     }
+}
+
+/// Per-interval record produced by [`DrivenSim::advance`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DrivenInterval {
+    /// Granted rate volume this interval (rate × seconds), per priority.
+    pub delivered: [f64; 3],
+    /// Congestion loss volume, per priority.
+    pub lost_congestion: [f64; 3],
+    /// Blackhole loss volume, per priority.
+    pub lost_blackhole: [f64; 3],
+    /// Peak relative link oversubscription observed.
+    pub max_oversubscription: f64,
+    /// Links whose post-rescale load exceeds capacity.
+    pub overloaded_links: usize,
+}
+
+/// A step-wise driveable TE-interval simulator.
+///
+/// [`Simulator`] owns the whole loop: it recomputes TE, disseminates
+/// configs, samples faults, and reacts — the controller is baked in.
+/// `DrivenSim` inverts that: an *external* controller (`ffc-ctrl`) owns
+/// the loop and drives the data plane one interval at a time —
+/// injecting/repairing faults at interval boundaries, installing the
+/// configuration it computed and rolled out, and reading back link
+/// loads and the interval's loss accounting.
+///
+/// Loss model (same proxies as [`Simulator`], see DESIGN §5b):
+///
+/// * **blackhole** — traffic the *previously installed* configuration
+///   aims at tunnels killed by a freshly injected fault, charged for
+///   the detection + notification + rescale window;
+/// * **congestion** — post-rescale link oversubscription × interval
+///   length under the installed configuration, with stale ingresses
+///   forwarding per the previous configuration (ordered updates, §5.5).
+///
+/// Unlike [`Simulator`], faults change only at interval boundaries
+/// (events are the controller's input granularity) and demand
+/// carry-over is not modeled — the controller's telemetry wants
+/// per-interval quantities that don't bleed into each other.
+pub struct DrivenSim<'a> {
+    topo: &'a Topology,
+    tunnels: &'a TunnelTable,
+    /// TE interval length in seconds (paper: 300).
+    pub interval_secs: f64,
+    /// Detection + notification + ingress-rescale lag charged as the
+    /// blackhole window for each new fault.
+    pub rescale_lag_secs: f64,
+    active: FaultScenario,
+    /// Faults injected since the last `advance` (one scenario each, for
+    /// blackhole attribution).
+    fresh: Vec<FaultScenario>,
+    installed: Option<TeConfig>,
+}
+
+impl<'a> DrivenSim<'a> {
+    /// A driven simulator with the paper's interval and reaction lags.
+    pub fn new(topo: &'a Topology, tunnels: &'a TunnelTable) -> Self {
+        DrivenSim {
+            topo,
+            tunnels,
+            interval_secs: 300.0,
+            rescale_lag_secs: 0.005 + 0.050 + 0.002,
+            active: FaultScenario::none(),
+            fresh: Vec::new(),
+            installed: None,
+        }
+    }
+
+    /// The currently active data-plane faults.
+    pub fn scenario(&self) -> &FaultScenario {
+        &self.active
+    }
+
+    /// The configuration the network currently runs, if any.
+    pub fn installed(&self) -> Option<&TeConfig> {
+        self.installed.as_ref()
+    }
+
+    /// Fails a directed link (no-op when already failed). Physical cuts
+    /// take both directions down — inject each direction separately.
+    pub fn fail_link(&mut self, l: ffc_net::LinkId) {
+        if !self.active.failed_links.contains(&l) {
+            self.active.fail_link(l);
+            let mut sc = FaultScenario::none();
+            sc.fail_link(l);
+            self.fresh.push(sc);
+        }
+    }
+
+    /// Repairs a directed link.
+    pub fn repair_link(&mut self, l: ffc_net::LinkId) {
+        self.active.failed_links.remove(&l);
+    }
+
+    /// Fails a switch (no-op when already failed).
+    pub fn fail_switch(&mut self, v: NodeId) {
+        if !self.active.failed_switches.contains(&v) {
+            self.active.fail_switch(v);
+            let mut sc = FaultScenario::none();
+            sc.fail_switch(v);
+            self.fresh.push(sc);
+        }
+    }
+
+    /// Repairs a switch.
+    pub fn repair_switch(&mut self, v: NodeId) {
+        self.active.failed_switches.remove(&v);
+    }
+
+    /// Post-rescale link loads of the installed configuration under the
+    /// active faults (all zeros when nothing is installed yet).
+    pub fn link_loads(&self, tm: &TrafficMatrix) -> Vec<f64> {
+        match &self.installed {
+            Some(cfg) => {
+                priority_link_loads(self.topo, tm, self.tunnels, cfg, None, &self.active)
+                    .collapse()
+                    .load
+            }
+            None => vec![0.0; self.topo.num_links()],
+        }
+    }
+
+    /// Advances one TE interval: `target` is the configuration the
+    /// controller rolled out this interval (it becomes the installed
+    /// config), `stale` the ingresses whose update failed — they keep
+    /// forwarding per the previously installed configuration.
+    pub fn advance(
+        &mut self,
+        tm: &TrafficMatrix,
+        target: &TeConfig,
+        stale: &[NodeId],
+    ) -> DrivenInterval {
+        let mut rec = DrivenInterval::default();
+        let old = self
+            .installed
+            .clone()
+            .unwrap_or_else(|| TeConfig::zero(self.tunnels));
+
+        // Blackhole windows: traffic the previous config still aims at
+        // freshly killed tunnels until its ingresses rescale.
+        if self.installed.is_some() {
+            let window = self.rescale_lag_secs.min(self.interval_secs);
+            for fault in &self.fresh {
+                charge_blackhole(
+                    self.topo,
+                    tm,
+                    self.tunnels,
+                    &old,
+                    fault,
+                    window,
+                    &mut rec.lost_blackhole,
+                );
+            }
+        }
+        self.fresh.clear();
+
+        // Steady state for the rest of the interval: target everywhere,
+        // stale ingresses per the old configuration.
+        let mut sc = self.active.clone();
+        for &v in stale {
+            sc.fail_config(v);
+        }
+        let loads = priority_link_loads(self.topo, tm, self.tunnels, target, Some(&old), &sc);
+        rec.lost_congestion = priority_congestion_loss(self.topo, &loads, self.interval_secs);
+        let flat = loads.collapse();
+        rec.max_oversubscription = flat.max_oversubscription_ratio(self.topo);
+        rec.overloaded_links = self
+            .topo
+            .links()
+            .filter(|&e| flat.load[e.index()] > self.topo.capacity(e) * (1.0 + 1e-9))
+            .count();
+        for (f, flow) in tm.iter() {
+            rec.delivered[pidx(flow.priority)] += flat.sent[f.index()] * self.interval_secs;
+        }
+        for p in 0..3 {
+            rec.delivered[p] = (rec.delivered[p] - rec.lost_congestion[p]).max(0.0);
+        }
+
+        self.installed = Some(target.clone());
+        rec
+    }
+}
+
+/// Charges the blackhole window of one new fault: the traffic `cfg`
+/// aims at tunnels the fault kills is lost for `window` seconds,
+/// attributed to priorities by the config's granted-rate mix.
+fn charge_blackhole(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    tunnels: &TunnelTable,
+    cfg: &TeConfig,
+    fault: &FaultScenario,
+    window: f64,
+    out: &mut [f64; 3],
+) {
+    if window <= 0.0 {
+        return;
+    }
+    let dead = rate_on_dead_tunnels(topo, tm, tunnels, cfg, fault);
+    distribute_by_priority(tm, cfg, dead * window, out);
 }
 
 /// Distributes a loss volume over priorities in proportion to each
@@ -661,5 +874,96 @@ mod tests {
         let mut sim = Simulator::new(&topo, &tunnels, cfg);
         let _ = sim.run(&trace);
         assert!(sim.carryover.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn driven_faultless_advance_loses_nothing() {
+        let (topo, tunnels, trace) = tiny_setup();
+        let tm = &trace[0];
+        let problem = TeProblem::new(&topo, tm, &tunnels);
+        let cfg = TeModelBuilder::new(problem).solve().expect("TE");
+        let mut sim = DrivenSim::new(&topo, &tunnels);
+        assert!(sim.installed().is_none());
+        assert!(sim.link_loads(tm).iter().all(|&l| l == 0.0));
+        let rec = sim.advance(tm, &cfg, &[]);
+        let lost: f64 = rec
+            .lost_congestion
+            .iter()
+            .chain(rec.lost_blackhole.iter())
+            .sum();
+        assert!(lost < 1e-9, "faultless advance lost {lost}");
+        assert!(rec.delivered.iter().sum::<f64>() > 0.0);
+        assert_eq!(rec.overloaded_links, 0);
+        assert!(sim.installed().is_some());
+        assert!(sim.link_loads(tm).iter().any(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn driven_fresh_fault_charges_blackhole_once() {
+        let (topo, tunnels, trace) = tiny_setup();
+        let tm = &trace[0];
+        let problem = TeProblem::new(&topo, tm, &tunnels);
+        let cfg = TeModelBuilder::new(problem).solve().expect("TE");
+        let mut sim = DrivenSim::new(&topo, &tunnels);
+        sim.advance(tm, &cfg, &[]);
+        // Pick a link the installed config actually uses.
+        let traffic = cfg.link_traffic(&topo, &tunnels);
+        let used = topo
+            .links()
+            .find(|&l| traffic[l.index()] > 1e-9)
+            .expect("some loaded link");
+        sim.fail_link(used);
+        // Duplicate injections are idempotent: one blackhole charge.
+        sim.fail_link(used);
+        let rec = sim.advance(tm, &cfg, &[]);
+        let bh: f64 = rec.lost_blackhole.iter().sum();
+        assert!(bh > 0.0, "fresh fault on a used link must blackhole");
+        let expected =
+            rate_on_dead_tunnels(&topo, tm, &tunnels, &cfg, &FaultScenario::links([used]))
+                * sim.rescale_lag_secs;
+        assert!(
+            (bh - expected).abs() < 1e-9,
+            "blackhole {bh} vs one window {expected}"
+        );
+        // The fault is no longer fresh: advancing again charges nothing.
+        let rec2 = sim.advance(tm, &cfg, &[]);
+        assert!(rec2.lost_blackhole.iter().sum::<f64>() < 1e-9);
+        // Repair restores the faultless scenario.
+        sim.repair_link(used);
+        assert!(sim.scenario().failed_links.is_empty());
+    }
+
+    #[test]
+    fn driven_fault_before_install_does_not_blackhole() {
+        let (topo, tunnels, trace) = tiny_setup();
+        let tm = &trace[0];
+        let problem = TeProblem::new(&topo, tm, &tunnels);
+        let cfg = TeModelBuilder::new(problem).solve().expect("TE");
+        let mut sim = DrivenSim::new(&topo, &tunnels);
+        // Nothing installed yet: there is no traffic to blackhole.
+        sim.fail_link(topo.links().next().unwrap());
+        let rec = sim.advance(tm, &cfg, &[]);
+        assert!(rec.lost_blackhole.iter().sum::<f64>() < 1e-9);
+    }
+
+    #[test]
+    fn driven_stale_ingress_uses_old_config() {
+        let (topo, tunnels, trace) = tiny_setup();
+        let tm = &trace[0];
+        let problem = TeProblem::new(&topo, tm, &tunnels);
+        let cfg = TeModelBuilder::new(problem).solve().expect("TE");
+        let mut sim = DrivenSim::new(&topo, &tunnels);
+        sim.advance(tm, &cfg, &[]);
+        // All ingresses stale with target == installed: same loads as a
+        // clean advance (the old config IS the target).
+        let sources: Vec<NodeId> = {
+            let mut s: Vec<NodeId> = tm.iter().map(|(_, f)| f.src).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        let rec = sim.advance(tm, &cfg, &sources);
+        assert!(rec.lost_congestion.iter().sum::<f64>() < 1e-9);
+        assert!(rec.delivered.iter().sum::<f64>() > 0.0);
     }
 }
