@@ -1,0 +1,387 @@
+//! Post-run invariant checking.
+//!
+//! Given a controller run's input events and its telemetry, the checker
+//! asserts the paper's operational guarantees:
+//!
+//! * **Gated congestion invariant** — on any interval whose concurrent
+//!   faults stayed within the protection level the interval was solved
+//!   at (`≤ ke` failed directed links, `≤ kv` failed switches, `≤ kc`
+//!   stale switches), and whose solve actually produced a target with a
+//!   congestion-free rollout plan, no link may be over capacity.
+//! * **Rollback discipline** — the last-known-good version never moves
+//!   on a rolled-back interval, never decreases, never runs ahead of
+//!   the installed version, and a fully completed rollout always
+//!   promotes its config to last-known-good.
+//! * **Version bookkeeping** — exactly one configuration version is
+//!   allocated per interval.
+//!
+//! Overloads on intervals *outside* the gate (over-`k` storms, degraded
+//! or rolled-back intervals) are not violations — they are counted
+//! separately as `observed_overloads`, which is how the harness proves
+//! the detector actually fires when protection is exceeded.
+
+use std::collections::BTreeSet;
+
+use ffc_ctrl::{ControllerReport, Event, SolvePath, TimedEvent};
+
+/// One invariant violation, pinned to its interval.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A link exceeded capacity although faults were within the
+    /// interval's protection level.
+    OverloadWithinK {
+        /// Interval index.
+        interval: usize,
+        /// Links over capacity.
+        overloaded_links: usize,
+        /// Peak oversubscription ratio.
+        max_oversubscription: f64,
+        /// Active directed-link faults during the interval.
+        link_faults: usize,
+        /// Stale switches at rollout end.
+        stale: usize,
+    },
+    /// `last_good_version` moved on a rolled-back interval, decreased,
+    /// or ran ahead of the installed version.
+    RollbackDiscipline {
+        /// Interval index.
+        interval: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A fully completed rollout did not become last-known-good, or
+    /// version allocation skipped/repeated.
+    TelemetryInconsistent {
+        /// Interval index.
+        interval: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The live run and its replay disagreed on the deterministic
+    /// telemetry fingerprint.
+    FingerprintMismatch {
+        /// First diverging interval (line), if identifiable.
+        interval: usize,
+    },
+    /// Two identical live runs produced different fingerprints.
+    NonDeterministic,
+    /// A controller run panicked.
+    Panic(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::OverloadWithinK {
+                interval,
+                overloaded_links,
+                max_oversubscription,
+                link_faults,
+                stale,
+            } => write!(
+                f,
+                "interval {interval}: {overloaded_links} link(s) over capacity \
+                 (peak {max_oversubscription:.3}×) with only {link_faults} link fault(s) \
+                 and {stale} stale switch(es) — within protection"
+            ),
+            Violation::RollbackDiscipline { interval, detail } => {
+                write!(f, "interval {interval}: rollback discipline: {detail}")
+            }
+            Violation::TelemetryInconsistent { interval, detail } => {
+                write!(f, "interval {interval}: telemetry inconsistent: {detail}")
+            }
+            Violation::FingerprintMismatch { interval } => {
+                write!(f, "replay fingerprint diverges at interval {interval}")
+            }
+            Violation::NonDeterministic => write!(f, "identical live runs diverged"),
+            Violation::Panic(msg) => write!(f, "controller panicked: {msg}"),
+        }
+    }
+}
+
+/// What the checker found in one run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    /// Genuine invariant violations (must be empty on a healthy build).
+    pub violations: Vec<Violation>,
+    /// Intervals with any link over capacity, gated or not. Expected to
+    /// be non-zero for over-`k` campaigns — this is the signal the
+    /// `--expect-violation` regression fixtures assert on.
+    pub observed_overloads: usize,
+}
+
+/// Checks one controller run against the invariants. `events` must be
+/// the exact stream the run consumed (inputs; recorded outcomes are
+/// ignored here — staleness is read from telemetry).
+pub fn check_run(events: &[TimedEvent], report: &ControllerReport) -> CheckOutcome {
+    let mut out = CheckOutcome::default();
+    let mut failed_links: BTreeSet<usize> = BTreeSet::new();
+    let mut failed_switches: BTreeSet<usize> = BTreeSet::new();
+    let mut prev_last_good = 0u64;
+
+    for t in &report.telemetry {
+        // Fold this interval's input events into the active fault sets
+        // (the controller applies them before the re-solve).
+        for te in events.iter().filter(|te| te.interval == t.interval) {
+            match te.event {
+                Event::LinkDown(l) => {
+                    failed_links.insert(l.index());
+                }
+                Event::LinkUp(l) => {
+                    failed_links.remove(&l.index());
+                }
+                Event::SwitchDown(v) => {
+                    failed_switches.insert(v.index());
+                }
+                Event::SwitchUp(v) => {
+                    failed_switches.remove(&v.index());
+                }
+                _ => {}
+            }
+        }
+
+        if t.overloaded_links > 0 {
+            out.observed_overloads += 1;
+        }
+
+        // Gated congestion invariant.
+        let (kc, ke, kv) = t.protection;
+        let solved = matches!(
+            t.path,
+            SolvePath::Cold | SolvePath::WarmPrimal | SolvePath::WarmDual
+        );
+        let within_k =
+            failed_links.len() <= ke && failed_switches.len() <= kv && t.stale_switches <= kc;
+        if solved
+            && within_k
+            && !t.degraded
+            && !t.rolled_back
+            && t.congestion_free_plan
+            && t.overloaded_links > 0
+        {
+            out.violations.push(Violation::OverloadWithinK {
+                interval: t.interval,
+                overloaded_links: t.overloaded_links,
+                max_oversubscription: t.max_oversubscription,
+                link_faults: failed_links.len(),
+                stale: t.stale_switches,
+            });
+        }
+
+        // Version bookkeeping: exactly one version per interval.
+        if t.config_version != t.interval as u64 + 1 {
+            out.violations.push(Violation::TelemetryInconsistent {
+                interval: t.interval,
+                detail: format!(
+                    "config_version {} != interval + 1 = {}",
+                    t.config_version,
+                    t.interval + 1
+                ),
+            });
+        }
+
+        // Rollback discipline.
+        if t.last_good_version < prev_last_good {
+            out.violations.push(Violation::RollbackDiscipline {
+                interval: t.interval,
+                detail: format!(
+                    "last_good_version decreased {} -> {}",
+                    prev_last_good, t.last_good_version
+                ),
+            });
+        }
+        if t.last_good_version > t.config_version {
+            out.violations.push(Violation::RollbackDiscipline {
+                interval: t.interval,
+                detail: format!(
+                    "last_good_version {} ahead of installed {}",
+                    t.last_good_version, t.config_version
+                ),
+            });
+        }
+        if t.rolled_back && t.last_good_version != prev_last_good {
+            out.violations.push(Violation::RollbackDiscipline {
+                interval: t.interval,
+                detail: format!(
+                    "rolled-back interval moved last_good {} -> {}",
+                    prev_last_good, t.last_good_version
+                ),
+            });
+        }
+        let full_rollout = t.congestion_free_plan
+            && t.rollout_steps_completed == t.rollout_steps_planned
+            && !t.rolled_back;
+        if full_rollout && t.last_good_version != t.config_version {
+            out.violations.push(Violation::TelemetryInconsistent {
+                interval: t.interval,
+                detail: format!(
+                    "full rollout not promoted to last-known-good ({} != {})",
+                    t.last_good_version, t.config_version
+                ),
+            });
+        }
+        prev_last_good = t.last_good_version;
+    }
+    out
+}
+
+/// Compares two fingerprints line-by-line; returns the first diverging
+/// interval as a [`Violation::FingerprintMismatch`], or `None` when
+/// equal.
+pub fn compare_fingerprints(live: &str, replay: &str) -> Option<Violation> {
+    if live == replay {
+        return None;
+    }
+    let interval = live
+        .lines()
+        .zip(replay.lines())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| live.lines().count().min(replay.lines().count()));
+    Some(Violation::FingerprintMismatch { interval })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffc_ctrl::IntervalTelemetry;
+    use ffc_sim::RunTotals;
+
+    fn telem(interval: usize) -> IntervalTelemetry {
+        IntervalTelemetry {
+            interval,
+            events_applied: 0,
+            protection: (1, 1, 0),
+            path: SolvePath::Cold,
+            degraded: false,
+            rolled_back: false,
+            iterations: 10,
+            dual_iterations: 0,
+            dual_bound_flips: 0,
+            solve_ms: 1.0,
+            config_version: interval as u64 + 1,
+            rollout_steps_planned: 1,
+            rollout_steps_completed: 1,
+            congestion_free_plan: true,
+            stale_switches: 0,
+            update_retries: 0,
+            last_good_version: interval as u64 + 1,
+            rollout_secs: 0.1,
+            overloaded_links: 0,
+            max_oversubscription: 0.5,
+            delivered: 100.0,
+            lost_congestion: 0.0,
+            lost_blackhole: 0.0,
+        }
+    }
+
+    fn report(telemetry: Vec<IntervalTelemetry>) -> ControllerReport {
+        ControllerReport {
+            telemetry,
+            totals: RunTotals::default(),
+            recorded_events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let r = report(vec![telem(0), telem(1)]);
+        let out = check_run(&[], &r);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.observed_overloads, 0);
+    }
+
+    #[test]
+    fn overload_within_k_is_a_violation() {
+        let mut t = telem(0);
+        t.overloaded_links = 2;
+        t.max_oversubscription = 1.3;
+        let out = check_run(&[], &report(vec![t]));
+        assert_eq!(out.observed_overloads, 1);
+        assert!(matches!(
+            out.violations.as_slice(),
+            [Violation::OverloadWithinK { interval: 0, .. }]
+        ));
+    }
+
+    #[test]
+    fn overload_beyond_k_is_observed_but_not_a_violation() {
+        let mut t = telem(1);
+        t.overloaded_links = 1;
+        // Two directed links down at interval 1 with ke = 1: beyond k.
+        let events = vec![
+            TimedEvent {
+                interval: 1,
+                event: Event::LinkDown(ffc_net::LinkId(0)),
+            },
+            TimedEvent {
+                interval: 1,
+                event: Event::LinkDown(ffc_net::LinkId(1)),
+            },
+        ];
+        let out = check_run(&events, &report(vec![telem(0), t]));
+        assert_eq!(out.observed_overloads, 1);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn repaired_links_rearm_the_gate() {
+        // Storm at interval 0 (2 links > ke), repaired at interval 1:
+        // interval 1 overload IS a violation again.
+        let events = vec![
+            TimedEvent {
+                interval: 0,
+                event: Event::LinkDown(ffc_net::LinkId(0)),
+            },
+            TimedEvent {
+                interval: 0,
+                event: Event::LinkDown(ffc_net::LinkId(1)),
+            },
+            TimedEvent {
+                interval: 1,
+                event: Event::LinkUp(ffc_net::LinkId(0)),
+            },
+            TimedEvent {
+                interval: 1,
+                event: Event::LinkUp(ffc_net::LinkId(1)),
+            },
+        ];
+        let mut t1 = telem(1);
+        t1.overloaded_links = 1;
+        let out = check_run(&events, &report(vec![telem(0), t1]));
+        assert_eq!(out.violations.len(), 1);
+    }
+
+    #[test]
+    fn rolled_back_interval_must_not_move_last_good() {
+        let mut t0 = telem(0);
+        t0.last_good_version = 1;
+        let mut t1 = telem(1);
+        t1.rolled_back = true;
+        t1.last_good_version = 2; // moved while rolling back: violation
+        let out = check_run(&[], &report(vec![t0, t1]));
+        assert!(out
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::RollbackDiscipline { interval: 1, .. })));
+    }
+
+    #[test]
+    fn full_rollout_must_promote_last_good() {
+        let mut t = telem(0);
+        t.last_good_version = 0; // full rollout but not promoted
+        let out = check_run(&[], &report(vec![t]));
+        assert!(out
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TelemetryInconsistent { .. })));
+    }
+
+    #[test]
+    fn fingerprint_divergence_points_at_the_interval() {
+        assert!(compare_fingerprints("a\nb\n", "a\nb\n").is_none());
+        match compare_fingerprints("a\nb\nc\n", "a\nX\nc\n") {
+            Some(Violation::FingerprintMismatch { interval }) => assert_eq!(interval, 1),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Seeded generation of adversarial campaigns and event-stream
+//! perturbations.
+//!
+//! Everything here is a pure function of `(master_seed, campaign
+//! index)`: the same inputs always produce the same campaign plan, the
+//! same perturbed trace, and therefore the same harness verdict — a
+//! failing campaign can be re-run from its seed alone.
+
+use ffc_core::FfcConfig;
+use ffc_net::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ffc_ctrl::{Event, TimedEvent};
+
+/// splitmix64: decorrelates campaign indices from a master seed. Two
+/// campaigns of one run — or the same index under different master
+/// seeds — get unrelated RNG streams.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed campaign `index` runs under `master`.
+pub fn campaign_seed(master: u64, index: usize) -> u64 {
+    splitmix64(master ^ splitmix64(index as u64 + 1))
+}
+
+/// What flavour of adversity a campaign applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignKind {
+    /// Fault storms stay within the configured `(kc, ke, kv)`: the
+    /// gated congestion invariant must hold on every interval.
+    WithinK,
+    /// Storms deliberately exceed the protection level (and may drop a
+    /// whole interval's acks): overload is *expected*, the harness only
+    /// asserts the controller survives and its bookkeeping stays sound.
+    OverK,
+    /// Rare solver failures are forced: starved iteration budgets,
+    /// injected singular refactorizations, poisoned warm-basis hints.
+    SolverChaos,
+}
+
+impl CampaignKind {
+    /// Short label for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CampaignKind::WithinK => "within-k",
+            CampaignKind::OverK => "over-k",
+            CampaignKind::SolverChaos => "solver-chaos",
+        }
+    }
+}
+
+/// Deterministic solver-failure knobs a campaign threads into the
+/// controller's [`ffc_lp::SimplexOptions`] and
+/// [`ffc_ctrl::ChaosHooks`]. All fire identically in live and replay
+/// runs, so fingerprints still reproduce.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverChaosPlan {
+    /// Starve the simplex iteration budget (forces
+    /// `LpError::LimitExceeded` on big-enough solves).
+    pub max_iters: Option<usize>,
+    /// Force a singular refactorization once a solve reaches this many
+    /// iterations (forces `LpError::NumericalFailure`).
+    pub inject_singular_after: Option<usize>,
+    /// Intervals whose chained warm-basis hint is scrambled.
+    pub poison_hint_intervals: Vec<usize>,
+}
+
+/// How the recorded rollout outcomes of a live run are perturbed before
+/// the adversarial replay.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerturbPlan {
+    /// Probability an ack/timeout is dropped (a dropped ack is an ack
+    /// timeout from the replaying controller's point of view).
+    pub drop_p: f64,
+    /// Probability an ack is duplicated with a different delay (the
+    /// executor must resolve duplicates deterministically).
+    pub dup_p: f64,
+    /// Probability an ack is flipped into a timeout for the same
+    /// switch/step (mid-rollout switch failure).
+    pub flip_p: f64,
+    /// Probability two adjacent recorded outcomes swap places.
+    pub reorder_p: f64,
+    /// Drop *every* recorded outcome of this interval (total control
+    /// channel loss during a fault storm).
+    pub drop_all_interval: Option<usize>,
+}
+
+/// A fully described campaign: input events, solver chaos, and the
+/// perturbation applied to the recorded outcomes.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// Campaign index within the run.
+    pub index: usize,
+    /// The campaign's derived RNG seed (also the controller seed).
+    pub seed: u64,
+    /// Adversity flavour.
+    pub kind: CampaignKind,
+    /// Input events (demand changes, faults, repairs, protection
+    /// changes) for the live run.
+    pub events: Vec<TimedEvent>,
+    /// Deterministic solver-failure injection.
+    pub solver: SolverChaosPlan,
+    /// Ack-stream perturbation for the adversarial replay.
+    pub perturb: PerturbPlan,
+}
+
+/// Generates campaign `index` of a run: seeded storms (correlated on a
+/// pivot switch), bursty and stale demand, repairs, occasional operator
+/// protection changes, and — per campaign kind — solver chaos or
+/// over-`k` escalation.
+pub fn generate_campaign(
+    topo: &Topology,
+    ffc: &FfcConfig,
+    master_seed: u64,
+    index: usize,
+    intervals: usize,
+) -> CampaignPlan {
+    let seed = campaign_seed(master_seed, index);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kind = match rng.gen::<f64>() {
+        x if x < 0.55 => CampaignKind::WithinK,
+        x if x < 0.80 => CampaignKind::OverK,
+        _ => CampaignKind::SolverChaos,
+    };
+
+    let mut events = Vec::new();
+
+    // Demand stream: jittered scales with occasional bursts; a "stale"
+    // interval emits nothing and the controller keeps the old demands.
+    for interval in 0..intervals {
+        let r = rng.gen::<f64>();
+        if r < 0.15 {
+            continue; // stale demand update
+        }
+        let factor = if r < 0.30 {
+            1.4 + rng.gen::<f64>() * 0.8 // burst
+        } else {
+            0.9 + rng.gen::<f64>() * 0.2 // jitter
+        };
+        events.push(TimedEvent {
+            interval,
+            event: Event::DemandScale(factor),
+        });
+    }
+
+    // Correlated fault storm around a pivot switch: its incident links
+    // fail together, optionally with the switch itself.
+    let storm_interval = if intervals > 1 {
+        1 + rng.gen_range(0..intervals - 1)
+    } else {
+        0
+    };
+    let (link_faults, switch_faults) = match kind {
+        CampaignKind::OverK => (ffc.ke + 1 + rng.gen_range(0..2usize), ffc.kv + 1),
+        _ => (rng.gen_range(0..ffc.ke + 1), rng.gen_range(0..ffc.kv + 1)),
+    };
+    let pivot = ffc_net::NodeId(rng.gen_range(0..topo.num_nodes()));
+    let mut incident: Vec<ffc_net::LinkId> = topo
+        .out_links(pivot)
+        .iter()
+        .chain(topo.in_links(pivot))
+        .copied()
+        .collect();
+    incident.sort_unstable_by_key(|l| l.index());
+    let mut downed = Vec::new();
+    for &l in incident.iter().take(link_faults) {
+        events.push(TimedEvent {
+            interval: storm_interval,
+            event: Event::LinkDown(l),
+        });
+        downed.push(l);
+    }
+    let mut switch_downed = Vec::new();
+    // Over-k switch storms only make sense when switch protection is in
+    // play (or deliberately exceeded); keep them opt-in by probability
+    // so most campaigns stress the link dimension.
+    let switch_storm = switch_faults > 0 && (ffc.kv > 0 || rng.gen::<f64>() < 0.25);
+    if switch_storm {
+        for _ in 0..switch_faults {
+            let v = ffc_net::NodeId(rng.gen_range(0..topo.num_nodes()));
+            if !switch_downed.contains(&v) {
+                events.push(TimedEvent {
+                    interval: storm_interval,
+                    event: Event::SwitchDown(v),
+                });
+                switch_downed.push(v);
+            }
+        }
+    }
+    // Repairs one or two intervals later, when the run is long enough.
+    let repair_interval = storm_interval + 1 + rng.gen_range(0..2usize);
+    if repair_interval < intervals {
+        for &l in &downed {
+            events.push(TimedEvent {
+                interval: repair_interval,
+                event: Event::LinkUp(l),
+            });
+        }
+        for &v in &switch_downed {
+            events.push(TimedEvent {
+                interval: repair_interval,
+                event: Event::SwitchUp(v),
+            });
+        }
+    }
+
+    // Occasional operator protection change (never above the configured
+    // level, so within-k campaigns stay within k).
+    if rng.gen::<f64>() < 0.15 && intervals > 2 {
+        let interval = rng.gen_range(1..intervals);
+        events.push(TimedEvent {
+            interval,
+            event: Event::SetProtection {
+                kc: rng.gen_range(0..ffc.kc + 1),
+                ke: rng.gen_range(0..ffc.ke + 1),
+                kv: rng.gen_range(0..ffc.kv + 1),
+            },
+        });
+    }
+
+    events.sort_by_key(|te| te.interval);
+
+    let solver = if kind == CampaignKind::SolverChaos {
+        // At least one knob fires; each is drawn independently.
+        let mut plan = SolverChaosPlan {
+            max_iters: rng.gen_bool(0.4).then(|| 20 + rng.gen_range(0..180usize)),
+            inject_singular_after: rng.gen_bool(0.4).then(|| 20 + rng.gen_range(0..180usize)),
+            poison_hint_intervals: Vec::new(),
+        };
+        if rng.gen_bool(0.5) || (plan.max_iters.is_none() && plan.inject_singular_after.is_none()) {
+            let n = 1 + rng.gen_range(0..2usize.min(intervals));
+            for _ in 0..n {
+                let i = rng.gen_range(0..intervals);
+                if !plan.poison_hint_intervals.contains(&i) {
+                    plan.poison_hint_intervals.push(i);
+                }
+            }
+            plan.poison_hint_intervals.sort_unstable();
+        }
+        plan
+    } else {
+        SolverChaosPlan::default()
+    };
+
+    let perturb = PerturbPlan {
+        drop_p: 0.10,
+        dup_p: 0.05,
+        flip_p: 0.05,
+        reorder_p: 0.05,
+        drop_all_interval: (kind == CampaignKind::OverK && rng.gen_bool(0.5))
+            .then_some(storm_interval),
+    };
+
+    CampaignPlan {
+        index,
+        seed,
+        kind,
+        events,
+        solver,
+        perturb,
+    }
+}
+
+/// Applies a [`PerturbPlan`] to a recorded event stream: input events
+/// pass through untouched; recorded ack/timeout outcomes are dropped,
+/// duplicated, flipped to timeouts, and locally reordered under the
+/// campaign's RNG. Deterministic in `seed`.
+pub fn perturb_outcomes(events: &[TimedEvent], plan: &PerturbPlan, seed: u64) -> Vec<TimedEvent> {
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0xACED));
+    let mut out: Vec<TimedEvent> = Vec::with_capacity(events.len());
+    for te in events {
+        if !te.event.is_recorded_outcome() {
+            out.push(te.clone());
+            continue;
+        }
+        if plan.drop_all_interval == Some(te.interval) {
+            continue;
+        }
+        if rng.gen::<f64>() < plan.drop_p {
+            continue;
+        }
+        if let Event::UpdateAck {
+            switch,
+            step,
+            delay,
+        } = te.event
+        {
+            if rng.gen::<f64>() < plan.flip_p {
+                out.push(TimedEvent {
+                    interval: te.interval,
+                    event: Event::UpdateTimeout { switch, step },
+                });
+                continue;
+            }
+            out.push(te.clone());
+            if rng.gen::<f64>() < plan.dup_p {
+                // A duplicate with a different delay: last write wins in
+                // the executor, so this changes the rollout timing.
+                out.push(TimedEvent {
+                    interval: te.interval,
+                    event: Event::UpdateAck {
+                        switch,
+                        step,
+                        delay: delay * 1.5 + 0.001,
+                    },
+                });
+            }
+        } else {
+            out.push(te.clone());
+        }
+    }
+    // Local reordering of adjacent recorded outcomes.
+    for i in 1..out.len() {
+        if out[i].event.is_recorded_outcome()
+            && out[i - 1].event.is_recorded_outcome()
+            && out[i].interval == out[i - 1].interval
+            && rng.gen::<f64>() < plan.reorder_p
+        {
+            out.swap(i - 1, i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_topo() -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.add_bidi(a, b, 10.0);
+        t.add_bidi(b, c, 10.0);
+        t.add_bidi(a, c, 10.0);
+        t
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_in_seed_and_index() {
+        let topo = toy_topo();
+        let ffc = FfcConfig::new(1, 1, 0);
+        let a = generate_campaign(&topo, &ffc, 7, 3, 4);
+        let b = generate_campaign(&topo, &ffc, 7, 3, 4);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.solver, b.solver);
+        assert_eq!(a.perturb, b.perturb);
+        // Different index ⇒ different stream.
+        let c = generate_campaign(&topo, &ffc, 7, 4, 4);
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn within_k_storms_respect_the_protection_level() {
+        let topo = toy_topo();
+        let ffc = FfcConfig::new(1, 1, 0);
+        for idx in 0..64 {
+            let plan = generate_campaign(&topo, &ffc, 11, idx, 4);
+            if plan.kind == CampaignKind::OverK {
+                continue;
+            }
+            let downs = plan
+                .events
+                .iter()
+                .filter(|te| matches!(te.event, Event::LinkDown(_)))
+                .count();
+            assert!(downs <= ffc.ke, "campaign {idx} failed {downs} links");
+        }
+    }
+
+    #[test]
+    fn over_k_storms_exceed_the_protection_level() {
+        let topo = toy_topo();
+        let ffc = FfcConfig::new(1, 1, 0);
+        let mut saw_over = false;
+        for idx in 0..64 {
+            let plan = generate_campaign(&topo, &ffc, 11, idx, 4);
+            if plan.kind != CampaignKind::OverK {
+                continue;
+            }
+            let downs = plan
+                .events
+                .iter()
+                .filter(|te| matches!(te.event, Event::LinkDown(_)))
+                .count();
+            assert!(downs > ffc.ke, "over-k campaign {idx} failed only {downs}");
+            saw_over = true;
+        }
+        assert!(saw_over, "64 campaigns should include an over-k one");
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_and_leaves_inputs_alone() {
+        let events = vec![
+            TimedEvent {
+                interval: 0,
+                event: Event::DemandScale(1.1),
+            },
+            TimedEvent {
+                interval: 0,
+                event: Event::UpdateAck {
+                    switch: ffc_net::NodeId(0),
+                    step: 0,
+                    delay: 0.01,
+                },
+            },
+            TimedEvent {
+                interval: 1,
+                event: Event::UpdateAck {
+                    switch: ffc_net::NodeId(0),
+                    step: 0,
+                    delay: 0.02,
+                },
+            },
+        ];
+        let plan = PerturbPlan {
+            drop_p: 0.5,
+            dup_p: 0.5,
+            flip_p: 0.5,
+            reorder_p: 0.5,
+            drop_all_interval: Some(1),
+        };
+        let a = perturb_outcomes(&events, &plan, 9);
+        let b = perturb_outcomes(&events, &plan, 9);
+        assert_eq!(a, b);
+        // The input event survives every perturbation…
+        assert!(a.iter().any(|te| matches!(te.event, Event::DemandScale(_))));
+        // …and the drop-all interval has no outcomes left.
+        assert!(!a
+            .iter()
+            .any(|te| te.interval == 1 && te.event.is_recorded_outcome()));
+    }
+}

@@ -1,0 +1,84 @@
+//! Greedy event-stream shrinking for failing campaigns.
+//!
+//! A failing campaign's replay trace can carry dozens of events that
+//! have nothing to do with the violation. The shrinker removes chunks
+//! (then single events) while the caller-supplied predicate still
+//! fails, yielding a minimal-ish replayable regression trace worth
+//! committing. Cost is bounded: each candidate removal costs one
+//! controller replay, and the pass count is capped.
+
+use ffc_ctrl::TimedEvent;
+
+/// Shrinks `events` while `still_fails` holds, first by halving chunks
+/// (ddmin-style), then event-by-event. `still_fails` must be a pure
+/// function of the event list (it re-runs the replay); it is guaranteed
+/// to have returned `true` for the returned list.
+pub fn shrink_events<F>(mut events: Vec<TimedEvent>, still_fails: F) -> Vec<TimedEvent>
+where
+    F: Fn(&[TimedEvent]) -> bool,
+{
+    debug_assert!(still_fails(&events), "shrinking a non-failing trace");
+
+    // Chunked passes: try dropping ever-smaller windows.
+    let mut chunk = events.len() / 2;
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < events.len() {
+            let end = (start + chunk).min(events.len());
+            let mut candidate = Vec::with_capacity(events.len() - (end - start));
+            candidate.extend_from_slice(&events[..start]);
+            candidate.extend_from_slice(&events[end..]);
+            if !candidate.is_empty() && still_fails(&candidate) {
+                events = candidate;
+                // Retry the same window position on the shrunk list.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffc_ctrl::Event;
+
+    fn ev(interval: usize, factor: f64) -> TimedEvent {
+        TimedEvent {
+            interval,
+            event: Event::DemandScale(factor),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // The "failure" is: the stream still contains the scale-9 event.
+        let events: Vec<TimedEvent> = (0..20)
+            .map(|i| ev(i, if i == 13 { 9.0 } else { 1.0 }))
+            .collect();
+        let fails = |es: &[TimedEvent]| {
+            es.iter()
+                .any(|e| matches!(e.event, Event::DemandScale(f) if f == 9.0))
+        };
+        let shrunk = shrink_events(events, fails);
+        assert_eq!(shrunk.len(), 1);
+        assert_eq!(shrunk[0].interval, 13);
+    }
+
+    #[test]
+    fn keeps_a_required_pair() {
+        // Failure needs BOTH interval-3 and interval-7 events.
+        let events: Vec<TimedEvent> = (0..12).map(|i| ev(i, 1.0)).collect();
+        let fails = |es: &[TimedEvent]| {
+            es.iter().any(|e| e.interval == 3) && es.iter().any(|e| e.interval == 7)
+        };
+        let shrunk = shrink_events(events, fails);
+        assert_eq!(shrunk.len(), 2);
+        assert!(fails(&shrunk));
+    }
+}

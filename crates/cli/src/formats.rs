@@ -139,6 +139,57 @@ pub fn parse_traffic(text: &str, topo: &Topology) -> Result<TrafficMatrix, Parse
     Ok(tm)
 }
 
+/// Serializes a topology to text such that [`parse_topology`] rebuilds
+/// it with identical `NodeId`s *and* `LinkId`s: all nodes first, then
+/// one directed `link` line per link in id order. Id stability matters
+/// because event traces reference links by index.
+pub fn write_topology(topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# ffc topology: {} nodes, {} links",
+        topo.num_nodes(),
+        topo.num_links()
+    );
+    for v in topo.nodes() {
+        let _ = writeln!(out, "node {}", topo.node_name(v));
+    }
+    for l in topo.links() {
+        let link = topo.link(l);
+        let _ = writeln!(
+            out,
+            "link {} {} {}",
+            topo.node_name(link.src),
+            topo.node_name(link.dst),
+            link.capacity
+        );
+    }
+    out
+}
+
+/// Serializes a traffic matrix to text re-parsable by [`parse_traffic`]
+/// with identical `FlowId`s (flows are emitted in id order).
+pub fn write_traffic(tm: &TrafficMatrix, topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# ffc traffic: {} flows", tm.len());
+    for (_, f) in tm.iter() {
+        let prio = match f.priority {
+            Priority::High => "high",
+            Priority::Medium => "medium",
+            Priority::Low => "low",
+        };
+        let _ = writeln!(
+            out,
+            "flow {} {} {} {}",
+            topo.node_name(f.src),
+            topo.node_name(f.dst),
+            f.demand,
+            prio
+        );
+    }
+    out
+}
+
 /// Serializes a configuration (with its tunnels) to text.
 pub fn write_config(topo: &Topology, tunnels: &TunnelTable, cfg: &TeConfig) -> String {
     let mut out = String::new();
@@ -305,6 +356,42 @@ bidi paris london 40
         assert!(e.to_string().contains("positive"));
         let e = parse_topology("frobnicate\n").unwrap_err();
         assert!(e.to_string().contains("unrecognized"));
+    }
+
+    #[test]
+    fn topology_write_roundtrip_preserves_ids() {
+        let topo = parse_topology(TOPO).unwrap();
+        let text = write_topology(&topo);
+        let topo2 = parse_topology(&text).unwrap();
+        assert_eq!(topo2.num_nodes(), topo.num_nodes());
+        assert_eq!(topo2.num_links(), topo.num_links());
+        for v in topo.nodes() {
+            assert_eq!(topo.node_name(v), topo2.node_name(v));
+        }
+        for l in topo.links() {
+            assert_eq!(topo.link(l).src, topo2.link(l).src);
+            assert_eq!(topo.link(l).dst, topo2.link(l).dst);
+            assert_eq!(topo.capacity(l), topo2.capacity(l));
+        }
+        // Idempotent: writing the reparsed topology gives the same text.
+        assert_eq!(text, write_topology(&topo2));
+    }
+
+    #[test]
+    fn traffic_write_roundtrip_preserves_ids() {
+        let topo = parse_topology(TOPO).unwrap();
+        let tm =
+            parse_traffic("flow ny london 10.25 low\nflow paris ny 5 medium\n", &topo).unwrap();
+        let text = write_traffic(&tm, &topo);
+        let tm2 = parse_traffic(&text, &topo).unwrap();
+        assert_eq!(tm2.len(), tm.len());
+        for (id, f) in tm.iter() {
+            let g = tm2.flow(id);
+            assert_eq!(f.src, g.src);
+            assert_eq!(f.dst, g.dst);
+            assert_eq!(f.demand, g.demand);
+            assert_eq!(f.priority, g.priority);
+        }
     }
 
     #[test]

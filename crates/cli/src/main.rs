@@ -9,6 +9,8 @@
 //! ffc ctrl run --topo net.topo --traffic day.tm [--intervals 6] [--seed 42]
 //!              [--jitter 0.05] [--switch-model realistic|optimistic] [--out run.trace]
 //! ffc ctrl replay run.trace
+//! ffc chaos [--seed 1] [--campaigns 25] [--out-dir traces/]
+//! ffc chaos replay traces/campaign-3-overload.trace --expect-violation
 //! ```
 //!
 //! * `solve` computes an FFC-protected TE configuration (plain TE when
@@ -22,6 +24,11 @@
 //!   stdout, and (with `--out`) writes a self-contained replayable trace.
 //! * `ctrl replay` re-runs a recorded trace deterministically — the
 //!   telemetry it prints is bit-identical to the live run's.
+//! * `chaos` runs the seeded fault-injection harness (defaults to the
+//!   built-in S-Net instance) and fails on any invariant violation;
+//!   `chaos replay` re-checks a single emitted trace, with
+//!   `--expect-violation` asserting the over-`k` overload detector
+//!   fires on it.
 //!
 //! File formats are documented in [`ffc_cli::formats`].
 
@@ -51,6 +58,9 @@ struct Opts {
     tunnels: usize,
     intervals: usize,
     seed: u64,
+    campaigns: usize,
+    out_dir: Option<String>,
+    expect_violation: bool,
     jitter: f64,
     switch_model: ffc_sim::SwitchModel,
     algorithm: Algorithm,
@@ -64,7 +74,10 @@ fn usage() -> ! {
          \x20          [--algorithm primal|dual|auto] [--verbose]\n\
          \x20      ffc ctrl run --topo FILE --traffic FILE [--intervals N] [--seed N]\n\
          \x20          [--jitter F] [--switch-model realistic|optimistic] [--out TRACE]\n\
-         \x20      ffc ctrl replay TRACE"
+         \x20      ffc ctrl replay TRACE\n\
+         \x20      ffc chaos [--topo FILE --traffic FILE] [--seed N] [--campaigns N]\n\
+         \x20          [--intervals N] [--kc N --ke N --kv N] [--tunnels N] [--out-dir DIR]\n\
+         \x20      ffc chaos replay TRACE [--expect-violation]"
     );
     std::process::exit(2)
 }
@@ -84,6 +97,9 @@ fn parse_opts() -> Opts {
         tunnels: 6,
         intervals: 6,
         seed: 42,
+        campaigns: 25,
+        out_dir: None,
+        expect_violation: false,
         jitter: 0.05,
         switch_model: ffc_sim::SwitchModel::Realistic,
         algorithm: Algorithm::default(),
@@ -109,6 +125,9 @@ fn parse_opts() -> Opts {
             "--tunnels" => o.tunnels = val("--tunnels").parse().unwrap_or_else(|_| usage()),
             "--intervals" => o.intervals = val("--intervals").parse().unwrap_or_else(|_| usage()),
             "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--campaigns" => o.campaigns = val("--campaigns").parse().unwrap_or_else(|_| usage()),
+            "--out-dir" => o.out_dir = Some(val("--out-dir")),
+            "--expect-violation" => o.expect_violation = true,
             "--jitter" => o.jitter = val("--jitter").parse().unwrap_or_else(|_| usage()),
             "--switch-model" => {
                 o.switch_model = match val("--switch-model").as_str() {
@@ -134,7 +153,9 @@ fn parse_opts() -> Opts {
             "-v" | "--verbose" => o.verbose = true,
             "-h" | "--help" => usage(),
             other if o.cmd.is_empty() => o.cmd = other.to_string(),
-            other if o.cmd == "ctrl" && o.args.len() < 2 => o.args.push(other.to_string()),
+            other if (o.cmd == "ctrl" || o.cmd == "chaos") && o.args.len() < 2 => {
+                o.args.push(other.to_string())
+            }
             other => {
                 eprintln!("unexpected argument '{other}'");
                 usage()
@@ -158,6 +179,9 @@ fn main() -> ExitCode {
     let o = parse_opts();
     if o.cmd == "ctrl" {
         return run_ctrl(&o);
+    }
+    if o.cmd == "chaos" {
+        return run_chaos_cmd(&o);
     }
     let topo_path = o.topo.clone().unwrap_or_else(|| {
         eprintln!("--topo is required");
@@ -496,6 +520,166 @@ fn run_ctrl(o: &Opts) -> ExitCode {
             eprintln!("ctrl needs a subcommand (run or replay)");
             usage()
         }
+    }
+}
+
+/// `ffc chaos` / `ffc chaos replay`: the deterministic fault-injection
+/// harness. Without `--topo/--traffic` it drives the built-in S-Net
+/// topology with gravity-model traffic. Stdout is deterministic for a
+/// fixed seed — CI diffs two runs to assert bit-reproducibility.
+fn run_chaos_cmd(o: &Opts) -> ExitCode {
+    use ffc_chaos::{check_run, run_chaos, ChaosConfig, ChaosInputs};
+    use ffc_cli::formats::{write_topology, write_traffic};
+    use ffc_ctrl::{Controller, ControllerConfig, EventTrace};
+
+    if o.args.first().map(String::as_str) == Some("replay") {
+        let trace_path = match o.args.get(1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("chaos replay needs a trace file");
+                usage()
+            }
+        };
+        let trace = match EventTrace::parse(&read(&trace_path)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let topo = match parse_topology(&trace.topo_text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{trace_path} [topo]: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let tm = match parse_traffic(&trace.traffic_text, &topo) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{trace_path} [traffic]: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let layout = LayoutConfig {
+            tunnels_per_flow: trace.header.tunnels_per_flow,
+            ..LayoutConfig::default()
+        };
+        let tunnels = layout_tunnels(&topo, &tm, &layout);
+        let cfg = ControllerConfig::from_header(&trace.header);
+        let mut ctrl = Controller::new(&topo, &tunnels, cfg);
+        let report = ctrl.run(&tm, &trace.events, trace.header.intervals, true);
+        let check = check_run(&trace.events, &report);
+        for v in &check.violations {
+            println!("VIOLATION: {v}");
+        }
+        println!(
+            "{}: {} violation(s), {} interval(s) with over-k overloads",
+            trace_path,
+            check.violations.len(),
+            check.observed_overloads
+        );
+        if !check.violations.is_empty() {
+            return ExitCode::FAILURE;
+        }
+        if o.expect_violation && check.observed_overloads == 0 {
+            eprintln!("expected the overload detector to fire, but it did not");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(other) = o.args.first() {
+        eprintln!("unknown chaos subcommand '{other}' (replay, or none to run campaigns)");
+        usage()
+    }
+
+    // Workload: explicit files, or the built-in S-Net instance.
+    let (topo, tm, topo_text, traffic_text) = match (&o.topo, &o.traffic) {
+        (Some(tp), Some(dp)) => {
+            let topo_text = read(tp);
+            let traffic_text = read(dp);
+            let topo = match parse_topology(&topo_text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{tp}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let tm = match parse_traffic(&traffic_text, &topo) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{dp}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (topo, tm, topo_text, traffic_text)
+        }
+        (None, None) => {
+            let net = ffc_topo::snet();
+            let tm = ffc_topo::gravity_trace_single_priority(
+                &net,
+                &ffc_topo::TrafficConfig::default(),
+                1,
+            )
+            .intervals
+            .remove(0);
+            let topo_text = write_topology(&net.topo);
+            let traffic_text = write_traffic(&tm, &net.topo);
+            (net.topo, tm, topo_text, traffic_text)
+        }
+        _ => {
+            eprintln!("chaos needs both --topo and --traffic (or neither for built-in S-Net)");
+            usage()
+        }
+    };
+    let layout = LayoutConfig {
+        tunnels_per_flow: o.tunnels,
+        ..LayoutConfig::default()
+    };
+    let tunnels = layout_tunnels(&topo, &tm, &layout);
+    let mut cfg = ChaosConfig::new(o.seed);
+    cfg.campaigns = o.campaigns;
+    cfg.intervals = o.intervals;
+    cfg.tunnels_per_flow = o.tunnels;
+    cfg.switch_model = o.switch_model;
+    if o.kc + o.ke + o.kv > 0 {
+        cfg.ffc = FfcConfig::new(o.kc, o.ke, o.kv);
+    }
+    cfg.emit_overload_trace = o.out_dir.is_some();
+    let inputs = ChaosInputs {
+        topo: &topo,
+        tunnels: &tunnels,
+        tm: &tm,
+        topo_text: &topo_text,
+        traffic_text: &traffic_text,
+    };
+    let report = run_chaos(&inputs, &cfg);
+    print!("{}", report.summary());
+    if let Some(dir) = &o.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for c in &report.campaigns {
+            for (suffix, text) in [
+                ("violation", &c.failure_trace),
+                ("overload", &c.overload_trace),
+            ] {
+                if let Some(text) = text {
+                    let path = format!("{dir}/campaign-{}-{suffix}.trace", c.index);
+                    if let Err(e) = std::fs::write(&path, text) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path}");
+                }
+            }
+        }
+    }
+    if report.total_violations() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

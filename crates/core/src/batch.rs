@@ -26,7 +26,20 @@
 use crate::combined::{build_ffc_model, FfcConfig};
 use crate::te::{TeConfig, TeModelBuilder, TeProblem};
 use ffc_lp::{LpError, SimplexOptions, SolveStats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Renders a panic payload as a message (string payloads pass through;
+/// anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The result of one solve in a batch: the extracted configuration plus
 /// the solver's performance counters.
@@ -60,7 +73,7 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+    let mut tagged: Vec<(usize, std::thread::Result<R>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -70,7 +83,10 @@ where
                         if i >= n {
                             break;
                         }
-                        mine.push((i, f(i, &items[i])));
+                        // Catch per item so one panicking item cannot
+                        // take down the worker (and with it every other
+                        // item the worker would have pulled).
+                        mine.push((i, catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))));
                     }
                     mine
                 })
@@ -78,11 +94,35 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     });
     tagged.sort_unstable_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, r)| r).collect()
+    // Panics were deferred so sibling items could finish; re-raise the
+    // first one (in input order) now that every item has run. Callers
+    // that want panics as per-item errors use [`par_try_map`].
+    tagged
+        .into_iter()
+        .map(|(_, r)| r.unwrap_or_else(|p| std::panic::resume_unwind(p)))
+        .collect()
+}
+
+/// [`par_map`] for fallible items, with **panic isolation**: a panic in
+/// one item becomes that item's [`LpError::WorkerPanic`] while every
+/// other item still completes and reports its own result. This is the
+/// entry point the batch solvers below use, so one malformed scenario
+/// (a shape-mismatched old config, a poisoned model) can no longer
+/// abort a whole sweep.
+pub fn par_try_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, LpError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, LpError> + Sync,
+{
+    par_map(items, |i, t| {
+        catch_unwind(AssertUnwindSafe(|| f(i, t)))
+            .unwrap_or_else(|p| Err(LpError::WorkerPanic(panic_message(p.as_ref()))))
+    })
 }
 
 /// Solves a batch of independent TE problems in parallel.
@@ -93,7 +133,7 @@ pub fn solve_te_batch(
     problems: &[TeProblem<'_>],
     opts: &SimplexOptions,
 ) -> Vec<Result<BatchOutcome, LpError>> {
-    par_map(problems, |_, problem| {
+    par_try_map(problems, |_, problem| {
         let builder = TeModelBuilder::new(*problem);
         let (config, sol) = builder.solve_detailed(opts)?;
         Ok(BatchOutcome {
@@ -120,7 +160,7 @@ pub fn solve_ffc_batch(
     jobs: &[FfcJob<'_>],
     opts: &SimplexOptions,
 ) -> Vec<Result<BatchOutcome, LpError>> {
-    par_map(jobs, |_, job| {
+    par_try_map(jobs, |_, job| {
         let builder = build_ffc_model(job.problem, job.old, &job.cfg);
         let (config, sol) = builder.solve_detailed(opts)?;
         Ok(BatchOutcome {
@@ -161,20 +201,32 @@ pub fn solve_ffc_ksweep(
         let mut hint: Option<ffc_lp::BasisStatuses> = None;
         let mut out = Vec::with_capacity(slice.len());
         for cfg in slice {
-            let builder = build_ffc_model(problem, old, cfg);
-            let result = match &hint {
-                Some(h) => builder.model.solve_warm(&warm_opts, h),
-                None => builder.model.solve_with(&warm_opts),
-            }
-            .map(|sol| {
-                let outcome = BatchOutcome {
-                    config: builder.extract(&sol),
-                    stats: sol.stats,
-                };
-                hint = Some(sol.basis);
-                outcome
+            // A panicking level (malformed config) poisons neither the
+            // chunk nor the basis chain: the hint simply carries over
+            // from the last level that solved.
+            let hint_ref = hint.as_ref();
+            let attempt = catch_unwind(AssertUnwindSafe(
+                || -> Result<(BatchOutcome, ffc_lp::BasisStatuses), LpError> {
+                    let builder = build_ffc_model(problem, old, cfg);
+                    let sol = match hint_ref {
+                        Some(h) => builder.model.solve_warm(&warm_opts, h),
+                        None => builder.model.solve_with(&warm_opts),
+                    }?;
+                    let outcome = BatchOutcome {
+                        config: builder.extract(&sol),
+                        stats: sol.stats,
+                    };
+                    Ok((outcome, sol.basis))
+                },
+            ));
+            out.push(match attempt {
+                Ok(Ok((outcome, basis))) => {
+                    hint = Some(basis);
+                    Ok(outcome)
+                }
+                Ok(Err(e)) => Err(e),
+                Err(p) => Err(LpError::WorkerPanic(panic_message(p.as_ref()))),
             });
-            out.push(result);
         }
         out
     };
@@ -186,11 +238,21 @@ pub fn solve_ffc_ksweep(
     let results: Vec<Vec<Result<BatchOutcome, LpError>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = cfgs
             .chunks(chunk)
-            .map(|slice| scope.spawn(move || solve_chunk(slice)))
+            .map(|slice| (slice.len(), scope.spawn(move || solve_chunk(slice))))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("ksweep worker panicked"))
+            .map(|(len, h)| {
+                // Per-item catches make worker panics unreachable, but
+                // if one ever escapes, degrade to per-item errors
+                // instead of aborting the whole sweep.
+                h.join().unwrap_or_else(|p| {
+                    let msg = panic_message(p.as_ref());
+                    (0..len)
+                        .map(|_| Err(LpError::WorkerPanic(msg.clone())))
+                        .collect()
+                })
+            })
             .collect()
     });
     results.into_iter().flatten().collect()
@@ -247,20 +309,35 @@ pub fn solve_ffc_scenarios(
                     stats: base_sol.stats,
                 })
             } else {
-                let mut model = builder.model.clone();
-                let topo = builder.problem.topo;
-                for (f, ti, tunnel) in builder.problem.tunnels.iter_all() {
-                    if scenario.kills_tunnel(topo, tunnel) {
-                        model.set_bounds(builder.a[f.index()][ti], 0.0, 0.0);
+                // Catch per scenario: one poisoned scenario yields its
+                // own `Err` while the rest of the chunk (and its warm
+                // chain) keeps going.
+                let hint_ref = &hint;
+                let attempt = catch_unwind(AssertUnwindSafe(
+                    || -> Result<(BatchOutcome, ffc_lp::BasisStatuses), LpError> {
+                        let mut model = builder.model.clone();
+                        let topo = builder.problem.topo;
+                        for (f, ti, tunnel) in builder.problem.tunnels.iter_all() {
+                            if scenario.kills_tunnel(topo, tunnel) {
+                                model.set_bounds(builder.a[f.index()][ti], 0.0, 0.0);
+                            }
+                        }
+                        let sol = model.solve_warm(&warm_opts, hint_ref)?;
+                        let outcome = BatchOutcome {
+                            config: builder.extract(&sol),
+                            stats: sol.stats,
+                        };
+                        Ok((outcome, sol.basis))
+                    },
+                ));
+                match attempt {
+                    Ok(Ok((outcome, basis))) => {
+                        hint = basis;
+                        Ok(outcome)
                     }
+                    Ok(Err(e)) => Err(e),
+                    Err(p) => Err(LpError::WorkerPanic(panic_message(p.as_ref()))),
                 }
-                model.solve_warm(&warm_opts, &hint).map(|sol| {
-                    hint = sol.basis.clone();
-                    BatchOutcome {
-                        config: builder.extract(&sol),
-                        stats: sol.stats,
-                    }
-                })
             };
             out.push(result);
         }
@@ -275,11 +352,18 @@ pub fn solve_ffc_scenarios(
     let results: Vec<Vec<Result<BatchOutcome, LpError>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = scenarios
             .chunks(chunk)
-            .map(|slice| scope.spawn(move || solve_chunk(slice)))
+            .map(|slice| (slice.len(), scope.spawn(move || solve_chunk(slice))))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("scenario worker panicked"))
+            .map(|(len, h)| {
+                h.join().unwrap_or_else(|p| {
+                    let msg = panic_message(p.as_ref());
+                    (0..len)
+                        .map(|_| Err(LpError::WorkerPanic(msg.clone())))
+                        .collect()
+                })
+            })
             .collect()
     });
     Ok(results.into_iter().flatten().collect())
@@ -332,6 +416,92 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(par_map(&empty, |_, &x| x).is_empty());
         assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_try_map_isolates_a_panicking_item() {
+        let items: Vec<usize> = (0..8).collect();
+        let results = par_try_map(&items, |_, &x| {
+            if x == 3 {
+                panic!("deliberate chaos at item {x}");
+            }
+            Ok(x * 10)
+        });
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                match r {
+                    Err(LpError::WorkerPanic(msg)) => {
+                        assert!(msg.contains("deliberate chaos"), "payload lost: {msg}")
+                    }
+                    other => panic!("expected WorkerPanic, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r, Ok(i * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_job_in_ffc_batch_yields_one_err_seven_ok() {
+        let (topo, tm, tunnels) = fixture();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        let old = TeConfig::zero(&tunnels);
+        // A control-FFC job whose `old` config has the wrong shape trips
+        // the shape assert inside `apply_control_ffc` — a real panic in
+        // the middle of model construction on a worker thread.
+        let bad_old = TeConfig {
+            rate: vec![1.0],
+            alloc: vec![vec![1.0]],
+        };
+        let jobs: Vec<FfcJob<'_>> = (0..8)
+            .map(|i| FfcJob {
+                problem,
+                old: if i == 5 { &bad_old } else { &old },
+                cfg: if i == 5 {
+                    FfcConfig::new(1, 0, 0)
+                } else {
+                    FfcConfig::new(0, 1, 0)
+                },
+            })
+            .collect();
+        let batch = solve_ffc_batch(&jobs, &SimplexOptions::default());
+        assert_eq!(batch.len(), 8);
+        let ok = batch.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, 7, "exactly the panicking job must fail: {batch:?}");
+        match &batch[5] {
+            Err(LpError::WorkerPanic(msg)) => {
+                assert!(msg.contains("old config"), "unexpected payload: {msg}")
+            }
+            other => panic!("job 5 should report WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_scenario_does_not_abort_the_sweep() {
+        // `par_map` itself still re-raises panics (after siblings run);
+        // the chunked sweeps map them to per-item errors instead. Drive
+        // the ksweep chunk path with a level whose old-config shape only
+        // trips once kc > 0.
+        let (topo, tm, tunnels) = fixture();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        let bad_old = TeConfig {
+            rate: vec![1.0],
+            alloc: vec![vec![1.0]],
+        };
+        // kc=0 levels ignore `old` entirely; the kc=1 level panics.
+        let cfgs = vec![
+            FfcConfig::new(0, 0, 0),
+            FfcConfig::new(0, 1, 0),
+            FfcConfig::new(1, 0, 0),
+            FfcConfig::new(0, 2, 0),
+        ];
+        let outcomes = solve_ffc_ksweep(problem, &bad_old, &cfgs, &SimplexOptions::default());
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes[0].is_ok());
+        assert!(outcomes[1].is_ok());
+        assert!(matches!(outcomes[2], Err(LpError::WorkerPanic(_))));
+        assert!(outcomes[3].is_ok(), "chunk must survive the panic");
     }
 
     #[test]

@@ -135,7 +135,13 @@ fn parse_usize(s: &str) -> Result<usize, String> {
 }
 
 fn parse_f64(s: &str) -> Result<f64, String> {
-    s.parse().map_err(|e| format!("bad float `{s}`: {e}"))
+    let v: f64 = s.parse().map_err(|e| format!("bad float `{s}`: {e}"))?;
+    // NaN/±inf never appear in well-formed traces, and letting them in
+    // would poison downstream arithmetic (delay sorting, demand sums).
+    if !v.is_finite() {
+        return Err(format!("non-finite float `{s}`"));
+    }
+    Ok(v)
 }
 
 /// An event pinned to the TE interval it arrives in (applied at the

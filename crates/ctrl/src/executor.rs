@@ -43,6 +43,12 @@ pub struct ExecutorConfig {
     pub switch_model: SwitchModel,
     /// Wall-clock cap for the whole rollout (the TE interval).
     pub cap_secs: f64,
+    /// Backoff before re-issuing a timed-out switch update (mirrors
+    /// `ffc-sim::SimConfig::retry_timeout_secs`).
+    pub retry_timeout_secs: f64,
+    /// Bounded retries per broken switch per rollout; after the budget
+    /// the switch stays stale for the rest of the interval.
+    pub max_retries: usize,
 }
 
 impl ExecutorConfig {
@@ -54,6 +60,8 @@ impl ExecutorConfig {
             rules_per_step: 35,
             switch_model,
             cap_secs: 300.0,
+            retry_timeout_secs: 10.0,
+            max_retries: 2,
         }
     }
 }
@@ -84,6 +92,10 @@ pub struct RolloutReport {
     pub stale: Vec<NodeId>,
     /// Wall-clock the rollout took (capped at `cap_secs`).
     pub rollout_secs: f64,
+    /// Update retries issued after ack timeouts (summed over switches).
+    /// Live runs count them directly; replays re-derive the identical
+    /// count from the recorded timeout/ack events.
+    pub retries: usize,
     /// Outcome events sampled by a live rollout (empty on replay).
     pub recorded: Vec<TimedEvent>,
 }
@@ -110,6 +122,7 @@ pub fn rollout(
         congestion_free_plan: true,
         stale: Vec::new(),
         rollout_secs: 0.0,
+        retries: 0,
         recorded: Vec::new(),
     };
     if from == to || ingresses.is_empty() {
@@ -155,6 +168,35 @@ pub fn rollout(
                             step: at,
                         },
                     });
+                    // Bounded retry with backoff, mirroring the sim
+                    // runner: wait `retry_timeout_secs`, re-draw the
+                    // outcome; a recovered switch resumes at `at` with
+                    // the accumulated backoff folded into its delay. A
+                    // replay re-derives the retry count from the
+                    // timeout/ack events, so nothing extra is recorded.
+                    let mut penalty = 0.0;
+                    for _ in 0..cfg.max_retries {
+                        report.retries += 1;
+                        penalty += cfg.retry_timeout_secs;
+                        let still_broken =
+                            rng.gen::<f64>() < cfg.switch_model.config_failure_rate();
+                        if !still_broken {
+                            for (i, d) in delays[s].iter_mut().enumerate().skip(at) {
+                                let base = cfg
+                                    .switch_model
+                                    .sample_update_delay(rng, cfg.rules_per_step);
+                                *d = Some(if i == at { penalty + base } else { base });
+                            }
+                            break;
+                        }
+                        report.recorded.push(TimedEvent {
+                            interval,
+                            event: Event::UpdateTimeout {
+                                switch: sw,
+                                step: at,
+                            },
+                        });
+                    }
                 } else {
                     for d in delays[s].iter_mut() {
                         *d = Some(
@@ -182,6 +224,12 @@ pub fn rollout(
             }
         }
         OutcomeSource::Recorded(events) => {
+            // Per-switch timeout bookkeeping, to re-derive the retry
+            // count a live run accumulated: a switch with `c` timeouts
+            // retried `c` times if it eventually acked the wedged step
+            // (the last retry succeeded), `c - 1` times otherwise (the
+            // first timeout was the original attempt, not a retry).
+            let mut timeouts: Vec<(usize, usize)> = vec![(0, 0); n]; // (count, step)
             for te in events.iter().filter(|te| te.interval == interval) {
                 match te.event {
                     Event::UpdateAck {
@@ -190,14 +238,30 @@ pub fn rollout(
                         delay,
                     } => {
                         if let Some(s) = ingresses.iter().position(|&v| v == switch) {
-                            if step < m {
+                            // Garbage-tolerant: a perturbed trace can
+                            // carry out-of-range steps or bogus delays;
+                            // ignore them rather than poisoning the
+                            // completion-time arithmetic.
+                            if step < m && delay.is_finite() && delay >= 0.0 {
                                 delays[s][step] = Some(delay);
                             }
                         }
                     }
-                    Event::UpdateTimeout { .. } => {}
+                    Event::UpdateTimeout { switch, step } => {
+                        if let Some(s) = ingresses.iter().position(|&v| v == switch) {
+                            timeouts[s].0 += 1;
+                            timeouts[s].1 = step;
+                        }
+                    }
                     _ => {}
                 }
+            }
+            for (s, &(count, step)) in timeouts.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let recovered = step < m && delays[s][step].is_some();
+                report.retries += if recovered { count } else { count - 1 };
             }
         }
     }
@@ -216,7 +280,9 @@ pub fn rollout(
             };
         }
         let mut sorted = c.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("comparable"));
+        // total_cmp: completion times can be +inf (broken switches) and
+        // a panic on an exotic float would kill the whole interval.
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let advance_at = sorted[n.saturating_sub(cfg.kc + 1).min(n - 1)];
         if advance_at >= cfg.cap_secs {
             break;
@@ -427,5 +493,200 @@ mod tests {
         assert_eq!(reached0, from);
         assert_eq!(rep0.steps_completed, 0);
         assert!(!rep0.completed);
+    }
+
+    #[test]
+    fn replay_derives_retry_counts_from_recorded_outcomes() {
+        let (topo, tm, tunnels, _) = diamond();
+        let from = TeConfig::zero(&tunnels);
+        let to = solve(&topo, &tm, &tunnels);
+        let ing = vec![NodeId(0), NodeId(3)];
+        let cfg = ExecutorConfig::new(SwitchModel::Optimistic, 1);
+
+        // Switch 3: wedged at step 0, two timeouts, then recovered (its
+        // step-0 ack carries the backoff penalty) -> 2 retries.
+        let mut events = vec![
+            TimedEvent {
+                interval: 0,
+                event: Event::UpdateTimeout {
+                    switch: NodeId(3),
+                    step: 0,
+                },
+            },
+            TimedEvent {
+                interval: 0,
+                event: Event::UpdateTimeout {
+                    switch: NodeId(3),
+                    step: 0,
+                },
+            },
+        ];
+        for step in 0..cfg.max_steps {
+            for sw in [NodeId(0), NodeId(3)] {
+                events.push(TimedEvent {
+                    interval: 0,
+                    event: Event::UpdateAck {
+                        switch: sw,
+                        step,
+                        delay: if sw == NodeId(3) && step == 0 {
+                            2.0 * cfg.retry_timeout_secs + 0.01
+                        } else {
+                            0.01
+                        },
+                    },
+                });
+            }
+        }
+        let (_, rep) = rollout(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &ing,
+            &cfg,
+            0,
+            OutcomeSource::Recorded(&events),
+        );
+        assert_eq!(rep.retries, 2, "recovered switch: retries == timeouts");
+        assert!(rep.stale.is_empty(), "a recovered switch is not stale");
+
+        // Terminal wedge: 3 timeouts, no step-0 ack -> 2 retries (the
+        // first timeout was the original attempt).
+        let events: Vec<TimedEvent> = (0..3)
+            .map(|_| TimedEvent {
+                interval: 0,
+                event: Event::UpdateTimeout {
+                    switch: NodeId(3),
+                    step: 0,
+                },
+            })
+            .chain((0..cfg.max_steps).map(|step| TimedEvent {
+                interval: 0,
+                event: Event::UpdateAck {
+                    switch: NodeId(0),
+                    step,
+                    delay: 0.01,
+                },
+            }))
+            .collect();
+        let (_, rep) = rollout(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &ing,
+            &cfg,
+            0,
+            OutcomeSource::Recorded(&events),
+        );
+        assert_eq!(rep.retries, 2, "terminal wedge: retries == timeouts - 1");
+        assert_eq!(rep.stale, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn live_and_replay_agree_on_retries_across_seeds() {
+        let (topo, tm, tunnels, ing) = diamond();
+        let from = TeConfig::zero(&tunnels);
+        let to = solve(&topo, &tm, &tunnels);
+        let cfg = ExecutorConfig::new(SwitchModel::Realistic, 1);
+        let mut saw_retry = false;
+        for seed in 0..400 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (reached, live) = rollout(
+                &topo,
+                &tm,
+                &tunnels,
+                &from,
+                &to,
+                &ing,
+                &cfg,
+                0,
+                OutcomeSource::Sample(&mut rng),
+            );
+            let (replayed, rep) = rollout(
+                &topo,
+                &tm,
+                &tunnels,
+                &from,
+                &to,
+                &ing,
+                &cfg,
+                0,
+                OutcomeSource::Recorded(&live.recorded),
+            );
+            assert_eq!(reached, replayed, "seed {seed}");
+            assert_eq!(live.retries, rep.retries, "seed {seed}");
+            assert_eq!(live.stale, rep.stale, "seed {seed}");
+            assert_eq!(
+                live.rollout_secs.to_bits(),
+                rep.rollout_secs.to_bits(),
+                "seed {seed}"
+            );
+            saw_retry |= live.retries > 0;
+        }
+        assert!(saw_retry, "400 seeds at 1% failure should hit a retry");
+    }
+
+    #[test]
+    fn garbage_recorded_delays_are_ignored() {
+        let (topo, tm, tunnels, ing) = diamond();
+        let from = TeConfig::zero(&tunnels);
+        let to = solve(&topo, &tm, &tunnels);
+        let cfg = ExecutorConfig::new(SwitchModel::Optimistic, 0);
+        let mut events = Vec::new();
+        for step in 0..cfg.max_steps {
+            events.push(TimedEvent {
+                interval: 0,
+                event: Event::UpdateAck {
+                    switch: ing[0],
+                    step,
+                    delay: 0.01,
+                },
+            });
+        }
+        // Adversarial extras: NaN delay, negative delay, out-of-range
+        // step, unknown switch. None may panic or change the outcome.
+        for bad in [
+            Event::UpdateAck {
+                switch: ing[0],
+                step: 0,
+                delay: f64::NAN,
+            },
+            Event::UpdateAck {
+                switch: ing[0],
+                step: 1,
+                delay: -5.0,
+            },
+            Event::UpdateAck {
+                switch: ing[0],
+                step: 99,
+                delay: 0.5,
+            },
+            Event::UpdateAck {
+                switch: NodeId(999),
+                step: 0,
+                delay: 0.5,
+            },
+        ] {
+            events.push(TimedEvent {
+                interval: 0,
+                event: bad,
+            });
+        }
+        let (reached, rep) = rollout(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &ing,
+            &cfg,
+            0,
+            OutcomeSource::Recorded(&events),
+        );
+        assert_eq!(reached, to);
+        assert!(rep.completed);
     }
 }

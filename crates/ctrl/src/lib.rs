@@ -6,7 +6,7 @@
 //! FFC model **warm** from the previous interval's basis, rolls the new
 //! configuration out congestion-free against the switch model, and
 //! drives the data plane — here `ffc-sim`'s step-wise
-//! [`DrivenSim`](ffc_sim::DrivenSim), which the controller owns rather
+//! [`DrivenSim`], which the controller owns rather
 //! than the other way around.
 //!
 //! ```text
@@ -46,6 +46,26 @@ pub use replay::{generate_poisson_events, EventTrace, TraceHeader};
 pub use state::{ConfigStore, HintShape, VersionedConfig};
 pub use telemetry::IntervalTelemetry;
 
+/// Fault-injection hooks the chaos harness threads into a run. All
+/// hooks are deterministic functions of the configuration, so a replay
+/// configured with the same hooks reproduces the run bit-for-bit.
+/// `Default` (no hooks) is production behaviour.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosHooks {
+    /// Intervals whose chained warm-basis hint is deterministically
+    /// scrambled before the re-solve ([`ConfigStore::poison_hint`]):
+    /// the solver must repair or cold-restart, never crash or return a
+    /// wrong optimum.
+    pub poison_hint_intervals: Vec<usize>,
+}
+
+impl ChaosHooks {
+    /// Whether any hook is armed.
+    pub fn is_active(&self) -> bool {
+        *self != ChaosHooks::default()
+    }
+}
+
 /// Controller parameters (the union of planner + executor knobs).
 #[derive(Debug, Clone)]
 pub struct ControllerConfig {
@@ -65,8 +85,15 @@ pub struct ControllerConfig {
     pub switch_model: SwitchModel,
     /// RNG seed for live-run sampling.
     pub seed: u64,
+    /// Backoff before re-issuing a timed-out switch update.
+    pub retry_timeout_secs: f64,
+    /// Bounded update retries per broken switch per rollout.
+    pub max_retries: usize,
     /// Simplex options (`Auto` routes warm bases through the dual path).
     pub opts: SimplexOptions,
+    /// Fault-injection hooks (default: none). Only the chaos harness
+    /// sets these.
+    pub chaos: ChaosHooks,
 }
 
 impl ControllerConfig {
@@ -81,10 +108,13 @@ impl ControllerConfig {
             rules_per_update: 35,
             switch_model,
             seed: 42,
+            retry_timeout_secs: 10.0,
+            max_retries: 2,
             opts: SimplexOptions {
                 algorithm: Algorithm::Auto,
                 ..SimplexOptions::default()
             },
+            chaos: ChaosHooks::default(),
         }
     }
 
@@ -201,20 +231,37 @@ impl<'a> Controller<'a> {
                     continue;
                 }
                 events_applied += 1;
+                // Out-of-range indices and non-finite rates are dropped
+                // rather than panicking: a controller fed a corrupted or
+                // adversarial event stream must degrade, not die.
                 match te.event {
-                    Event::DemandScale(f) => tm = base_tm.scale(f),
+                    Event::DemandScale(f) if f.is_finite() && f >= 0.0 => tm = base_tm.scale(f),
+                    Event::DemandScale(_) => events_applied -= 1,
                     Event::DemandSet { flow, demand } => {
-                        tm.set_demand(ffc_net::FlowId(flow), demand)
+                        if flow < tm.len() && demand.is_finite() && demand >= 0.0 {
+                            tm.set_demand(ffc_net::FlowId(flow), demand)
+                        } else {
+                            events_applied -= 1;
+                        }
                     }
-                    Event::LinkDown(l) => sim.fail_link(l),
-                    Event::LinkUp(l) => sim.repair_link(l),
-                    Event::SwitchDown(v) => sim.fail_switch(v),
-                    Event::SwitchUp(v) => sim.repair_switch(v),
+                    Event::LinkDown(l) if l.index() < self.topo.num_links() => sim.fail_link(l),
+                    Event::LinkUp(l) if l.index() < self.topo.num_links() => sim.repair_link(l),
+                    Event::LinkDown(_) | Event::LinkUp(_) => events_applied -= 1,
+                    Event::SwitchDown(v) if v.index() < self.topo.num_nodes() => sim.fail_switch(v),
+                    Event::SwitchUp(v) if v.index() < self.topo.num_nodes() => sim.repair_switch(v),
+                    Event::SwitchDown(_) | Event::SwitchUp(_) => events_applied -= 1,
                     Event::SetProtection { kc, ke, kv } => {
                         planner.set_protection(kc, ke, kv, &mut store)
                     }
-                    Event::UpdateAck { .. } | Event::UpdateTimeout { .. } => unreachable!(),
+                    // Recorded outcomes were filtered out above; if one
+                    // slips through (hand-built stream), ignore it.
+                    Event::UpdateAck { .. } | Event::UpdateTimeout { .. } => events_applied -= 1,
                 }
+            }
+
+            // 1b. Chaos hooks (no-ops unless armed by the harness).
+            if self.cfg.chaos.poison_hint_intervals.contains(&interval) {
+                store.poison_hint();
             }
 
             // 2. Re-solve (or degrade) for the new demands + faults.
@@ -241,6 +288,8 @@ impl<'a> Controller<'a> {
                 rules_per_step: self.cfg.rules_per_update,
                 switch_model: self.cfg.switch_model,
                 cap_secs: self.cfg.interval_secs,
+                retry_timeout_secs: self.cfg.retry_timeout_secs,
+                max_retries: self.cfg.max_retries,
             };
             let source = if replay {
                 OutcomeSource::Recorded(events)
@@ -288,6 +337,8 @@ impl<'a> Controller<'a> {
                 rollout_steps_completed: rollout.steps_completed,
                 congestion_free_plan: rollout.congestion_free_plan,
                 stale_switches: rollout.stale.len(),
+                update_retries: rollout.retries,
+                last_good_version: store.last_good_version(),
                 rollout_secs: rollout.rollout_secs,
                 overloaded_links: rec.overloaded_links,
                 max_oversubscription: rec.max_oversubscription,

@@ -43,9 +43,14 @@ pub enum SolvePath {
     WarmPrimal,
     /// Cold solve (no usable chained basis).
     Cold,
-    /// Solve failed — infeasible (§4.5 heavy active faults), iteration
-    /// limit, or numerical breakdown: no target, controller rolls back.
+    /// Solve failed — infeasible (§4.5 heavy active faults) or
+    /// numerical breakdown: no target, controller rolls back.
     Infeasible,
+    /// The solve ran out of its iteration or wall-clock budget
+    /// ([`ffc_lp::LpError::LimitExceeded`]). Recoverable: treated like
+    /// a deadline overrun — protection degrades for the next interval
+    /// and the installed config stays (no rollback).
+    LimitExceeded,
     /// No solve attempted: rescale-only degradation.
     RescaleOnly,
 }
@@ -58,6 +63,7 @@ impl SolvePath {
             SolvePath::WarmPrimal => "warm_primal",
             SolvePath::Cold => "cold",
             SolvePath::Infeasible => "infeasible",
+            SolvePath::LimitExceeded => "limit_exceeded",
             SolvePath::RescaleOnly => "rescale_only",
         }
     }
@@ -232,6 +238,24 @@ impl Planner {
                     wall,
                 }
             }
+            Err(ffc_lp::LpError::LimitExceeded { stats, .. }) => {
+                // Budget overrun: the model is not known to be bad, the
+                // solver was just interrupted. Same treatment as a
+                // deadline overrun — degrade protection for the next
+                // interval, keep the installed config (no rollback),
+                // and keep the chained hint: it described the previous
+                // optimum and is still a valid warm start.
+                let degraded = self.degraded();
+                self.degrade(store);
+                PlanOutcome {
+                    target: None,
+                    stats: Some(*stats),
+                    path: SolvePath::LimitExceeded,
+                    protection: prot,
+                    degraded,
+                    wall,
+                }
+            }
             Err(_) => {
                 // Infeasible (or numerically hopeless): no target. The
                 // chained basis is suspect — drop it.
@@ -362,6 +386,31 @@ mod tests {
     }
 
     #[test]
+    fn starved_budget_degrades_instead_of_rolling_back() {
+        let (topo, tm, tunnels) = diamond();
+        let mut store = ConfigStore::new(TeConfig::zero(&tunnels));
+        let old = TeConfig::zero(&tunnels);
+        let sc = FaultScenario::none();
+
+        // A starved iteration budget is a *recoverable* overrun: no
+        // target this interval, partial stats reported, protection
+        // degraded for the next round — but no rollback path.
+        let mut cfg = PlannerConfig::new(FfcConfig::new(0, 1, 0));
+        cfg.opts.max_iters = 1;
+        let mut starved = Planner::new(cfg);
+        let heavy = tm.scale(3.0);
+        let p = TeProblem::new(&topo, &heavy, &tunnels);
+        let o = starved.plan(p, &old, &sc, &mut store);
+        assert_eq!(o.path, SolvePath::LimitExceeded);
+        assert!(o.target.is_none());
+        let stats = o.stats.expect("partial stats survive the overrun");
+        assert!(stats.iterations() >= 1);
+        // The overrun degraded protection for the next interval.
+        assert!(starved.degraded());
+        assert_eq!(starved.protection().ke, 0);
+    }
+
+    #[test]
     fn failed_solve_yields_no_target_and_drops_hint() {
         let (topo, tm, tunnels) = diamond();
         let mut store = ConfigStore::new(TeConfig::zero(&tunnels));
@@ -376,16 +425,17 @@ mod tests {
         assert!(o.target.is_some());
 
         // The FFC formulations here always admit b = 0, so a clean
-        // `Infeasible` cannot be produced by inputs alone — but the
-        // solve-failed path also covers iteration/numerical limits. A
-        // starved iteration budget plus a demand change that forces
-        // real (dual) pivots triggers it deterministically.
+        // `Infeasible` cannot be produced by inputs alone — use the
+        // chaos hook to force a singular refactorization instead, which
+        // exercises the same hard-failure path. The demand change makes
+        // the warm re-solve actually iterate (an already-optimal warm
+        // basis would finish before the injected iteration).
         let mut cfg = PlannerConfig::new(FfcConfig::new(0, 1, 0));
-        cfg.opts.max_iters = 1;
-        let mut starved = Planner::new(cfg);
+        cfg.opts.inject_singular_after = 1;
+        let mut broken = Planner::new(cfg);
         let heavy = tm.scale(3.0);
         let p = TeProblem::new(&topo, &heavy, &tunnels);
-        let o = starved.plan(p, &old, &sc, &mut store);
+        let o = broken.plan(p, &old, &sc, &mut store);
         assert_eq!(o.path, SolvePath::Infeasible);
         assert!(o.target.is_none());
 

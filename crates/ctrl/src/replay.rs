@@ -125,11 +125,14 @@ impl EventTrace {
     }
 
     /// Parses the format produced by [`EventTrace::to_text`].
+    ///
+    /// Errors carry the 1-based line number of the offending line, so a
+    /// corrupted trace points straight at the corruption.
     pub fn parse(text: &str) -> Result<EventTrace, String> {
-        let mut lines = text.lines();
+        let mut lines = text.lines().enumerate();
         match lines.next() {
-            Some(magic) if magic.trim() == "ffc-trace v1" => {}
-            other => return Err(format!("bad trace magic: {other:?}")),
+            Some((_, magic)) if magic.trim() == "ffc-trace v1" => {}
+            other => return Err(format!("line 1: bad trace magic: {:?}", other.map(|o| o.1))),
         }
         let mut header = TraceHeader::default();
         let mut topo_text = String::new();
@@ -143,7 +146,9 @@ impl EventTrace {
             Events,
         }
         let mut section = Section::Header;
-        for line in lines {
+        for (idx, line) in lines {
+            let lineno = idx + 1; // enumerate is 0-based
+            let at = |e: String| format!("line {lineno}: {e}");
             let trimmed = line.trim();
             match trimmed {
                 "[topo]" => {
@@ -173,30 +178,34 @@ impl EventTrace {
                             .copied()
                             .ok_or_else(|| format!("header `{key}`: missing value"))
                     };
-                    match key {
-                        "intervals" => header.intervals = parse(one()?)?,
-                        "interval-secs" => header.interval_secs = parse(one()?)?,
-                        "protection" => {
-                            if vals.len() != 3 {
-                                return Err("protection wants `kc ke kv`".into());
+                    (|| -> Result<(), String> {
+                        match key {
+                            "intervals" => header.intervals = parse(one()?)?,
+                            "interval-secs" => header.interval_secs = parse(one()?)?,
+                            "protection" => {
+                                if vals.len() != 3 {
+                                    return Err("protection wants `kc ke kv`".into());
+                                }
+                                header.kc = parse(vals[0])?;
+                                header.ke = parse(vals[1])?;
+                                header.kv = parse(vals[2])?;
                             }
-                            header.kc = parse(vals[0])?;
-                            header.ke = parse(vals[1])?;
-                            header.kv = parse(vals[2])?;
-                        }
-                        "tunnels-per-flow" => header.tunnels_per_flow = parse(one()?)?,
-                        "switch-model" => {
-                            header.switch_model = match one()? {
-                                "realistic" => SwitchModel::Realistic,
-                                "optimistic" => SwitchModel::Optimistic,
-                                m => return Err(format!("unknown switch-model `{m}`")),
+                            "tunnels-per-flow" => header.tunnels_per_flow = parse(one()?)?,
+                            "switch-model" => {
+                                header.switch_model = match one()? {
+                                    "realistic" => SwitchModel::Realistic,
+                                    "optimistic" => SwitchModel::Optimistic,
+                                    m => return Err(format!("unknown switch-model `{m}`")),
+                                }
                             }
+                            "seed" => header.seed = parse(one()?)?,
+                            "max-update-steps" => header.max_update_steps = parse(one()?)?,
+                            "solve-deadline-ms" => header.solve_deadline_ms = parse(one()?)?,
+                            other => return Err(format!("unknown header key `{other}`")),
                         }
-                        "seed" => header.seed = parse(one()?)?,
-                        "max-update-steps" => header.max_update_steps = parse(one()?)?,
-                        "solve-deadline-ms" => header.solve_deadline_ms = parse(one()?)?,
-                        other => return Err(format!("unknown header key `{other}`")),
-                    }
+                        Ok(())
+                    })()
+                    .map_err(at)?;
                 }
                 Section::Topo => {
                     topo_text.push_str(line);
@@ -210,7 +219,7 @@ impl EventTrace {
                     if trimmed.is_empty() || trimmed.starts_with('#') {
                         continue;
                     }
-                    events.push(TimedEvent::parse_line(trimmed)?);
+                    events.push(TimedEvent::parse_line(trimmed).map_err(at)?);
                 }
             }
         }
@@ -362,6 +371,32 @@ mod tests {
             EventTrace::parse("ffc-trace v1\nintervals nope\n[topo]\nx\n[traffic]\ny\n").is_err()
         );
         assert!(EventTrace::parse("ffc-trace v1\nintervals 3\n").is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_line() {
+        // Corrupt a serialized trace at a known line and check the error
+        // points at exactly that line.
+        let text = sample_trace().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        let event_line = lines
+            .iter()
+            .position(|l| *l == "[events]")
+            .expect("events section")
+            + 2; // 1-based index of the first event line
+        let corrupted = text.replace("0 demand-scale 1.03", "0 demand-scale NaN");
+        let err = EventTrace::parse(&corrupted).unwrap_err();
+        assert!(
+            err.contains(&format!("line {event_line}:")) && err.contains("non-finite"),
+            "error should carry line number and cause: {err}"
+        );
+
+        let bad_header = text.replace("intervals 5", "intervals many");
+        let err = EventTrace::parse(&bad_header).unwrap_err();
+        assert!(
+            err.contains("line 2:") && err.contains("bad value `many`"),
+            "header error should name line 2: {err}"
+        );
     }
 
     #[test]

@@ -74,6 +74,13 @@ impl ConfigStore {
         &self.last_good.config
     }
 
+    /// Version of the last-known-good configuration — what a rollback
+    /// lands on. Exposed so invariant checkers can assert rollbacks
+    /// never fall back to anything else.
+    pub fn last_good_version(&self) -> u64 {
+        self.last_good.version
+    }
+
     /// The currently staged (planned but not yet committed) config.
     pub fn staged(&self) -> Option<&TeConfig> {
         self.staged.as_ref().map(|v| &v.config)
@@ -136,6 +143,28 @@ impl ConfigStore {
     /// Forgets the chained basis (forces the next solve cold).
     pub fn drop_hint(&mut self) {
         self.hint = None;
+    }
+
+    /// Fault-injection hook: deterministically scrambles the chained
+    /// basis hint *without* changing its shape, so the next warm solve
+    /// receives a plausible-looking but wrong starting basis. The
+    /// solver must recover (repair or cold-restart), not crash or
+    /// return a wrong optimum — exactly what the chaos harness checks.
+    pub fn poison_hint(&mut self) {
+        if let Some((basis, _)) = &mut self.hint {
+            use ffc_lp::ColStatus;
+            let n = basis.0.len();
+            if n > 1 {
+                basis.0.rotate_right(1);
+            }
+            for s in basis.0.iter_mut() {
+                *s = match *s {
+                    ColStatus::Lower => ColStatus::Upper,
+                    ColStatus::Upper => ColStatus::Lower,
+                    other => other,
+                };
+            }
+        }
     }
 }
 

@@ -43,6 +43,11 @@ pub struct IntervalTelemetry {
     pub congestion_free_plan: bool,
     /// Switches stale at the end of the rollout.
     pub stale_switches: usize,
+    /// Update retries issued after ack timeouts during the rollout.
+    pub update_retries: usize,
+    /// Version of the last-known-good config after the interval (what a
+    /// rollback would land on).
+    pub last_good_version: u64,
     /// Modeled rollout duration in seconds (deterministic: it is summed
     /// from recorded/sampled switch delays, not measured).
     pub rollout_secs: f64,
@@ -67,9 +72,11 @@ impl IntervalTelemetry {
             "{{\"interval\": {}, \"events_applied\": {}, \"protection\": [{}, {}, {}], \
              \"path\": \"{}\", \"degraded\": {}, \"rolled_back\": {}, \
              \"iterations\": {}, \"dual_iterations\": {}, \"dual_bound_flips\": {}, \
-             \"config_version\": {}, \"rollout_steps_planned\": {}, \
+             \"config_version\": {}, \"last_good_version\": {}, \
+             \"rollout_steps_planned\": {}, \
              \"rollout_steps_completed\": {}, \"congestion_free_plan\": {}, \
-             \"stale_switches\": {}, \"rollout_secs\": {}, \"overloaded_links\": {}, \
+             \"stale_switches\": {}, \"update_retries\": {}, \
+             \"rollout_secs\": {}, \"overloaded_links\": {}, \
              \"max_oversubscription\": {}, \"delivered\": {}, \
              \"lost_congestion\": {}, \"lost_blackhole\": {}}}",
             self.interval,
@@ -84,10 +91,12 @@ impl IntervalTelemetry {
             self.dual_iterations,
             self.dual_bound_flips,
             self.config_version,
+            self.last_good_version,
             self.rollout_steps_planned,
             self.rollout_steps_completed,
             self.congestion_free_plan,
             self.stale_switches,
+            self.update_retries,
             self.rollout_secs,
             self.overloaded_links,
             self.max_oversubscription,
@@ -131,6 +140,8 @@ mod tests {
             rollout_steps_completed: 2,
             congestion_free_plan: true,
             stale_switches: 0,
+            update_retries: 1,
+            last_good_version: 4,
             rollout_secs: 0.125,
             overloaded_links: 0,
             max_oversubscription: 0.0,

@@ -1,0 +1,168 @@
+//! Property tests for the event-line codec and trace parser: round-trips
+//! are bit-exact, and no input line — however corrupted — can panic the
+//! parser. A controller fed a damaged trace must get an `Err` naming the
+//! offending line, never a crash.
+
+use ffc_ctrl::event::{Event, TimedEvent};
+use ffc_ctrl::replay::{EventTrace, TraceHeader};
+use ffc_net::{LinkId, NodeId};
+use proptest::prelude::*;
+
+/// An arbitrary event, covering every variant with diverse field values.
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0..9u8, 0..10_000usize, 0..64usize, -1e9..1e9f64, 0..53u32).prop_map(
+        |(kind, idx, step, raw, shift)| {
+            // Scale by a power of two to exercise many mantissa widths
+            // while keeping the value finite.
+            let f = raw / f64::from(1u32 << (shift % 31));
+            match kind {
+                0 => Event::DemandScale(f.abs()),
+                1 => Event::DemandSet {
+                    flow: idx,
+                    demand: f.abs(),
+                },
+                2 => Event::LinkDown(LinkId(idx)),
+                3 => Event::LinkUp(LinkId(idx)),
+                4 => Event::SwitchDown(NodeId(idx)),
+                5 => Event::SwitchUp(NodeId(idx)),
+                6 => Event::SetProtection {
+                    kc: idx % 5,
+                    ke: step % 5,
+                    kv: (idx + step) % 5,
+                },
+                7 => Event::UpdateAck {
+                    switch: NodeId(idx),
+                    step,
+                    delay: f.abs(),
+                },
+                _ => Event::UpdateTimeout {
+                    switch: NodeId(idx),
+                    step,
+                },
+            }
+        },
+    )
+}
+
+/// Tokens a corrupted line might contain: valid keywords, numbers, junk,
+/// non-finite floats, overflow-sized integers, and whitespace oddities.
+const TOKENS: &[&str] = &[
+    "demand-scale",
+    "demand-set",
+    "link-down",
+    "link-up",
+    "switch-down",
+    "switch-up",
+    "set-protection",
+    "ack",
+    "timeout",
+    "0",
+    "1",
+    "42",
+    "-3",
+    "4.5",
+    "1e300",
+    "NaN",
+    "nan",
+    "inf",
+    "-inf",
+    "infinity",
+    "99999999999999999999999999",
+    "x",
+    "--",
+    "1.0.0",
+    "0x10",
+];
+
+fn garbage_line_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0..TOKENS.len(), 0..6).prop_map(|picks| {
+        picks
+            .iter()
+            .map(|&i| TOKENS[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+fn sample_trace(events: Vec<TimedEvent>) -> EventTrace {
+    EventTrace {
+        header: TraceHeader::default(),
+        topo_text: "node a\nnode b\nbidi a b 10\n".into(),
+        traffic_text: "flow a b 4.0 high\n".into(),
+        events,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `parse_line(to_line())` is the identity, bit-exact on floats.
+    #[test]
+    fn event_line_roundtrip_is_bit_exact(ev in event_strategy(), interval in 0..10_000usize) {
+        let timed = TimedEvent { interval, event: ev };
+        let line = timed.to_line();
+        let back = TimedEvent::parse_line(&line)
+            .unwrap_or_else(|e| panic!("own encoding `{line}` rejected: {e}"));
+        prop_assert_eq!(&timed, &back, "roundtrip drifted for `{}`", line);
+        // Serializing again is a fixed point.
+        prop_assert_eq!(line, back.to_line());
+    }
+
+    /// Arbitrary token soup never panics the parser — it parses or errs.
+    /// Non-finite floats (NaN/inf) are always rejected.
+    #[test]
+    fn garbage_lines_parse_or_err_without_panic(line in garbage_line_strategy()) {
+        if let Ok(ev) = Event::parse_line(&line) {
+            // Anything accepted must round-trip cleanly.
+            let re = Event::parse_line(&ev.to_line());
+            prop_assert_eq!(Ok(ev), re);
+        }
+        // Timed variant: same line with a (possibly missing) interval.
+        let _ = TimedEvent::parse_line(&line);
+        let timed = format!("3 {line}");
+        if let Ok(te) = TimedEvent::parse_line(&timed) {
+            prop_assert_eq!(Ok(te.clone()), TimedEvent::parse_line(&te.to_line()));
+        }
+        // Non-finite floats must never sneak through.
+        let lower = line.to_ascii_lowercase();
+        if lower.contains("nan") || lower.contains("inf") {
+            prop_assert!(Event::parse_line(&line).is_err(), "`{}` parsed", line);
+        }
+    }
+
+    /// Corrupting one event line of a serialized trace yields an error
+    /// naming exactly that line.
+    #[test]
+    fn corrupted_trace_error_names_the_line(
+        n_events in 1..8usize,
+        corrupt_at in 0..8usize,
+        junk in garbage_line_strategy(),
+    ) {
+        let corrupt_at = corrupt_at % n_events;
+        let events = (0..n_events)
+            .map(|i| TimedEvent { interval: i, event: Event::LinkDown(LinkId(i)) })
+            .collect();
+        let trace = sample_trace(events);
+        let text = trace.to_text();
+        // Replace the corrupt_at-th event line with junk that cannot parse.
+        let junk_line = format!("{corrupt_at} frobnicate {junk}");
+        let target = TimedEvent {
+            interval: corrupt_at,
+            event: Event::LinkDown(LinkId(corrupt_at)),
+        }
+        .to_line();
+        let corrupted = text.replace(&target, &junk_line);
+        let events_header = text
+            .lines()
+            .position(|l| l == "[events]")
+            .expect("events section");
+        let expect_line = events_header + 1 + corrupt_at + 1; // 1-based
+        match EventTrace::parse(&corrupted) {
+            Ok(_) => prop_assert!(false, "corrupted trace parsed"),
+            Err(e) => prop_assert!(
+                e.contains(&format!("line {expect_line}:")),
+                "error `{}` should name line {}", e, expect_line
+            ),
+        }
+    }
+}

@@ -56,7 +56,7 @@ pub mod standard;
 
 pub use expr::{LinExpr, VarId};
 pub use model::{
-    BasisStatuses, Cmp, ColStatus, ConId, LpError, Model, Sense, Solution, SolveStats,
+    BasisStatuses, Cmp, ColStatus, ConId, LimitKind, LpError, Model, Sense, Solution, SolveStats,
 };
 pub use pricing::{Pricing, AUTO_PARTIAL_MIN_COLS};
 pub use simplex::{Algorithm, SimplexOptions};

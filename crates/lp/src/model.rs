@@ -71,6 +71,24 @@ pub(crate) struct ConDef {
     pub name: Option<String>,
 }
 
+/// Which solve budget a [`LpError::LimitExceeded`] solve ran out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// [`crate::SimplexOptions::max_iters`] was reached.
+    Iterations,
+    /// [`crate::SimplexOptions::max_millis`] was reached.
+    WallClock,
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitKind::Iterations => write!(f, "iteration"),
+            LimitKind::WallClock => write!(f, "wall-clock"),
+        }
+    }
+}
+
 /// Errors produced while building or solving a model.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LpError {
@@ -90,9 +108,38 @@ pub enum LpError {
     /// A coefficient or bound was NaN.
     NotANumber,
     /// The simplex failed to converge within the iteration limit.
+    /// (Legacy variant kept for the dense cross-check solver; the
+    /// revised simplex reports [`LpError::LimitExceeded`] instead.)
     IterationLimit,
+    /// A solve budget ran out mid-solve. Unlike the other errors this is
+    /// *recoverable*: the model may well be feasible, the solver just
+    /// was not given enough budget — callers can retry with a larger
+    /// budget, degrade to a cheaper model, or hold the previous answer.
+    /// Carries the counters accumulated up to the point of interruption.
+    LimitExceeded {
+        /// Which budget was exhausted.
+        limit: LimitKind,
+        /// Partial performance counters at interruption.
+        stats: Box<SolveStats>,
+    },
     /// The basis matrix became numerically singular beyond repair.
     NumericalFailure(String),
+    /// A parallel worker panicked while solving this item. Only
+    /// produced by the batch drivers in `ffc-core`, which isolate each
+    /// scenario with `catch_unwind` so siblings still complete. Carries
+    /// the panic payload message when it was a string.
+    WorkerPanic(String),
+}
+
+impl LpError {
+    /// Whether the error is a recoverable budget overrun (the model is
+    /// not known to be unsolvable — the solver was interrupted).
+    pub fn is_limit(&self) -> bool {
+        matches!(
+            self,
+            LpError::LimitExceeded { .. } | LpError::IterationLimit
+        )
+    }
 }
 
 impl fmt::Display for LpError {
@@ -105,7 +152,13 @@ impl fmt::Display for LpError {
             }
             LpError::NotANumber => write!(f, "NaN coefficient or bound in model"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::LimitExceeded { limit, stats } => write!(
+                f,
+                "simplex {limit} budget exhausted after {} iterations",
+                stats.iterations()
+            ),
             LpError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+            LpError::WorkerPanic(msg) => write!(f, "batch worker panicked: {msg}"),
         }
     }
 }

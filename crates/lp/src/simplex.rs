@@ -21,7 +21,7 @@
 //!   recomputation and the cost-vector BTRAN stay dense.
 
 use crate::basis::Basis;
-use crate::model::{BasisStatuses, ColStatus, LpError, Model, Solution, SolveStats};
+use crate::model::{BasisStatuses, ColStatus, LimitKind, LpError, Model, Solution, SolveStats};
 use crate::pricing::{Pricer, Pricing};
 use crate::sparse::ScatterVec;
 use crate::standard::StdForm;
@@ -51,8 +51,18 @@ pub enum Algorithm {
 #[derive(Debug, Clone)]
 pub struct SimplexOptions {
     /// Hard cap on total simplex iterations (both phases). `0` means
-    /// "choose automatically from the problem size".
+    /// "choose automatically from the problem size". Overruns surface
+    /// as the recoverable [`LpError::LimitExceeded`].
     pub max_iters: usize,
+    /// Wall-clock budget for the solve in milliseconds (`0` disables).
+    /// Checked every 64 iterations; overruns surface as the recoverable
+    /// [`LpError::LimitExceeded`] carrying partial [`SolveStats`].
+    pub max_millis: u64,
+    /// Fault-injection hook: report a singular basis refactorization
+    /// once the solve reaches iteration N (`0` disables). Exists so the
+    /// chaos harness can exercise the `NumericalFailure` recovery paths
+    /// on demand; never set in production configs.
+    pub inject_singular_after: usize,
     /// Primal feasibility tolerance.
     pub feas_tol: f64,
     /// Dual (reduced-cost) optimality tolerance.
@@ -81,6 +91,8 @@ impl Default for SimplexOptions {
     fn default() -> Self {
         Self {
             max_iters: 0,
+            max_millis: 0,
+            inject_singular_after: 0,
             feas_tol: 1e-7,
             opt_tol: 1e-7,
             pivot_tol: 1e-8,
@@ -129,6 +141,10 @@ struct Engine<'a> {
     pricer: Pricer,
     /// Performance counters reported on the solution.
     stats: SolveStats,
+    /// Solve start, used to stamp `solve_time` on budget overruns.
+    start: std::time::Instant,
+    /// Wall-clock cutoff derived from [`SimplexOptions::max_millis`].
+    deadline: Option<std::time::Instant>,
     // Scratch buffers.
     w: Vec<f64>,
     y: Vec<f64>,
@@ -211,9 +227,14 @@ impl<'a> Engine<'a> {
             }
         }
         let pricing = opts.pricing;
+        let start = std::time::Instant::now();
+        let deadline = (opts.max_millis > 0)
+            .then(|| start + std::time::Duration::from_millis(opts.max_millis));
         Engine {
             std,
             opts,
+            start,
+            deadline,
             arts: Vec::new(),
             lb,
             ub,
@@ -244,6 +265,45 @@ impl<'a> Engine<'a> {
     #[inline]
     fn is_artificial(&self, j: usize) -> bool {
         j >= self.std.n
+    }
+
+    /// Builds the recoverable budget-overrun error, snapshotting the
+    /// counters accumulated so far (same bookkeeping `solve_model`
+    /// performs at the end of a successful solve).
+    fn limit_error(&self, limit: LimitKind) -> LpError {
+        let mut stats = self.stats;
+        stats.phase2_iterations = self.iterations - stats.phase1_iterations;
+        stats.full_pricing_passes = self.pricer.full_passes;
+        stats.solve_time = self.start.elapsed();
+        LpError::LimitExceeded {
+            limit,
+            stats: Box::new(stats),
+        }
+    }
+
+    /// Per-iteration budget check shared by the primal and dual loops.
+    /// The wall clock is only consulted every 64 iterations to keep the
+    /// hot loop free of syscalls.
+    #[inline]
+    fn check_budgets(&self) -> Result<(), LpError> {
+        if self.opts.inject_singular_after != 0
+            && self.iterations >= self.opts.inject_singular_after
+        {
+            return Err(LpError::NumericalFailure(
+                "injected singular refactorization".into(),
+            ));
+        }
+        if self.iterations > self.opts.max_iters {
+            return Err(self.limit_error(LimitKind::Iterations));
+        }
+        if self.iterations & 63 == 0 {
+            if let Some(d) = self.deadline {
+                if std::time::Instant::now() >= d {
+                    return Err(self.limit_error(LimitKind::WallClock));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Iterates the sparse column `j` (structural/slack or artificial).
@@ -830,9 +890,7 @@ impl<'a> Engine<'a> {
             }
 
             self.iterations += 1;
-            if self.iterations > self.opts.max_iters {
-                return Err(LpError::IterationLimit);
-            }
+            self.check_budgets()?;
         }
     }
 
@@ -1159,9 +1217,7 @@ impl<'a> Engine<'a> {
                 self.degen_run = 0;
                 self.bland = false;
             }
-            if self.iterations > self.opts.max_iters {
-                return Err(LpError::IterationLimit);
-            }
+            self.check_budgets()?;
         }
     }
 
@@ -2078,5 +2134,80 @@ mod tests {
         let s = m.solve().unwrap();
         // Optimal: x00=3, x10=2, x11=2 -> 3 + 4 + 2 = 9.
         almost(s.objective, 9.0);
+    }
+
+    /// A model that needs several iterations (used by the limit tests).
+    fn multi_iteration_model() -> Model {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::from(x), Cmp::Le, 4.0);
+        m.add_con(LinExpr::term(y, 2.0), Cmp::Le, 12.0);
+        m.add_con(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Cmp::Le, 18.0);
+        m.set_objective(
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0),
+            Sense::Maximize,
+        );
+        m
+    }
+
+    #[test]
+    fn iteration_limit_is_recoverable_with_partial_stats() {
+        let m = multi_iteration_model();
+        let opts = SimplexOptions {
+            max_iters: 1,
+            presolve: false,
+            ..SimplexOptions::default()
+        };
+        match m.solve_with(&opts) {
+            Err(LpError::LimitExceeded { limit, stats }) => {
+                assert_eq!(limit, crate::LimitKind::Iterations);
+                assert!(stats.iterations() >= 1, "partial counters: {stats:?}");
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+        // The same model solves fine with the default budget.
+        assert!(m.solve().is_ok());
+    }
+
+    #[test]
+    fn limit_exceeded_is_flagged_recoverable() {
+        let m = multi_iteration_model();
+        let opts = SimplexOptions {
+            max_iters: 1,
+            presolve: false,
+            ..SimplexOptions::default()
+        };
+        let err = m.solve_with(&opts).unwrap_err();
+        assert!(err.is_limit());
+        assert!(!LpError::Infeasible.is_limit());
+    }
+
+    #[test]
+    fn injected_singular_refactorization_fails_numerically() {
+        let m = multi_iteration_model();
+        let opts = SimplexOptions {
+            inject_singular_after: 1,
+            presolve: false,
+            ..SimplexOptions::default()
+        };
+        match m.solve_with(&opts) {
+            Err(LpError::NumericalFailure(msg)) => {
+                assert!(msg.contains("injected"), "unexpected message: {msg}");
+            }
+            other => panic!("expected injected NumericalFailure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_clock_budget_allows_normal_solves() {
+        // A generous wall-clock budget must not perturb results.
+        let m = multi_iteration_model();
+        let opts = SimplexOptions {
+            max_millis: 60_000,
+            ..SimplexOptions::default()
+        };
+        let s = m.solve_with(&opts).unwrap();
+        almost(s.objective, 36.0);
     }
 }

@@ -1,0 +1,3 @@
+# Two equal high-priority flows toward d.
+flow a d 8 high
+flow c d 8 high
