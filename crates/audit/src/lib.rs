@@ -1,0 +1,42 @@
+//! # ffc-audit — solver-independent verification for the FFC workspace
+//!
+//! FFC's value proposition is a *guarantee* — congestion-freedom under
+//! any ≤k faults — yet without this crate the only thing standing
+//! between a solver bug and a bogus "guaranteed" configuration is the
+//! simplex implementation checking itself. `ffc-audit` adds three
+//! passes that don't trust the solver:
+//!
+//! | pass | module | when |
+//! |---|---|---|
+//! | static model auditor | [`model_audit`] | before solve |
+//! | independent solution certifier | [`certify`] | after solve |
+//! | source lint engine | [`lint`] | in CI (`ffc audit lint`) |
+//!
+//! The model auditor checks every constructed [`ffc_lp::Model`] for
+//! generic LP hygiene (finite coefficients, consistent bounds, no
+//! empty/duplicate rows, no orphan columns, deterministically merged
+//! duplicate entries) plus FFC-specific structural invariants (sorting
+//! network comparator wiring and counts per Algs 1–2, capacity and
+//! coverage row shapes).
+//!
+//! The certifier re-derives the congestion-free property of a solved
+//! configuration by direct arithmetic over the tunnel layout — tunnel
+//! rescaling, stale-ingress weights, per-scenario link loads — with no
+//! simplex code anywhere on the path, and returns a machine-readable
+//! [`certify::Certificate`].
+//!
+//! The lint engine scans workspace sources for the determinism and
+//! panic-discipline rules the controller and chaos harness silently
+//! depend on; it is dependency-free (hand-rolled line scanning, no
+//! `syn`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certify;
+pub mod lint;
+pub mod model_audit;
+
+pub use certify::{certify, CertInput, CertStatus, Certificate, Protection};
+pub use lint::{lint_workspace, LintConfig, LintReport, LintViolation};
+pub use model_audit::{audit_model, AuditConfig, AuditReport, Finding, Severity};

@@ -12,6 +12,8 @@
 //! Figure-3 check plus a warm dual-vs-primal scenario sweep on S-Net,
 //! for CI to catch solver regressions without the full harness cost.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use ffc_bench::{

@@ -3,6 +3,7 @@
 //! traces and `(1,3)`-disjoint tunnel layouts, reused by the `repro`
 //! binary and the Criterion benches.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ffc_net::{layout_tunnels, LayoutConfig, TunnelTable};

@@ -57,6 +57,16 @@ pub enum Violation {
         /// What went wrong.
         detail: String,
     },
+    /// An interval accepted (staged and rolled out) a configuration
+    /// without a passing certificate from the independent verifier —
+    /// either the certifier rejected it and the controller did not roll
+    /// back, or a solved interval carried no certificate at all.
+    Uncertified {
+        /// Interval index.
+        interval: usize,
+        /// The certificate status telemetry recorded.
+        status: &'static str,
+    },
     /// The live run and its replay disagreed on the deterministic
     /// telemetry fingerprint.
     FingerprintMismatch {
@@ -90,6 +100,11 @@ impl std::fmt::Display for Violation {
             Violation::TelemetryInconsistent { interval, detail } => {
                 write!(f, "interval {interval}: telemetry inconsistent: {detail}")
             }
+            Violation::Uncertified { interval, status } => write!(
+                f,
+                "interval {interval}: accepted a configuration without a passing \
+                 certificate (status: {status})"
+            ),
             Violation::FingerprintMismatch { interval } => {
                 write!(f, "replay fingerprint diverges at interval {interval}")
             }
@@ -165,6 +180,20 @@ pub fn check_run(events: &[TimedEvent], report: &ControllerReport) -> CheckOutco
                 max_oversubscription: t.max_oversubscription,
                 link_faults: failed_links.len(),
                 stale: t.stale_switches,
+            });
+        }
+
+        // Certification discipline: every accepted configuration must
+        // carry a passing certificate. A rejected certificate forces a
+        // rollback; a solved interval that is not rolled back must have
+        // been certified (the planner always produces a target on
+        // solved paths, so "n/a" there means the gate was bypassed).
+        let accepted_uncertified =
+            !t.rolled_back && (t.certificate == "rejected" || (solved && t.certificate == "n/a"));
+        if accepted_uncertified {
+            out.violations.push(Violation::Uncertified {
+                interval: t.interval,
+                status: t.certificate,
             });
         }
 
@@ -254,6 +283,7 @@ mod tests {
             path: SolvePath::Cold,
             degraded: false,
             rolled_back: false,
+            certificate: "certified",
             iterations: 10,
             dual_iterations: 0,
             dual_bound_flips: 0,
@@ -349,6 +379,44 @@ mod tests {
         t1.overloaded_links = 1;
         let out = check_run(&events, &report(vec![telem(0), t1]));
         assert_eq!(out.violations.len(), 1);
+    }
+
+    #[test]
+    fn uncertified_accepted_config_is_a_violation() {
+        // Rejected certificate without a rollback: violation.
+        let mut t = telem(0);
+        t.certificate = "rejected";
+        let out = check_run(&[], &report(vec![t]));
+        assert!(matches!(
+            out.violations.as_slice(),
+            [Violation::Uncertified {
+                interval: 0,
+                status: "rejected"
+            }]
+        ));
+
+        // Solved path with no certificate at all: gate was bypassed.
+        let mut t = telem(0);
+        t.certificate = "n/a";
+        let out = check_run(&[], &report(vec![t]));
+        assert!(matches!(
+            out.violations.as_slice(),
+            [Violation::Uncertified { interval: 0, .. }]
+        ));
+
+        // Rejected + rolled back is the correct refusal: no violation.
+        let mut t = telem(0);
+        t.certificate = "rejected";
+        t.rolled_back = true;
+        t.last_good_version = 0;
+        let out = check_run(&[], &report(vec![t]));
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+
+        // A sampled (budget-capped) certificate still counts as passing.
+        let mut t = telem(0);
+        t.certificate = "certified-sampled";
+        let out = check_run(&[], &report(vec![t]));
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
     }
 
     #[test]

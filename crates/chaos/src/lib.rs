@@ -28,6 +28,7 @@
 //! Failing campaigns are shrunk ([`shrink_events`]) to minimal
 //! replayable [`EventTrace`]s worth committing as regression files.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checker;
@@ -422,6 +423,45 @@ mod tests {
                 .any(|c| c.kind == CampaignKind::SolverChaos),
             "24 campaigns should include solver chaos"
         );
+    }
+
+    #[test]
+    fn sabotaged_solves_never_yield_accepted_uncertified_configs() {
+        // Arm every solver-sabotage knob at once: the chained warm
+        // hint is poisoned before every re-solve AND the factorization
+        // is deterministically corrupted mid-solve. Whatever the
+        // solver manages to return, every interval that accepts a new
+        // configuration must carry a passing certificate from the
+        // independent verifier — sabotage may cost solves (rollbacks,
+        // degraded protection), never certification integrity.
+        let (topo, tm, tunnels, _tt, _dt) = theta();
+        for singular_after in [0usize, 1, 5, 20] {
+            let mut cfg = ControllerConfig::new(FfcConfig::new(1, 1, 0), SwitchModel::Optimistic);
+            cfg.chaos = ChaosHooks {
+                poison_hint_intervals: (0..4).collect(),
+            };
+            cfg.opts.inject_singular_after = singular_after;
+            let mut ctrl = ffc_ctrl::Controller::new(&topo, &tunnels, cfg);
+            let report = ctrl.run(&tm, &[], 4, false);
+            for t in &report.telemetry {
+                if !t.rolled_back {
+                    assert!(
+                        t.certificate != "rejected",
+                        "sabotage (inject_singular_after = {singular_after}) produced an \
+                         accepted-but-rejected config at interval {}",
+                        t.interval
+                    );
+                }
+            }
+            let out = check_run(&[], &report);
+            assert!(
+                !out.violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::Uncertified { .. })),
+                "inject_singular_after = {singular_after}: {:?}",
+                out.violations
+            );
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! [`formats`]), reusable by tooling that wants to interoperate with
 //! the CLI's files.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod formats;

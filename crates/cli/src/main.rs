@@ -11,6 +11,8 @@
 //! ffc ctrl replay run.trace
 //! ffc chaos [--seed 1] [--campaigns 25] [--out-dir traces/]
 //! ffc chaos replay traces/campaign-3-overload.trace --expect-violation
+//! ffc audit lint [DIR]
+//! ffc audit model [--topo net.topo --traffic day.tm] [--kc 1 --ke 1 --kv 0]
 //! ```
 //!
 //! * `solve` computes an FFC-protected TE configuration (plain TE when
@@ -29,8 +31,13 @@
 //!   `chaos replay` re-checks a single emitted trace, with
 //!   `--expect-violation` asserting the over-`k` overload detector
 //!   fires on it.
+//! * `audit lint` runs the workspace source linter (exit 1 on any
+//!   violation); `audit model` statically audits the built FFC model
+//!   for a workload (built-in S-Net by default) before any solve.
 //!
 //! File formats are documented in [`ffc_cli::formats`].
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
@@ -77,7 +84,10 @@ fn usage() -> ! {
          \x20      ffc ctrl replay TRACE\n\
          \x20      ffc chaos [--topo FILE --traffic FILE] [--seed N] [--campaigns N]\n\
          \x20          [--intervals N] [--kc N --ke N --kv N] [--tunnels N] [--out-dir DIR]\n\
-         \x20      ffc chaos replay TRACE [--expect-violation]"
+         \x20      ffc chaos replay TRACE [--expect-violation]\n\
+         \x20      ffc audit lint [DIR]\n\
+         \x20      ffc audit model [--topo FILE --traffic FILE] [--kc N --ke N --kv N]\n\
+         \x20          [--tunnels N]"
     );
     std::process::exit(2)
 }
@@ -153,7 +163,10 @@ fn parse_opts() -> Opts {
             "-v" | "--verbose" => o.verbose = true,
             "-h" | "--help" => usage(),
             other if o.cmd.is_empty() => o.cmd = other.to_string(),
-            other if (o.cmd == "ctrl" || o.cmd == "chaos") && o.args.len() < 2 => {
+            other
+                if (o.cmd == "ctrl" || o.cmd == "chaos" || o.cmd == "audit")
+                    && o.args.len() < 2 =>
+            {
                 o.args.push(other.to_string())
             }
             other => {
@@ -182,6 +195,9 @@ fn main() -> ExitCode {
     }
     if o.cmd == "chaos" {
         return run_chaos_cmd(&o);
+    }
+    if o.cmd == "audit" {
+        return run_audit(&o);
     }
     let topo_path = o.topo.clone().unwrap_or_else(|| {
         eprintln!("--topo is required");
@@ -680,6 +696,140 @@ fn run_chaos_cmd(o: &Opts) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `ffc audit lint [DIR]` / `ffc audit model`: the static verification
+/// layer from the command line.
+///
+/// * `lint` scans the source tree rooted at `DIR` (default: the current
+///   directory) for the workspace hygiene rules — unwrap/expect in
+///   solver/controller hot paths, float `==` against literals,
+///   wall-clock or ambient randomness in replay-deterministic modules,
+///   missing `#![forbid(unsafe_code)]` — and exits non-zero on any
+///   violation.
+/// * `model` builds the FFC model for a workload (built-in S-Net with
+///   gravity traffic unless `--topo/--traffic` are given) and runs the
+///   static model auditor over it: LP hygiene plus the FFC structural
+///   invariants. Exits non-zero on any error-severity finding.
+fn run_audit(o: &Opts) -> ExitCode {
+    use ffc_audit::{lint_workspace, LintConfig};
+
+    match o.args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = o.args.get(1).cloned().unwrap_or_else(|| ".".to_string());
+            let report = match lint_workspace(&LintConfig {
+                root: root.clone().into(),
+            }) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cannot lint {root}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for v in &report.violations {
+                println!("{v}");
+            }
+            println!(
+                "{} file(s) scanned, {} violation(s)",
+                report.files_scanned,
+                report.violations.len()
+            );
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("model") => {
+            use ffc_cli::formats::{write_topology, write_traffic};
+            let (topo, tm) = match (&o.topo, &o.traffic) {
+                (Some(tp), Some(dp)) => {
+                    let topo = match parse_topology(&read(tp)) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("{tp}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let tm = match parse_traffic(&read(dp), &topo) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("{dp}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    (topo, tm)
+                }
+                (None, None) => {
+                    let net = ffc_topo::snet();
+                    let tm = ffc_topo::gravity_trace_single_priority(
+                        &net,
+                        &ffc_topo::TrafficConfig::default(),
+                        1,
+                    )
+                    .intervals
+                    .remove(0);
+                    // Round-trip through the text formats so the audited
+                    // model matches what file-driven runs would build.
+                    let topo_text = write_topology(&net.topo);
+                    let traffic_text = write_traffic(&tm, &net.topo);
+                    let topo = parse_topology(&topo_text).expect("built-in S-Net must parse");
+                    let tm =
+                        parse_traffic(&traffic_text, &topo).expect("built-in traffic must parse");
+                    (topo, tm)
+                }
+                _ => {
+                    eprintln!(
+                        "audit model needs both --topo and --traffic \
+                         (or neither for built-in S-Net)"
+                    );
+                    usage()
+                }
+            };
+            let layout = LayoutConfig {
+                tunnels_per_flow: o.tunnels,
+                ..LayoutConfig::default()
+            };
+            let tunnels = layout_tunnels(&topo, &tm, &layout);
+            let ffc = if o.kc + o.ke + o.kv > 0 {
+                FfcConfig::new(o.kc, o.ke, o.kv)
+            } else {
+                FfcConfig::new(1, 1, 0)
+            };
+            let old = TeConfig::zero(&tunnels);
+            let builder = build_ffc_model(TeProblem::new(&topo, &tm, &tunnels), &old, &ffc);
+            let report = ffc_core::audit_te_model(&builder);
+            for f in &report.findings {
+                println!(
+                    "{} [{}] {}",
+                    format!("{:?}", f.severity).to_lowercase(),
+                    f.category,
+                    f.detail
+                );
+            }
+            let errors = report.errors().count();
+            println!(
+                "model: {} vars, {} rows; {} finding(s), {} error(s)",
+                builder.model.num_vars(),
+                builder.model.num_cons(),
+                report.findings.len(),
+                errors
+            );
+            if errors == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown audit subcommand '{other}' (lint or model)");
+            usage()
+        }
+        None => {
+            eprintln!("audit needs a subcommand (lint or model)");
+            usage()
+        }
     }
 }
 

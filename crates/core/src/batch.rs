@@ -163,6 +163,17 @@ pub fn solve_ffc_batch(
     par_try_map(jobs, |_, job| {
         let builder = build_ffc_model(job.problem, job.old, &job.cfg);
         let (config, sol) = builder.solve_detailed(opts)?;
+        if job.problem.reserved.is_none() {
+            crate::verify::debug_certify(
+                job.problem.topo,
+                job.problem.tm,
+                job.problem.tunnels,
+                &config,
+                (job.cfg.kc > 0).then_some(job.old),
+                &job.cfg,
+                "solve_ffc_batch",
+            );
+        }
         Ok(BatchOutcome {
             config,
             stats: sol.stats,
@@ -216,6 +227,17 @@ pub fn solve_ffc_ksweep(
                         config: builder.extract(&sol),
                         stats: sol.stats,
                     };
+                    if problem.reserved.is_none() {
+                        crate::verify::debug_certify(
+                            problem.topo,
+                            problem.tm,
+                            problem.tunnels,
+                            &outcome.config,
+                            (cfg.kc > 0).then_some(old),
+                            cfg,
+                            "solve_ffc_ksweep",
+                        );
+                    }
                     Ok((outcome, sol.basis))
                 },
             ));
@@ -290,6 +312,17 @@ pub fn solve_ffc_scenarios(
 
     let builder = build_ffc_model(problem, old, cfg);
     let base_sol = builder.model.solve_with(&warm_opts)?;
+    if problem.reserved.is_none() {
+        crate::verify::debug_certify(
+            problem.topo,
+            problem.tm,
+            problem.tunnels,
+            &builder.extract(&base_sol),
+            (cfg.kc > 0).then_some(old),
+            cfg,
+            "solve_ffc_scenarios(base)",
+        );
+    }
 
     let n = scenarios.len();
     let workers = std::thread::available_parallelism()
@@ -327,6 +360,19 @@ pub fn solve_ffc_scenarios(
                             config: builder.extract(&sol),
                             stats: sol.stats,
                         };
+                        if problem.reserved.is_none() {
+                            // Under pinned-dead tunnels only the
+                            // fault-free checks are meaningful here.
+                            crate::verify::debug_certify(
+                                problem.topo,
+                                problem.tm,
+                                problem.tunnels,
+                                &outcome.config,
+                                None,
+                                &FfcConfig::none(),
+                                "solve_ffc_scenarios",
+                            );
+                        }
                         Ok((outcome, sol.basis))
                     },
                 ));

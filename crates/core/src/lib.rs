@@ -52,6 +52,7 @@
 //! assert!(cfg.throughput() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -71,6 +72,7 @@ pub mod sorting_network;
 pub mod te;
 pub mod uncertainty;
 pub mod update;
+pub mod verify;
 
 pub use batch::{
     par_map, solve_ffc_batch, solve_ffc_ksweep, solve_ffc_scenarios, solve_te_batch, BatchOutcome,
@@ -95,3 +97,4 @@ pub use rescale::{rescaled_link_loads, rescaled_link_loads_mixed, RescaledLoads}
 pub use te::{solve_te, TeConfig, TeModelBuilder, TeProblem};
 pub use uncertainty::apply_uncertainty;
 pub use update::{plan_update, plan_update_auto, UpdateConfig, UpdatePlan};
+pub use verify::{audit_te_model, certify_config};

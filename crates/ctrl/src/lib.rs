@@ -21,6 +21,7 @@
 //! recorded trace ([`replay::EventTrace`]) consumes them instead and
 //! reproduces the run's telemetry fingerprints bit-for-bit.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;
@@ -268,11 +269,30 @@ impl<'a> Controller<'a> {
             let old = store.installed().clone();
             let problem = TeProblem::new(self.topo, &tm, self.tunnels);
             let outcome = planner.plan(problem, &old, sim.scenario(), &mut store);
-            let rolled_back = outcome.path == SolvePath::Infeasible;
+            let mut rolled_back = outcome.path == SolvePath::Infeasible;
+            // Certification gate: a freshly planned configuration is
+            // rolled out only if the independent certifier (ffc-audit)
+            // accepts it at the protection level the planner actually
+            // solved with. A rejected configuration is refused and the
+            // interval falls back to the last-known-good config, same
+            // as an infeasible solve.
+            let mut certificate = "n/a";
             let target = match &outcome.target {
                 Some(t) => {
-                    store.stage(t.clone());
-                    t.clone()
+                    let mut ffc = self.cfg.ffc.clone();
+                    ffc.kc = outcome.protection.0;
+                    ffc.ke = outcome.protection.1;
+                    ffc.kv = outcome.protection.2;
+                    let cert =
+                        ffc_core::certify_config(self.topo, &tm, self.tunnels, t, Some(&old), &ffc);
+                    certificate = cert.status_str();
+                    if cert.ok() {
+                        store.stage(t.clone());
+                        t.clone()
+                    } else {
+                        rolled_back = true;
+                        store.rollback().clone()
+                    }
                 }
                 None if rolled_back => store.rollback().clone(),
                 // Rescale-only: hold the installed config; ingress
@@ -328,6 +348,7 @@ impl<'a> Controller<'a> {
                 path: outcome.path,
                 degraded: outcome.degraded,
                 rolled_back,
+                certificate,
                 iterations: stats.map_or(0, |s| s.iterations()),
                 dual_iterations: stats.map_or(0, |s| s.dual_iterations),
                 dual_bound_flips: stats.map_or(0, |s| s.dual_bound_flips),

@@ -33,9 +33,8 @@
 //! ```
 
 use ffc_net::Topology;
+use ffc_sim::DetRng;
 use ffc_sim::{FaultModel, FaultProcess, SwitchModel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::event::{Event, TimedEvent};
 
@@ -171,7 +170,7 @@ impl EventTrace {
                         continue;
                     }
                     let mut it = trimmed.split_whitespace();
-                    let key = it.next().unwrap();
+                    let Some(key) = it.next() else { continue };
                     let vals: Vec<&str> = it.collect();
                     let one = || -> Result<&str, String> {
                         vals.first()
@@ -268,13 +267,13 @@ pub fn generate_poisson_events(
     interval_secs: f64,
     demand_jitter: f64,
 ) -> Vec<TimedEvent> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut process = FaultProcess::new();
     let mut prev = process.scenario();
     let mut events = Vec::new();
     for interval in 0..intervals {
         if demand_jitter > 0.0 {
-            let factor = 1.0 - demand_jitter + 2.0 * demand_jitter * rng.gen::<f64>();
+            let factor = 1.0 - demand_jitter + 2.0 * demand_jitter * rng.next_f64();
             events.push(TimedEvent {
                 interval,
                 event: Event::DemandScale(factor),

@@ -25,6 +25,11 @@ pub struct IntervalTelemetry {
     pub degraded: bool,
     /// Whether this interval fell back to the last-known-good config.
     pub rolled_back: bool,
+    /// Independent certification status of the configuration this
+    /// interval tried to roll out: `certified`, `certified-sampled`,
+    /// `rejected` (refused, interval rolled back), or `n/a` when no
+    /// new configuration was produced (hold / infeasible intervals).
+    pub certificate: &'static str,
     /// Simplex iterations (phase 1 + phase 2 + dual), when a solve ran.
     pub iterations: usize,
     /// Dual simplex iterations within that.
@@ -71,6 +76,7 @@ impl IntervalTelemetry {
         format!(
             "{{\"interval\": {}, \"events_applied\": {}, \"protection\": [{}, {}, {}], \
              \"path\": \"{}\", \"degraded\": {}, \"rolled_back\": {}, \
+             \"certificate\": \"{}\", \
              \"iterations\": {}, \"dual_iterations\": {}, \"dual_bound_flips\": {}, \
              \"config_version\": {}, \"last_good_version\": {}, \
              \"rollout_steps_planned\": {}, \
@@ -87,6 +93,7 @@ impl IntervalTelemetry {
             self.path.as_str(),
             self.degraded,
             self.rolled_back,
+            self.certificate,
             self.iterations,
             self.dual_iterations,
             self.dual_bound_flips,
@@ -131,6 +138,7 @@ mod tests {
             path: SolvePath::WarmDual,
             degraded: false,
             rolled_back: false,
+            certificate: "certified",
             iterations: 17,
             dual_iterations: 11,
             dual_bound_flips: 3,

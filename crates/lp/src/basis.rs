@@ -11,6 +11,10 @@
 //! * BTRAN: transform the cost vector through etas in *reverse* order,
 //!   then LU-BTRAN.
 
+// audit:allow-file(float-eq): exact-zero comparisons here are
+// structural sparsity guards (skip entries that are identically zero),
+// not approximate value checks.
+
 use crate::lu::{LuFactors, Singular};
 use crate::sparse::{CscMatrix, ScatterVec};
 

@@ -14,6 +14,10 @@
 //! * All rows get slack/surplus; phase 1 uses artificials on `=`/`≥` rows
 //!   (and `≤` rows with negative rhs after normalization).
 
+// audit:allow-file(float-eq): exact-zero comparisons here are
+// structural sparsity guards (skip entries that are identically zero),
+// not approximate value checks.
+
 use crate::model::{Cmp, LpError, Model, Sense, Solution};
 
 /// How a structural variable was rewritten into nonnegative solver

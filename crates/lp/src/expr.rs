@@ -9,6 +9,10 @@
 //! variable mentions are allowed and are merged lazily by
 //! [`LinExpr::compress`] (the solver compresses before use).
 
+// audit:allow-file(float-eq): exact-zero comparisons here are
+// structural sparsity guards (skip entries that are identically zero),
+// not approximate value checks.
+
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
@@ -24,6 +28,14 @@ impl VarId {
     #[inline]
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Rebuilds a `VarId` from a dense index, for external tooling
+    /// (the `ffc-audit` model auditor) that iterates columns by index.
+    /// The index is not validated against any particular model.
+    #[inline]
+    pub fn from_index(i: usize) -> VarId {
+        VarId(i)
     }
 }
 

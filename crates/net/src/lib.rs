@@ -23,6 +23,7 @@
 //! assert_eq!(tunnels.tunnels(FlowId(0)).len(), 2); // direct + via b
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod failure;

@@ -18,6 +18,7 @@
 //! * [`mod@reference`] — public research topologies (Abilene) for
 //!   experiments beyond the paper's networks.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibrate;

@@ -1,1 +1,3 @@
 //! Example helpers live in the individual binaries.
+
+#![forbid(unsafe_code)]

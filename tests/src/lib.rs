@@ -1,1 +1,3 @@
 //! Integration tests live under tests/tests/.
+
+#![forbid(unsafe_code)]
