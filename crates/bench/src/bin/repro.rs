@@ -5,12 +5,15 @@
 //!
 //! ```text
 //! repro <fig1a|fig1b|fig2|fig3|fig6|fig11|fig12|table2|fig13|fig14|fig15|fig16|all>
-//!       [--seed N] [--intervals N] [--trials N] [--fast] [--quick]
+//!       [--seed N] [--intervals N] [--trials N] [--fast] [--quick] [--incremental]
 //! ```
 //!
 //! `--quick` (or the `quick` subcommand) runs a ~30-second smoke: one
 //! Figure-3 check plus a warm dual-vs-primal scenario sweep on S-Net,
 //! for CI to catch solver regressions without the full harness cost.
+//! Adding `--incremental` extends the smoke with a delta-LP check: an
+//! S-Net demand-tick workload solved by patching the standing FFC model
+//! must match a from-scratch rebuild on every tick.
 
 #![forbid(unsafe_code)]
 
@@ -47,6 +50,7 @@ struct Args {
     trials: usize,
     fast: bool,
     full: bool,
+    incremental: bool,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +61,7 @@ fn parse_args() -> Args {
         trials: 200,
         fast: false,
         full: false,
+        incremental: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -72,6 +77,7 @@ fn parse_args() -> Args {
             "--trials" => args.trials = it.next().expect("--trials N").parse().expect("trials"),
             "--fast" => args.fast = true,
             "--full" => args.full = true,
+            "--incremental" => args.incremental = true,
             "--quick" => args.cmd = "quick".into(),
             other if args.cmd.is_empty() => args.cmd = other.to_string(),
             other => panic!("unexpected argument {other}"),
@@ -430,6 +436,107 @@ fn quick(args: &Args) {
         );
     }
     println!("  throughputs agree across algorithms on all scenarios");
+    if args.incremental {
+        quick_incremental(args);
+    }
+}
+
+/// `--quick --incremental`: the delta-LP smoke. An S-Net demand-tick
+/// workload is solved twice — patching the standing FFC model in place,
+/// and rebuilding it from scratch each tick — and the objectives must
+/// agree on every tick. Run in release this exercises the production
+/// patch path; under `cargo test` the same invariant is checked
+/// coefficient-for-coefficient by the debug differential oracle.
+fn quick_incremental(args: &Args) {
+    use ffc_core::{build_ffc_model, FfcModelCache};
+
+    println!("\n=== quick: incremental patch vs full rebuild, S-Net ke=1 demand ticks ===");
+    let inst = snet_instance(args.seed, 1);
+    let topo = &inst.net.topo;
+    let tm0 = &inst.trace.intervals[0];
+    let tms: Vec<_> = [1.0, 1.03, 0.96, 1.02, 0.99]
+        .iter()
+        .map(|&f| tm0.scale(f))
+        .collect();
+    let old = TeConfig::zero(&inst.tunnels);
+    let cfg = FfcConfig::new(0, 1, 0);
+    let opts = SimplexOptions::default();
+
+    let first = TeProblem::new(topo, &tms[0], &inst.tunnels);
+    let mut cache = FfcModelCache::new(first, &old, &cfg, None);
+    let (_, base) = cache.solve_with(&opts).expect("base FFC (standing)");
+    let mut basis = base.basis;
+    let (mut patch_ms, mut full_ms) = (0.0f64, 0.0f64);
+    for (i, tm) in tms[1..].iter().enumerate() {
+        let t0 = Instant::now();
+        let outcome = cache.retarget(TeProblem::new(topo, tm, &inst.tunnels), &old, &cfg, None);
+        let (got, sol) = cache.solve_warm(&opts, &basis).expect("patched warm solve");
+        patch_ms += t0.elapsed().as_secs_f64() * 1e3;
+        assert!(outcome.is_patch(), "tick {i}: demand tick must patch, got {outcome:?}");
+
+        let t0 = Instant::now();
+        let builder = build_ffc_model(TeProblem::new(topo, tm, &inst.tunnels), &old, &cfg);
+        let fresh = builder.model.solve_warm(&opts, &basis).expect("rebuilt warm solve");
+        full_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let want = builder.extract(&fresh).throughput();
+        assert!(
+            (got.throughput() - want).abs() < 1e-6,
+            "tick {i}: patched {} vs rebuilt {want}",
+            got.throughput()
+        );
+        basis = sol.basis;
+    }
+    let stats = cache.stats();
+    println!(
+        "  {} ticks: {} patches / {} rebuild(s); patch+warm {patch_ms:.1} ms vs \
+         rebuild+warm {full_ms:.1} ms total; objectives agree on every tick",
+        tms.len() - 1,
+        stats.patches,
+        stats.rebuilds,
+    );
+
+    // Hot-restart chain: the same standing model resumed via
+    // `solve_warm_hot` on a fine demand-drift chain (the recorded
+    // BENCH workload). The hot path may pivot differently, so the
+    // check is objective agreement, not trajectory parity.
+    let drift = [1.0012, 0.9991, 1.0008, 0.9987, 1.0015];
+    let mut tm = tms[0].clone();
+    cache.retarget(TeProblem::new(topo, &tm, &inst.tunnels), &old, &cfg, None);
+    let (_, s0) = cache.solve_with(&opts).expect("hot chain base");
+    let (_, seeded) = cache.solve_warm_hot(&opts, &s0.basis).expect("seed hot slot");
+    let mut hot_basis = seeded.basis;
+    let mut full_basis = s0.basis;
+    let (mut hot_ms, mut full_ms) = (0.0f64, 0.0f64);
+    for (i, &f) in drift.iter().enumerate() {
+        tm = tm.scale(f);
+        let t0 = Instant::now();
+        let builder = build_ffc_model(TeProblem::new(topo, &tm, &inst.tunnels), &old, &cfg);
+        let fresh = builder
+            .model
+            .solve_warm(&opts, &full_basis)
+            .expect("rebuilt warm solve");
+        full_ms += t0.elapsed().as_secs_f64() * 1e3;
+        full_basis = fresh.basis;
+
+        let t0 = Instant::now();
+        cache.retarget(TeProblem::new(topo, &tm, &inst.tunnels), &old, &cfg, None);
+        let (_, hot) = cache.solve_warm_hot(&opts, &hot_basis).expect("hot re-solve");
+        hot_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let rel = (hot.objective - fresh.objective).abs() / fresh.objective.abs().max(1.0);
+        assert!(
+            rel < 1e-6,
+            "hot tick {i}: objective {} vs rebuilt {}",
+            hot.objective,
+            fresh.objective
+        );
+        hot_basis = hot.basis;
+    }
+    println!(
+        "  hot chain ({} drift ticks): patch+hot {hot_ms:.1} ms vs rebuild+warm \
+         {full_ms:.1} ms total ({:.2}x); objectives agree on every tick",
+        drift.len(),
+        full_ms / hot_ms.max(1e-9),
+    );
 }
 
 fn fig12(args: &Args) {

@@ -281,6 +281,7 @@ mod tests {
             events_applied: 0,
             protection: (1, 1, 0),
             path: SolvePath::Cold,
+            model_patched: false,
             degraded: false,
             rolled_back: false,
             certificate: "certified",

@@ -1,0 +1,116 @@
+//! Chaos coverage for the incremental k-sweep: drive
+//! [`ffc_core::solve_ffc_ksweep`] — whose worker chunks patch a
+//! standing [`ffc_core::FfcModelCache`] across protection levels — with
+//! deterministically injected singular refactorizations, and verify the
+//! fallback ladder (patched/warm solve → fresh rebuild → cold solve)
+//! never lets an **uncertified** configuration through: every `Ok`
+//! outcome must pass the independent `ffc-audit` certifier, at every
+//! injection point. Failed levels may surface as errors; they must
+//! never surface as bad configs.
+
+use ffc_core::{solve_ffc_ksweep, FfcConfig, MsumEncoding, TeConfig, TeProblem};
+use ffc_lp::SimplexOptions;
+use ffc_net::prelude::*;
+
+/// A 5-node ring with chords: multi-tunnel flows so control-plane FFC
+/// has real stale rows and the CVaR kc levels exercise the patch path.
+fn ring() -> (Topology, TrafficMatrix, TunnelTable, TeConfig) {
+    let mut t = Topology::new();
+    let ns = t.add_nodes(5, "r");
+    for i in 0..5 {
+        t.add_bidi(ns[i], ns[(i + 1) % 5], 10.0);
+    }
+    t.add_bidi(ns[0], ns[2], 10.0);
+    t.add_bidi(ns[1], ns[3], 10.0);
+    let mut tm = TrafficMatrix::new();
+    tm.add_flow(ns[0], ns[3], 6.0, Priority::High);
+    tm.add_flow(ns[1], ns[4], 6.0, Priority::High);
+    tm.add_flow(ns[2], ns[0], 6.0, Priority::High);
+    let tunnels = layout_tunnels(
+        &t,
+        &tm,
+        &LayoutConfig {
+            tunnels_per_flow: 3,
+            p: 1,
+            q: 3,
+            reuse_penalty: 0.5,
+        },
+    );
+    let old = ffc_core::solve_te(TeProblem::new(&t, &tm, &tunnels)).unwrap();
+    (t, tm, tunnels, old)
+}
+
+/// The sweep mixes patchable transitions (CVaR kc ticks) with
+/// shape-changing ones (encoding flips, ke changes), so one worker
+/// chunk walks the whole retarget ladder.
+fn sweep_cfgs() -> Vec<FfcConfig> {
+    vec![
+        FfcConfig::new(0, 0, 0).exact(),
+        FfcConfig::new(0, 1, 0).exact(),
+        FfcConfig::new(1, 0, 0).with_encoding(MsumEncoding::Cvar).exact(),
+        FfcConfig::new(2, 0, 0).with_encoding(MsumEncoding::Cvar).exact(),
+        FfcConfig::new(2, 1, 0).with_encoding(MsumEncoding::Cvar).exact(),
+        FfcConfig::new(1, 1, 0).with_encoding(MsumEncoding::Cvar).exact(),
+        FfcConfig::new(1, 1, 0).exact(),
+    ]
+}
+
+#[test]
+fn injected_singular_bases_never_yield_uncertified_sweep_configs() {
+    let (topo, tm, tunnels, old) = ring();
+    let problem = TeProblem::new(&topo, &tm, &tunnels);
+    let cfgs = sweep_cfgs();
+
+    let mut clean_ok = 0usize;
+    let mut rescued_or_failed = 0usize;
+    for inject_after in [0usize, 1, 2, 4, 8, 16, 40, 200] {
+        let opts = SimplexOptions {
+            inject_singular_after: inject_after,
+            ..SimplexOptions::default()
+        };
+        let outcomes = solve_ffc_ksweep(problem, &old, &cfgs, &opts);
+        assert_eq!(outcomes.len(), cfgs.len());
+        for (cfg, outcome) in cfgs.iter().zip(outcomes) {
+            match outcome {
+                Ok(o) => {
+                    // The load-bearing invariant: whatever path produced
+                    // this config — patched standing model, warm chain,
+                    // or the rebuild-and-cold-solve fallback — the
+                    // independent certifier must accept it.
+                    let cert = ffc_core::certify_config(
+                        &topo,
+                        &tm,
+                        &tunnels,
+                        &o.config,
+                        (cfg.kc > 0).then_some(&old),
+                        cfg,
+                    );
+                    assert!(
+                        cert.ok(),
+                        "inject_singular_after={inject_after}, cfg=({},{},{}): \
+                         sweep accepted an uncertified config: {}",
+                        cfg.kc,
+                        cfg.ke,
+                        cfg.kv,
+                        cert.status_str()
+                    );
+                    if inject_after == 0 {
+                        clean_ok += 1;
+                    }
+                }
+                Err(_) => {
+                    assert_ne!(
+                        inject_after, 0,
+                        "clean run must solve every level, cfg=({},{},{})",
+                        cfg.kc, cfg.ke, cfg.kv
+                    );
+                    rescued_or_failed += 1;
+                }
+            }
+        }
+    }
+    // Guards against vacuity: the clean sweep solved everything, and at
+    // least one injection point actually broke a solve.
+    assert_eq!(clean_ok, cfgs.len());
+    assert!(rescued_or_failed > 0, "no injection point ever fired");
+}

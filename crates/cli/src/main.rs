@@ -7,7 +7,8 @@
 //! ffc check --topo net.topo --traffic day.tm --config next.cfg --ke 1 [--kc 1 --old current.cfg]
 //! ffc info  --topo net.topo [--traffic day.tm]
 //! ffc ctrl run --topo net.topo --traffic day.tm [--intervals 6] [--seed 42]
-//!              [--jitter 0.05] [--switch-model realistic|optimistic] [--out run.trace]
+//!              [--jitter 0.05] [--switch-model realistic|optimistic]
+//!              [--no-incremental] [--out run.trace]
 //! ffc ctrl replay run.trace
 //! ffc chaos [--seed 1] [--campaigns 25] [--out-dir traces/]
 //! ffc chaos replay traces/campaign-3-overload.trace --expect-violation
@@ -24,6 +25,11 @@
 //! * `ctrl run` drives the online controller live over a Poisson
 //!   fault/demand event stream, prints per-interval JSONL telemetry to
 //!   stdout, and (with `--out`) writes a self-contained replayable trace.
+//!   Incremental re-solves (patching the standing FFC model between
+//!   intervals instead of rebuilding it) are on by default;
+//!   `--no-incremental` rebuilds every interval. Either way the
+//!   telemetry fingerprint is identical, so the flag is not recorded in
+//!   traces and replays accept either setting.
 //! * `ctrl replay` re-runs a recorded trace deterministically — the
 //!   telemetry it prints is bit-identical to the live run's.
 //! * `chaos` runs the seeded fault-injection harness (defaults to the
@@ -69,6 +75,7 @@ struct Opts {
     out_dir: Option<String>,
     expect_violation: bool,
     jitter: f64,
+    incremental: bool,
     switch_model: ffc_sim::SwitchModel,
     algorithm: Algorithm,
     verbose: bool,
@@ -80,7 +87,8 @@ fn usage() -> ! {
          \x20          [--old FILE] [--out FILE] [--kc N] [--ke N] [--kv N] [--tunnels N]\n\
          \x20          [--algorithm primal|dual|auto] [--verbose]\n\
          \x20      ffc ctrl run --topo FILE --traffic FILE [--intervals N] [--seed N]\n\
-         \x20          [--jitter F] [--switch-model realistic|optimistic] [--out TRACE]\n\
+         \x20          [--jitter F] [--switch-model realistic|optimistic]\n\
+         \x20          [--no-incremental] [--out TRACE]\n\
          \x20      ffc ctrl replay TRACE\n\
          \x20      ffc chaos [--topo FILE --traffic FILE] [--seed N] [--campaigns N]\n\
          \x20          [--intervals N] [--kc N --ke N --kv N] [--tunnels N] [--out-dir DIR]\n\
@@ -111,6 +119,7 @@ fn parse_opts() -> Opts {
         out_dir: None,
         expect_violation: false,
         jitter: 0.05,
+        incremental: true,
         switch_model: ffc_sim::SwitchModel::Realistic,
         algorithm: Algorithm::default(),
         verbose: false,
@@ -139,6 +148,8 @@ fn parse_opts() -> Opts {
             "--out-dir" => o.out_dir = Some(val("--out-dir")),
             "--expect-violation" => o.expect_violation = true,
             "--jitter" => o.jitter = val("--jitter").parse().unwrap_or_else(|_| usage()),
+            "--incremental" => o.incremental = true,
+            "--no-incremental" => o.incremental = false,
             "--switch-model" => {
                 o.switch_model = match val("--switch-model").as_str() {
                     "realistic" => ffc_sim::SwitchModel::Realistic,
@@ -456,6 +467,7 @@ fn run_ctrl(o: &Opts) -> ExitCode {
             let tunnels = layout_tunnels(&topo, &tm, &layout);
             let mut cfg = ControllerConfig::new(FfcConfig::new(o.kc, o.ke, o.kv), o.switch_model);
             cfg.seed = o.seed;
+            cfg.incremental = o.incremental;
             let events = generate_poisson_events(
                 &topo,
                 &ffc_sim::FaultModel::default(),

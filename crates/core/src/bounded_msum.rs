@@ -22,7 +22,7 @@
 //! (The first two scale to production sizes; enumeration exists for
 //! validation and for reproducing Table 2's strawman row.)
 
-use ffc_lp::{Cmp, LinExpr, Model};
+use ffc_lp::{Cmp, ConId, LinExpr, Model, VarId};
 
 use crate::sorting_network::{sum_largest, sum_smallest};
 
@@ -38,8 +38,41 @@ pub enum MsumEncoding {
     Enumeration,
 }
 
+/// Where an upper bounded-M-sum constraint put its `m`-dependent pieces,
+/// for delta-LP patching (see [`crate::incremental`]). Only the CVaR
+/// encoding exposes a patchable head; every other shape forces a rebuild
+/// when `m` changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsumShape {
+    /// `terms.len() <= m`: a single full-sum constraint with no `m`
+    /// dependence at all. An `m` change keeps this exact shape as long
+    /// as `m` stays ≥ `n_terms`; crossing below needs a rebuild.
+    Degenerate {
+        /// Number of summed terms; the shape survives any `m ≥ n_terms`.
+        n_terms: usize,
+    },
+    /// CVaR head row `m·t + Σ sᵢ ≤ budget`: `m` appears solely as the
+    /// coefficient of `t`, so an `m` change is a one-coefficient patch —
+    /// as long as both old and new `m` stay below the term count.
+    CvarHead {
+        /// The head constraint.
+        con: ConId,
+        /// The CVaR threshold variable `t` whose coefficient is `m`.
+        t: VarId,
+        /// Number of summed terms; patches require `m < n_terms`.
+        n_terms: usize,
+    },
+    /// Sorting-network comparators: `m` shapes the comparator lattice
+    /// itself, no single-coefficient patch exists.
+    SortingNetwork,
+    /// One row per combination: the row *set* depends on `m`.
+    Enumeration,
+}
+
 /// Adds constraints enforcing: **the sum of any `m` of `terms` is ≤
-/// `budget`** (both sides may contain variables).
+/// `budget`** (both sides may contain variables). Returns where the
+/// `m`-dependent structure landed ([`MsumShape`]); `None` when the call
+/// was a no-op (empty terms or `m == 0`).
 ///
 /// For [`MsumEncoding::Enumeration`], `terms` must be provably
 /// non-negative (true for all FFC uses: they are `β − a ≥ 0` gaps), so
@@ -50,23 +83,27 @@ pub fn constrain_any_m_sum_le(
     m: usize,
     budget: LinExpr,
     encoding: MsumEncoding,
-) {
+) -> Option<MsumShape> {
     if terms.is_empty() || m == 0 {
-        return;
+        return None;
     }
     let m = m.min(terms.len());
-    match encoding {
+    Some(match encoding {
         _ if terms.len() <= m => {
             // Degenerate: the single full-sum constraint dominates.
+            let n_terms = terms.len();
             let total = terms.into_iter().fold(LinExpr::zero(), |a, e| a + e);
             model.add_con(total - budget, Cmp::Le, 0.0);
+            MsumShape::Degenerate { n_terms }
         }
         MsumEncoding::SortingNetwork => {
             let top = sum_largest(model, terms, m);
             model.add_con(top - budget, Cmp::Le, 0.0);
+            MsumShape::SortingNetwork
         }
         MsumEncoding::Cvar => {
             // sum of m largest(d) = min_t [ m·t + Σ max(0, dᵢ − t) ].
+            let n_terms = terms.len();
             let t = model.add_var(f64::NEG_INFINITY, f64::INFINITY, "cvar_t");
             let mut lhs = LinExpr::term(t, m as f64);
             for d in terms {
@@ -75,7 +112,8 @@ pub fn constrain_any_m_sum_le(
                 model.add_con(d - LinExpr::from(t) - LinExpr::from(s), Cmp::Le, 0.0);
                 lhs.add_term(s, 1.0);
             }
-            model.add_con(lhs - budget, Cmp::Le, 0.0);
+            let con = model.add_con(lhs - budget, Cmp::Le, 0.0);
+            MsumShape::CvarHead { con, t, n_terms }
         }
         MsumEncoding::Enumeration => {
             for combo in combinations(terms.len(), m) {
@@ -85,8 +123,9 @@ pub fn constrain_any_m_sum_le(
                     .fold(LinExpr::zero(), |a, e| a + e);
                 model.add_con(total - budget.clone(), Cmp::Le, 0.0);
             }
+            MsumShape::Enumeration
         }
-    }
+    })
 }
 
 /// Adds constraints enforcing: **the sum of any `m` of `terms` is ≥

@@ -9,8 +9,8 @@ use ffc_lp::LpError;
 use ffc_net::LinkId;
 
 use crate::bounded_msum::MsumEncoding;
-use crate::control_ffc::{apply_control_ffc, ControlFfc};
-use crate::data_ffc::{apply_data_ffc, DataFfc};
+use crate::control_ffc::{apply_control_ffc, ControlFfc, ControlFfcLayout};
+use crate::data_ffc::{apply_data_ffc, DataFfc, DataFfcLayout};
 use crate::te::{TeConfig, TeModelBuilder, TeProblem};
 
 /// A full FFC protection level `(kc, ke, kv)` with encoding options.
@@ -73,6 +73,22 @@ impl FfcConfig {
     }
 }
 
+/// The old-weight threshold [`build_ffc_model`] hands to
+/// [`ControlFfc`] (§6's "little traffic load" optimization).
+pub(crate) const WEIGHT_THRESHOLD: f64 = 1e-9;
+
+/// Where the FFC constraint generators put their input-dependent pieces
+/// — everything the delta-LP cache ([`crate::incremental`]) needs to
+/// patch a standing model instead of rebuilding it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FfcLayout {
+    /// Data-plane branch taken per flow (empty when `ke == kv == 0`).
+    pub data: DataFfcLayout,
+    /// Control-plane stale rows and M-sum head shapes (empty when
+    /// `kc == 0`).
+    pub control: ControlFfcLayout,
+}
+
 /// Builds the TE model with both FFC families applied (not yet solved),
 /// for callers that want to add further constraints (fairness bounds,
 /// pinned rates, …).
@@ -81,7 +97,18 @@ pub fn build_ffc_model<'a>(
     old: &TeConfig,
     cfg: &FfcConfig,
 ) -> TeModelBuilder<'a> {
+    build_ffc_model_tracked(problem, old, cfg).0
+}
+
+/// [`build_ffc_model`] plus the [`FfcLayout`] recording where the
+/// patchable pieces landed.
+pub fn build_ffc_model_tracked<'a>(
+    problem: TeProblem<'a>,
+    old: &TeConfig,
+    cfg: &FfcConfig,
+) -> (TeModelBuilder<'a>, FfcLayout) {
     let mut builder = TeModelBuilder::new(problem);
+    let mut layout = FfcLayout::default();
     if cfg.ke > 0 || cfg.kv > 0 {
         let data = DataFfc {
             ke: cfg.ke,
@@ -89,19 +116,19 @@ pub fn build_ffc_model<'a>(
             encoding: cfg.encoding,
             mice_fraction: cfg.mice_fraction,
         };
-        apply_data_ffc(&mut builder, &data);
+        layout.data = apply_data_ffc(&mut builder, &data);
     }
     if cfg.kc > 0 {
         let control = ControlFfc {
             kc: cfg.kc,
             old,
             encoding: cfg.encoding,
-            weight_threshold: 1e-9,
+            weight_threshold: WEIGHT_THRESHOLD,
             unprotected_links: cfg.unprotected_links.clone(),
         };
-        apply_control_ffc(&mut builder, &control);
+        layout.control = apply_control_ffc(&mut builder, &control);
     }
-    builder
+    (builder, layout)
 }
 
 /// Solves FFC-TE for the given protection level.

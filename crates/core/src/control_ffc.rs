@@ -50,10 +50,10 @@
 //! ```
 use std::collections::HashSet;
 
-use ffc_lp::{Cmp, LinExpr};
+use ffc_lp::{Cmp, ConId, LinExpr};
 use ffc_net::LinkId;
 
-use crate::bounded_msum::{constrain_any_m_sum_le, MsumEncoding};
+use crate::bounded_msum::{constrain_any_m_sum_le, MsumEncoding, MsumShape};
 use crate::te::{TeConfig, TeModelBuilder};
 
 /// Parameters for control-plane FFC.
@@ -89,14 +89,55 @@ impl<'a> ControlFfc<'a> {
     }
 }
 
-/// Adds control-plane FFC constraints to a TE model under construction.
+/// Where control-plane FFC put its input-dependent pieces, for the
+/// delta-LP cache (see [`crate::incremental`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ControlFfcLayout {
+    /// The `w'_{f,t}·b_f − β_{f,t} ≤ 0` stale-weight rows, one per
+    /// `(flow, tunnel)` with old weight above the threshold. The old
+    /// weight appears solely as the coefficient of `b_f` in this row, so
+    /// an old-config change with the *same support pattern* is a pure
+    /// coefficient patch.
+    pub stale_rows: Vec<(usize, usize, ConId)>,
+    /// The bounded-M-sum shape per protected link that received a
+    /// constraint, in link order. A `kc` change is patchable iff every
+    /// entry is a [`MsumShape::CvarHead`] admitting the new `kc`.
+    pub heads: Vec<MsumShape>,
+}
+
+impl ControlFfcLayout {
+    /// The `(flow, tunnel)` β-support pattern, for comparing against a
+    /// fresh old configuration.
+    pub fn support(&self) -> Vec<(usize, usize)> {
+        self.stale_rows.iter().map(|&(f, t, _)| (f, t)).collect()
+    }
+}
+
+/// The β-variable support pattern a given old configuration would
+/// produce: every `(flow, tunnel)` whose old splitting weight exceeds
+/// `weight_threshold`, in emission order.
+pub fn beta_support(old: &TeConfig, weight_threshold: f64) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (fi, w) in old.all_weights().iter().enumerate() {
+        for (ti, &w_old) in w.iter().enumerate() {
+            if w_old > weight_threshold {
+                out.push((fi, ti));
+            }
+        }
+    }
+    out
+}
+
+/// Adds control-plane FFC constraints to a TE model under construction,
+/// returning where the patchable pieces landed (for the incremental
+/// cache).
 ///
 /// # Panics
 /// Panics if the old configuration's shape does not match the builder's
 /// tunnel table.
-pub fn apply_control_ffc(builder: &mut TeModelBuilder<'_>, ffc: &ControlFfc<'_>) {
+pub fn apply_control_ffc(builder: &mut TeModelBuilder<'_>, ffc: &ControlFfc<'_>) -> ControlFfcLayout {
     if ffc.kc == 0 {
-        return;
+        return ControlFfcLayout::default();
     }
     let tunnels = builder.problem.tunnels;
     let topo = builder.problem.topo;
@@ -110,6 +151,7 @@ pub fn apply_control_ffc(builder: &mut TeModelBuilder<'_>, ffc: &ControlFfc<'_>)
 
     // β_{f,t} variables, lazily created only where w'_{f,t} > threshold
     // (otherwise β = a exactly and the gap is zero).
+    let mut layout = ControlFfcLayout::default();
     let mut beta: Vec<Vec<Option<ffc_lp::VarId>>> = (0..tunnels.num_flows())
         .map(|f| vec![None; builder.a[f].len()])
         .collect();
@@ -128,11 +170,12 @@ pub fn apply_control_ffc(builder: &mut TeModelBuilder<'_>, ffc: &ControlFfc<'_>)
                 .model
                 .add_var(0.0, f64::INFINITY, format!("beta_{f}_{ti}"));
             // β ≥ w'·b_f (Eqn 8, stale-weights term).
-            builder.model.add_con(
+            let stale = builder.model.add_con(
                 LinExpr::term(builder.b[fi], w_old) - LinExpr::from(bv),
                 Cmp::Le,
                 0.0,
             );
+            layout.stale_rows.push((fi, ti, stale));
             // β ≥ a_{f,t} (fresh-config term).
             builder.model.add_con(
                 LinExpr::from(builder.a[fi][ti]) - LinExpr::from(bv),
@@ -167,8 +210,13 @@ pub fn apply_control_ffc(builder: &mut TeModelBuilder<'_>, ffc: &ControlFfc<'_>)
         let gaps: Vec<LinExpr> = gap_by_ingress.into_values().collect();
         // Budget: c_e − Σ_v a_{v,e}.
         let budget = LinExpr::constant(builder.problem.capacity(e)) - builder.link_load_expr(e);
-        constrain_any_m_sum_le(&mut builder.model, gaps, ffc.kc, budget, ffc.encoding);
+        if let Some(shape) =
+            constrain_any_m_sum_le(&mut builder.model, gaps, ffc.kc, budget, ffc.encoding)
+        {
+            layout.heads.push(shape);
+        }
     }
+    layout
 }
 
 #[cfg(test)]

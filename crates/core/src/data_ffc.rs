@@ -55,6 +55,7 @@
 //! ```
 use ffc_lp::{Cmp, LinExpr};
 use ffc_net::tunnel::residual_tunnel_bound;
+use ffc_net::TrafficMatrix;
 
 use crate::bounded_msum::{constrain_any_m_sum_ge, MsumEncoding};
 use crate::te::TeModelBuilder;
@@ -94,31 +95,84 @@ impl DataFfc {
     }
 }
 
-/// Adds data-plane FFC constraints to a TE model under construction.
-pub fn apply_data_ffc(builder: &mut TeModelBuilder<'_>, ffc: &DataFfc) {
-    if ffc.ke == 0 && ffc.kv == 0 {
-        return;
-    }
-    let tm = builder.problem.tm;
-    let tunnels = builder.problem.tunnels;
+/// Which structural branch data-plane FFC took per flow — the facts the
+/// delta-LP cache (see [`crate::incremental`]) must re-derive each
+/// interval to decide whether a patch is sound or the constraint shape
+/// changed. Both vectors are indexed by flow; empty when data-plane FFC
+/// was inactive (`ke == kv == 0`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DataFfcLayout {
+    /// Flows that took the §6 mice branch (pinned equal-split rows).
+    /// Depends on the *demands*, so a demand tick can flip it.
+    pub mice: Vec<bool>,
+    /// The residual-tunnel bound `τ_f` per flow (0 both for flows whose
+    /// tunnels can all die and for flows with no tunnels at all).
+    pub tau: Vec<usize>,
+}
 
-    // Identify mice flows: smallest-demand flows that together carry
-    // less than `mice_fraction` of total demand.
+impl DataFfcLayout {
+    /// Whether flow `fi`'s granted rate was pinned to zero (`τ_f = 0`
+    /// with at least one tunnel), so its demand bound must *not* be
+    /// patched on a demand tick.
+    pub fn rate_pinned(&self, fi: usize, num_tunnels: usize) -> bool {
+        !self.tau.is_empty() && self.tau[fi] == 0 && num_tunnels > 0
+    }
+}
+
+/// The §6 mice-flow set implied by a traffic matrix: flows are sorted by
+/// demand and the smallest ones, collectively carrying less than
+/// `mice_fraction` of total demand, are flagged. Exposed so the
+/// incremental cache can recompute the set on a demand tick and detect
+/// when it flipped (which changes the constraint shape).
+pub fn mice_flags(tm: &TrafficMatrix, mice_fraction: f64) -> Vec<bool> {
     let mut mice = vec![false; tm.len()];
-    if ffc.mice_fraction > 0.0 {
+    if mice_fraction > 0.0 {
         let total = tm.total_demand();
         let mut order: Vec<_> = tm.iter().map(|(id, f)| (id, f.demand)).collect();
         order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite demands"));
         let mut acc = 0.0;
         for (id, demand) in order {
             acc += demand;
-            if acc < ffc.mice_fraction * total {
+            if acc < mice_fraction * total {
                 mice[id.index()] = true;
             } else {
                 break;
             }
         }
     }
+    mice
+}
+
+/// The residual-tunnel bound `τ_f` per flow for a protection level
+/// (0 for flows without tunnels). Purely structural: depends on the
+/// tunnel layout and `(ke, kv)`, never on demands.
+pub fn tau_per_flow(tm: &TrafficMatrix, tunnels: &ffc_net::TunnelTable, ke: usize, kv: usize) -> Vec<usize> {
+    tm.ids()
+        .map(|f| {
+            let ts = tunnels.tunnels(f);
+            if ts.is_empty() {
+                0
+            } else {
+                let d = ffc_net::tunnel::disjointness(ts);
+                residual_tunnel_bound(ts.len(), d, ke, kv)
+            }
+        })
+        .collect()
+}
+
+/// Adds data-plane FFC constraints to a TE model under construction,
+/// returning which branch each flow took (for the incremental cache).
+pub fn apply_data_ffc(builder: &mut TeModelBuilder<'_>, ffc: &DataFfc) -> DataFfcLayout {
+    if ffc.ke == 0 && ffc.kv == 0 {
+        return DataFfcLayout::default();
+    }
+    let tm = builder.problem.tm;
+    let tunnels = builder.problem.tunnels;
+
+    // Identify mice flows: smallest-demand flows that together carry
+    // less than `mice_fraction` of total demand.
+    let mice = mice_flags(tm, ffc.mice_fraction);
+    let taus = tau_per_flow(tm, tunnels, ffc.ke, ffc.kv);
 
     for f in tm.ids() {
         let fi = f.index();
@@ -127,8 +181,7 @@ pub fn apply_data_ffc(builder: &mut TeModelBuilder<'_>, ffc: &DataFfc) {
             // No tunnels at all: basic TE already forces b_f = 0.
             continue;
         }
-        let d = ffc_net::tunnel::disjointness(ts);
-        let tau = residual_tunnel_bound(ts.len(), d, ffc.ke, ffc.kv);
+        let tau = taus[fi];
         if tau == 0 {
             // Some in-scope fault can kill every tunnel: the flow must
             // not be granted anything (paper §4.3).
@@ -152,6 +205,7 @@ pub fn apply_data_ffc(builder: &mut TeModelBuilder<'_>, ffc: &DataFfc) {
         let floor = LinExpr::from(builder.b[fi]);
         constrain_any_m_sum_ge(&mut builder.model, exprs, tau, floor, ffc.encoding);
     }
+    DataFfcLayout { mice, tau: taus }
 }
 
 #[cfg(test)]

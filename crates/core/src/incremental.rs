@@ -1,0 +1,774 @@
+//! Structure-aware delta-LP cache for the FFC model.
+//!
+//! The controller re-solves the FFC LP every TE interval, but between
+//! consecutive intervals almost nothing about the *model* changes: the
+//! topology, tunnel layout and protection level are static for hours,
+//! while demands tick, the installed (old) configuration advances, and
+//! the live fault set drifts. [`FfcModelCache`] keeps one standing
+//! [`IncrementalModel`] across solves and maps each input change onto
+//! the smallest sound patch, using the [`FfcLayout`] recorded by
+//! [`build_ffc_model_tracked`]:
+//!
+//! | input change | patch | why it is sound |
+//! |---|---|---|
+//! | demand tick | `b_f` upper bounds | demands appear only in Eqn 4's bounds |
+//! | old config, same β support | `w'_{f,t}` coefficient per stale row | old weights appear only as the `b_f` coefficient in `w'·b − β ≤ 0` |
+//! | fault-set drift | pin/unpin `a_{f,t}` bounds | `zero_dead_tunnels` is itself a bounds change |
+//! | `kc` change, CVaR heads | the `m` coefficient of each head's `t` | `m` appears solely there (see [`MsumShape::CvarHead`]) |
+//!
+//! Everything else — mice-set flips (demand-dependent!), β-support
+//! changes, `ke`/`kv`/encoding changes, capacity or tunnel changes —
+//! falls off the patch ladder and triggers a full in-place rebuild,
+//! reported as a [`RebuildReason`]. Correctness is enforced
+//! differentially: under debug assertions every *patched* model is
+//! compared coefficient-for-coefficient against a freshly built one
+//! ([`ffc_lp::incremental::diff_models`]).
+
+// audit:allow-file(float-eq): comparisons here are exact structural
+// equality checks between a patched model and what a fresh build would
+// produce — approximate comparison would defeat their purpose.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use ffc_lp::incremental::IncrementalModel;
+use ffc_lp::{BasisStatuses, LpError, Solution, VarId};
+use ffc_net::FaultScenario;
+
+use crate::bounded_msum::{MsumEncoding, MsumShape};
+use crate::combined::{
+    build_ffc_model_tracked, zero_dead_tunnels, FfcConfig, FfcLayout, WEIGHT_THRESHOLD,
+};
+use crate::control_ffc::beta_support;
+use crate::data_ffc::mice_flags;
+use crate::te::{TeConfig, TeProblem};
+
+/// Why the cache could not patch and rebuilt the standing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildReason {
+    /// First use — there was nothing to patch yet.
+    Initial,
+    /// Topology, tunnel layout, capacities, reservations, encoding,
+    /// mice threshold, unprotected links or `ke`/`kv` changed.
+    StructureChanged,
+    /// The §6 mice set flipped under a demand tick, changing which
+    /// flows get pinned equal-split rows.
+    MiceSetChanged,
+    /// The old configuration's β-support pattern changed (a tunnel's
+    /// old weight crossed the threshold), changing the variable set.
+    BetaSupportChanged,
+    /// `kc` changed but the M-sum heads are not patchable CVaR heads
+    /// admitting the new value (includes any `0 ↔ k` transition).
+    ProtectionChanged,
+    /// A coefficient patch was rejected (sparsity-pattern mismatch) —
+    /// the conservative escape hatch; not expected in practice.
+    PatchRejected,
+}
+
+impl fmt::Display for RebuildReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RebuildReason::Initial => "initial build",
+            RebuildReason::StructureChanged => "structure changed",
+            RebuildReason::MiceSetChanged => "mice set changed",
+            RebuildReason::BetaSupportChanged => "beta support changed",
+            RebuildReason::ProtectionChanged => "protection level changed",
+            RebuildReason::PatchRejected => "patch rejected",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What one [`FfcModelCache::retarget`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetargetOutcome {
+    /// The standing model was patched in place; the field counts the
+    /// journal entries this retarget appended (0 = nothing changed).
+    Patched(usize),
+    /// The standing model was rebuilt from scratch.
+    Rebuilt(RebuildReason),
+}
+
+impl RetargetOutcome {
+    /// Whether this retarget avoided a full rebuild.
+    pub fn is_patch(&self) -> bool {
+        matches!(self, RetargetOutcome::Patched(_))
+    }
+}
+
+/// Running counters for observability (exported into controller
+/// telemetry and the benchmark reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Retargets satisfied by in-place patches.
+    pub patches: u64,
+    /// Retargets that fell back to a full rebuild (including the
+    /// initial build).
+    pub rebuilds: u64,
+}
+
+/// Everything that must be *identical* between the cached model's
+/// inputs and the new inputs for any patch to be sound. `kc` is
+/// deliberately excluded — it has its own patch path.
+#[derive(Debug, Clone, PartialEq)]
+struct StructureKey {
+    n_flows: usize,
+    tunnel_counts: Vec<usize>,
+    /// FNV-1a over every tunnel's link ids, in table order.
+    tunnel_hash: u64,
+    /// Residual capacity per link (covers both raw capacities and
+    /// reservations).
+    capacities: Vec<f64>,
+    ke: usize,
+    kv: usize,
+    encoding: MsumEncoding,
+    mice_fraction: f64,
+    unprotected: Vec<usize>,
+}
+
+impl StructureKey {
+    fn of(problem: &TeProblem<'_>, cfg: &FfcConfig) -> StructureKey {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (f, ti, tunnel) in problem.tunnels.iter_all() {
+            mix(f.index() as u64);
+            mix(ti as u64);
+            for &l in &tunnel.links {
+                mix(l.index() as u64 + 1);
+            }
+        }
+        let mut unprotected: Vec<usize> =
+            cfg.unprotected_links.iter().map(|e| e.index()).collect();
+        unprotected.sort_unstable();
+        StructureKey {
+            n_flows: problem.tm.len(),
+            tunnel_counts: problem
+                .tm
+                .ids()
+                .map(|f| problem.tunnels.tunnels(f).len())
+                .collect(),
+            tunnel_hash: h,
+            capacities: problem.topo.links().map(|e| problem.capacity(e)).collect(),
+            ke: cfg.ke,
+            kv: cfg.kv,
+            encoding: cfg.encoding,
+            mice_fraction: cfg.mice_fraction,
+            unprotected,
+        }
+    }
+}
+
+/// A standing FFC model reused across solves — see the [module
+/// docs](self) for the patch taxonomy.
+///
+/// The cache owns no borrows of the problem inputs: each
+/// [`retarget`](FfcModelCache::retarget) receives the current inputs
+/// and decides for itself whether the standing model can be patched to
+/// match them.
+#[derive(Debug, Clone)]
+pub struct FfcModelCache {
+    inc: IncrementalModel,
+    b: Vec<VarId>,
+    a: Vec<Vec<VarId>>,
+    layout: FfcLayout,
+    key: StructureKey,
+    kc: usize,
+    /// `(flow, tunnel)` pairs currently pinned to zero by the live
+    /// fault scenario.
+    pinned: BTreeSet<(usize, usize)>,
+    stats: CacheStats,
+}
+
+impl FfcModelCache {
+    /// Builds the initial standing model (counts as a rebuild in
+    /// [`CacheStats`]).
+    pub fn new(
+        problem: TeProblem<'_>,
+        old: &TeConfig,
+        cfg: &FfcConfig,
+        scenario: Option<&FaultScenario>,
+    ) -> FfcModelCache {
+        let mut cache = FfcModelCache {
+            inc: IncrementalModel::new(ffc_lp::Model::new())
+                .expect("empty model is trivially valid"),
+            b: Vec::new(),
+            a: Vec::new(),
+            layout: FfcLayout::default(),
+            key: StructureKey::of(&problem, cfg),
+            kc: cfg.kc,
+            pinned: BTreeSet::new(),
+            stats: CacheStats::default(),
+        };
+        cache.rebuild(problem, old, cfg, scenario);
+        cache
+    }
+
+    /// Observability counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Points the standing model at new inputs, patching in place when
+    /// sound and rebuilding otherwise. After this returns, solving the
+    /// cache is equivalent to building a fresh model from the same
+    /// inputs (with [`zero_dead_tunnels`] applied for `scenario`) and
+    /// solving that — checked exactly under debug assertions for every
+    /// patched outcome.
+    pub fn retarget(
+        &mut self,
+        problem: TeProblem<'_>,
+        old: &TeConfig,
+        cfg: &FfcConfig,
+        scenario: Option<&FaultScenario>,
+    ) -> RetargetOutcome {
+        let outcome = match self.try_patch(problem, old, cfg, scenario) {
+            Ok(n) => {
+                self.stats.patches += 1;
+                RetargetOutcome::Patched(n)
+            }
+            Err(reason) => {
+                self.rebuild(problem, old, cfg, scenario);
+                RetargetOutcome::Rebuilt(reason)
+            }
+        };
+        #[cfg(debug_assertions)]
+        if outcome.is_patch() {
+            self.debug_check_against_fresh(problem, old, cfg, scenario);
+        }
+        outcome
+    }
+
+    /// Attempts the patch ladder; returns the number of journal entries
+    /// appended, or the reason a rebuild is required (in which case any
+    /// partial patches are rolled back).
+    fn try_patch(
+        &mut self,
+        problem: TeProblem<'_>,
+        old: &TeConfig,
+        cfg: &FfcConfig,
+        scenario: Option<&FaultScenario>,
+    ) -> Result<usize, RebuildReason> {
+        let key = StructureKey::of(&problem, cfg);
+        if key != self.key {
+            return Err(RebuildReason::StructureChanged);
+        }
+        let data_active = cfg.ke > 0 || cfg.kv > 0;
+        if data_active && mice_flags(problem.tm, cfg.mice_fraction) != self.layout.data.mice {
+            return Err(RebuildReason::MiceSetChanged);
+        }
+        if cfg.kc != self.kc {
+            self.check_kc_patchable(cfg.kc)?;
+        }
+        if cfg.kc > 0 && beta_support(old, WEIGHT_THRESHOLD) != self.layout.control.support() {
+            return Err(RebuildReason::BetaSupportChanged);
+        }
+
+        let mark = self.inc.mark();
+        let result = self.apply_patches(problem, old, cfg, scenario);
+        match result {
+            Ok(()) => Ok(self.inc.journal().len() - mark),
+            Err(reason) => {
+                self.inc.revert_to(mark);
+                Err(reason)
+            }
+        }
+    }
+
+    /// `kc` is patchable only between two positive values when every
+    /// M-sum head keeps its shape: CVaR heads must not degenerate under
+    /// the new value (`kc < n_terms`), and degenerate full-sum heads
+    /// must stay degenerate (`kc ≥ n_terms`).
+    fn check_kc_patchable(&self, new_kc: usize) -> Result<(), RebuildReason> {
+        if self.kc == 0 || new_kc == 0 {
+            return Err(RebuildReason::ProtectionChanged);
+        }
+        for shape in &self.layout.control.heads {
+            match shape {
+                MsumShape::CvarHead { n_terms, .. } if new_kc < *n_terms => {}
+                MsumShape::Degenerate { n_terms } if new_kc >= *n_terms => {}
+                _ => return Err(RebuildReason::ProtectionChanged),
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the full patch set for the new inputs. Eligibility was
+    /// already established; any residual rejection aborts (the caller
+    /// reverts the journal).
+    fn apply_patches(
+        &mut self,
+        problem: TeProblem<'_>,
+        old: &TeConfig,
+        cfg: &FfcConfig,
+        scenario: Option<&FaultScenario>,
+    ) -> Result<(), RebuildReason> {
+        // Demand tick: b_f upper bounds, except τ = 0 flows whose rate
+        // stays pinned at zero regardless of demand.
+        for (fi, (_, flow)) in problem.tm.iter().enumerate() {
+            if self.layout.data.rate_pinned(fi, self.a[fi].len()) {
+                continue;
+            }
+            self.inc
+                .set_var_bounds(self.b[fi], 0.0, flow.demand.max(0.0));
+        }
+
+        // Old-config tick: the w'_{f,t} coefficient in each stale row.
+        if cfg.kc > 0 {
+            let weights = old.all_weights();
+            // Work on a copy of the row list to keep the borrow checker
+            // happy; ConIds are stable across patches.
+            let stale_rows = self.layout.control.stale_rows.clone();
+            for (fi, ti, con) in stale_rows {
+                let w_old = weights[fi][ti];
+                debug_assert!(w_old > WEIGHT_THRESHOLD, "support was just validated");
+                if self.inc.set_coeff(con, self.b[fi], w_old).is_err() {
+                    return Err(RebuildReason::PatchRejected);
+                }
+            }
+            // kc change: the m coefficient of each CVaR head's t
+            // (degenerate full-sum heads have no m dependence at all).
+            if cfg.kc != self.kc {
+                let heads = self.layout.control.heads.clone();
+                for shape in heads {
+                    if let MsumShape::CvarHead { con, t, .. } = shape {
+                        if self.inc.set_coeff(con, t, cfg.kc as f64).is_err() {
+                            return Err(RebuildReason::PatchRejected);
+                        }
+                    }
+                }
+                self.kc = cfg.kc;
+            }
+        }
+
+        // Fault-set drift: pin newly-dead tunnels, release revived ones.
+        let fresh_pins = scenario_pins(&problem, scenario);
+        for &(fi, ti) in self.pinned.difference(&fresh_pins) {
+            self.inc.set_var_bounds(self.a[fi][ti], 0.0, f64::INFINITY);
+        }
+        for &(fi, ti) in &fresh_pins {
+            self.inc.set_var_bounds(self.a[fi][ti], 0.0, 0.0);
+        }
+        self.pinned = fresh_pins;
+        Ok(())
+    }
+
+    /// Discards the standing model and rebuilds it from the new inputs.
+    fn rebuild(
+        &mut self,
+        problem: TeProblem<'_>,
+        old: &TeConfig,
+        cfg: &FfcConfig,
+        scenario: Option<&FaultScenario>,
+    ) {
+        let (mut builder, layout) = build_ffc_model_tracked(problem, old, cfg);
+        if let Some(s) = scenario {
+            zero_dead_tunnels(&mut builder, s);
+        }
+        self.b = builder.b.clone();
+        self.a = builder.a.clone();
+        self.layout = layout;
+        self.key = StructureKey::of(&problem, cfg);
+        self.kc = cfg.kc;
+        self.pinned = scenario_pins(&problem, scenario);
+        self.inc = IncrementalModel::new(builder.model)
+            .expect("freshly built FFC model always validates");
+        self.stats.rebuilds += 1;
+    }
+
+    /// Solves the standing form cold (mirrors
+    /// [`crate::te::TeModelBuilder::solve_detailed`] with presolve off).
+    pub fn solve_with(
+        &self,
+        opts: &ffc_lp::SimplexOptions,
+    ) -> Result<(TeConfig, Solution), LpError> {
+        let sol = self.inc.solve_with(opts)?;
+        Ok((self.extract(&sol), sol))
+    }
+
+    /// Solves the standing form from a warm-start basis, with the same
+    /// default warm perturbation as [`ffc_lp::Model::solve_warm`].
+    pub fn solve_warm(
+        &self,
+        opts: &ffc_lp::SimplexOptions,
+        hint: &BasisStatuses,
+    ) -> Result<(TeConfig, Solution), LpError> {
+        let sol = self.inc.solve_warm(opts, hint)?;
+        Ok((self.extract(&sol), sol))
+    }
+
+    /// Like [`solve_warm`](Self::solve_warm), but retains the solver's
+    /// end-of-solve basis and LU factorization inside the standing
+    /// model and resumes from it on the next call (see
+    /// [`ffc_lp::IncrementalModel::solve_warm_hot`]). Demand-tick
+    /// retargets patch only bounds and right-hand sides, so the
+    /// retained factorization normally survives the whole tick chain.
+    /// Same LP, same optimal objective as `solve_warm` — but not
+    /// necessarily the identical pivot trajectory, so the controller's
+    /// parity-pinned planner stays on `solve_warm`.
+    pub fn solve_warm_hot(
+        &mut self,
+        opts: &ffc_lp::SimplexOptions,
+        hint: &BasisStatuses,
+    ) -> Result<(TeConfig, Solution), LpError> {
+        let sol = self.inc.solve_warm_hot(opts, hint)?;
+        Ok((self.extract(&sol), sol))
+    }
+
+    /// Extracts a TE configuration from a solution of the standing
+    /// model (mirrors [`crate::te::TeModelBuilder::extract`]).
+    pub fn extract(&self, sol: &Solution) -> TeConfig {
+        TeConfig {
+            rate: self.b.iter().map(|&v| sol.value(v).max(0.0)).collect(),
+            alloc: self
+                .a
+                .iter()
+                .map(|row| row.iter().map(|&v| sol.value(v).max(0.0)).collect())
+                .collect(),
+        }
+    }
+
+    /// The differential oracle: a patched model must be bit-identical
+    /// to a fresh build from the same inputs.
+    #[cfg(debug_assertions)]
+    fn debug_check_against_fresh(
+        &self,
+        problem: TeProblem<'_>,
+        old: &TeConfig,
+        cfg: &FfcConfig,
+        scenario: Option<&FaultScenario>,
+    ) {
+        let (mut fresh, _) = build_ffc_model_tracked(problem, old, cfg);
+        if let Some(s) = scenario {
+            zero_dead_tunnels(&mut fresh, s);
+        }
+        if let Some(diff) = ffc_lp::incremental::diff_models(self.inc.model(), &fresh.model) {
+            panic!("patched FFC model diverged from fresh build: {diff}");
+        }
+    }
+}
+
+/// The `(flow, tunnel)` pairs a scenario kills (empty for `None` or a
+/// data-plane-clean scenario) — exactly the set [`zero_dead_tunnels`]
+/// would pin.
+fn scenario_pins(
+    problem: &TeProblem<'_>,
+    scenario: Option<&FaultScenario>,
+) -> BTreeSet<(usize, usize)> {
+    let mut pins = BTreeSet::new();
+    let Some(s) = scenario else {
+        return pins;
+    };
+    if s.data_plane_clean() {
+        return pins;
+    }
+    for (f, ti, tunnel) in problem.tunnels.iter_all() {
+        if s.kills_tunnel(problem.topo, tunnel) {
+            pins.insert((f.index(), ti));
+        }
+    }
+    pins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::{build_ffc_model, solve_ffc};
+    use ffc_net::prelude::*;
+
+    /// A 5-node ring with chords (same shape as combined.rs's tests).
+    fn ring() -> (Topology, TrafficMatrix, TunnelTable, TeConfig) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(5, "r");
+        for i in 0..5 {
+            t.add_bidi(ns[i], ns[(i + 1) % 5], 10.0);
+        }
+        t.add_bidi(ns[0], ns[2], 10.0);
+        t.add_bidi(ns[1], ns[3], 10.0);
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(ns[0], ns[3], 6.0, Priority::High);
+        tm.add_flow(ns[1], ns[4], 6.0, Priority::High);
+        tm.add_flow(ns[2], ns[0], 6.0, Priority::High);
+        let tunnels = layout_tunnels(
+            &t,
+            &tm,
+            &LayoutConfig {
+                tunnels_per_flow: 3,
+                p: 1,
+                q: 3,
+                reuse_penalty: 0.5,
+            },
+        );
+        let old = crate::te::solve_te(TeProblem::new(&t, &tm, &tunnels)).unwrap();
+        (t, tm, tunnels, old)
+    }
+
+    fn fresh_objective(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        tunnels: &TunnelTable,
+        old: &TeConfig,
+        cfg: &FfcConfig,
+    ) -> f64 {
+        solve_ffc(TeProblem::new(topo, tm, tunnels), old, cfg)
+            .unwrap()
+            .throughput()
+    }
+
+    #[test]
+    fn demand_tick_is_a_patch_and_matches_fresh() {
+        let (topo, mut tm, tunnels, old) = ring();
+        let cfg = FfcConfig::new(1, 1, 0).exact();
+        let mut cache =
+            FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+        for round in 1..4 {
+            let scale = 1.0 + 0.25 * round as f64;
+            for f in tm.ids() {
+                let d = 6.0 * scale;
+                tm.set_demand(f, d);
+            }
+            let outcome = cache.retarget(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+            assert!(outcome.is_patch(), "round {round}: {outcome:?}");
+            let (got, _) = cache.solve_with(&Default::default()).unwrap();
+            let want = fresh_objective(&topo, &tm, &tunnels, &old, &cfg);
+            assert!(
+                (got.throughput() - want).abs() < 1e-6,
+                "round {round}: {} vs {want}",
+                got.throughput()
+            );
+        }
+        assert_eq!(cache.stats().rebuilds, 1);
+        assert_eq!(cache.stats().patches, 3);
+    }
+
+    #[test]
+    fn old_config_tick_patches_stale_rows() {
+        let (topo, tm, tunnels, old) = ring();
+        let cfg = FfcConfig::new(2, 0, 0).exact();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        let mut cache = FfcModelCache::new(problem, &old, &cfg, None);
+        // Advance the installed config without changing its support:
+        // scale allocations (weights are scale-invariant per flow, but
+        // shifting mass between tunnels changes the weights).
+        let mut next = old.clone();
+        for row in &mut next.alloc {
+            for (i, a) in row.iter_mut().enumerate() {
+                if *a > 0.0 {
+                    *a += 0.3 * (i + 1) as f64;
+                }
+            }
+        }
+        let outcome = cache.retarget(problem, &next, &cfg, None);
+        assert!(outcome.is_patch(), "{outcome:?}");
+        let (got, _) = cache.solve_with(&Default::default()).unwrap();
+        let want = fresh_objective(&topo, &tm, &tunnels, &next, &cfg);
+        assert!((got.throughput() - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beta_support_change_rebuilds() {
+        let (topo, tm, tunnels, old) = ring();
+        let cfg = FfcConfig::new(1, 0, 0).exact();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        let mut cache = FfcModelCache::new(problem, &old, &cfg, None);
+        // Zeroing one flow's allocations changes the support pattern.
+        let mut next = old.clone();
+        for a in &mut next.alloc[0] {
+            *a = 0.0;
+        }
+        let outcome = cache.retarget(problem, &next, &cfg, None);
+        assert_eq!(
+            outcome,
+            RetargetOutcome::Rebuilt(RebuildReason::BetaSupportChanged)
+        );
+        let (got, _) = cache.solve_with(&Default::default()).unwrap();
+        let want = fresh_objective(&topo, &tm, &tunnels, &next, &cfg);
+        assert!((got.throughput() - want).abs() < 1e-6);
+    }
+
+    /// Five ingresses, each with two paths to the sink: a narrow shared
+    /// link (via mid1, where all old traffic sits) and a wide one (via
+    /// mid2). The narrow link's CVaR head has five ingress gap terms,
+    /// so small `kc` sweeps stay patchable; the per-ingress access
+    /// links build degenerate full-sum heads which tolerate any `kc`
+    /// at or above their term count. A stale ingress keeps pushing its
+    /// rate onto the narrow link, so the optimum genuinely depends on
+    /// `kc`.
+    fn star() -> (Topology, TrafficMatrix, TunnelTable, TeConfig) {
+        let mut topo = Topology::new();
+        let srcs = topo.add_nodes(5, "src");
+        let mid1 = topo.add_node("mid1");
+        let mid2 = topo.add_node("mid2");
+        let sink = topo.add_node("sink");
+        for &s in &srcs {
+            topo.add_link(s, mid1, 10.0);
+            topo.add_link(s, mid2, 10.0);
+        }
+        topo.add_link(mid1, sink, 10.0);
+        topo.add_link(mid2, sink, 45.0);
+        let mut tm = TrafficMatrix::new();
+        for &s in &srcs {
+            tm.add_flow(s, sink, 9.0, Priority::High);
+        }
+        let mut tunnels = TunnelTable::new(5);
+        for (i, &s) in srcs.iter().enumerate() {
+            for &mid in &[mid1, mid2] {
+                let links = vec![
+                    topo.find_link(s, mid).unwrap(),
+                    topo.find_link(mid, sink).unwrap(),
+                ];
+                tunnels.push(FlowId(i), Tunnel::from_path(&topo, ffc_net::Path { links }));
+            }
+        }
+        // Installed state: everything on the narrow path, so old
+        // weights are [1, 0] and only the narrow path carries β terms.
+        let old = TeConfig {
+            rate: vec![2.0; 5],
+            alloc: vec![vec![2.0, 0.0]; 5],
+        };
+        (topo, tm, tunnels, old)
+    }
+
+    #[test]
+    fn kc_sweep_patches_under_cvar_and_rebuilds_otherwise() {
+        let (topo, tm, tunnels, old) = star();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        // CVaR: kc 1 → 2 patches the shared head's t coefficient and
+        // leaves the degenerate single-ingress heads untouched.
+        let cvar1 = FfcConfig::new(1, 0, 0)
+            .with_encoding(MsumEncoding::Cvar)
+            .exact();
+        let cvar2 = FfcConfig::new(2, 0, 0)
+            .with_encoding(MsumEncoding::Cvar)
+            .exact();
+        let mut cache = FfcModelCache::new(problem, &old, &cvar1, None);
+        let outcome = cache.retarget(problem, &old, &cvar2, None);
+        assert!(outcome.is_patch(), "{outcome:?}");
+        let (got, _) = cache.solve_with(&Default::default()).unwrap();
+        let want = fresh_objective(&topo, &tm, &tunnels, &old, &cvar2);
+        assert!((got.throughput() - want).abs() < 1e-6);
+        // And protection really tightened: kc=2 admits less than kc=1.
+        let t1 = fresh_objective(&topo, &tm, &tunnels, &old, &cvar1);
+        assert!(want < t1 - 1e-6, "kc=2 {want} vs kc=1 {t1}");
+
+        // kc 2 → 5 crosses the shared head's term count: rebuild.
+        let cvar5 = FfcConfig::new(5, 0, 0)
+            .with_encoding(MsumEncoding::Cvar)
+            .exact();
+        let outcome = cache.retarget(problem, &old, &cvar5, None);
+        assert_eq!(
+            outcome,
+            RetargetOutcome::Rebuilt(RebuildReason::ProtectionChanged)
+        );
+
+        // Sorting network: any kc sweep must rebuild.
+        let sn1 = FfcConfig::new(1, 0, 0).exact();
+        let sn2 = FfcConfig::new(2, 0, 0).exact();
+        let mut cache = FfcModelCache::new(problem, &old, &sn1, None);
+        let outcome = cache.retarget(problem, &old, &sn2, None);
+        assert_eq!(
+            outcome,
+            RetargetOutcome::Rebuilt(RebuildReason::ProtectionChanged)
+        );
+        // kc 2 → 0 always rebuilds, even under CVaR.
+        let cvar0 = FfcConfig::new(0, 0, 0)
+            .with_encoding(MsumEncoding::Cvar)
+            .exact();
+        let mut cache = FfcModelCache::new(problem, &old, &cvar2, None);
+        let outcome = cache.retarget(problem, &old, &cvar0, None);
+        assert_eq!(
+            outcome,
+            RetargetOutcome::Rebuilt(RebuildReason::ProtectionChanged)
+        );
+    }
+
+    #[test]
+    fn fault_drift_pins_and_releases_tunnels() {
+        let (topo, tm, tunnels, old) = ring();
+        let cfg = FfcConfig::new(0, 1, 0).exact();
+        let problem = TeProblem::new(&topo, &tm, &tunnels);
+        let mut cache = FfcModelCache::new(problem, &old, &cfg, None);
+        let clean = cache.solve_with(&Default::default()).unwrap().0;
+
+        let scenario = FaultScenario::links([topo.links().next().unwrap()]);
+        let outcome = cache.retarget(problem, &old, &cfg, Some(&scenario));
+        assert!(outcome.is_patch(), "{outcome:?}");
+        let (faulted, _) = cache.solve_with(&Default::default()).unwrap();
+        let mut fresh = build_ffc_model(problem, &old, &cfg);
+        zero_dead_tunnels(&mut fresh, &scenario);
+        let want = fresh.solve().unwrap().throughput();
+        assert!((faulted.throughput() - want).abs() < 1e-6);
+
+        // Recovery releases the pins and returns to the clean optimum.
+        let outcome = cache.retarget(problem, &old, &cfg, None);
+        assert!(outcome.is_patch(), "{outcome:?}");
+        let (recovered, _) = cache.solve_with(&Default::default()).unwrap();
+        assert!((recovered.throughput() - clean.throughput()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_change_rebuilds() {
+        let (topo, tm, tunnels, old) = ring();
+        let cfg = FfcConfig::new(1, 1, 0).exact();
+        let mut cache =
+            FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+        let reserved = vec![1.0; topo.num_links()];
+        let problem = TeProblem {
+            topo: &topo,
+            tm: &tm,
+            tunnels: &tunnels,
+            reserved: Some(&reserved),
+        };
+        let outcome = cache.retarget(problem, &old, &cfg, None);
+        assert_eq!(
+            outcome,
+            RetargetOutcome::Rebuilt(RebuildReason::StructureChanged)
+        );
+        let (got, _) = cache.solve_with(&Default::default()).unwrap();
+        let want = solve_ffc(problem, &old, &cfg).unwrap().throughput();
+        assert!((got.throughput() - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mice_set_flip_rebuilds() {
+        let (topo, mut tm, tunnels, old) = ring();
+        // Default mice fraction, with one flow small enough to be a
+        // mouse once the others grow.
+        let mut cfg = FfcConfig::new(0, 1, 0);
+        cfg.mice_fraction = 0.05;
+        let mut cache =
+            FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+        // Shrink flow 0 far below the 5% threshold: the mice set flips.
+        let f0 = tm.ids().next().unwrap();
+        tm.set_demand(f0, 0.01);
+        let outcome = cache.retarget(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+        assert_eq!(
+            outcome,
+            RetargetOutcome::Rebuilt(RebuildReason::MiceSetChanged)
+        );
+        let (got, _) = cache.solve_with(&Default::default()).unwrap();
+        let want = fresh_objective(&topo, &tm, &tunnels, &old, &cfg);
+        assert!((got.throughput() - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_patched_solve_matches_fresh() {
+        let (topo, mut tm, tunnels, old) = ring();
+        let cfg = FfcConfig::new(1, 1, 0).exact();
+        let mut cache =
+            FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+        let (_, sol) = cache.solve_with(&Default::default()).unwrap();
+        for f in tm.ids() {
+            tm.set_demand(f, 7.5);
+        }
+        let outcome = cache.retarget(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+        assert!(outcome.is_patch());
+        let (warm, _) = cache
+            .solve_warm(&Default::default(), &sol.basis)
+            .unwrap();
+        let want = fresh_objective(&topo, &tm, &tunnels, &old, &cfg);
+        assert!((warm.throughput() - want).abs() < 1e-6);
+    }
+}

@@ -64,6 +64,7 @@ pub mod data_ffc;
 pub mod demand_robust;
 pub mod enumerate;
 pub mod fairness;
+pub mod incremental;
 pub mod mlu;
 pub mod priority;
 pub mod rate_limiter;
@@ -78,14 +79,15 @@ pub use batch::{
     par_map, solve_ffc_batch, solve_ffc_ksweep, solve_ffc_scenarios, solve_te_batch, BatchOutcome,
     FfcJob,
 };
-pub use bounded_msum::MsumEncoding;
+pub use bounded_msum::{MsumEncoding, MsumShape};
 pub use capacity_planning::{plan_capacities, CapacityPlan, PlanObjective};
 pub use combined::{
-    build_ffc_model, solve_ffc, solve_ffc_with_faults, unprotected_links_from_loads,
-    zero_dead_tunnels, FfcConfig,
+    build_ffc_model, build_ffc_model_tracked, solve_ffc, solve_ffc_with_faults,
+    unprotected_links_from_loads, zero_dead_tunnels, FfcConfig, FfcLayout,
 };
-pub use control_ffc::{apply_control_ffc, ControlFfc};
-pub use data_ffc::{apply_data_ffc, DataFfc};
+pub use control_ffc::{apply_control_ffc, ControlFfc, ControlFfcLayout};
+pub use data_ffc::{apply_data_ffc, DataFfc, DataFfcLayout};
+pub use incremental::{CacheStats, FfcModelCache, RebuildReason, RetargetOutcome};
 pub use demand_robust::{apply_demand_robustness, DemandRobustness};
 pub use fairness::{solve_max_min_ffc, FairnessConfig};
 pub use mlu::{solve_min_mlu, MluSolution};

@@ -92,6 +92,12 @@ pub struct ControllerConfig {
     pub max_retries: usize,
     /// Simplex options (`Auto` routes warm bases through the dual path).
     pub opts: SimplexOptions,
+    /// Patch the planner's standing FFC model across intervals instead
+    /// of rebuilding it every round (default: on). Deliberately *not*
+    /// part of the trace header: a patched model is bit-identical to a
+    /// fresh build, so traces recorded either way replay under either
+    /// setting with identical fingerprints.
+    pub incremental: bool,
     /// Fault-injection hooks (default: none). Only the chaos harness
     /// sets these.
     pub chaos: ChaosHooks,
@@ -115,6 +121,7 @@ impl ControllerConfig {
                 algorithm: Algorithm::Auto,
                 ..SimplexOptions::default()
             },
+            incremental: true,
             chaos: ChaosHooks::default(),
         }
     }
@@ -204,6 +211,7 @@ impl<'a> Controller<'a> {
             solve_deadline: self.cfg.solve_deadline,
             recovery_probe: self.cfg.recovery_probe,
             opts: self.cfg.opts.clone(),
+            incremental: self.cfg.incremental,
         });
         let mut store = ConfigStore::new(TeConfig::zero(self.tunnels));
         let mut sim = DrivenSim::new(self.topo, self.tunnels);
@@ -353,6 +361,7 @@ impl<'a> Controller<'a> {
                 dual_iterations: stats.map_or(0, |s| s.dual_iterations),
                 dual_bound_flips: stats.map_or(0, |s| s.dual_bound_flips),
                 solve_ms: outcome.wall.as_secs_f64() * 1e3,
+                model_patched: outcome.patched,
                 config_version: store.installed_version(),
                 rollout_steps_planned: rollout.steps_planned,
                 rollout_steps_completed: rollout.steps_completed,

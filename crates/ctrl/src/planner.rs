@@ -27,7 +27,7 @@
 
 use std::time::{Duration, Instant};
 
-use ffc_core::{build_ffc_model, zero_dead_tunnels, FfcConfig, TeConfig, TeProblem};
+use ffc_core::{build_ffc_model, zero_dead_tunnels, FfcConfig, FfcModelCache, TeConfig, TeProblem};
 use ffc_lp::{Algorithm, SimplexOptions, SolveStats};
 use ffc_net::FaultScenario;
 
@@ -83,11 +83,19 @@ pub struct PlannerConfig {
     /// [`Algorithm::Auto`] so dual-feasible warm bases take the dual
     /// path; `presolve` is forced off on warm solves regardless.
     pub opts: SimplexOptions,
+    /// Keep a standing [`FfcModelCache`] across intervals and *patch*
+    /// it (demand ticks, fault drift, installed-config advances)
+    /// instead of rebuilding the LP every round (default: on). The
+    /// patched model is bit-identical to a fresh build — checked under
+    /// debug assertions — so the solve path, iteration counts, and
+    /// telemetry fingerprints match the rebuild-every-interval mode.
+    pub incremental: bool,
 }
 
 impl PlannerConfig {
     /// Defaults: 30 s deadline (a tenth of the paper's 300 s interval),
-    /// probe every 3 intervals, `Auto` algorithm.
+    /// probe every 3 intervals, `Auto` algorithm, incremental re-solves
+    /// on.
     pub fn new(ffc: FfcConfig) -> Self {
         PlannerConfig {
             ffc,
@@ -97,6 +105,7 @@ impl PlannerConfig {
                 algorithm: Algorithm::Auto,
                 ..SimplexOptions::default()
             },
+            incremental: true,
         }
     }
 }
@@ -117,6 +126,10 @@ pub struct PlanOutcome {
     pub degraded: bool,
     /// Solve wall time (zero when no solve ran).
     pub wall: Duration,
+    /// Whether this round *patched* the standing model instead of
+    /// building one (always `false` with incremental re-solves off, on
+    /// the first interval, and on rescale-only rounds).
+    pub patched: bool,
 }
 
 /// The per-interval re-solver with its degradation state.
@@ -128,6 +141,8 @@ pub struct Planner {
     /// True once the ladder has bottomed out entirely.
     rescale_only: bool,
     intervals_since_probe: usize,
+    /// The standing model reused across intervals (incremental mode).
+    cache: Option<FfcModelCache>,
 }
 
 impl Planner {
@@ -139,6 +154,7 @@ impl Planner {
             current,
             rescale_only: false,
             intervals_since_probe: 0,
+            cache: None,
         }
     }
 
@@ -190,6 +206,7 @@ impl Planner {
                     protection: prot,
                     degraded: true,
                     wall: Duration::ZERO,
+                    patched: false,
                 };
             }
             // Probe round: attempt a solve below.
@@ -206,16 +223,44 @@ impl Planner {
         );
 
         let t0 = Instant::now();
-        let mut builder = build_ffc_model(problem, old, &self.current);
-        zero_dead_tunnels(&mut builder, scenario);
-        let (warm, result) = match store.hint_for(shape) {
-            Some(hint) => (true, builder.model.solve_warm(&opts, hint)),
-            None => (false, builder.model.solve_with(&opts)),
+        let mut patched = false;
+        let (warm, result) = if self.cfg.incremental {
+            // Standing model: patch it to the new inputs when sound
+            // (demand ticks, installed-config advances, fault drift),
+            // rebuild it in place otherwise. The patched model is
+            // bit-identical to a fresh build, so everything downstream
+            // (solve path, stats, fingerprints) is unchanged.
+            let cache = match self.cache.as_mut() {
+                Some(c) => {
+                    patched = c
+                        .retarget(problem, old, &self.current, Some(scenario))
+                        .is_patch();
+                    c
+                }
+                None => self.cache.insert(FfcModelCache::new(
+                    problem,
+                    old,
+                    &self.current,
+                    Some(scenario),
+                )),
+            };
+            match store.hint_for(shape) {
+                Some(hint) => (true, cache.solve_warm(&opts, hint)),
+                None => (false, cache.solve_with(&opts)),
+            }
+        } else {
+            let mut builder = build_ffc_model(problem, old, &self.current);
+            zero_dead_tunnels(&mut builder, scenario);
+            let (warm, result) = match store.hint_for(shape) {
+                Some(hint) => (true, builder.model.solve_warm(&opts, hint)),
+                None => (false, builder.model.solve_with(&opts)),
+            };
+            (warm, result.map(|sol| (builder.extract(&sol), sol)))
         };
         let wall = t0.elapsed();
 
         match result {
-            Ok(sol) => {
+            Ok((target, sol)) => {
                 let path = if warm && sol.stats.dual_iterations + sol.stats.dual_bound_flips > 0 {
                     SolvePath::WarmDual
                 } else if warm {
@@ -223,7 +268,6 @@ impl Planner {
                 } else {
                     SolvePath::Cold
                 };
-                let target = builder.extract(&sol);
                 store.set_hint(sol.basis.clone(), shape);
                 let degraded = self.degraded();
                 if wall > self.cfg.solve_deadline {
@@ -236,6 +280,7 @@ impl Planner {
                     protection: prot,
                     degraded,
                     wall,
+                    patched,
                 }
             }
             Err(ffc_lp::LpError::LimitExceeded { stats, .. }) => {
@@ -244,7 +289,8 @@ impl Planner {
                 // deadline overrun — degrade protection for the next
                 // interval, keep the installed config (no rollback),
                 // and keep the chained hint: it described the previous
-                // optimum and is still a valid warm start.
+                // optimum and is still a valid warm start. The standing
+                // model is equally fine — it matches the inputs.
                 let degraded = self.degraded();
                 self.degrade(store);
                 PlanOutcome {
@@ -254,12 +300,16 @@ impl Planner {
                     protection: prot,
                     degraded,
                     wall,
+                    patched,
                 }
             }
             Err(_) => {
                 // Infeasible (or numerically hopeless): no target. The
-                // chained basis is suspect — drop it.
+                // chained basis is suspect — drop it, and drop the
+                // standing model too so the next interval rebuilds from
+                // scratch (bottom of the fallback ladder).
                 store.drop_hint();
+                self.cache = None;
                 PlanOutcome {
                     target: None,
                     stats: None,
@@ -267,6 +317,7 @@ impl Planner {
                     protection: prot,
                     degraded: self.degraded(),
                     wall,
+                    patched,
                 }
             }
         }

@@ -38,6 +38,11 @@ pub struct IntervalTelemetry {
     pub dual_bound_flips: usize,
     /// Solve wall time in milliseconds (not part of the fingerprint).
     pub solve_ms: f64,
+    /// Whether the planner *patched* its standing model this interval
+    /// instead of building one. Observability only — a patched model is
+    /// bit-identical to a fresh build, so this is excluded from the
+    /// fingerprint (incremental on/off must replay identically).
+    pub model_patched: bool,
     /// Installed config version after the interval.
     pub config_version: u64,
     /// Steps in the congestion-free rollout plan.
@@ -113,15 +118,16 @@ impl IntervalTelemetry {
         )
     }
 
-    /// One JSON object per line: the fingerprint fields plus wall-clock
-    /// measurements.
+    /// One JSON object per line: the fingerprint fields plus the
+    /// non-deterministic extras (wall-clock timing, patch-vs-build).
     pub fn to_json(&self) -> String {
         let fp = self.fingerprint();
-        // Splice timing into the closing brace.
+        // Splice the extras into the closing brace.
         format!(
-            "{}, \"solve_ms\": {:.3}}}",
+            "{}, \"solve_ms\": {:.3}, \"model_patched\": {}}}",
             &fp[..fp.len() - 1],
-            self.solve_ms
+            self.solve_ms,
+            self.model_patched
         )
     }
 }
@@ -143,6 +149,7 @@ mod tests {
             dual_iterations: 11,
             dual_bound_flips: 3,
             solve_ms: 12.75,
+            model_patched: true,
             config_version: 5,
             rollout_steps_planned: 2,
             rollout_steps_completed: 2,

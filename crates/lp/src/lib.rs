@@ -39,6 +39,7 @@
 //! | [`presolve`] | fixed-variable elimination + trivial-row checks |
 //! | [`pricing`] | entering-column rules: Dantzig, devex, partial devex |
 //! | [`simplex`] | the bounded-variable two-phase revised simplex |
+//! | [`incremental`] | delta-LP: in-place patching of a standing model |
 //! | [`dense`] | an independent dense tableau oracle for testing |
 
 #![forbid(unsafe_code)]
@@ -47,6 +48,7 @@
 pub mod basis;
 pub mod dense;
 pub mod expr;
+pub mod incremental;
 pub mod lu;
 pub mod model;
 pub mod presolve;
@@ -60,5 +62,6 @@ pub use model::{
     BasisStatuses, Cmp, ColStatus, ConId, ConView, LimitKind, LpError, Model, Sense, Solution,
     SolveStats,
 };
+pub use incremental::{diff_models, IncrementalModel, PatchError, PatchOp};
 pub use pricing::{Pricing, AUTO_PARTIAL_MIN_COLS};
-pub use simplex::{Algorithm, SimplexOptions};
+pub use simplex::{Algorithm, HotStart, SimplexOptions, DEFAULT_WARM_PERTURB};

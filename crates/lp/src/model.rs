@@ -527,13 +527,22 @@ impl Model {
     /// structurally identical model. Falls back to a cold start when the
     /// hint does not fit (wrong shape, singular, or primal-infeasible
     /// beyond repair), so this is always safe to call.
+    ///
+    /// Warm re-solves restart on the previous optimal vertex, where
+    /// coinciding bounds cause long degenerate phase-2 plateaus; unless
+    /// the caller set [`SimplexOptions::perturb`] explicitly, the
+    /// default anti-degeneracy expansion
+    /// [`crate::simplex::DEFAULT_WARM_PERTURB`] is applied (with
+    /// post-solve restoration, so reported solutions honour the true
+    /// bounds). Pass a negative `perturb` to force it off.
     pub fn solve_warm(
         &self,
         opts: &SimplexOptions,
         hint: &BasisStatuses,
     ) -> Result<Solution, LpError> {
         self.validate()?;
-        simplex::solve_model(self, opts, Some(hint))
+        let opts = simplex::warmed_options(opts);
+        simplex::solve_model(self, &opts, Some(hint))
     }
 
     /// Dumps the model in a human-readable LP-like format (for debugging

@@ -707,6 +707,22 @@ impl<'a> Engine<'a> {
         false
     }
 
+    /// Exports the end-of-solve state for a future hot re-solve, or
+    /// `None` when it is not retainable: a solve that went through the
+    /// primal fallback carries artificial columns whose statuses have no
+    /// meaning for the standing form's column set.
+    fn into_hot(self) -> Option<HotStart> {
+        if !self.arts.is_empty() {
+            return None;
+        }
+        let factors = self.factors?;
+        Some(HotStart {
+            stat: self.stat,
+            basis: self.basis,
+            factors,
+        })
+    }
+
     /// Clears all crash/warm state so another start can be attempted.
     fn reset_state(&mut self) {
         self.stat.clear();
@@ -1000,6 +1016,13 @@ impl<'a> Engine<'a> {
         // (column, pivot-row entry α_j, dual ratio) per iteration.
         let mut cands: Vec<(usize, f64, f64)> = Vec::new();
         let mut retried = false;
+        // Whether `self.y` currently holds B⁻ᵀc_B for the current basis.
+        // The duals are maintained incrementally across pivots (the
+        // `y' = y + θρ` price update below) and recomputed from scratch
+        // only after (re)factorizations — the dense BTRAN per iteration
+        // they replace was the dominant cost of iteration-light warm
+        // re-solves on 10³⁺-row bases.
+        let mut y_valid = false;
         loop {
             if self
                 .factors
@@ -1008,6 +1031,7 @@ impl<'a> Engine<'a> {
                 .unwrap_or(true)
             {
                 self.refactorize()?;
+                y_valid = false;
             }
 
             // Leaving row: the (devex-weighted) worst bound violation;
@@ -1040,11 +1064,13 @@ impl<'a> Engine<'a> {
             // σ = −1: leaves at its lower bound.
             let sigma = if viol > 0.0 { 1.0 } else { -1.0 };
 
-            // y = B⁻ᵀc_B for reduced costs; ρ = B⁻ᵀe_r for the pivot row.
-            for i in 0..m {
-                self.cb[i] = cost.get(self.basis[i]).copied().unwrap_or(0.0);
-            }
-            {
+            // y = B⁻ᵀc_B for reduced costs (recomputed only when a
+            // refactorization invalidated it); ρ = B⁻ᵀe_r for the pivot
+            // row, every iteration.
+            if !y_valid {
+                for i in 0..m {
+                    self.cb[i] = cost.get(self.basis[i]).copied().unwrap_or(0.0);
+                }
                 let mut cb = std::mem::take(&mut self.cb);
                 let Some(factors) = self.factors.as_mut() else {
                     return Err(LpError::NumericalFailure(
@@ -1053,6 +1079,14 @@ impl<'a> Engine<'a> {
                 };
                 factors.btran(&mut cb, &mut self.y);
                 self.cb = cb;
+                y_valid = true;
+            }
+            {
+                let Some(factors) = self.factors.as_mut() else {
+                    return Err(LpError::NumericalFailure(
+                        "internal: basis not factorized".into(),
+                    ));
+                };
                 factors.btran_sparse(&[(r, 1.0)], &mut self.rho_sp);
             }
 
@@ -1174,9 +1208,20 @@ impl<'a> Engine<'a> {
                 }
                 retried = true;
                 self.refactorize()?;
+                y_valid = false;
                 continue;
             }
             retried = false;
+
+            // Price update: y' = y + θρ with θ = d_q/α_r zeroes the
+            // entering column's reduced cost — the standard dual-simplex
+            // dual update. Computed *before* the basis mutates so d_q
+            // still refers to the outgoing basis; applied to the sparse
+            // pivot-row pattern only.
+            let theta = {
+                let d_q = cost.get(q).copied().unwrap_or(0.0) - self.col_dot(q, &self.y);
+                d_q / alpha_r
+            };
 
             // Dual devex update of the row weights from the pivot column.
             let wr = dw[r].max(1.0);
@@ -1208,6 +1253,7 @@ impl<'a> Engine<'a> {
             let push = factors.push_eta_sparse(r, &self.w_sp);
             if push.is_err() {
                 self.refactorize()?;
+                y_valid = false;
                 continue;
             }
 
@@ -1236,6 +1282,17 @@ impl<'a> Engine<'a> {
             };
             self.stat[q] = VStat::Basic(r);
             self.basis[r] = q;
+            // `rho_sp` still holds ρ = B⁻ᵀe_r of the outgoing basis
+            // (nothing after the BTRAN overwrites it), which is exactly
+            // the direction the duals move in.
+            if theta != 0.0 {
+                for &i in self.rho_sp.pattern() {
+                    let ri = self.rho_sp.get(i);
+                    if ri != 0.0 {
+                        self.y[i] += theta * ri;
+                    }
+                }
+            }
 
             self.iterations += 1;
             self.stats.dual_iterations += 1;
@@ -1466,6 +1523,38 @@ impl<'a> Engine<'a> {
     fn infeasibility(&self) -> f64 {
         (self.std.n..self.ncols()).map(|j| self.xval[j]).sum()
     }
+
+    /// Undoes the anti-degeneracy bound expansion after phase 2: every
+    /// structural/slack column gets its original bounds back, nonbasic
+    /// columns resting on a perturbed bound snap onto the true one, and
+    /// basic values are recomputed through the (valid) factorization.
+    /// Returns the worst bound violation among basic variables — zero
+    /// means the perturbed optimum was already feasible for the true
+    /// bounds and no cleanup is needed. (Artificial columns are frozen
+    /// at `[0, 0]` after phase 1 and are never perturbed.)
+    fn restore_perturbed_bounds(&mut self) -> f64 {
+        for j in 0..self.std.n {
+            self.lb[j] = self.std.lb[j];
+            self.ub[j] = self.std.ub[j];
+            match self.stat[j] {
+                VStat::AtLower => self.xval[j] = self.lb[j],
+                VStat::AtUpper => self.xval[j] = self.ub[j],
+                _ => {}
+            }
+        }
+        self.recompute_basic_values();
+        let mut viol = 0.0f64;
+        for &j in &self.basis {
+            let v = self.xval[j];
+            if v < self.lb[j] {
+                viol = viol.max(self.lb[j] - v);
+            }
+            if v > self.ub[j] {
+                viol = viol.max(v - self.ub[j]);
+            }
+        }
+        viol
+    }
 }
 
 /// What the ratio test decided.
@@ -1478,6 +1567,31 @@ enum Step {
     Unbounded,
 }
 
+/// Default bound-perturbation magnitude applied to **warm** re-solves
+/// (see [`SimplexOptions::perturb`]). Warm restarts land on the previous
+/// optimal vertex, where the FFC models' many coinciding bounds produce
+/// long degenerate phase-2 plateaus; a tiny deterministic expansion
+/// breaks the ties. The value is far below the feasibility tolerance so
+/// an already-optimal warm basis still finishes in zero iterations and
+/// the post-solve restoration (see [`Engine::restore_perturbed_bounds`])
+/// is a no-op in the common case.
+pub const DEFAULT_WARM_PERTURB: f64 = 1e-9;
+
+/// Returns `opts` with [`DEFAULT_WARM_PERTURB`] filled in when the
+/// caller left `perturb` at its unset default. Shared by every warm
+/// entry point ([`Model::solve_warm`], the incremental solver) so all
+/// warm paths behave identically. Pass a negative `perturb` to force
+/// perturbation off for warm solves (the engine only perturbs when the
+/// value is strictly positive).
+pub fn warmed_options(opts: &SimplexOptions) -> SimplexOptions {
+    let mut o = opts.clone();
+    // audit:allow(float-eq): 0.0 is the documented "unset" sentinel.
+    if o.perturb == 0.0 {
+        o.perturb = DEFAULT_WARM_PERTURB;
+    }
+    o
+}
+
 /// Solves a model with the revised simplex. Called via [`Model::solve`]
 /// and [`Model::solve_warm`].
 pub fn solve_model(
@@ -1485,9 +1599,205 @@ pub fn solve_model(
     opts: &SimplexOptions,
     hint: Option<&BasisStatuses>,
 ) -> Result<Solution, LpError> {
-    let t0 = std::time::Instant::now();
     let std = StdForm::from_model(model);
-    let mut eng = Engine::new(&std, opts);
+    solve_std(&std, opts, hint)
+}
+
+/// Solves an already-lowered [`StdForm`] — the entry point for the
+/// incremental (delta-LP) path, which patches a standing `StdForm` in
+/// place instead of re-lowering the model every solve. When the
+/// perturbation option is active and the solve breaks down numerically,
+/// retries once from scratch with perturbation disabled (the expansion
+/// trades a little conditioning for fewer degenerate pivots; on the
+/// rare model where that trade goes wrong, the exact solve is the
+/// fallback).
+pub fn solve_std(
+    std: &StdForm,
+    opts: &SimplexOptions,
+    hint: Option<&BasisStatuses>,
+) -> Result<Solution, LpError> {
+    match solve_std_once(std, opts, hint, None) {
+        Err(LpError::NumericalFailure(_)) if opts.perturb > 0.0 => {
+            let mut exact = opts.clone();
+            exact.perturb = 0.0;
+            solve_std_once(std, &exact, hint, None)
+        }
+        other => other,
+    }
+}
+
+/// Retained end-of-solve engine state for hot re-solves over a standing
+/// [`StdForm`] whose bounds and right-hand sides (but not basic-column
+/// coefficients) may have been patched since. Produced and consumed by
+/// [`solve_std_hot`]; opaque outside this module.
+///
+/// A hot re-solve resumes the dual simplex directly on the previous
+/// optimal basis with its LU factors (and eta file) intact, skipping the
+/// per-solve basis load and initial factorization that dominate
+/// iteration-light re-solves. The eta file keeps its length across
+/// solves, so the engine still refactorizes on the normal
+/// [`crate::basis::REFACTOR_INTERVAL`] schedule and numerical drift
+/// stays bounded no matter how many hot solves chain together.
+#[derive(Debug)]
+pub struct HotStart {
+    /// Column statuses at the end of the exporting solve (`std.n` long;
+    /// a solve that created artificial columns is never exported).
+    stat: Vec<VStat>,
+    /// Basis position -> column index.
+    basis: Vec<usize>,
+    /// Factorization of that basis, with its accumulated eta updates.
+    factors: Basis,
+}
+
+impl HotStart {
+    /// Whether column `j` is basic in the retained basis. The delta-LP
+    /// layer uses this to decide if a coefficient patch invalidates the
+    /// retained factorization: nonbasic columns are not part of the
+    /// basis matrix, so patching them keeps the factors valid.
+    pub fn is_basic(&self, j: usize) -> bool {
+        matches!(self.stat.get(j), Some(VStat::Basic(_)))
+    }
+}
+
+/// [`solve_std`] with a retained hot-start slot. When `hot` holds state
+/// compatible with `std`, the dual simplex resumes from it directly;
+/// otherwise (first call, incompatible state, or a failed resume) the
+/// ordinary cold/warm path runs with `hint`. Either way the slot is
+/// refilled with this solve's end state whenever one is exportable.
+///
+/// The hot path optimizes the exact same LP as [`solve_std`] but is
+/// *not* guaranteed to walk the identical pivot sequence: the retained
+/// basis keeps its end-of-solve position order and factor representation
+/// while a fresh warm start reloads and refactorizes, so degenerate ties
+/// can break differently (same optimal objective, possibly a different
+/// optimal vertex). Callers that require bit-identical trajectories
+/// against a rebuilt model — the controller's incremental/rebuild
+/// fingerprint parity — must stay on [`solve_std`].
+pub fn solve_std_hot(
+    std: &StdForm,
+    opts: &SimplexOptions,
+    hint: Option<&BasisStatuses>,
+    hot: &mut Option<HotStart>,
+) -> Result<Solution, LpError> {
+    if let Some(h) = hot.take() {
+        match resume_hot(std, opts, h, hot) {
+            Some(Err(LpError::NumericalFailure(_))) if opts.perturb > 0.0 => {
+                // Same retry contract as `solve_std`, but from scratch:
+                // the retained state already failed, so the exact rerun
+                // goes through the fresh warm path.
+                let mut exact = opts.clone();
+                exact.perturb = 0.0;
+                return solve_std_once(std, &exact, hint, Some(hot));
+            }
+            Some(done) => return done,
+            // Incompatible state: fall through to the fresh path, which
+            // re-seeds the slot.
+            None => {}
+        }
+    }
+    match solve_std_once(std, opts, hint, Some(hot)) {
+        Err(LpError::NumericalFailure(_)) if opts.perturb > 0.0 => {
+            let mut exact = opts.clone();
+            exact.perturb = 0.0;
+            solve_std_once(std, &exact, hint, Some(hot))
+        }
+        other => other,
+    }
+}
+
+/// Attempts a dual re-solve directly from retained [`HotStart`] state.
+/// Returns `None` when the state is incompatible with the (patched)
+/// standing form — wrong shapes, a status contradicting the new bounds,
+/// a basis that cannot seed a dual start — so the caller falls back to
+/// the fresh warm path. Returns `Some(result)` once the engine commits.
+fn resume_hot(
+    std: &StdForm,
+    opts: &SimplexOptions,
+    h: HotStart,
+    hot_out: &mut Option<HotStart>,
+) -> Option<Result<Solution, LpError>> {
+    if h.stat.len() != std.n || h.basis.len() != std.m || h.factors.dim() != std.m {
+        return None;
+    }
+    // Every basis position must point at a column marked basic at that
+    // exact position; this also forces the m basic columns to be
+    // distinct. A stray `Basic` status outside the basis vector would
+    // make the pricer skip a column that is really nonbasic, so the
+    // total count must come out to exactly m as well.
+    for (pos, &j) in h.basis.iter().enumerate() {
+        if j >= std.n || !matches!(h.stat.get(j), Some(&VStat::Basic(p)) if p == pos) {
+            return None;
+        }
+    }
+    let basics = h
+        .stat
+        .iter()
+        .filter(|s| matches!(s, VStat::Basic(_)))
+        .count();
+    if basics != std.m {
+        return None;
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut eng = Engine::new(std, opts);
+    // Nonbasic columns sit on their (freshly perturbed) bounds. A status
+    // that no longer matches the patched bounds — a bound gone infinite
+    // under a nonbasic column, say — sends us back to the fresh path,
+    // which handles it with `load_hint_basis`'s nearest-valid fallback.
+    for (j, &st) in h.stat.iter().enumerate() {
+        let v = match st {
+            VStat::Basic(_) => 0.0, // recomputed below
+            VStat::AtLower if eng.lb[j].is_finite() => eng.lb[j],
+            VStat::AtUpper if eng.ub[j].is_finite() => eng.ub[j],
+            VStat::FreeZero if !eng.lb[j].is_finite() && !eng.ub[j].is_finite() => 0.0,
+            _ => return None,
+        };
+        eng.stat.push(st);
+        eng.xval.push(v);
+    }
+    eng.basis = h.basis;
+    eng.factors = Some(h.factors);
+
+    // Bounds and right-hand sides may have been patched since the state
+    // was retained: recompute basic values through the retained factors,
+    // refactorizing first if the carried eta file is already long.
+    if eng
+        .factors
+        .as_ref()
+        .is_some_and(|f| f.should_refactorize())
+    {
+        if eng.refactorize().is_err() {
+            return None;
+        }
+    } else {
+        eng.recompute_basic_values();
+    }
+
+    let cost2 = std.obj.clone();
+    if !eng.dual_feasibilize(&cost2) {
+        return None;
+    }
+    Some((move || {
+        match eng.optimize_dual(&cost2)? {
+            DualEnd::Feasible => {}
+            DualEnd::Infeasible => return Err(LpError::Infeasible),
+        }
+        finish_solve(eng, std, &cost2, t0, Some(hot_out))
+    })())
+}
+
+/// One simplex run over a lowered standard form (no perturbation retry).
+/// When `hot_out` is provided, the end-of-solve engine state is exported
+/// into it for [`solve_std_hot`] (or the slot is cleared if this solve's
+/// state is not retainable).
+fn solve_std_once(
+    std: &StdForm,
+    opts: &SimplexOptions,
+    hint: Option<&BasisStatuses>,
+    hot_out: Option<&mut Option<HotStart>>,
+) -> Result<Solution, LpError> {
+    let t0 = std::time::Instant::now();
+    let mut eng = Engine::new(std, opts);
     let cost2 = std.obj.clone();
 
     // Dual attempt: explicitly requested, or `Auto` with a warm hint —
@@ -1551,11 +1861,56 @@ pub fn solve_model(
     // On the dual path phase 1 never runs: its iterations (and the
     // primal cleanup below) all count as phase 2.
 
+    finish_solve(eng, std, &cost2, t0, hot_out)
+}
+
+/// Shared tail of every solve: phase 2 on the real objective, perturbed
+/// bound restoration, stats stamping and the solution report. Also
+/// exports the end-of-solve engine state into `hot_out` when requested.
+fn finish_solve(
+    mut eng: Engine<'_>,
+    std: &StdForm,
+    cost2: &[f64],
+    t0: std::time::Instant,
+    hot_out: Option<&mut Option<HotStart>>,
+) -> Result<Solution, LpError> {
     // Phase 2: optimize the real objective. After the dual loop this is
     // a cleanup pass that certifies optimality — normally 0 iterations.
-    match eng.optimize(&cost2, true)? {
+    match eng.optimize(cost2, true)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
+    }
+
+    // Post-solve restoration of perturbed bounds. A solution optimal
+    // for the expanded bounds is usually feasible for the true ones
+    // once nonbasics snap back (the expansion is far below feas_tol);
+    // when it is not, the snapped basis is still dual-feasible — the
+    // costs never moved — so the dual simplex repairs it. The primal
+    // algorithm has no such repair path: surface a numerical failure
+    // and let [`solve_std`] rerun exactly, keeping `Primal` solves free
+    // of dual iterations.
+    if eng.opts.perturb > 0.0 {
+        let viol = eng.restore_perturbed_bounds();
+        if viol > eng.opts.feas_tol {
+            if matches!(eng.opts.algorithm, Algorithm::Primal) {
+                return Err(LpError::NumericalFailure(
+                    "perturbed optimum infeasible after bound restoration".into(),
+                ));
+            }
+            if !eng.dual_feasibilize(cost2) {
+                return Err(LpError::NumericalFailure(
+                    "bound restoration lost dual feasibility".into(),
+                ));
+            }
+            match eng.optimize_dual(cost2)? {
+                DualEnd::Feasible => {}
+                DualEnd::Infeasible => return Err(LpError::Infeasible),
+            }
+            match eng.optimize(cost2, true)? {
+                PhaseEnd::Optimal => {}
+                PhaseEnd::Unbounded => return Err(LpError::Unbounded),
+            }
+        }
     }
     eng.stats.phase2_iterations = eng.iterations - eng.stats.phase1_iterations;
     eng.stats.full_pricing_passes = eng.pricer.full_passes;
@@ -1572,13 +1927,17 @@ pub fn solve_model(
             VStat::FreeZero => ColStatus::Free,
         })
         .collect();
-    Ok(Solution {
+    let sol = Solution {
         objective: std.report_objective(min_val),
         values,
         iterations: eng.iterations,
         basis: BasisStatuses(statuses),
         stats: eng.stats,
-    })
+    };
+    if let Some(out) = hot_out {
+        *out = eng.into_hot();
+    }
+    Ok(sol)
 }
 
 #[cfg(test)]

@@ -81,6 +81,24 @@ impl CscMatrix {
         self.rowidx.len()
     }
 
+    /// Overwrites the stored entry at `(row, col)` with `val`, returning
+    /// `false` (and changing nothing) when that position is not in the
+    /// sparsity pattern. Requires the column to be sorted by row, which
+    /// [`CscMatrix::from_columns`] guarantees. This is the delta-LP
+    /// primitive: patching a coefficient in place instead of rebuilding
+    /// the matrix.
+    pub fn set_entry(&mut self, row: usize, col: usize, val: f64) -> bool {
+        let lo = self.colptr[col];
+        let hi = self.colptr[col + 1];
+        match self.rowidx[lo..hi].binary_search(&row) {
+            Ok(pos) => {
+                self.values[lo + pos] = val;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Iterates over `(row, value)` entries of column `j`.
     #[inline]
     pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
@@ -262,6 +280,20 @@ mod tests {
         let col0: Vec<_> = a.col(0).collect();
         assert_eq!(col0, vec![(0, 3.0), (2, 1.0)]);
         assert_eq!(a.col_nnz(1), 0);
+    }
+
+    #[test]
+    fn set_entry_patches_in_place() {
+        let mut a = CscMatrix::from_columns(3, &[vec![(0, 1.0), (2, 5.0)], vec![(1, -2.0)]]);
+        assert!(a.set_entry(2, 0, 7.5));
+        assert!(a.set_entry(1, 1, 0.5));
+        // Absent positions are rejected without changing the pattern.
+        assert!(!a.set_entry(1, 0, 9.0));
+        assert_eq!(a.nnz(), 3);
+        let col0: Vec<_> = a.col(0).collect();
+        assert_eq!(col0, vec![(0, 1.0), (2, 7.5)]);
+        let col1: Vec<_> = a.col(1).collect();
+        assert_eq!(col1, vec![(1, 0.5)]);
     }
 
     #[test]
