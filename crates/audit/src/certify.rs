@@ -36,7 +36,7 @@ pub const DEFAULT_SCENARIO_BUDGET: usize = 200_000;
 
 /// Combined `x ≤ bound` test under [`ABS_TOL`] + [`REL_TOL`].
 #[inline]
-fn within(x: f64, bound: f64) -> bool {
+pub(crate) fn within(x: f64, bound: f64) -> bool {
     x <= bound + ABS_TOL + REL_TOL * bound.abs()
 }
 
@@ -204,7 +204,7 @@ impl Certificate {
         s
     }
 
-    fn record(&mut self, msg: String) {
+    pub(crate) fn record(&mut self, msg: String) {
         self.num_violations += 1;
         if self.violations.len() < Self::MAX_RECORDED {
             self.violations.push(msg);
@@ -316,7 +316,11 @@ fn add_rescaled_loads(
 /// Walks every `n`-choose-`≤k` index combination (including the empty
 /// one) in deterministic lexicographic order, calling `f` for each.
 /// Stops early (returning `false`) when `f` returns `false`.
-fn for_each_combo_up_to(n: usize, k: usize, mut f: impl FnMut(&[usize]) -> bool) -> bool {
+pub(crate) fn for_each_combo_up_to(
+    n: usize,
+    k: usize,
+    mut f: impl FnMut(&[usize]) -> bool,
+) -> bool {
     for size in 0..=k.min(n) {
         let mut idx: Vec<usize> = (0..size).collect();
         loop {
@@ -362,7 +366,49 @@ fn for_each_combo_up_to(n: usize, k: usize, mut f: impl FnMut(&[usize]) -> bool)
 /// Scenario enumeration is deterministic and stops at
 /// [`CertInput::max_scenarios`]; the certificate's `exhaustive` flag
 /// records whether the full protected set was covered.
+///
+/// Dispatches to the batched SoA kernels of [`crate::kernels`] unless
+/// the `FFC_KERNELS` environment variable is set to `scalar`; both
+/// paths produce bit-identical certificates (the differential proptest
+/// oracle in `tests/` enforces this). `FFC_KERNEL_WORKERS` overrides
+/// the batched path's thread count (the verdict does not depend on it).
 pub fn certify(input: &CertInput<'_>) -> Certificate {
+    match std::env::var("FFC_KERNELS").as_deref() {
+        Ok("scalar") => certify_scalar(input),
+        _ => certify_batched(input, kernel_workers()),
+    }
+}
+
+/// Worker count for the batched certification path: the
+/// `FFC_KERNEL_WORKERS` environment variable when set, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn kernel_workers() -> usize {
+    std::env::var("FFC_KERNEL_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// [`certify`] over the batched SoA kernels with an explicit worker
+/// count. The fast path; bit-identical to [`certify_scalar`].
+pub fn certify_batched(input: &CertInput<'_>, workers: usize) -> Certificate {
+    let mut cert = match static_phase(input) {
+        Ok(cert) => cert,
+        Err(cert) => return cert,
+    };
+    crate::kernels::batched_scenario_phase(input, &mut cert, workers);
+    cert
+}
+
+/// Shape, finiteness, bound, and coverage checks (phases 1–3).
+/// `Err` means the input is malformed and scenario evaluation must not
+/// run; `Ok` carries the certificate to extend with scenario verdicts.
+fn static_phase(input: &CertInput<'_>) -> Result<Certificate, Certificate> {
     let mut cert = Certificate {
         status: CertStatus::Certified,
         scenarios_checked: 0,
@@ -371,7 +417,6 @@ pub fn certify(input: &CertInput<'_>) -> Certificate {
         num_violations: 0,
         violations: Vec::new(),
     };
-    let topo = input.topo;
     let tm = input.tm;
     let nf = tm.len();
 
@@ -384,7 +429,7 @@ pub fn certify(input: &CertInput<'_>) -> Certificate {
             input.alloc.len(),
             nf
         ));
-        return cert;
+        return Err(cert);
     }
     if let Some(old) = input.old_alloc {
         if old.len() != nf {
@@ -392,7 +437,7 @@ pub fn certify(input: &CertInput<'_>) -> Certificate {
                 "shape: old config has {} allocs for {nf} flows",
                 old.len()
             ));
-            return cert;
+            return Err(cert);
         }
     }
     let mut malformed = false;
@@ -444,8 +489,22 @@ pub fn certify(input: &CertInput<'_>) -> Certificate {
         }
     }
     if malformed {
-        return cert;
+        return Err(cert);
     }
+    Ok(cert)
+}
+
+/// [`certify`] over the original one-scenario-at-a-time arithmetic.
+/// Kept alive as the reference implementation the batched kernels are
+/// differentially tested against (`FFC_KERNELS=scalar` routes the
+/// default entry point here).
+pub fn certify_scalar(input: &CertInput<'_>) -> Certificate {
+    let mut cert = match static_phase(input) {
+        Ok(cert) => cert,
+        Err(cert) => return cert,
+    };
+    let topo = input.topo;
+    let tm = input.tm;
 
     // 4. Congestion-freedom, scenario by scenario.
     let unprotected: BTreeSet<LinkId> = input.unprotected_links.iter().copied().collect();

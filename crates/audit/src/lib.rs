@@ -34,9 +34,14 @@
 #![warn(missing_docs)]
 
 pub mod certify;
+pub mod kernels;
 pub mod lint;
 pub mod model_audit;
 
-pub use certify::{certify, CertInput, CertStatus, Certificate, Protection};
+pub use certify::{
+    certify, certify_batched, certify_scalar, kernel_workers, CertInput, CertStatus, Certificate,
+    Protection,
+};
+pub use kernels::{par_blocks, BatchEvaluator, BlockResult, ScenarioSet, BLOCK_LANES};
 pub use lint::{lint_workspace, LintConfig, LintReport, LintViolation};
 pub use model_audit::{audit_model, AuditConfig, AuditReport, Finding, Severity};

@@ -1,0 +1,281 @@
+//! Differential oracle: the batched SoA kernels must be *bit-identical*
+//! to the scalar certifier — same verdict, same scenario count and
+//! exhaustiveness, the same recorded violation strings in the same
+//! order, and the same bit pattern of `max_oversubscription` — over
+//! randomized topologies, splitting weights, and joint
+//! kc stale-ingress × ke link × kv switch fault combinations, under
+//! scenario budgets, unprotected links, and varying worker counts.
+//!
+//! Demand-side fuzzing rides along (satellite 3): correlated multi-flow
+//! surges, zeroed flows, and permuted ingress assignments all flow
+//! through both kernel paths here.
+
+use ffc_audit::certify::{certify_batched, certify_scalar, CertInput, Protection};
+use ffc_net::prelude::*;
+use proptest::prelude::*;
+
+/// Raw material for one randomized certification instance.
+#[derive(Debug, Clone)]
+struct Inst {
+    /// Ring size (4..=6 nodes).
+    nodes: usize,
+    /// Chord toggles (taken modulo the node count).
+    chords: Vec<bool>,
+    /// Capacity pool, cycled over links.
+    caps: Vec<f64>,
+    /// `(src, dst offset, demand)` per flow; dst lands on a different
+    /// node than src by construction.
+    flows: Vec<(usize, usize, f64)>,
+    /// Correlated surge factor applied to *all* demands (models a
+    /// traffic-matrix-wide burst).
+    surge: f64,
+    /// Zero out every flow whose index hits this stride (0 = none).
+    zero_stride: usize,
+    /// Rotate flow sources by this offset (permuted ingress
+    /// assignment) — stresses the stale-ingress source enumeration.
+    ingress_rot: usize,
+    /// Fraction of demand granted as rate, per flow (may exceed 1 to
+    /// exercise rejection paths).
+    rate_frac: Vec<f64>,
+    /// Weight pool for the new allocation (slightly negative values
+    /// exercise the bound-violation paths).
+    alloc_pool: Vec<f64>,
+    /// Weight pool for the old allocation, when present.
+    old_pool: Option<Vec<f64>>,
+    kc: usize,
+    ke: usize,
+    kv: usize,
+    /// Small scenario budget (exercises truncation) or effectively
+    /// unlimited.
+    capped: bool,
+    budget: usize,
+    /// Exempt the first link from the congestion check.
+    unprotect_first: bool,
+}
+
+fn inst_strategy() -> impl Strategy<Value = Inst> {
+    (
+        (
+            4..7usize,
+            prop::collection::vec(any::<bool>(), 3),
+            prop::collection::vec(4.0..20.0f64, 4),
+            prop::collection::vec((0..6usize, 0..5usize, 1.0..9.0f64), 2..5),
+        ),
+        (
+            0.3..2.5f64,
+            0..4usize,
+            0..4usize,
+            prop::collection::vec(0.0..1.25f64, 5),
+        ),
+        (
+            prop::collection::vec(-0.2..6.0f64, 8),
+            prop::collection::vec(0.0..6.0f64, 8),
+            any::<bool>(),
+        ),
+        (
+            (0..3usize, 0..3usize, 0..2usize),
+            any::<bool>(),
+            1..40usize,
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (nodes, chords, caps, flows),
+                (surge, zero_stride, ingress_rot, rate_frac),
+                (alloc_pool, old_pool, has_old),
+                ((kc, ke, kv), capped, budget, unprotect_first),
+            )| Inst {
+                nodes,
+                chords,
+                caps,
+                flows,
+                surge,
+                zero_stride,
+                ingress_rot,
+                rate_frac,
+                alloc_pool,
+                old_pool: has_old.then_some(old_pool),
+                kc,
+                ke,
+                kv,
+                capped,
+                budget,
+                unprotect_first,
+            },
+        )
+}
+
+/// Materialized instance: ring-plus-chords topology, surged / zeroed /
+/// ingress-permuted traffic matrix, tunnel layout, and the (possibly
+/// out-of-bounds) rate/alloc vectors.
+type Built = (
+    Topology,
+    TrafficMatrix,
+    TunnelTable,
+    Vec<f64>,
+    Vec<Vec<f64>>,
+    Option<Vec<Vec<f64>>>,
+);
+
+fn build(inst: &Inst) -> Built {
+    let mut t = Topology::new();
+    let ns = t.add_nodes(inst.nodes, "n");
+    for i in 0..inst.nodes {
+        t.add_bidi(
+            ns[i],
+            ns[(i + 1) % inst.nodes],
+            inst.caps[i % inst.caps.len()],
+        );
+    }
+    for (c, &on) in inst.chords.iter().enumerate() {
+        let a = c % inst.nodes;
+        let b = (c + 2) % inst.nodes;
+        if on && a != b && t.find_link(ns[a], ns[b]).is_none() {
+            t.add_bidi(ns[a], ns[b], inst.caps[(c + 1) % inst.caps.len()]);
+        }
+    }
+    let mut tm = TrafficMatrix::new();
+    for (fi, &(src, doff, demand)) in inst.flows.iter().enumerate() {
+        let s = (src + inst.ingress_rot) % inst.nodes;
+        let d = (s + 1 + doff % (inst.nodes - 1)) % inst.nodes;
+        let demand = if inst.zero_stride > 0 && fi % inst.zero_stride == 0 {
+            0.0
+        } else {
+            demand * inst.surge
+        };
+        tm.add_flow(ns[s], ns[d], demand, Priority::High);
+    }
+    let tunnels = layout_tunnels(
+        &t,
+        &tm,
+        &LayoutConfig {
+            tunnels_per_flow: 3,
+            p: 2,
+            q: 3,
+            reuse_penalty: 0.5,
+        },
+    );
+    let mut rate = Vec::new();
+    let mut alloc = Vec::new();
+    let mut old = inst.old_pool.as_ref().map(|_| Vec::new());
+    let mut k = 0usize;
+    for (f, flow) in tm.iter() {
+        let fi = f.index();
+        rate.push(flow.demand * inst.rate_frac[fi % inst.rate_frac.len()]);
+        let nt = tunnels.tunnels(f).len();
+        let mut a = Vec::with_capacity(nt);
+        let mut o = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            a.push(inst.alloc_pool[k % inst.alloc_pool.len()]);
+            if let Some(pool) = &inst.old_pool {
+                o.push(pool[(k + 3) % pool.len()]);
+            }
+            k += 1;
+        }
+        alloc.push(a);
+        if let Some(old) = &mut old {
+            old.push(o);
+        }
+    }
+    (t, tm, tunnels, rate, alloc, old)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_certify_is_bit_identical_to_scalar(inst in inst_strategy()) {
+        let (t, tm, tunnels, rate, alloc, old) = build(&inst);
+        let mut input = CertInput::new(
+            &t,
+            &tm,
+            &tunnels,
+            &rate,
+            &alloc,
+            Protection::new(inst.kc, inst.ke, inst.kv),
+        );
+        input.old_alloc = old.as_deref();
+        if inst.capped {
+            input.max_scenarios = inst.budget;
+        }
+        let hatch = [LinkId(0)];
+        if inst.unprotect_first {
+            input.unprotected_links = &hatch;
+        }
+
+        let want = certify_scalar(&input);
+        for workers in [1usize, 3] {
+            let got = certify_batched(&input, workers);
+            prop_assert_eq!(got.status, want.status, "status @ workers={}", workers);
+            prop_assert_eq!(
+                got.scenarios_checked, want.scenarios_checked,
+                "scenarios_checked @ workers={}", workers
+            );
+            prop_assert_eq!(got.exhaustive, want.exhaustive, "exhaustive @ workers={}", workers);
+            prop_assert_eq!(
+                got.num_violations, want.num_violations,
+                "num_violations @ workers={}", workers
+            );
+            prop_assert_eq!(
+                got.max_oversubscription.to_bits(),
+                want.max_oversubscription.to_bits(),
+                "max_oversubscription bits: batched {} vs scalar {} @ workers={}",
+                got.max_oversubscription, want.max_oversubscription, workers
+            );
+            prop_assert_eq!(&got.violations, &want.violations, "violations @ workers={}", workers);
+            prop_assert_eq!(got.to_json(), want.to_json(), "json @ workers={}", workers);
+        }
+    }
+
+    /// The kc × ke × kv joint space specifically: force every
+    /// dimension on at once and keep the instance well-formed, so the
+    /// deep scenario enumeration (not early rejection) is what's being
+    /// compared.
+    #[test]
+    fn joint_fault_combos_agree_on_well_formed_configs(
+        seed_caps in prop::collection::vec(8.0..24.0f64, 4),
+        surge in 0.2..1.0f64,
+        workers in 1..5usize,
+    ) {
+        let inst = Inst {
+            nodes: 5,
+            chords: vec![true, true, false],
+            caps: seed_caps,
+            flows: vec![(0, 1, 6.0), (2, 0, 4.0), (4, 2, 5.0)],
+            surge,
+            zero_stride: 3,
+            ingress_rot: 1,
+            rate_frac: vec![0.5, 0.8, 0.4],
+            alloc_pool: vec![2.0, 1.0, 3.0, 0.0, 1.5, 2.5, 0.5, 1.0],
+            old_pool: Some(vec![1.0, 2.0, 0.5, 3.0, 0.0, 1.5, 2.0, 1.0]),
+            kc: 2,
+            ke: 1,
+            kv: 1,
+            capped: false,
+            budget: 0,
+            unprotect_first: false,
+        };
+        let (t, tm, tunnels, rate, alloc, old) = build(&inst);
+        let mut input = CertInput::new(
+            &t, &tm, &tunnels, &rate, &alloc,
+            Protection::new(inst.kc, inst.ke, inst.kv),
+        );
+        input.old_alloc = old.as_deref();
+
+        let want = certify_scalar(&input);
+        // Joint enumeration really covers all three dimensions (and
+        // several lane blocks).
+        prop_assert!(want.scenarios_checked > 64, "only {} scenarios", want.scenarios_checked);
+        let got = certify_batched(&input, workers);
+        prop_assert_eq!(got.status, want.status);
+        prop_assert_eq!(got.scenarios_checked, want.scenarios_checked);
+        prop_assert_eq!(got.exhaustive, want.exhaustive);
+        prop_assert_eq!(got.num_violations, want.num_violations);
+        prop_assert_eq!(
+            got.max_oversubscription.to_bits(),
+            want.max_oversubscription.to_bits()
+        );
+        prop_assert_eq!(&got.violations, &want.violations);
+    }
+}

@@ -338,9 +338,15 @@ fn bench_pricing(c: &mut Criterion) {
             let t0 = Instant::now();
             let builder =
                 ffc_core::build_ffc_model(TeProblem::new(topo, tm, &inst.tunnels), &old, &cfg);
-            let sol = builder.model.solve_warm(&warm_opts, &basis).expect("warm rebuild");
+            let sol = builder
+                .model
+                .solve_warm(&warm_opts, &basis)
+                .expect("warm rebuild");
             full_ms.push(t0.elapsed().as_secs_f64() * 1e3);
-            let sol_exact = builder.model.solve_warm(&exact_opts, &basis).expect("warm exact");
+            let sol_exact = builder
+                .model
+                .solve_warm(&exact_opts, &basis)
+                .expect("warm exact");
             iters_full += sol.stats.iterations();
             iters_perturbed += sol.stats.iterations();
             iters_exact += sol_exact.stats.iterations();
@@ -398,6 +404,99 @@ fn bench_pricing(c: &mut Criterion) {
         );
     }
 
+    // ----- kernels: batched SoA certifier vs the scalar reference -----
+    // S-Net ke-sweep: certify one solved configuration against every
+    // link-failure budget ke = 1..=2. Scenario counts grow
+    // combinatorially with ke, so the sweep is dominated by
+    // per-scenario load evaluation — exactly the loop the SoA kernels
+    // batch. Each mode's sweep_ms is the whole sweep (sum of
+    // min-of-3 per level); verdicts are asserted bit-identical between
+    // the paths, so the bench doubles as a smoke oracle.
+    let kinst = ffc_bench::snet_instance(42, 1);
+    let topo = &kinst.net.topo;
+    let tm = &kinst.trace.intervals[0];
+    let zero = ffc_core::TeConfig::zero(&kinst.tunnels);
+    let solved = ffc_core::solve_ffc(
+        TeProblem::new(topo, tm, &kinst.tunnels),
+        &zero,
+        &ffc_core::FfcConfig::new(0, 2, 0),
+    )
+    .expect("S-Net FFC (ke=2)");
+    let ke_levels = [1usize, 2];
+    let inputs: Vec<ffc_audit::CertInput<'_>> = ke_levels
+        .iter()
+        .map(|&ke| {
+            ffc_audit::CertInput::new(
+                topo,
+                tm,
+                &kinst.tunnels,
+                &solved.rate,
+                &solved.alloc,
+                ffc_audit::Protection::new(0, ke, 0),
+            )
+        })
+        .collect();
+    let references: Vec<ffc_audit::Certificate> = inputs
+        .iter()
+        .map(|input| {
+            let c = ffc_audit::certify_scalar(input);
+            assert!(c.ok(), "S-Net ke-sweep certification failed");
+            c
+        })
+        .collect();
+    let scen_total: usize = references.iter().map(|c| c.scenarios_checked).sum();
+    let mut kernel_rows = Vec::new();
+    let mut scalar_sweep_ms = 0.0;
+    // (mode, workers, certify closure); scalar first so its total seeds
+    // the speedup column.
+    type Certify<'a> = Box<dyn Fn(&ffc_audit::CertInput<'_>) -> ffc_audit::Certificate + 'a>;
+    let modes: Vec<(&str, usize, Certify<'_>)> = vec![
+        (
+            "scalar",
+            1,
+            Box::new(|i: &ffc_audit::CertInput<'_>| ffc_audit::certify_scalar(i)),
+        ),
+        (
+            "batched",
+            1,
+            Box::new(|i: &ffc_audit::CertInput<'_>| ffc_audit::certify_batched(i, 1)),
+        ),
+        (
+            "batched",
+            4,
+            Box::new(|i: &ffc_audit::CertInput<'_>| ffc_audit::certify_batched(i, 4)),
+        ),
+    ];
+    for (mode, w, certify) in &modes {
+        let mut sweep_ms = 0.0;
+        for (input, reference) in inputs.iter().zip(&references) {
+            let mut level_ms = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let c = certify(input);
+                level_ms = level_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(c.status, reference.status, "kernel verdict drift ({mode})");
+                assert_eq!(c.scenarios_checked, reference.scenarios_checked);
+                assert_eq!(
+                    c.max_oversubscription.to_bits(),
+                    reference.max_oversubscription.to_bits(),
+                    "kernel load drift ({mode})"
+                );
+            }
+            sweep_ms += level_ms;
+        }
+        if *mode == "scalar" {
+            scalar_sweep_ms = sweep_ms;
+        }
+        let speedup = scalar_sweep_ms / sweep_ms.max(1e-9);
+        kernel_rows.push(format!(
+            "    {{\"instance\": \"S-Net\", \"ke_levels\": [1, 2], \"scenarios\": {scen_total}, \"mode\": \"{mode}\", \"workers\": {w}, \"sweep_ms\": {sweep_ms:.3}, \"speedup\": {speedup:.2}}}"
+        ));
+        eprintln!(
+            "kernels [S-Net ke-sweep 1..=2, {scen_total} scenarios]: {mode}(w={w}) {sweep_ms:.3} ms ({speedup:.2}x vs scalar)"
+        );
+    }
+
     let json = format!(
         "{{\n  \"pricing\": [\n{}\n  ],\n  \"pricing_lnet\": {{\"instance\": \"{}\", \
          \"lp_size\": \"{lnet_rows_n}x{lnet_cols}\", \
@@ -409,7 +508,11 @@ fn bench_pricing(c: &mut Criterion) {
          expect ~min(workers, intervals)x on multicore hosts\"}},\n  \
          \"warm_dual\": {{\"instance\": \"S-Net\", \"ke\": 1, \"scenarios\": {}, \
          \"workers\": {workers}, \"algorithms\": [\n{}\n  ]}},\n  \
-         \"incremental\": [\n{}\n  ]\n}}\n",
+         \"incremental\": [\n{}\n  ],\n  \
+         \"kernels\": {{\"host_cores\": {workers}, \
+         \"note\": \"batched SoA certifier vs scalar reference over the \
+         S-Net ke scenario sweep; verdicts asserted bit-identical\", \
+         \"rows\": [\n{}\n  ]}}\n}}\n",
         rows.join(",\n"),
         lnet.name,
         ffc_lp::AUTO_PARTIAL_MIN_COLS,
@@ -420,6 +523,7 @@ fn bench_pricing(c: &mut Criterion) {
         scenarios.len(),
         algo_rows.join(",\n"),
         inc_rows.join(",\n"),
+        kernel_rows.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pricing.json");
     std::fs::write(path, &json).expect("write BENCH_pricing.json");

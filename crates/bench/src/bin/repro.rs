@@ -472,11 +472,17 @@ fn quick_incremental(args: &Args) {
         let outcome = cache.retarget(TeProblem::new(topo, tm, &inst.tunnels), &old, &cfg, None);
         let (got, sol) = cache.solve_warm(&opts, &basis).expect("patched warm solve");
         patch_ms += t0.elapsed().as_secs_f64() * 1e3;
-        assert!(outcome.is_patch(), "tick {i}: demand tick must patch, got {outcome:?}");
+        assert!(
+            outcome.is_patch(),
+            "tick {i}: demand tick must patch, got {outcome:?}"
+        );
 
         let t0 = Instant::now();
         let builder = build_ffc_model(TeProblem::new(topo, tm, &inst.tunnels), &old, &cfg);
-        let fresh = builder.model.solve_warm(&opts, &basis).expect("rebuilt warm solve");
+        let fresh = builder
+            .model
+            .solve_warm(&opts, &basis)
+            .expect("rebuilt warm solve");
         full_ms += t0.elapsed().as_secs_f64() * 1e3;
         let want = builder.extract(&fresh).throughput();
         assert!(
@@ -503,7 +509,9 @@ fn quick_incremental(args: &Args) {
     let mut tm = tms[0].clone();
     cache.retarget(TeProblem::new(topo, &tm, &inst.tunnels), &old, &cfg, None);
     let (_, s0) = cache.solve_with(&opts).expect("hot chain base");
-    let (_, seeded) = cache.solve_warm_hot(&opts, &s0.basis).expect("seed hot slot");
+    let (_, seeded) = cache
+        .solve_warm_hot(&opts, &s0.basis)
+        .expect("seed hot slot");
     let mut hot_basis = seeded.basis;
     let mut full_basis = s0.basis;
     let (mut hot_ms, mut full_ms) = (0.0f64, 0.0f64);
@@ -520,7 +528,9 @@ fn quick_incremental(args: &Args) {
 
         let t0 = Instant::now();
         cache.retarget(TeProblem::new(topo, &tm, &inst.tunnels), &old, &cfg, None);
-        let (_, hot) = cache.solve_warm_hot(&opts, &hot_basis).expect("hot re-solve");
+        let (_, hot) = cache
+            .solve_warm_hot(&opts, &hot_basis)
+            .expect("hot re-solve");
         hot_ms += t0.elapsed().as_secs_f64() * 1e3;
         let rel = (hot.objective - fresh.objective).abs() / fresh.objective.abs().max(1.0);
         assert!(

@@ -47,10 +47,18 @@ fn sweep_cfgs() -> Vec<FfcConfig> {
     vec![
         FfcConfig::new(0, 0, 0).exact(),
         FfcConfig::new(0, 1, 0).exact(),
-        FfcConfig::new(1, 0, 0).with_encoding(MsumEncoding::Cvar).exact(),
-        FfcConfig::new(2, 0, 0).with_encoding(MsumEncoding::Cvar).exact(),
-        FfcConfig::new(2, 1, 0).with_encoding(MsumEncoding::Cvar).exact(),
-        FfcConfig::new(1, 1, 0).with_encoding(MsumEncoding::Cvar).exact(),
+        FfcConfig::new(1, 0, 0)
+            .with_encoding(MsumEncoding::Cvar)
+            .exact(),
+        FfcConfig::new(2, 0, 0)
+            .with_encoding(MsumEncoding::Cvar)
+            .exact(),
+        FfcConfig::new(2, 1, 0)
+            .with_encoding(MsumEncoding::Cvar)
+            .exact(),
+        FfcConfig::new(1, 1, 0)
+            .with_encoding(MsumEncoding::Cvar)
+            .exact(),
         FfcConfig::new(1, 1, 0).exact(),
     ]
 }

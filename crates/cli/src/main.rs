@@ -388,9 +388,29 @@ fn main() -> ExitCode {
             let mut worst = 0.0f64;
             let mut violations = 0usize;
             let total = scenarios.len();
-            for sc in scenarios {
-                let loads =
-                    rescaled_link_loads_mixed(&topo, &tm, &tunnels, &cfg, old.as_ref(), &sc);
+            // Loads come from the batched SoA kernels (bit-identical to
+            // the per-scenario scalar walk; FFC_KERNELS=scalar selects
+            // the reference path, FFC_KERNEL_WORKERS the fan-out width).
+            let batched: Option<Vec<_>> = if std::env::var("FFC_KERNELS").as_deref() == Ok("scalar")
+            {
+                None
+            } else {
+                let set = ffc_core::ScenarioSet::pack(&topo, &scenarios);
+                Some(ffc_core::batched_rescaled_loads(
+                    &topo,
+                    &tm,
+                    &tunnels,
+                    &cfg,
+                    old.as_ref(),
+                    &set,
+                    ffc_audit::kernel_workers(),
+                ))
+            };
+            for (si, sc) in scenarios.iter().enumerate() {
+                let loads = match &batched {
+                    Some(all) => all[si].clone(),
+                    None => rescaled_link_loads_mixed(&topo, &tm, &tunnels, &cfg, old.as_ref(), sc),
+                };
                 for e in topo.links() {
                     if sc.link_dead(&topo, e) {
                         continue;

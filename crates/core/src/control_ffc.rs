@@ -135,7 +135,10 @@ pub fn beta_support(old: &TeConfig, weight_threshold: f64) -> Vec<(usize, usize)
 /// # Panics
 /// Panics if the old configuration's shape does not match the builder's
 /// tunnel table.
-pub fn apply_control_ffc(builder: &mut TeModelBuilder<'_>, ffc: &ControlFfc<'_>) -> ControlFfcLayout {
+pub fn apply_control_ffc(
+    builder: &mut TeModelBuilder<'_>,
+    ffc: &ControlFfc<'_>,
+) -> ControlFfcLayout {
     if ffc.kc == 0 {
         return ControlFfcLayout::default();
     }

@@ -146,7 +146,12 @@ pub fn mice_flags(tm: &TrafficMatrix, mice_fraction: f64) -> Vec<bool> {
 /// The residual-tunnel bound `τ_f` per flow for a protection level
 /// (0 for flows without tunnels). Purely structural: depends on the
 /// tunnel layout and `(ke, kv)`, never on demands.
-pub fn tau_per_flow(tm: &TrafficMatrix, tunnels: &ffc_net::TunnelTable, ke: usize, kv: usize) -> Vec<usize> {
+pub fn tau_per_flow(
+    tm: &TrafficMatrix,
+    tunnels: &ffc_net::TunnelTable,
+    ke: usize,
+    kv: usize,
+) -> Vec<usize> {
     tm.ids()
         .map(|f| {
             let ts = tunnels.tunnels(f);

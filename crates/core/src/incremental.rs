@@ -140,8 +140,7 @@ impl StructureKey {
                 mix(l.index() as u64 + 1);
             }
         }
-        let mut unprotected: Vec<usize> =
-            cfg.unprotected_links.iter().map(|e| e.index()).collect();
+        let mut unprotected: Vec<usize> = cfg.unprotected_links.iter().map(|e| e.index()).collect();
         unprotected.sort_unstable();
         StructureKey {
             n_flows: problem.tm.len(),
@@ -373,8 +372,8 @@ impl FfcModelCache {
         self.key = StructureKey::of(&problem, cfg);
         self.kc = cfg.kc;
         self.pinned = scenario_pins(&problem, scenario);
-        self.inc = IncrementalModel::new(builder.model)
-            .expect("freshly built FFC model always validates");
+        self.inc =
+            IncrementalModel::new(builder.model).expect("freshly built FFC model always validates");
         self.stats.rebuilds += 1;
     }
 
@@ -521,8 +520,7 @@ mod tests {
     fn demand_tick_is_a_patch_and_matches_fresh() {
         let (topo, mut tm, tunnels, old) = ring();
         let cfg = FfcConfig::new(1, 1, 0).exact();
-        let mut cache =
-            FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+        let mut cache = FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
         for round in 1..4 {
             let scale = 1.0 + 0.25 * round as f64;
             for f in tm.ids() {
@@ -712,8 +710,7 @@ mod tests {
     fn capacity_change_rebuilds() {
         let (topo, tm, tunnels, old) = ring();
         let cfg = FfcConfig::new(1, 1, 0).exact();
-        let mut cache =
-            FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+        let mut cache = FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
         let reserved = vec![1.0; topo.num_links()];
         let problem = TeProblem {
             topo: &topo,
@@ -738,8 +735,7 @@ mod tests {
         // mouse once the others grow.
         let mut cfg = FfcConfig::new(0, 1, 0);
         cfg.mice_fraction = 0.05;
-        let mut cache =
-            FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+        let mut cache = FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
         // Shrink flow 0 far below the 5% threshold: the mice set flips.
         let f0 = tm.ids().next().unwrap();
         tm.set_demand(f0, 0.01);
@@ -757,17 +753,14 @@ mod tests {
     fn warm_patched_solve_matches_fresh() {
         let (topo, mut tm, tunnels, old) = ring();
         let cfg = FfcConfig::new(1, 1, 0).exact();
-        let mut cache =
-            FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
+        let mut cache = FfcModelCache::new(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
         let (_, sol) = cache.solve_with(&Default::default()).unwrap();
         for f in tm.ids() {
             tm.set_demand(f, 7.5);
         }
         let outcome = cache.retarget(TeProblem::new(&topo, &tm, &tunnels), &old, &cfg, None);
         assert!(outcome.is_patch());
-        let (warm, _) = cache
-            .solve_warm(&Default::default(), &sol.basis)
-            .unwrap();
+        let (warm, _) = cache.solve_warm(&Default::default(), &sol.basis).unwrap();
         let want = fresh_objective(&topo, &tm, &tunnels, &old, &cfg);
         assert!((warm.throughput() - want).abs() < 1e-6);
     }

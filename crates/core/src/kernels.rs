@@ -1,0 +1,292 @@
+//! Core-side adapters over the batched SoA scenario kernels
+//! (`ffc-audit::kernels`, re-exported here).
+//!
+//! The SoA engine itself lives in `ffc-audit` because the certifier
+//! must stay solver-independent and `ffc-core` depends on the auditor,
+//! not the other way round. This module bridges it to core's types:
+//!
+//! * [`batched_rescaled_loads`] evaluates a whole [`ScenarioSet`]
+//!   against a [`TeConfig`] and returns per-scenario
+//!   [`RescaledLoads`], bit-identical to calling
+//!   [`crate::rescale::rescaled_link_loads_mixed`] scenario by
+//!   scenario (normalized splitting weights, endpoint-death and
+//!   empty-residual blackholing, stale-ingress old weights);
+//! * [`tunnel_deaths`] precomputes which tunnels each scenario kills
+//!   as packed bitmasks — the batched replacement for per-scenario
+//!   [`ffc_net::FaultScenario::kills_tunnel`] probing inside
+//!   [`crate::batch::solve_ffc_scenarios`]'s worker chunks.
+
+pub use ffc_audit::kernels::{par_blocks, BatchEvaluator, BlockResult, ScenarioSet, BLOCK_LANES};
+use ffc_net::{Topology, TrafficMatrix, TunnelTable};
+
+use crate::rescale::RescaledLoads;
+use crate::te::TeConfig;
+
+/// Which tunnels each scenario of a [`ScenarioSet`] kills, packed one
+/// bit per tunnel in [`TunnelTable::iter_all`] order.
+#[derive(Debug, Clone)]
+pub struct TunnelDeaths {
+    words: usize,
+    /// `bits[s * words + w]`, bit `t % 64` of word `t / 64` set ⇔ flat
+    /// tunnel `t` is killed in scenario `s`.
+    bits: Vec<u64>,
+    total: usize,
+}
+
+impl TunnelDeaths {
+    /// Whether flat tunnel `flat` (in [`TunnelTable::iter_all`] order)
+    /// is killed in scenario `s`.
+    #[inline]
+    pub fn killed(&self, s: usize, flat: usize) -> bool {
+        self.bits[s * self.words + flat / 64] >> (flat % 64) & 1 == 1
+    }
+
+    /// Whether scenario `s` kills any tunnel at all.
+    pub fn any_killed(&self, s: usize) -> bool {
+        self.bits[s * self.words..(s + 1) * self.words]
+            .iter()
+            .any(|&w| w != 0)
+    }
+
+    /// Total flat tunnels per scenario.
+    pub fn num_tunnels(&self) -> usize {
+        self.total
+    }
+}
+
+/// Precomputes per-scenario tunnel-death bitmasks: a tunnel dies iff it
+/// traverses an effective dead link (failed, or incident to a failed
+/// switch) — equivalent to [`ffc_net::FaultScenario::kills_tunnel`],
+/// since every node a tunnel visits is an endpoint of one of its links.
+pub fn tunnel_deaths(tunnels: &TunnelTable, set: &ScenarioSet) -> TunnelDeaths {
+    // Sparse per-tunnel link masks, flat order.
+    let masks: Vec<Vec<(u32, u64)>> = tunnels
+        .iter_all()
+        .map(|(_, _, t)| {
+            let mut mask: Vec<(u32, u64)> = Vec::new();
+            for &l in &t.links {
+                let (w, b) = ((l.index() / 64) as u32, l.index() % 64);
+                match mask.iter_mut().find(|(wi, _)| *wi == w) {
+                    Some((_, m)) => *m |= 1 << b,
+                    None => mask.push((w, 1 << b)),
+                }
+            }
+            mask
+        })
+        .collect();
+    let total = masks.len();
+    let words = total.div_ceil(64).max(1);
+    let mut bits = vec![0u64; set.len() * words];
+    for s in 0..set.len() {
+        let dead = set.dead_link_words(s);
+        for (flat, mask) in masks.iter().enumerate() {
+            if mask.iter().any(|&(w, m)| dead[w as usize] & m != 0) {
+                bits[s * words + flat / 64] |= 1 << (flat % 64);
+            }
+        }
+    }
+    TunnelDeaths { words, bits, total }
+}
+
+/// Evaluates every scenario in `set` against `cfg` (stale ingresses
+/// applying `old`'s weights), returning per-scenario loads in set
+/// order. Results are bit-identical to per-scenario
+/// [`crate::rescale::rescaled_link_loads_mixed`] calls and independent
+/// of `workers` (blocks merge in index order).
+///
+/// # Panics
+/// Like the scalar path: when a scenario marks a live flow's ingress
+/// stale but no `old` configuration is given.
+pub fn batched_rescaled_loads(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    tunnels: &TunnelTable,
+    cfg: &TeConfig,
+    old: Option<&TeConfig>,
+    set: &ScenarioSet,
+    workers: usize,
+) -> Vec<RescaledLoads> {
+    if old.is_none() {
+        // Mirror the scalar path's contract before fan-out: a stale
+        // ingress of a live flow needs the old weights.
+        for s in 0..set.len() {
+            if !set.has_stale(s) {
+                continue;
+            }
+            for (f, flow) in tm.iter() {
+                let live = cfg.rate[f.index()] > 0.0
+                    && !set.switch_failed(s, flow.src)
+                    && !set.switch_failed(s, flow.dst);
+                assert!(
+                    !(live && set.stale(s, flow.src)),
+                    "scenario has config failures but no old config given"
+                );
+            }
+        }
+    }
+    let new_w = cfg.all_weights();
+    let old_w = old.map(|o| o.all_weights());
+    let eval = BatchEvaluator::new(topo, tm, tunnels, &cfg.rate, &new_w, old_w.as_deref());
+    let nblocks = BatchEvaluator::num_blocks(set);
+    let blocks = par_blocks(nblocks, workers, |b| {
+        let mut out = eval.block_buffer();
+        eval.eval_block(set, b * BLOCK_LANES, &mut out);
+        out
+    });
+    let (nl, nf) = (topo.num_links(), tm.len());
+    let mut results = Vec::with_capacity(set.len());
+    for out in &blocks {
+        for lane in 0..out.lanes {
+            results.push(RescaledLoads {
+                load: (0..nl).map(|e| out.load[e * out.lanes + lane]).collect(),
+                sent: (0..nf).map(|f| out.sent[f * out.lanes + lane]).collect(),
+                blackholed: out.blackholed[lane],
+            });
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rescale::rescaled_link_loads_mixed;
+    use ffc_net::prelude::*;
+    use ffc_net::FaultScenario;
+
+    /// 5-node ring with chords, three flows, three tunnels each.
+    fn ring() -> (Topology, TrafficMatrix, TunnelTable) {
+        let mut t = Topology::new();
+        let ns = t.add_nodes(5, "r");
+        for i in 0..5 {
+            t.add_bidi(ns[i], ns[(i + 1) % 5], 10.0);
+        }
+        t.add_bidi(ns[0], ns[2], 8.0);
+        t.add_bidi(ns[1], ns[3], 8.0);
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(ns[0], ns[3], 6.0, Priority::High);
+        tm.add_flow(ns[1], ns[4], 5.0, Priority::High);
+        tm.add_flow(ns[2], ns[0], 4.0, Priority::High);
+        let tunnels = layout_tunnels(
+            &t,
+            &tm,
+            &LayoutConfig {
+                tunnels_per_flow: 3,
+                p: 2,
+                q: 3,
+                reuse_penalty: 0.5,
+            },
+        );
+        (t, tm, tunnels)
+    }
+
+    fn joint_scenarios(t: &Topology, tm: &TrafficMatrix) -> Vec<FaultScenario> {
+        let links: Vec<LinkId> = t.links().collect();
+        let mut out = vec![FaultScenario::none()];
+        for &l in &links {
+            out.push(FaultScenario::links([l]));
+        }
+        for v in t.nodes() {
+            out.push(FaultScenario::switches([v]));
+        }
+        for (_, fl) in tm.iter() {
+            out.push(FaultScenario::config([fl.src]));
+            let mut mixed = FaultScenario::config([fl.src]);
+            mixed.fail_link(links[0]);
+            out.push(mixed);
+        }
+        out
+    }
+
+    #[test]
+    fn tunnel_deaths_match_kills_tunnel() {
+        let (t, tm, tunnels) = ring();
+        let scenarios = joint_scenarios(&t, &tm);
+        let set = ScenarioSet::pack(&t, &scenarios);
+        let deaths = tunnel_deaths(&tunnels, &set);
+        assert_eq!(deaths.num_tunnels(), tunnels.total_tunnels());
+        for (s, sc) in scenarios.iter().enumerate() {
+            for (flat, (_, _, tunnel)) in tunnels.iter_all().enumerate() {
+                assert_eq!(
+                    deaths.killed(s, flat),
+                    sc.kills_tunnel(&t, tunnel),
+                    "scenario {s} flat tunnel {flat}"
+                );
+            }
+            assert_eq!(
+                deaths.any_killed(s),
+                tunnels.iter_all().any(|(_, _, tn)| sc.kills_tunnel(&t, tn))
+            );
+        }
+    }
+
+    #[test]
+    fn batched_loads_bit_match_scalar_rescale() {
+        let (t, tm, tunnels) = ring();
+        let cfg = TeConfig {
+            rate: vec![6.0, 0.0, 4.0],
+            alloc: vec![
+                vec![3.0, 2.0, 1.0],
+                vec![2.5, 2.5, 0.0],
+                vec![0.0, 0.0, 0.0], // zero weights: nothing forwarded
+            ],
+        };
+        let old = TeConfig {
+            rate: vec![5.0, 5.0, 4.0],
+            alloc: vec![
+                vec![0.0, 4.0, 1.0],
+                vec![1.0, 1.0, 3.0],
+                vec![2.0, 1.0, 1.0],
+            ],
+        };
+        let scenarios = joint_scenarios(&t, &tm);
+        let set = ScenarioSet::pack(&t, &scenarios);
+        for workers in [1usize, 4] {
+            let batched =
+                batched_rescaled_loads(&t, &tm, &tunnels, &cfg, Some(&old), &set, workers);
+            assert_eq!(batched.len(), scenarios.len());
+            for (s, sc) in scenarios.iter().enumerate() {
+                let want = rescaled_link_loads_mixed(&t, &tm, &tunnels, &cfg, Some(&old), sc);
+                let got = &batched[s];
+                for (e, (&g, &w)) in got.load.iter().zip(&want.load).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "scenario {s} link {e}: {g} vs {w}"
+                    );
+                }
+                for (f, (&g, &w)) in got.sent.iter().zip(&want.sent).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "scenario {s} flow {f}: {g} vs {w}"
+                    );
+                }
+                assert_eq!(
+                    got.blackholed.to_bits(),
+                    want.blackholed.to_bits(),
+                    "scenario {s} blackholed: {} vs {}",
+                    got.blackholed,
+                    want.blackholed
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no old config given")]
+    fn stale_scenario_without_old_panics_like_scalar() {
+        let (t, tm, tunnels) = ring();
+        let cfg = TeConfig {
+            rate: vec![6.0, 5.0, 4.0],
+            alloc: vec![
+                vec![3.0, 2.0, 1.0],
+                vec![2.5, 2.5, 0.0],
+                vec![1.0, 2.0, 1.0],
+            ],
+        };
+        let src = tm.iter().next().map(|(_, fl)| fl.src).expect("flow");
+        let set = ScenarioSet::pack(&t, &[FaultScenario::config([src])]);
+        let _ = batched_rescaled_loads(&t, &tm, &tunnels, &cfg, None, &set, 1);
+    }
+}

@@ -65,6 +65,7 @@ pub mod demand_robust;
 pub mod enumerate;
 pub mod fairness;
 pub mod incremental;
+pub mod kernels;
 pub mod mlu;
 pub mod priority;
 pub mod rate_limiter;
@@ -87,9 +88,10 @@ pub use combined::{
 };
 pub use control_ffc::{apply_control_ffc, ControlFfc, ControlFfcLayout};
 pub use data_ffc::{apply_data_ffc, DataFfc, DataFfcLayout};
-pub use incremental::{CacheStats, FfcModelCache, RebuildReason, RetargetOutcome};
 pub use demand_robust::{apply_demand_robustness, DemandRobustness};
 pub use fairness::{solve_max_min_ffc, FairnessConfig};
+pub use incremental::{CacheStats, FfcModelCache, RebuildReason, RetargetOutcome};
+pub use kernels::{batched_rescaled_loads, tunnel_deaths, ScenarioSet, TunnelDeaths};
 pub use mlu::{solve_min_mlu, MluSolution};
 pub use priority::{
     solve_priority_ffc, solve_priority_ffc_with_faults, PriorityFfcConfig, PrioritySolution,
@@ -98,5 +100,7 @@ pub use rate_limiter::{apply_limiter_ffc, LimiterFfc, UpdateOrdering};
 pub use rescale::{rescaled_link_loads, rescaled_link_loads_mixed, RescaledLoads};
 pub use te::{solve_te, TeConfig, TeModelBuilder, TeProblem};
 pub use uncertainty::apply_uncertainty;
-pub use update::{plan_update, plan_update_auto, UpdateConfig, UpdatePlan};
+pub use update::{
+    max_transition_violation, plan_update, plan_update_auto, UpdateConfig, UpdatePlan,
+};
 pub use verify::{audit_te_model, certify_config};

@@ -91,10 +91,7 @@ fn ring() -> (Topology, TrafficMatrix, TunnelTable, TeConfig) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn randomly_retargeted_cache_matches_from_scratch_builds(

@@ -59,8 +59,10 @@ fn snet_fingerprints_match_with_incremental_on_and_off() {
     let mut off_cfg = on_cfg.clone();
     off_cfg.incremental = false;
 
-    let on = Controller::new(topo, &inst.tunnels, on_cfg.clone()).run(tm, &events, INTERVALS, false);
-    let off = Controller::new(topo, &inst.tunnels, off_cfg.clone()).run(tm, &events, INTERVALS, false);
+    let on =
+        Controller::new(topo, &inst.tunnels, on_cfg.clone()).run(tm, &events, INTERVALS, false);
+    let off =
+        Controller::new(topo, &inst.tunnels, off_cfg.clone()).run(tm, &events, INTERVALS, false);
 
     // 1. Bit-identical fingerprints: paths, iteration counts, configs,
     //    rollouts, and loss accounting all agree.
@@ -79,7 +81,11 @@ fn snet_fingerprints_match_with_incremental_on_and_off() {
     //    changes in this run), while the rebuild-mode run never does.
     assert!(!on.telemetry[0].model_patched, "nothing to patch yet");
     for t in &on.telemetry[1..] {
-        assert!(t.model_patched, "interval {} rebuilt: {:?}", t.interval, t.path);
+        assert!(
+            t.model_patched,
+            "interval {} rebuilt: {:?}",
+            t.interval, t.path
+        );
     }
     assert!(off.telemetry.iter().all(|t| !t.model_patched));
     // …and the patched intervals still ride the warm-basis chain.
@@ -90,8 +96,8 @@ fn snet_fingerprints_match_with_incremental_on_and_off() {
     // 3. Cross-mode replay: a trace recorded with the cache on replays
     //    with the cache off to the same fingerprint (the flag is
     //    deliberately absent from the trace header).
-    let replayed = Controller::new(topo, &inst.tunnels, off_cfg)
-        .run(tm, &on.recorded_events, INTERVALS, true);
+    let replayed =
+        Controller::new(topo, &inst.tunnels, off_cfg).run(tm, &on.recorded_events, INTERVALS, true);
     assert_eq!(on.fingerprint(), replayed.fingerprint());
 }
 

@@ -396,10 +396,7 @@ pub fn diff_models(a: &Model, b: &Model) -> Option<String> {
         }
     }
     if a.objective != b.objective {
-        return Some(format!(
-            "objective `{}` vs `{}`",
-            a.objective, b.objective
-        ));
+        return Some(format!("objective `{}` vs `{}`", a.objective, b.objective));
     }
     if a.sense != b.sense {
         return Some(format!("sense {:?} vs {:?}", a.sense, b.sense));

@@ -58,10 +58,10 @@ pub mod sparse;
 pub mod standard;
 
 pub use expr::{LinExpr, VarId};
+pub use incremental::{diff_models, IncrementalModel, PatchError, PatchOp};
 pub use model::{
     BasisStatuses, Cmp, ColStatus, ConId, ConView, LimitKind, LpError, Model, Sense, Solution,
     SolveStats,
 };
-pub use incremental::{diff_models, IncrementalModel, PatchError, PatchOp};
 pub use pricing::{Pricing, AUTO_PARTIAL_MIN_COLS};
 pub use simplex::{Algorithm, HotStart, SimplexOptions, DEFAULT_WARM_PERTURB};

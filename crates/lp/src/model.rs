@@ -215,6 +215,9 @@ pub struct SolveStats {
     pub phase2_iterations: usize,
     /// Pivots whose step length was within the feasibility tolerance.
     pub degenerate_pivots: usize,
+    /// Mid-solve anti-degeneracy bound expansions (at most one per
+    /// solve; see `SimplexOptions::degen_expand`).
+    pub degen_expansions: usize,
     /// Iterations resolved by a bound flip (no basis change).
     pub bound_flips: usize,
     /// Iterations taken by the dual simplex (warm restarts after bound

@@ -67,6 +67,13 @@ pub struct SimplexOptions {
     /// chaos harness can exercise the `NumericalFailure` recovery paths
     /// on demand; never set in production configs.
     pub inject_singular_after: usize,
+    /// Fault-injection hook: **panic** once the solve reaches iteration
+    /// N (`0` disables). Unlike the singular injection — a recoverable
+    /// error the retry ladders absorb — a panic escapes the solver
+    /// entirely, so batch drivers must contain it with their
+    /// `catch_unwind` worker isolation. Chaos-harness only; never set
+    /// in production configs.
+    pub inject_panic_after: usize,
     /// Primal feasibility tolerance.
     pub feas_tol: f64,
     /// Dual (reduced-cost) optimality tolerance.
@@ -75,6 +82,15 @@ pub struct SimplexOptions {
     pub pivot_tol: f64,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub degen_switch: usize,
+    /// Consecutive degenerate pivots on the *real* objective (phase 2 or
+    /// the dual loop — never phase 1) before a one-shot mid-solve bound
+    /// expansion breaks the plateau (`0` disables). A Harris-style
+    /// bounded escalation: fires at most once per solve, at a magnitude
+    /// far below the feasibility tolerance, and the post-solve
+    /// restoration snaps everything back onto the true bounds. Should be
+    /// well below [`degen_switch`](Self::degen_switch) so the cheap
+    /// geometric fix gets a chance before the slow anti-cycling rule.
+    pub degen_expand: usize,
     /// Whether [`crate::presolve`] runs before the simplex (cold starts
     /// only; warm starts always skip it to keep column spaces aligned).
     pub presolve: bool,
@@ -97,10 +113,12 @@ impl Default for SimplexOptions {
             max_iters: 0,
             max_millis: 0,
             inject_singular_after: 0,
+            inject_panic_after: 0,
             feas_tol: 1e-7,
             opt_tol: 1e-7,
             pivot_tol: 1e-8,
             degen_switch: 2000,
+            degen_expand: 256,
             presolve: true,
             perturb: 0.0,
             pricing: Pricing::default(),
@@ -141,6 +159,16 @@ struct Engine<'a> {
     /// Whether Bland's anti-cycling rule is currently active.
     bland: bool,
     degen_run: usize,
+    /// Whether the working bounds currently differ from `std`'s (from a
+    /// construction-time perturbation, a mid-solve plateau expansion, or
+    /// both) — gates the post-solve restoration.
+    expanded: bool,
+    /// Whether the one-shot mid-solve plateau expansion already fired.
+    mid_expanded: bool,
+    /// Whether the current optimization loop runs the real objective
+    /// (phase 2 / dual) — the only place the plateau expansion may
+    /// trigger; phase 1's artificial objective must stay exact.
+    expand_armed: bool,
     /// Pricing state: rule, reference weights, candidate list.
     pricer: Pricer,
     /// Performance counters reported on the solution.
@@ -206,42 +234,18 @@ impl<'a> Engine<'a> {
             opts.max_iters = 20_000 + 40 * (std.m + std.n);
         }
         let m = std.m;
-        // Anti-degeneracy bound expansion (EXPAND-flavoured): relax
-        // every finite bound outward by a distinct tiny amount so basic
-        // variables do not pile up at exactly coinciding bounds (the
-        // root cause of degenerate ratio-test ties). Deterministic LCG
-        // keeps solves reproducible.
-        let mut lb = std.lb.clone();
-        let mut ub = std.ub.clone();
-        if opts.perturb > 0.0 {
-            let mut state = 0x853c_49e6_748f_ea9bu64;
-            let mut unit = || {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                0.25 + 0.75 * ((state >> 33) as f64 / (1u64 << 31) as f64)
-            };
-            for j in 0..std.n {
-                if lb[j].is_finite() {
-                    lb[j] -= opts.perturb * (1.0 + lb[j].abs()) * unit();
-                }
-                if ub[j].is_finite() {
-                    ub[j] += opts.perturb * (1.0 + ub[j].abs()) * unit();
-                }
-            }
-        }
         let pricing = opts.pricing;
         let start = std::time::Instant::now();
         let deadline = (opts.max_millis > 0)
             .then(|| start + std::time::Duration::from_millis(opts.max_millis));
-        Engine {
+        let mut eng = Engine {
             std,
             opts,
             start,
             deadline,
             arts: Vec::new(),
-            lb,
-            ub,
+            lb: std.lb.clone(),
+            ub: std.ub.clone(),
             stat: Vec::with_capacity(std.n),
             basis: Vec::with_capacity(m),
             xval: Vec::with_capacity(std.n),
@@ -249,6 +253,9 @@ impl<'a> Engine<'a> {
             iterations: 0,
             bland: false,
             degen_run: 0,
+            expanded: false,
+            mid_expanded: false,
+            expand_armed: false,
             pricer: Pricer::new(pricing),
             stats: SolveStats::default(),
             w: vec![0.0; m],
@@ -258,7 +265,11 @@ impl<'a> Engine<'a> {
             w_sp: ScatterVec::new(m),
             rho_sp: ScatterVec::new(m),
             col_buf: Vec::new(),
+        };
+        if eng.opts.perturb > 0.0 {
+            eng.expand_bounds(eng.opts.perturb);
         }
+        eng
     }
 
     #[inline]
@@ -296,6 +307,12 @@ impl<'a> Engine<'a> {
             return Err(LpError::NumericalFailure(
                 "injected singular refactorization".into(),
             ));
+        }
+        if self.opts.inject_panic_after != 0 && self.iterations >= self.opts.inject_panic_after {
+            panic!(
+                "injected solver panic at iteration {} (chaos harness)",
+                self.iterations
+            );
         }
         if self.iterations > self.opts.max_iters {
             return Err(self.limit_error(LimitKind::Iterations));
@@ -1007,6 +1024,9 @@ impl<'a> Engine<'a> {
         let m = self.std.m;
         self.bland = false;
         self.degen_run = 0;
+        // The dual loop always optimizes the real objective: plateau
+        // expansion may fire from here on.
+        self.expand_armed = true;
         let ncols = self.ncols();
         let ftol = self.opts.feas_tol;
         let ptol = self.opts.pivot_tol;
@@ -1304,6 +1324,7 @@ impl<'a> Engine<'a> {
                 if self.degen_run > self.opts.degen_switch {
                     self.bland = true;
                 }
+                self.maybe_expand_on_plateau();
             } else {
                 self.degen_run = 0;
                 self.bland = false;
@@ -1387,6 +1408,7 @@ impl<'a> Engine<'a> {
             if self.degen_run > self.opts.degen_switch {
                 self.bland = true;
             }
+            self.maybe_expand_on_plateau();
         } else {
             self.degen_run = 0;
             self.bland = false;
@@ -1524,6 +1546,70 @@ impl<'a> Engine<'a> {
         (self.std.n..self.ncols()).map(|j| self.xval[j]).sum()
     }
 
+    /// Anti-degeneracy bound expansion (EXPAND-flavoured): relaxes every
+    /// finite structural/slack bound outward by a distinct tiny multiple
+    /// of `magnitude` so basic variables do not pile up at exactly
+    /// coinciding bounds (the root cause of degenerate ratio-test ties).
+    /// The deterministic LCG keeps solves reproducible. Artificial
+    /// columns (`j >= std.n`) are never expanded.
+    fn expand_bounds(&mut self, magnitude: f64) {
+        let mut state = 0x853c_49e6_748f_ea9bu64;
+        let mut unit = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            0.25 + 0.75 * ((state >> 33) as f64 / (1u64 << 31) as f64)
+        };
+        for j in 0..self.std.n {
+            if self.lb[j].is_finite() {
+                self.lb[j] -= magnitude * (1.0 + self.lb[j].abs()) * unit();
+            }
+            if self.ub[j].is_finite() {
+                self.ub[j] += magnitude * (1.0 + self.ub[j].abs()) * unit();
+            }
+        }
+        self.expanded = true;
+    }
+
+    /// Mid-solve anti-degeneracy escalation: after
+    /// [`SimplexOptions::degen_expand`] consecutive degenerate pivots on
+    /// the real objective, expands the bounds one notch beyond any
+    /// construction-time perturbation, snaps nonbasic columns onto the
+    /// moved bounds and recomputes basic values through the current
+    /// factors. Bounded: fires at most once per solve, at a magnitude
+    /// still far below the feasibility tolerance, and the post-solve
+    /// restoration (gated on `expanded`) undoes it. Only armed while
+    /// optimizing the real objective — phase 1's artificial objective
+    /// decides feasibility and must stay exact.
+    fn maybe_expand_on_plateau(&mut self) {
+        if !self.expand_armed
+            || self.mid_expanded
+            || self.opts.degen_expand == 0
+            || self.degen_run < self.opts.degen_expand
+            || self.factors.is_none()
+        {
+            return;
+        }
+        let base = if self.opts.perturb > 0.0 {
+            self.opts.perturb
+        } else {
+            DEFAULT_WARM_PERTURB
+        };
+        self.expand_bounds((base * 8.0).min(self.opts.feas_tol * 0.125));
+        for j in 0..self.std.n {
+            match self.stat[j] {
+                VStat::AtLower => self.xval[j] = self.lb[j],
+                VStat::AtUpper => self.xval[j] = self.ub[j],
+                _ => {}
+            }
+        }
+        self.recompute_basic_values();
+        self.mid_expanded = true;
+        self.degen_run = 0;
+        self.bland = false;
+        self.stats.degen_expansions += 1;
+    }
+
     /// Undoes the anti-degeneracy bound expansion after phase 2: every
     /// structural/slack column gets its original bounds back, nonbasic
     /// columns resting on a perturbed bound snap onto the true one, and
@@ -1617,9 +1703,10 @@ pub fn solve_std(
     hint: Option<&BasisStatuses>,
 ) -> Result<Solution, LpError> {
     match solve_std_once(std, opts, hint, None) {
-        Err(LpError::NumericalFailure(_)) if opts.perturb > 0.0 => {
+        Err(LpError::NumericalFailure(_)) if opts.perturb > 0.0 || opts.degen_expand > 0 => {
             let mut exact = opts.clone();
             exact.perturb = 0.0;
+            exact.degen_expand = 0;
             solve_std_once(std, &exact, hint, None)
         }
         other => other,
@@ -1681,12 +1768,15 @@ pub fn solve_std_hot(
 ) -> Result<Solution, LpError> {
     if let Some(h) = hot.take() {
         match resume_hot(std, opts, h, hot) {
-            Some(Err(LpError::NumericalFailure(_))) if opts.perturb > 0.0 => {
+            Some(Err(LpError::NumericalFailure(_)))
+                if opts.perturb > 0.0 || opts.degen_expand > 0 =>
+            {
                 // Same retry contract as `solve_std`, but from scratch:
                 // the retained state already failed, so the exact rerun
                 // goes through the fresh warm path.
                 let mut exact = opts.clone();
                 exact.perturb = 0.0;
+                exact.degen_expand = 0;
                 return solve_std_once(std, &exact, hint, Some(hot));
             }
             Some(done) => return done,
@@ -1696,9 +1786,10 @@ pub fn solve_std_hot(
         }
     }
     match solve_std_once(std, opts, hint, Some(hot)) {
-        Err(LpError::NumericalFailure(_)) if opts.perturb > 0.0 => {
+        Err(LpError::NumericalFailure(_)) if opts.perturb > 0.0 || opts.degen_expand > 0 => {
             let mut exact = opts.clone();
             exact.perturb = 0.0;
+            exact.degen_expand = 0;
             solve_std_once(std, &exact, hint, Some(hot))
         }
         other => other,
@@ -1761,11 +1852,7 @@ fn resume_hot(
     // Bounds and right-hand sides may have been patched since the state
     // was retained: recompute basic values through the retained factors,
     // refactorizing first if the carried eta file is already long.
-    if eng
-        .factors
-        .as_ref()
-        .is_some_and(|f| f.should_refactorize())
-    {
+    if eng.factors.as_ref().is_some_and(|f| f.should_refactorize()) {
         if eng.refactorize().is_err() {
             return None;
         }
@@ -1876,20 +1963,24 @@ fn finish_solve(
 ) -> Result<Solution, LpError> {
     // Phase 2: optimize the real objective. After the dual loop this is
     // a cleanup pass that certifies optimality — normally 0 iterations.
+    eng.expand_armed = true;
     match eng.optimize(cost2, true)? {
         PhaseEnd::Optimal => {}
         PhaseEnd::Unbounded => return Err(LpError::Unbounded),
     }
 
-    // Post-solve restoration of perturbed bounds. A solution optimal
-    // for the expanded bounds is usually feasible for the true ones
-    // once nonbasics snap back (the expansion is far below feas_tol);
-    // when it is not, the snapped basis is still dual-feasible — the
-    // costs never moved — so the dual simplex repairs it. The primal
-    // algorithm has no such repair path: surface a numerical failure
-    // and let [`solve_std`] rerun exactly, keeping `Primal` solves free
-    // of dual iterations.
-    if eng.opts.perturb > 0.0 {
+    // Post-solve restoration of expanded bounds (from a construction
+    // perturbation, a mid-solve plateau expansion, or both). A solution
+    // optimal for the expanded bounds is usually feasible for the true
+    // ones once nonbasics snap back (the expansion is far below
+    // feas_tol); when it is not, the snapped basis is still
+    // dual-feasible — the costs never moved — so the dual simplex
+    // repairs it. The primal algorithm has no such repair path: surface
+    // a numerical failure and let [`solve_std`] rerun exactly, keeping
+    // `Primal` solves free of dual iterations. Should a plateau
+    // expansion fire *during* the repair itself, the residual bound
+    // violation is at most feas_tol/8 — invisible at solver tolerances.
+    if eng.expanded {
         let viol = eng.restore_perturbed_bounds();
         if viol > eng.opts.feas_tol {
             if matches!(eng.opts.algorithm, Algorithm::Primal) {
@@ -1943,7 +2034,7 @@ fn finish_solve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::LinExpr;
+    use crate::expr::{LinExpr, VarId};
     use crate::model::{Cmp, Model, Sense};
 
     fn almost(a: f64, b: f64) {
@@ -2117,6 +2208,59 @@ mod tests {
         };
         let s = m.solve_with(&opts).unwrap();
         assert!((s.objective - 36.0).abs() < 1e-4, "{}", s.objective);
+    }
+
+    /// A vertex where several constraints coincide: from the origin the
+    /// first pivot on `x` is blocked at step 0 by two slacks at once, so
+    /// the solve is guaranteed at least one degenerate pivot.
+    fn stalled_lp() -> (Model, VarId, VarId) {
+        let mut m = Model::new();
+        let x = m.add_nonneg("x");
+        let y = m.add_nonneg("y");
+        m.add_con(LinExpr::from(x) - LinExpr::from(y), Cmp::Le, 0.0);
+        m.add_con(LinExpr::from(x) - LinExpr::term(y, 2.0), Cmp::Le, 0.0);
+        m.add_con(LinExpr::from(x) + y, Cmp::Le, 1.0);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        (m, x, y)
+    }
+
+    #[test]
+    fn plateau_expansion_fires_and_preserves_optimum() {
+        let (m, x, _) = stalled_lp();
+        let exact = m
+            .solve_with(&SimplexOptions {
+                degen_expand: 0,
+                presolve: false,
+                ..SimplexOptions::default()
+            })
+            .unwrap();
+        let s = m
+            .solve_with(&SimplexOptions {
+                degen_expand: 1,
+                presolve: false,
+                ..SimplexOptions::default()
+            })
+            .unwrap();
+        assert!(s.stats.degenerate_pivots >= 1);
+        assert_eq!(s.stats.degen_expansions, 1, "one-shot expansion fires");
+        assert!((s.objective - 0.5).abs() < 1e-6, "{}", s.objective);
+        assert!((s.objective - exact.objective).abs() < 1e-6);
+        // Restoration snapped back onto the true bounds.
+        assert!(s.value(x) >= -1e-9, "{}", s.value(x));
+    }
+
+    #[test]
+    fn plateau_expansion_disabled_by_zero() {
+        let (m, _, _) = stalled_lp();
+        let s = m
+            .solve_with(&SimplexOptions {
+                degen_expand: 0,
+                presolve: false,
+                ..SimplexOptions::default()
+            })
+            .unwrap();
+        assert_eq!(s.stats.degen_expansions, 0);
+        assert!((s.objective - 0.5).abs() < 1e-6, "{}", s.objective);
     }
 
     #[test]
