@@ -7,7 +7,8 @@
 //! failing campaign can be re-run from its seed alone.
 
 use ffc_core::FfcConfig;
-use ffc_net::Topology;
+use ffc_fleet::{shape_demand_events, DemandShape};
+use ffc_net::{LinkId, NodeId, Topology, TrafficMatrix};
 use ffc_sim::DetRng;
 
 use ffc_ctrl::{Event, TimedEvent};
@@ -107,6 +108,10 @@ pub struct CampaignPlan {
     pub solver: SolverChaosPlan,
     /// Ack-stream perturbation for the adversarial replay.
     pub perturb: PerturbPlan,
+    /// Demand shapes (diurnal ramps, flash crowds, per-source skew)
+    /// compiled into `events`; empty unless the campaign was generated
+    /// through [`generate_campaign_shaped`] with a base matrix.
+    pub shapes: Vec<DemandShape>,
 }
 
 /// Generates campaign `index` of a run: seeded storms (correlated on a
@@ -263,7 +268,185 @@ pub fn generate_campaign(
         events,
         solver,
         perturb,
+        shapes: Vec::new(),
     }
+}
+
+/// Optional inputs that extend a campaign beyond what
+/// [`generate_campaign`] draws from the topology alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShapingInputs<'a> {
+    /// Base traffic matrix to fuzz with reusable fleet demand shapes
+    /// (diurnal ramps, flash crowds, per-source skew). `None` leaves
+    /// the demand stream exactly as [`generate_campaign`] drew it.
+    pub tm: Option<&'a TrafficMatrix>,
+    /// Mean per-link utilization, indexed like the topology's links
+    /// (e.g. [`ffc_fleet::TelemetryStore::link_heat`] from an earlier
+    /// campaign's store). When present, fault storms are re-aimed at
+    /// the hottest part of the network instead of a uniformly drawn
+    /// pivot — coverage-guided chaos.
+    pub link_heat: Option<&'a [f64]>,
+}
+
+/// [`generate_campaign`] plus optional demand shaping and
+/// utilization-guided storm targeting.
+///
+/// The base plan is produced by [`generate_campaign`] unchanged, and
+/// both extensions draw from their own derived RNG streams, so with
+/// empty [`ShapingInputs`] the result is bit-identical to the plain
+/// generator — committed fixture traces and the CI chaos-smoke
+/// run-diff depend on that.
+pub fn generate_campaign_shaped(
+    topo: &Topology,
+    ffc: &FfcConfig,
+    master_seed: u64,
+    index: usize,
+    intervals: usize,
+    shaping: &ShapingInputs<'_>,
+) -> CampaignPlan {
+    let mut plan = generate_campaign(topo, ffc, master_seed, index, intervals);
+
+    if let Some(tm) = shaping.tm {
+        let mut rng = DetRng::seed_from_u64(splitmix64(plan.seed ^ 0x5AFE));
+        let groups: Vec<usize> = tm.iter().map(|(_, f)| f.src.index()).collect();
+        plan.shapes = draw_demand_shapes(&mut rng, &groups, intervals);
+        // Appended after the base events and stably sorted, so within
+        // an interval any base DemandScale applies first and the
+        // per-flow shaped DemandSet wins for the flows it names.
+        plan.events
+            .extend(shape_demand_events(tm, &groups, &plan.shapes, intervals));
+        plan.events.sort_by_key(|te| te.interval);
+    }
+    if let Some(heat) = shaping.link_heat {
+        retarget_storm(topo, heat, &mut plan);
+    }
+    plan
+}
+
+/// Draws a campaign's demand-shape set: always a diurnal ramp, plus a
+/// flash crowd and/or a per-source skew with moderate probability. All
+/// multipliers stay within [`ffc_fleet::workload::combined_multiplier`]'s
+/// clamp band, so shaped demand can stress but never zero out a flow.
+fn draw_demand_shapes(rng: &mut DetRng, groups: &[usize], intervals: usize) -> Vec<DemandShape> {
+    let mut shapes = vec![DemandShape::Diurnal {
+        amplitude: 0.1 + rng.next_f64() * 0.35,
+        peak: rng.next_f64() * intervals.max(1) as f64,
+        period_intervals: intervals.max(2) as f64,
+    }];
+    let mut uniq: Vec<usize> = groups.to_vec();
+    uniq.sort_unstable();
+    uniq.dedup();
+    if !uniq.is_empty() {
+        if rng.gen_bool(0.6) {
+            let duration = 1 + rng.gen_index(intervals.max(2) - 1);
+            shapes.push(DemandShape::FlashCrowd {
+                group: uniq[rng.gen_index(uniq.len())],
+                start: rng.gen_index(intervals.max(1)),
+                duration,
+                magnitude: 1.5 + rng.next_f64() * 2.0,
+            });
+        }
+        if rng.gen_bool(0.5) {
+            shapes.push(DemandShape::SiteSkew {
+                group: uniq[rng.gen_index(uniq.len())],
+                factor: 0.5 + rng.next_f64() * 2.0,
+            });
+        }
+    }
+    shapes
+}
+
+/// Re-aims a plan's link-fault storm at the hottest switch: the pivot
+/// becomes the node whose incident links carry the most observed
+/// utilization, and its hottest links fail first (topping up from the
+/// globally hottest links if the new pivot's degree is too small, so
+/// the fault *count* — and thus the within-k/over-k contract — is
+/// preserved). Repairs follow the retargeted links to the plan's
+/// original repair interval. Switch faults are left untouched.
+fn retarget_storm(topo: &Topology, heat: &[f64], plan: &mut CampaignPlan) {
+    if heat.len() != topo.num_links() {
+        return;
+    }
+    let downed: Vec<LinkId> = plan
+        .events
+        .iter()
+        .filter_map(|te| match te.event {
+            Event::LinkDown(l) => Some(l),
+            _ => None,
+        })
+        .collect();
+    let storm_interval = match plan
+        .events
+        .iter()
+        .find(|te| matches!(te.event, Event::LinkDown(_)))
+    {
+        Some(te) => te.interval,
+        None => return, // no link storm to retarget
+    };
+    let repair_interval = plan
+        .events
+        .iter()
+        .find(|te| matches!(te.event, Event::LinkUp(_)))
+        .map(|te| te.interval);
+
+    let hotter = |a: LinkId, b: LinkId| {
+        heat[b.index()]
+            .partial_cmp(&heat[a.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index().cmp(&b.index()))
+    };
+
+    // Hottest switch by summed incident heat; ties break to the lowest
+    // node index, keeping the retarget fully deterministic.
+    let mut pivot = NodeId(0);
+    let mut best = f64::NEG_INFINITY;
+    for v in (0..topo.num_nodes()).map(NodeId) {
+        let score: f64 = topo
+            .out_links(v)
+            .iter()
+            .chain(topo.in_links(v))
+            .map(|l| heat[l.index()])
+            .sum();
+        if score > best {
+            best = score;
+            pivot = v;
+        }
+    }
+    let mut incident: Vec<LinkId> = topo
+        .out_links(pivot)
+        .iter()
+        .chain(topo.in_links(pivot))
+        .copied()
+        .collect();
+    incident.sort_unstable_by(|&a, &b| hotter(a, b));
+    let mut targets: Vec<LinkId> = incident.into_iter().take(downed.len()).collect();
+    if targets.len() < downed.len() {
+        let mut rest: Vec<LinkId> = topo.links().filter(|l| !targets.contains(l)).collect();
+        rest.sort_unstable_by(|&a, &b| hotter(a, b));
+        targets.extend(rest.into_iter().take(downed.len() - targets.len()));
+    }
+
+    // The base plan only emits link up/down events for its storm, so
+    // dropping them all and re-emitting against the new targets keeps
+    // everything else (demand, switch faults, protection changes) as
+    // drawn.
+    plan.events
+        .retain(|te| !matches!(te.event, Event::LinkDown(_) | Event::LinkUp(_)));
+    for &l in &targets {
+        plan.events.push(TimedEvent {
+            interval: storm_interval,
+            event: Event::LinkDown(l),
+        });
+    }
+    if let Some(r) = repair_interval {
+        for &l in &targets {
+            plan.events.push(TimedEvent {
+                interval: r,
+                event: Event::LinkUp(l),
+            });
+        }
+    }
+    plan.events.sort_by_key(|te| te.interval);
 }
 
 /// Applies a [`PerturbPlan`] to a recorded event stream: input events
@@ -395,6 +578,133 @@ mod tests {
             saw_over = true;
         }
         assert!(saw_over, "64 campaigns should include an over-k one");
+    }
+
+    fn toy_tm() -> TrafficMatrix {
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(NodeId(0), NodeId(2), 4.0, ffc_net::Priority::High);
+        tm.add_flow(NodeId(1), NodeId(2), 3.0, ffc_net::Priority::High);
+        tm
+    }
+
+    #[test]
+    fn empty_shaping_reproduces_the_plain_generator_bit_for_bit() {
+        let topo = toy_topo();
+        let ffc = FfcConfig::new(1, 1, 0);
+        for idx in 0..16 {
+            let plain = generate_campaign(&topo, &ffc, 7, idx, 4);
+            let shaped =
+                generate_campaign_shaped(&topo, &ffc, 7, idx, 4, &ShapingInputs::default());
+            assert_eq!(plain.seed, shaped.seed);
+            assert_eq!(plain.kind, shaped.kind);
+            assert_eq!(plain.events, shaped.events);
+            assert_eq!(plain.solver, shaped.solver);
+            assert_eq!(plain.perturb, shaped.perturb);
+            assert!(shaped.shapes.is_empty());
+        }
+    }
+
+    #[test]
+    fn shaped_demand_adds_bounded_per_flow_updates() {
+        let topo = toy_topo();
+        let ffc = FfcConfig::new(1, 1, 0);
+        let tm = toy_tm();
+        let shaping = ShapingInputs {
+            tm: Some(&tm),
+            link_heat: None,
+        };
+        let mut saw_set = false;
+        for idx in 0..16 {
+            let a = generate_campaign_shaped(&topo, &ffc, 7, idx, 6, &shaping);
+            let b = generate_campaign_shaped(&topo, &ffc, 7, idx, 6, &shaping);
+            assert_eq!(a.events, b.events, "shaped campaigns must be deterministic");
+            assert_eq!(a.shapes, b.shapes);
+            assert!(!a.shapes.is_empty(), "a diurnal ramp is always drawn");
+            for te in &a.events {
+                if let Event::DemandSet { flow, demand } = te.event {
+                    saw_set = true;
+                    let base = tm.flow(ffc_net::FlowId(flow)).demand;
+                    assert!(
+                        demand > 0.0 && demand <= base * 20.0,
+                        "campaign {idx}: shaped demand {demand} out of band (base {base})"
+                    );
+                }
+            }
+            // The base fault storm is untouched by demand shaping.
+            let plain = generate_campaign(&topo, &ffc, 7, idx, 6);
+            let faults = |evs: &[TimedEvent]| {
+                evs.iter()
+                    .filter(|te| matches!(te.event, Event::LinkDown(_)))
+                    .count()
+            };
+            assert_eq!(faults(&plain.events), faults(&a.events));
+        }
+        assert!(saw_set, "16 shaped campaigns should emit DemandSet events");
+    }
+
+    #[test]
+    fn link_heat_retargets_storms_at_the_hottest_links() {
+        let topo = toy_topo();
+        let ffc = FfcConfig::new(1, 2, 0);
+        // All the heat concentrates on node b's incident links.
+        let hot = NodeId(1);
+        let mut heat = vec![0.0; topo.num_links()];
+        for l in topo.out_links(hot).iter().chain(topo.in_links(hot)) {
+            heat[l.index()] = 0.95;
+        }
+        let shaping = ShapingInputs {
+            tm: None,
+            link_heat: Some(&heat),
+        };
+        let mut retargeted = false;
+        for idx in 0..32 {
+            let plain = generate_campaign(&topo, &ffc, 3, idx, 4);
+            let shaped = generate_campaign_shaped(&topo, &ffc, 3, idx, 4, &shaping);
+            let downs = |evs: &[TimedEvent]| -> Vec<LinkId> {
+                evs.iter()
+                    .filter_map(|te| match te.event {
+                        Event::LinkDown(l) => Some(l),
+                        _ => None,
+                    })
+                    .collect()
+            };
+            let (p, s) = (downs(&plain.events), downs(&shaped.events));
+            // The fault count — and thus the within-k/over-k contract —
+            // is preserved exactly.
+            assert_eq!(p.len(), s.len(), "campaign {idx}");
+            let incident_to_hot = |l: &LinkId| {
+                topo.out_links(hot)
+                    .iter()
+                    .chain(topo.in_links(hot))
+                    .any(|x| x == l)
+            };
+            // Up to the hot node's degree, every failed link is one of
+            // its incident links.
+            let degree = topo.out_links(hot).len() + topo.in_links(hot).len();
+            for l in s.iter().take(degree) {
+                assert!(incident_to_hot(l), "campaign {idx} failed cold link {l:?}");
+            }
+            if !s.is_empty() {
+                retargeted = true;
+                // Repairs follow the retargeted links.
+                let ups: Vec<LinkId> = shaped
+                    .events
+                    .iter()
+                    .filter_map(|te| match te.event {
+                        Event::LinkUp(l) => Some(l),
+                        _ => None,
+                    })
+                    .collect();
+                if !ups.is_empty() {
+                    let mut a = s.clone();
+                    let mut b = ups.clone();
+                    a.sort_unstable_by_key(|l| l.index());
+                    b.sort_unstable_by_key(|l| l.index());
+                    assert_eq!(a, b, "campaign {idx}");
+                }
+            }
+        }
+        assert!(retargeted, "32 campaigns should include a link storm");
     }
 
     #[test]

@@ -46,8 +46,8 @@ use ffc_sim::SwitchModel;
 
 pub use checker::{check_run, compare_fingerprints, CheckOutcome, Violation};
 pub use injector::{
-    campaign_seed, generate_campaign, perturb_outcomes, CampaignKind, CampaignPlan, PerturbPlan,
-    SolverChaosPlan,
+    campaign_seed, generate_campaign, generate_campaign_shaped, perturb_outcomes, CampaignKind,
+    CampaignPlan, PerturbPlan, ShapingInputs, SolverChaosPlan,
 };
 pub use shrink::shrink_events;
 
@@ -72,6 +72,15 @@ pub struct ChaosConfig {
     /// Emit a shrunk over-`k` overload trace from the first campaign
     /// that observes one (the `--expect-violation` regression fixture).
     pub emit_overload_trace: bool,
+    /// Fuzz demand with the fleet's reusable shapes (diurnal ramps,
+    /// flash crowds, per-source skew) on top of the base scale/burst
+    /// stream. Off by default: the plain stream is what the committed
+    /// fixture traces were generated from.
+    pub shape_demand: bool,
+    /// Mean per-link utilization (e.g. read from a telemetry store via
+    /// `ffc_fleet::TelemetryStore::link_heat`) that re-aims fault
+    /// storms at the hottest links — coverage-guided chaos.
+    pub link_heat: Option<Vec<f64>>,
 }
 
 impl ChaosConfig {
@@ -86,6 +95,8 @@ impl ChaosConfig {
             tunnels_per_flow: 3,
             shrink: true,
             emit_overload_trace: false,
+            shape_demand: false,
+            link_heat: None,
         }
     }
 }
@@ -218,7 +229,18 @@ fn guarded_run(
 /// Runs one campaign: live, determinism replay, adversarial replay,
 /// invariant checks, and (on failure) shrinking.
 pub fn run_campaign(inputs: &ChaosInputs<'_>, cfg: &ChaosConfig, index: usize) -> CampaignReport {
-    let plan = generate_campaign(inputs.topo, &cfg.ffc, cfg.master_seed, index, cfg.intervals);
+    let shaping = ShapingInputs {
+        tm: cfg.shape_demand.then_some(inputs.tm),
+        link_heat: cfg.link_heat.as_deref(),
+    };
+    let plan = generate_campaign_shaped(
+        inputs.topo,
+        &cfg.ffc,
+        cfg.master_seed,
+        index,
+        cfg.intervals,
+        &shaping,
+    );
     let ctrl_cfg = controller_config(cfg, &plan);
     let mut report = CampaignReport {
         index,

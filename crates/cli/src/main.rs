@@ -8,10 +8,14 @@
 //! ffc info  --topo net.topo [--traffic day.tm]
 //! ffc ctrl run --topo net.topo --traffic day.tm [--intervals 6] [--seed 42]
 //!              [--jitter 0.05] [--switch-model realistic|optimistic]
-//!              [--no-incremental] [--out run.trace]
+//!              [--no-incremental] [--out run.trace] [--store DIR]
 //! ffc ctrl replay run.trace
 //! ffc chaos [--seed 1] [--campaigns 25] [--out-dir traces/]
+//!           [--store DIR] [--shape-demand]
 //! ffc chaos replay traces/campaign-3-overload.trace --expect-violation
+//! ffc fleet run --spec week.fleet.toml --out store/
+//! ffc report --store store/ [--top 10] [--html report.html]
+//!            [--no-timing] [--fingerprint]
 //! ffc audit lint [DIR]
 //! ffc audit model [--topo net.topo --traffic day.tm] [--kc 1 --ke 1 --kv 0]
 //! ```
@@ -36,7 +40,18 @@
 //!   built-in S-Net instance) and fails on any invariant violation;
 //!   `chaos replay` re-checks a single emitted trace, with
 //!   `--expect-violation` asserting the over-`k` overload detector
-//!   fires on it.
+//!   fires on it. `--shape-demand` fuzzes demand with the fleet's
+//!   reusable shapes; `--store DIR` reads per-link utilization from a
+//!   telemetry store and aims fault storms at the hottest links.
+//! * `fleet run` compiles a [`ffc_fleet::FleetSpec`] campaign file
+//!   (site populations, diurnal/weekly cycles, flash crowds, faults)
+//!   into an event stream, drives the controller over it, and seals a
+//!   crash-recoverable telemetry store in `--out`. Deterministic: the
+//!   same spec yields a bit-identical store fingerprint.
+//! * `report` summarizes a telemetry store — top-N hottest links with
+//!   utilization percentiles, protection-degradation episodes,
+//!   certificate rejections and rollbacks, solver-time distributions —
+//!   as text or (`--html`) a standalone HTML page.
 //! * `audit lint` runs the workspace source linter (exit 1 on any
 //!   violation); `audit model` statically audits the built FFC model
 //!   for a workload (built-in S-Net by default) before any solve.
@@ -79,6 +94,13 @@ struct Opts {
     switch_model: ffc_sim::SwitchModel,
     algorithm: Algorithm,
     verbose: bool,
+    spec: Option<String>,
+    store: Option<String>,
+    top: usize,
+    html: Option<String>,
+    no_timing: bool,
+    fingerprint: bool,
+    shape_demand: bool,
 }
 
 fn usage() -> ! {
@@ -88,11 +110,15 @@ fn usage() -> ! {
          \x20          [--algorithm primal|dual|auto] [--verbose]\n\
          \x20      ffc ctrl run --topo FILE --traffic FILE [--intervals N] [--seed N]\n\
          \x20          [--jitter F] [--switch-model realistic|optimistic]\n\
-         \x20          [--no-incremental] [--out TRACE]\n\
+         \x20          [--no-incremental] [--out TRACE] [--store DIR]\n\
          \x20      ffc ctrl replay TRACE\n\
          \x20      ffc chaos [--topo FILE --traffic FILE] [--seed N] [--campaigns N]\n\
          \x20          [--intervals N] [--kc N --ke N --kv N] [--tunnels N] [--out-dir DIR]\n\
+         \x20          [--store DIR] [--shape-demand]\n\
          \x20      ffc chaos replay TRACE [--expect-violation]\n\
+         \x20      ffc fleet run --spec FILE --out DIR\n\
+         \x20      ffc report --store DIR [--top N] [--html FILE] [--no-timing]\n\
+         \x20          [--fingerprint]\n\
          \x20      ffc audit lint [DIR]\n\
          \x20      ffc audit model [--topo FILE --traffic FILE] [--kc N --ke N --kv N]\n\
          \x20          [--tunnels N]"
@@ -123,6 +149,13 @@ fn parse_opts() -> Opts {
         switch_model: ffc_sim::SwitchModel::Realistic,
         algorithm: Algorithm::default(),
         verbose: false,
+        spec: None,
+        store: None,
+        top: 10,
+        html: None,
+        no_timing: false,
+        fingerprint: false,
+        shape_demand: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -147,6 +180,13 @@ fn parse_opts() -> Opts {
             "--campaigns" => o.campaigns = val("--campaigns").parse().unwrap_or_else(|_| usage()),
             "--out-dir" => o.out_dir = Some(val("--out-dir")),
             "--expect-violation" => o.expect_violation = true,
+            "--spec" => o.spec = Some(val("--spec")),
+            "--store" => o.store = Some(val("--store")),
+            "--top" => o.top = val("--top").parse().unwrap_or_else(|_| usage()),
+            "--html" => o.html = Some(val("--html")),
+            "--no-timing" => o.no_timing = true,
+            "--fingerprint" => o.fingerprint = true,
+            "--shape-demand" => o.shape_demand = true,
             "--jitter" => o.jitter = val("--jitter").parse().unwrap_or_else(|_| usage()),
             "--incremental" => o.incremental = true,
             "--no-incremental" => o.incremental = false,
@@ -175,7 +215,10 @@ fn parse_opts() -> Opts {
             "-h" | "--help" => usage(),
             other if o.cmd.is_empty() => o.cmd = other.to_string(),
             other
-                if (o.cmd == "ctrl" || o.cmd == "chaos" || o.cmd == "audit")
+                if (o.cmd == "ctrl"
+                    || o.cmd == "chaos"
+                    || o.cmd == "audit"
+                    || o.cmd == "fleet")
                     && o.args.len() < 2 =>
             {
                 o.args.push(other.to_string())
@@ -209,6 +252,12 @@ fn main() -> ExitCode {
     }
     if o.cmd == "audit" {
         return run_audit(&o);
+    }
+    if o.cmd == "fleet" {
+        return run_fleet_cmd(&o);
+    }
+    if o.cmd == "report" {
+        return run_report_cmd(&o);
     }
     let topo_path = o.topo.clone().unwrap_or_else(|| {
         eprintln!("--topo is required");
@@ -497,11 +546,46 @@ fn run_ctrl(o: &Opts) -> ExitCode {
                 o.jitter,
             );
             let mut ctrl = Controller::new(&topo, &tunnels, cfg.clone());
-            let report = ctrl.run(&tm, &events, o.intervals, false);
+            let mut store_writer = match &o.store {
+                Some(dir) => {
+                    match ffc_fleet::StoreWriter::create(
+                        std::path::Path::new(dir),
+                        ffc_fleet::link_names(&topo),
+                    ) {
+                        Ok(w) => Some(w),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => None,
+            };
+            let report = ctrl.run_with_sink(
+                &tm,
+                &events,
+                o.intervals,
+                false,
+                store_writer
+                    .as_mut()
+                    .map(|w| w as &mut dyn ffc_ctrl::IntervalSink),
+            );
             for t in &report.telemetry {
                 println!("{}", t.to_json());
             }
             print_ctrl_summary(&report);
+            if let Some(w) = store_writer {
+                match w.finish() {
+                    Ok(segments) => eprintln!(
+                        "sealed telemetry store in {} ({segments} segment(s))",
+                        o.store.as_deref().unwrap_or(".")
+                    ),
+                    Err(e) => {
+                        eprintln!("telemetry store: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             if let Some(p) = &o.out {
                 let trace = EventTrace {
                     header: cfg.to_header(o.intervals, o.tunnels),
@@ -694,6 +778,29 @@ fn run_chaos_cmd(o: &Opts) -> ExitCode {
         cfg.ffc = FfcConfig::new(o.kc, o.ke, o.kv);
     }
     cfg.emit_overload_trace = o.out_dir.is_some();
+    cfg.shape_demand = o.shape_demand;
+    if let Some(dir) = &o.store {
+        // Coverage-guided storms: aim faults at the links a previous
+        // campaign's telemetry saw running hottest.
+        let store = match ffc_fleet::TelemetryStore::open(std::path::Path::new(dir)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let heat = store.link_heat();
+        if heat.len() != topo.num_links() {
+            eprintln!(
+                "store {dir} records {} links but the topology has {} — \
+                 it was captured on a different network",
+                heat.len(),
+                topo.num_links()
+            );
+            return ExitCode::FAILURE;
+        }
+        cfg.link_heat = Some(heat);
+    }
     let inputs = ChaosInputs {
         topo: &topo,
         tunnels: &tunnels,
@@ -863,6 +970,97 @@ fn run_audit(o: &Opts) -> ExitCode {
             usage()
         }
     }
+}
+
+/// `ffc fleet run --spec FILE --out DIR`: compile a fleet campaign
+/// spec into an event stream, drive the controller over it, and seal a
+/// telemetry store. Prints a one-line summary (with the store
+/// fingerprint) to stdout.
+fn run_fleet_cmd(o: &Opts) -> ExitCode {
+    match o.args.first().map(String::as_str) {
+        Some("run") => {}
+        Some(other) => {
+            eprintln!("unknown fleet subcommand '{other}' (run)");
+            usage()
+        }
+        None => {
+            eprintln!("fleet needs a subcommand (run)");
+            usage()
+        }
+    }
+    let spec_path = o.spec.clone().unwrap_or_else(|| {
+        eprintln!("fleet run needs --spec");
+        usage()
+    });
+    let out_dir = o.out.clone().unwrap_or_else(|| {
+        eprintln!("fleet run needs --out (the store directory)");
+        usage()
+    });
+    let spec = match ffc_fleet::FleetSpec::parse(&read(&spec_path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ffc_fleet::run_fleet(&spec, std::path::Path::new(&out_dir)) {
+        Ok(s) => {
+            println!(
+                "fleet {}: {} intervals, {} flows, {} events, {} segment(s), \
+                 delivered {:.1}, lost {:.1}, {} degraded interval(s)",
+                spec.name,
+                s.intervals,
+                s.flows,
+                s.events,
+                s.segments,
+                s.delivered,
+                s.lost,
+                s.degraded_intervals
+            );
+            println!("store fingerprint {}", s.fingerprint);
+            eprintln!("sealed telemetry store in {out_dir}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `ffc report --store DIR`: summarize a telemetry store as text (and
+/// optionally a standalone HTML page). `--fingerprint` prints only the
+/// store's deterministic fingerprint, for CI bit-stability diffs.
+fn run_report_cmd(o: &Opts) -> ExitCode {
+    let dir = o.store.clone().unwrap_or_else(|| {
+        eprintln!("report needs --store");
+        usage()
+    });
+    let store = match ffc_fleet::TelemetryStore::open(std::path::Path::new(&dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if o.fingerprint {
+        println!("{}", store.fingerprint());
+        return ExitCode::SUCCESS;
+    }
+    let opts = ffc_fleet::ReportOptions {
+        top_links: o.top,
+        include_timing: !o.no_timing,
+    };
+    let report = ffc_fleet::build_report(&store, &opts);
+    print!("{}", report.to_text(&opts));
+    if let Some(p) = &o.html {
+        if let Err(e) = std::fs::write(p, report.to_html(&opts)) {
+            eprintln!("cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {p}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn print_ctrl_summary(report: &ffc_ctrl::ControllerReport) {

@@ -45,7 +45,7 @@ pub use executor::{ExecutorConfig, OutcomeSource, RolloutReport};
 pub use planner::{PlanOutcome, Planner, PlannerConfig, SolvePath};
 pub use replay::{generate_poisson_events, EventTrace, TraceHeader};
 pub use state::{ConfigStore, HintShape, VersionedConfig};
-pub use telemetry::IntervalTelemetry;
+pub use telemetry::{IntervalTelemetry, TELEMETRY_SCHEMA_VERSION};
 
 /// Fault-injection hooks the chaos harness threads into a run. All
 /// hooks are deterministic functions of the configuration, so a replay
@@ -178,6 +178,18 @@ impl ControllerReport {
     }
 }
 
+/// Per-interval observer a run streams into (e.g. `ffc-fleet`'s
+/// telemetry store). Called once per interval, after the interval's
+/// telemetry record is final, with the steady-state per-link
+/// *utilization* (load / capacity, indexed by `LinkId::index()`).
+///
+/// Sinks are observability only: a run with a sink is bit-identical to
+/// a run without one.
+pub trait IntervalSink {
+    /// Records one interval.
+    fn record(&mut self, telemetry: &IntervalTelemetry, link_util: &[f64]);
+}
+
 /// The online controller: owns the planner, executor, config store, and
 /// the driven data-plane simulator.
 pub struct Controller<'a> {
@@ -205,6 +217,23 @@ impl<'a> Controller<'a> {
         events: &[TimedEvent],
         intervals: usize,
         replay: bool,
+    ) -> ControllerReport {
+        self.run_with_sink(base_tm, events, intervals, replay, None)
+    }
+
+    /// [`Controller::run`] with an optional per-interval observer.
+    ///
+    /// The sink sees each interval's finished telemetry record plus the
+    /// data plane's steady-state link utilization; it cannot influence
+    /// the run, so telemetry fingerprints are identical with and
+    /// without one.
+    pub fn run_with_sink(
+        &mut self,
+        base_tm: &TrafficMatrix,
+        events: &[TimedEvent],
+        intervals: usize,
+        replay: bool,
+        mut sink: Option<&mut dyn IntervalSink>,
     ) -> ControllerReport {
         let mut planner = Planner::new(PlannerConfig {
             ffc: self.cfg.ffc.clone(),
@@ -349,7 +378,7 @@ impl<'a> Controller<'a> {
                 totals.lost_blackhole[p] += rec.lost_blackhole[p];
             }
             let stats = outcome.stats.as_ref();
-            telemetry.push(IntervalTelemetry {
+            let record = IntervalTelemetry {
                 interval,
                 events_applied,
                 protection: outcome.protection,
@@ -375,7 +404,23 @@ impl<'a> Controller<'a> {
                 delivered: rec.delivered.iter().sum(),
                 lost_congestion: rec.lost_congestion.iter().sum(),
                 lost_blackhole: rec.lost_blackhole.iter().sum(),
-            });
+            };
+            if let Some(sink) = sink.as_deref_mut() {
+                let util: Vec<f64> = self
+                    .topo
+                    .links()
+                    .map(|e| {
+                        let cap = self.topo.capacity(e);
+                        if cap > 0.0 {
+                            rec.link_load[e.index()] / cap
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                sink.record(&record, &util);
+            }
+            telemetry.push(record);
         }
 
         ControllerReport {

@@ -131,6 +131,15 @@ impl EventTrace {
         let mut lines = text.lines().enumerate();
         match lines.next() {
             Some((_, magic)) if magic.trim() == "ffc-trace v1" => {}
+            // A well-formed trace from a different schema generation:
+            // reject with the version, not a generic magic complaint.
+            Some((_, magic)) if magic.trim().starts_with("ffc-trace v") => {
+                let version = magic.trim()["ffc-trace v".len()..].to_string();
+                return Err(format!(
+                    "line 1: trace schema v{version} not supported (this reader reads v1); \
+                     re-record the trace with a matching build"
+                ));
+            }
             other => return Err(format!("line 1: bad trace magic: {:?}", other.map(|o| o.1))),
         }
         let mut header = TraceHeader::default();

@@ -10,6 +10,13 @@
 
 use crate::planner::SolvePath;
 
+/// Version of the per-interval telemetry record schema. Bumped whenever
+/// a field is added, removed, or changes meaning; persisted alongside
+/// every serialized record (the `"schema"` JSONL field, the telemetry
+/// store's segment headers) so readers can reject records they would
+/// otherwise misinterpret.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+
 /// One TE interval's controller record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntervalTelemetry {
@@ -119,13 +126,17 @@ impl IntervalTelemetry {
     }
 
     /// One JSON object per line: the fingerprint fields plus the
-    /// non-deterministic extras (wall-clock timing, patch-vs-build).
+    /// non-deterministic extras (wall-clock timing, patch-vs-build) and
+    /// the schema version. The version is an envelope property, not a
+    /// run property, so it stays out of the fingerprint — replays of
+    /// old traces emit records in *this* build's schema.
     pub fn to_json(&self) -> String {
         let fp = self.fingerprint();
         // Splice the extras into the closing brace.
         format!(
-            "{}, \"solve_ms\": {:.3}, \"model_patched\": {}}}",
+            "{}, \"schema\": {}, \"solve_ms\": {:.3}, \"model_patched\": {}}}",
             &fp[..fp.len() - 1],
+            TELEMETRY_SCHEMA_VERSION,
             self.solve_ms,
             self.model_patched
         )

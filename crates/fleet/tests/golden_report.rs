@@ -1,0 +1,54 @@
+//! Golden-snapshot test: running the committed mini campaign and
+//! rendering its no-timing report must reproduce the committed
+//! snapshot byte for byte. This pins the whole pipeline — spec parsing,
+//! workload compilation, the controller run, the store round trip, and
+//! the report renderer — to a known-good output.
+//!
+//! Regenerate after an intentional change with:
+//! `FFC_UPDATE_GOLDEN=1 cargo test -p ffc-fleet --test golden_report`
+
+use std::fs;
+use std::path::Path;
+
+use ffc_fleet::{build_report, run_fleet, FleetSpec, ReportOptions, TelemetryStore};
+
+#[test]
+fn mini_campaign_report_matches_committed_snapshot() {
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/data");
+    let spec_text = fs::read_to_string(data.join("mini.fleet.toml")).expect("read mini spec");
+    let spec = FleetSpec::parse(&spec_text).expect("parse mini spec");
+
+    let dir = std::env::temp_dir().join(format!("ffc-golden-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let summary = run_fleet(&spec, &dir).expect("run mini campaign");
+
+    let store = TelemetryStore::open(&dir).expect("open store");
+    assert!(store.recovery_notes.is_empty());
+    assert_eq!(store.fingerprint(), summary.fingerprint);
+
+    // Wall-clock timing is the one nondeterministic axis; everything
+    // else in the report — utilization percentiles, episodes,
+    // certificates, iteration counts, the fingerprint — must be
+    // bit-stable run to run.
+    let opts = ReportOptions {
+        top_links: 10,
+        include_timing: false,
+    };
+    let text = build_report(&store, &opts).to_text(&opts);
+    let _ = fs::remove_dir_all(&dir);
+
+    let golden_path = data.join("mini.fleet.report.txt");
+    if std::env::var("FFC_UPDATE_GOLDEN").is_ok() {
+        fs::write(&golden_path, &text).expect("write golden");
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path).expect(
+        "read committed snapshot (regenerate with FFC_UPDATE_GOLDEN=1 \
+         cargo test -p ffc-fleet --test golden_report)",
+    );
+    assert_eq!(
+        text, golden,
+        "`ffc report` output drifted from examples/data/mini.fleet.report.txt; \
+         if the change is intentional, regenerate with FFC_UPDATE_GOLDEN=1"
+    );
+}

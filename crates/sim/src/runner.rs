@@ -522,6 +522,11 @@ pub struct DrivenInterval {
     pub max_oversubscription: f64,
     /// Links whose post-rescale load exceeds capacity.
     pub overloaded_links: usize,
+    /// Steady-state post-rescale load per directed link (indexed by
+    /// `LinkId::index()`), as used for the congestion accounting above.
+    /// Telemetry consumers turn this into utilization; empty only for
+    /// the default value.
+    pub link_load: Vec<f64>,
 }
 
 /// A step-wise driveable TE-interval simulator.
@@ -685,6 +690,7 @@ impl<'a> DrivenSim<'a> {
         for p in 0..3 {
             rec.delivered[p] = (rec.delivered[p] - rec.lost_congestion[p]).max(0.0);
         }
+        rec.link_load = flat.load;
 
         self.installed = Some(target.clone());
         rec
