@@ -9,6 +9,7 @@
 //! | `float-eq` | workspace (non-test) | no `==` / `!=` against a float literal |
 //! | `nondeterminism` | replay-deterministic modules | no `Instant::now` / `SystemTime` / `rand` |
 //! | `forbid-unsafe` | every crate root | `#![forbid(unsafe_code)]` present |
+//! | `no-process-exit` | workspace except `src/main.rs` / `src/bin/*.rs` | no `std::process::exit` / `abort` — library code must unwind so the supervisor and crash checkpoints see the failure |
 //!
 //! Replay-deterministic modules are the ones whose behavior must be a
 //! pure function of the recorded seed: `crates/ctrl/src/event.rs`,
@@ -48,7 +49,7 @@ impl LintConfig {
 #[derive(Debug, Clone)]
 pub struct LintViolation {
     /// Rule name (`no-unwrap`, `float-eq`, `nondeterminism`,
-    /// `forbid-unsafe`).
+    /// `forbid-unsafe`, `no-process-exit`).
     pub rule: &'static str,
     /// File the violation is in, relative to the scanned root.
     pub file: PathBuf,
@@ -113,6 +114,7 @@ struct Patterns {
     unwrap: Vec<String>,
     nondet: Vec<String>,
     forbid_unsafe: String,
+    process_exit: Vec<String>,
 }
 
 impl Patterns {
@@ -126,6 +128,10 @@ impl Patterns {
                 ["use ra", "nd"].concat(),
             ],
             forbid_unsafe: ["#![forbid(", "unsafe_code)]"].concat(),
+            process_exit: vec![
+                ["process::", "exit("].concat(),
+                ["process::", "abort("].concat(),
+            ],
         }
     }
 }
@@ -172,6 +178,14 @@ fn is_crate_root(rel: &str) -> bool {
     rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") || {
         rel.contains("src/bin/") && rel.ends_with(".rs")
     }
+}
+
+/// Whether `rel` is a process entrypoint, where `std::process::exit`
+/// is legitimate (everywhere else it would bypass unwinding, so the
+/// supervisor would see a silent death and crash checkpoints would
+/// skip their drop/flush paths).
+fn is_entrypoint(rel: &str) -> bool {
+    rel.ends_with("src/main.rs") || (rel.contains("src/bin/") && rel.ends_with(".rs"))
 }
 
 fn in_scope(rel: &str, scopes: &[&str]) -> bool {
@@ -327,7 +341,8 @@ fn lint_file(rel: &Path, text: &str, pats: &Patterns, out: &mut Vec<LintViolatio
     let check_nondet = DETERMINISTIC_MODULES.contains(&rel_str.as_str())
         && !allowed_file.contains("nondeterminism");
     let check_float = !allowed_file.contains("float-eq");
-    if !check_unwrap && !check_nondet && !check_float {
+    let check_exit = !is_entrypoint(&rel_str) && !allowed_file.contains("no-process-exit");
+    if !check_unwrap && !check_nondet && !check_float && !check_exit {
         return;
     }
 
@@ -403,6 +418,12 @@ fn lint_file(rel: &Path, text: &str, pats: &Patterns, out: &mut Vec<LintViolatio
         }
         if check_float && !line_allows.contains("float-eq") && has_float_literal_comparison(&code) {
             push("float-eq");
+        }
+        if check_exit
+            && !line_allows.contains("no-process-exit")
+            && pats.process_exit.iter().any(|p| code.contains(p.as_str()))
+        {
+            push("no-process-exit");
         }
     }
 }
@@ -524,6 +545,58 @@ fn f() -> &'static str { ".unwrap() == 0.5" }
         assert!(!has_float_literal_comparison("n <= 0.5"));
         assert!(!has_float_literal_comparison("a >= 1.0 && b <= 2.0"));
         assert!(!has_float_literal_comparison("v0.5")); // not a comparison
+    }
+
+    #[test]
+    fn process_exit_is_forbidden_outside_entrypoints() {
+        let body = [
+            "#![forbid(unsafe_code)]\nfn die() { std::process::",
+            "exit(1); }\n",
+        ]
+        .concat();
+        let report = lint_src("exit", &body);
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert!(
+            rules.contains(&"no-process-exit"),
+            "{:?}",
+            report.violations
+        );
+
+        let abort = [
+            "#![forbid(unsafe_code)]\nfn die() { std::process::",
+            "abort(); }\n",
+        ]
+        .concat();
+        let report = lint_src("abort", &abort);
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert!(
+            rules.contains(&"no-process-exit"),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn process_exit_is_fine_in_entrypoints_and_process_id_never_matches() {
+        let dir = scratch_dir("exit-ok");
+        fs::create_dir_all(dir.join("crates/cli/src")).unwrap();
+        fs::create_dir_all(dir.join("crates/bench/src/bin")).unwrap();
+        let main = [
+            "#![forbid(unsafe_code)]\nfn main() { std::process::",
+            "exit(2); }\n",
+        ]
+        .concat();
+        fs::write(dir.join("crates/cli/src/main.rs"), &main).unwrap();
+        fs::write(dir.join("crates/bench/src/bin/repro.rs"), &main).unwrap();
+        // process::id() is not an exit — library code may use it.
+        fs::write(
+            dir.join("crates/lp/src/lib.rs"),
+            "#![forbid(unsafe_code)]\nfn f() -> u32 { std::process::id() }\n",
+        )
+        .unwrap();
+        let report = lint_workspace(&LintConfig::new(&dir)).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+        assert!(report.ok(), "{:?}", report.violations);
     }
 
     #[test]

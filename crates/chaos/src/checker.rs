@@ -77,6 +77,18 @@ pub enum Violation {
     NonDeterministic,
     /// A controller run panicked.
     Panic(String),
+    /// A resumed run re-pushed a rollout stage the pre-crash run had
+    /// already acked — exactly-once rollout semantics broken.
+    StageReplayed {
+        /// Interval index.
+        interval: usize,
+        /// Which stage was double-pushed.
+        detail: String,
+    },
+    /// Crash-resume machinery misbehaved: checkpoint recovery failed,
+    /// a damaged file was not skipped with a note, or the resumed run's
+    /// recorded stream diverged from the uninterrupted ground truth.
+    ResumeFailed(String),
 }
 
 impl std::fmt::Display for Violation {
@@ -110,6 +122,13 @@ impl std::fmt::Display for Violation {
             }
             Violation::NonDeterministic => write!(f, "identical live runs diverged"),
             Violation::Panic(msg) => write!(f, "controller panicked: {msg}"),
+            Violation::StageReplayed { interval, detail } => {
+                write!(
+                    f,
+                    "interval {interval}: stage double-pushed after resume: {detail}"
+                )
+            }
+            Violation::ResumeFailed(msg) => write!(f, "crash-resume failed: {msg}"),
         }
     }
 }
@@ -310,6 +329,7 @@ mod tests {
             telemetry,
             totals: RunTotals::default(),
             recorded_events: Vec::new(),
+            prior_fingerprints: Vec::new(),
         }
     }
 

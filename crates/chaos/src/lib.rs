@@ -27,11 +27,20 @@
 //!
 //! Failing campaigns are shrunk ([`shrink_events`]) to minimal
 //! replayable [`EventTrace`]s worth committing as regression files.
+//!
+//! The [`crash`] module runs kill–resume campaigns against the
+//! checkpointing controller: each campaign crashes at a seeded crash
+//! point (interval boundary, mid-rollout-stage, or with the newest
+//! checkpoint corrupted/truncated), resumes via [`ffc_ctrl`]'s
+//! recovery path, and verifies the resumed run converges to the
+//! uninterrupted run's fingerprint with no rollout stage pushed twice
+//! ([`Violation::StageReplayed`], [`Violation::ResumeFailed`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod crash;
 pub mod injector;
 pub mod shrink;
 
@@ -45,6 +54,9 @@ use ffc_net::{Topology, TrafficMatrix, TunnelTable};
 use ffc_sim::SwitchModel;
 
 pub use checker::{check_run, compare_fingerprints, CheckOutcome, Violation};
+pub use crash::{
+    run_crash_campaign, run_crash_suite, CrashCampaignOutcome, CrashPoint, CrashSuiteReport,
+};
 pub use injector::{
     campaign_seed, generate_campaign, generate_campaign_shaped, perturb_outcomes, CampaignKind,
     CampaignPlan, PerturbPlan, ShapingInputs, SolverChaosPlan,
@@ -198,6 +210,7 @@ fn controller_config(cfg: &ChaosConfig, plan: &CampaignPlan) -> ControllerConfig
     }
     c.chaos = ChaosHooks {
         poison_hint_intervals: plan.solver.poison_hint_intervals.clone(),
+        ..ChaosHooks::default()
     };
     c
 }
@@ -461,6 +474,7 @@ mod tests {
             let mut cfg = ControllerConfig::new(FfcConfig::new(1, 1, 0), SwitchModel::Optimistic);
             cfg.chaos = ChaosHooks {
                 poison_hint_intervals: (0..4).collect(),
+                ..ChaosHooks::default()
             };
             cfg.opts.inject_singular_after = singular_after;
             let mut ctrl = ffc_ctrl::Controller::new(&topo, &tunnels, cfg);

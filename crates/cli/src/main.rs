@@ -101,6 +101,9 @@ struct Opts {
     no_timing: bool,
     fingerprint: bool,
     shape_demand: bool,
+    ckpt_dir: Option<String>,
+    supervise: bool,
+    max_restarts: usize,
 }
 
 fn usage() -> ! {
@@ -111,10 +114,13 @@ fn usage() -> ! {
          \x20      ffc ctrl run --topo FILE --traffic FILE [--intervals N] [--seed N]\n\
          \x20          [--jitter F] [--switch-model realistic|optimistic]\n\
          \x20          [--no-incremental] [--out TRACE] [--store DIR]\n\
+         \x20          [--ckpt-dir DIR [--supervise] [--max-restarts N]]\n\
+         \x20      ffc ctrl resume --ckpt-dir DIR\n\
          \x20      ffc ctrl replay TRACE\n\
          \x20      ffc chaos [--topo FILE --traffic FILE] [--seed N] [--campaigns N]\n\
          \x20          [--intervals N] [--kc N --ke N --kv N] [--tunnels N] [--out-dir DIR]\n\
          \x20          [--store DIR] [--shape-demand]\n\
+         \x20      ffc chaos crash [--seed N] [--campaigns N] [--intervals N]\n\
          \x20      ffc chaos replay TRACE [--expect-violation]\n\
          \x20      ffc fleet run --spec FILE --out DIR\n\
          \x20      ffc report --store DIR [--top N] [--html FILE] [--no-timing]\n\
@@ -156,6 +162,9 @@ fn parse_opts() -> Opts {
         no_timing: false,
         fingerprint: false,
         shape_demand: false,
+        ckpt_dir: None,
+        supervise: false,
+        max_restarts: 3,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -187,6 +196,11 @@ fn parse_opts() -> Opts {
             "--no-timing" => o.no_timing = true,
             "--fingerprint" => o.fingerprint = true,
             "--shape-demand" => o.shape_demand = true,
+            "--ckpt-dir" => o.ckpt_dir = Some(val("--ckpt-dir")),
+            "--supervise" => o.supervise = true,
+            "--max-restarts" => {
+                o.max_restarts = val("--max-restarts").parse().unwrap_or_else(|_| usage())
+            }
             "--jitter" => o.jitter = val("--jitter").parse().unwrap_or_else(|_| usage()),
             "--incremental" => o.incremental = true,
             "--no-incremental" => o.incremental = false,
@@ -545,6 +559,88 @@ fn run_ctrl(o: &Opts) -> ExitCode {
                 cfg.interval_secs,
                 o.jitter,
             );
+            // A checkpoint directory is self-contained: the run's full
+            // inputs land in run.trace before the first interval, so
+            // `ffc ctrl resume --ckpt-dir DIR` needs nothing else.
+            let digest = ffc_ctrl::config_digest(&cfg, &topo, &tunnels, &tm);
+            if let Some(dir) = &o.ckpt_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let trace = EventTrace {
+                    header: cfg.to_header(o.intervals, o.tunnels),
+                    topo_text: topo_text.clone(),
+                    traffic_text: traffic_text.clone(),
+                    events: events.clone(),
+                };
+                let trace_path = format!("{dir}/run.trace");
+                if let Err(e) = std::fs::write(&trace_path, trace.to_text()) {
+                    eprintln!("cannot write {trace_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if o.supervise {
+                let dir = match &o.ckpt_dir {
+                    Some(d) => std::path::PathBuf::from(d),
+                    None => {
+                        eprintln!("--supervise needs --ckpt-dir (restarts resume from it)");
+                        usage()
+                    }
+                };
+                if o.store.is_some() {
+                    eprintln!("--supervise cannot stream to --store (sink state would not survive a restart)");
+                    usage()
+                }
+                let sup_cfg = ffc_ctrl::SupervisorConfig {
+                    max_restarts: o.max_restarts,
+                    ..ffc_ctrl::SupervisorConfig::default()
+                };
+                let sup = ffc_ctrl::run_supervised(&sup_cfg, |attempt| -> Result<_, String> {
+                    let resume = if attempt == 0 {
+                        None
+                    } else {
+                        let rec = ffc_ctrl::recover_latest(&dir, digest)?;
+                        for n in &rec.notes {
+                            eprintln!("checkpoint recovery: {n}");
+                        }
+                        rec.checkpoint.map(|c| c.state)
+                    };
+                    let mut ck = ffc_ctrl::Checkpointer::create(&dir, digest)?;
+                    let mut ctrl = Controller::new(&topo, &tunnels, cfg.clone());
+                    Ok(ctrl.run_with_recovery(
+                        &tm,
+                        &events,
+                        o.intervals,
+                        false,
+                        None,
+                        Some(&mut ck),
+                        resume,
+                    ))
+                });
+                for (i, c) in sup.crashes.iter().enumerate() {
+                    eprintln!("supervisor: attempt {i} crashed: {c}");
+                }
+                if sup.restarts > 0 {
+                    eprintln!("supervisor: completed after {} restart(s)", sup.restarts);
+                }
+                let report = match sup.into_result() {
+                    Ok(Ok(r)) => r,
+                    Ok(Err(e)) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("supervisor: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                for t in &report.telemetry {
+                    println!("{}", t.to_json());
+                }
+                print_ctrl_summary(&report);
+                return ExitCode::SUCCESS;
+            }
             let mut ctrl = Controller::new(&topo, &tunnels, cfg.clone());
             let mut store_writer = match &o.store {
                 Some(dir) => {
@@ -561,7 +657,19 @@ fn run_ctrl(o: &Opts) -> ExitCode {
                 }
                 None => None,
             };
-            let report = ctrl.run_with_sink(
+            let mut ck = match &o.ckpt_dir {
+                Some(dir) => {
+                    match ffc_ctrl::Checkpointer::create(std::path::Path::new(dir), digest) {
+                        Ok(c) => Some(c),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => None,
+            };
+            let report = ctrl.run_with_recovery(
                 &tm,
                 &events,
                 o.intervals,
@@ -569,7 +677,12 @@ fn run_ctrl(o: &Opts) -> ExitCode {
                 store_writer
                     .as_mut()
                     .map(|w| w as &mut dyn ffc_ctrl::IntervalSink),
+                ck.as_mut(),
+                None,
             );
+            if let Some(e) = ck.as_ref().and_then(|c| c.error()) {
+                eprintln!("checkpointing degraded (run continued): {e}");
+            }
             for t in &report.telemetry {
                 println!("{}", t.to_json());
             }
@@ -599,6 +712,96 @@ fn run_ctrl(o: &Opts) -> ExitCode {
                 }
                 eprintln!("wrote replayable trace to {p}");
             }
+            ExitCode::SUCCESS
+        }
+        Some("resume") => {
+            // Everything needed to finish the run lives in the
+            // checkpoint directory: run.trace carries the inputs, the
+            // newest valid ckpt-*.ffck carries the state.
+            let dir = match o.ckpt_dir.clone().or_else(|| o.args.get(1).cloned()) {
+                Some(d) => d,
+                None => {
+                    eprintln!("ctrl resume needs --ckpt-dir DIR");
+                    usage()
+                }
+            };
+            let trace_path = format!("{dir}/run.trace");
+            let trace = match EventTrace::parse(&read(&trace_path)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{trace_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let topo = match parse_topology(&trace.topo_text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{trace_path} [topo]: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let tm = match parse_traffic(&trace.traffic_text, &topo) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{trace_path} [traffic]: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let layout = LayoutConfig {
+                tunnels_per_flow: trace.header.tunnels_per_flow,
+                ..LayoutConfig::default()
+            };
+            let tunnels = layout_tunnels(&topo, &tm, &layout);
+            let cfg = ControllerConfig::from_header(&trace.header);
+            let digest = ffc_ctrl::config_digest(&cfg, &topo, &tunnels, &tm);
+            let dir_path = std::path::Path::new(&dir);
+            let rec = match ffc_ctrl::recover_latest(dir_path, digest) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for n in &rec.notes {
+                eprintln!("checkpoint recovery: {n}");
+            }
+            let resume_state = match rec.checkpoint {
+                Some(c) => {
+                    eprintln!(
+                        "resuming from {} (next interval {})",
+                        c.file, c.state.next_interval
+                    );
+                    Some(c.state)
+                }
+                None => {
+                    eprintln!("no valid checkpoint in {dir}; starting from interval 0");
+                    None
+                }
+            };
+            let mut ck = match ffc_ctrl::Checkpointer::create(dir_path, digest) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut ctrl = Controller::new(&topo, &tunnels, cfg);
+            let report = ctrl.run_with_recovery(
+                &tm,
+                &trace.events,
+                trace.header.intervals,
+                false,
+                None,
+                Some(&mut ck),
+                resume_state,
+            );
+            if let Some(e) = ck.error() {
+                eprintln!("checkpointing degraded (run continued): {e}");
+            }
+            for t in &report.telemetry {
+                println!("{}", t.to_json());
+            }
+            print_ctrl_summary(&report);
             ExitCode::SUCCESS
         }
         Some("replay") => {
@@ -645,11 +848,11 @@ fn run_ctrl(o: &Opts) -> ExitCode {
             ExitCode::SUCCESS
         }
         Some(other) => {
-            eprintln!("unknown ctrl subcommand '{other}' (run or replay)");
+            eprintln!("unknown ctrl subcommand '{other}' (run, resume, or replay)");
             usage()
         }
         None => {
-            eprintln!("ctrl needs a subcommand (run or replay)");
+            eprintln!("ctrl needs a subcommand (run, resume, or replay)");
             usage()
         }
     }
@@ -720,9 +923,14 @@ fn run_chaos_cmd(o: &Opts) -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    let crash_mode = o.args.first().map(String::as_str) == Some("crash");
     if let Some(other) = o.args.first() {
-        eprintln!("unknown chaos subcommand '{other}' (replay, or none to run campaigns)");
-        usage()
+        if !crash_mode {
+            eprintln!(
+                "unknown chaos subcommand '{other}' (crash, replay, or none to run campaigns)"
+            );
+            usage()
+        }
     }
 
     // Workload: explicit files, or the built-in S-Net instance.
@@ -808,6 +1016,20 @@ fn run_chaos_cmd(o: &Opts) -> ExitCode {
         topo_text: &topo_text,
         traffic_text: &traffic_text,
     };
+    if crash_mode {
+        // Kill–resume campaigns: crash the checkpointing controller at
+        // seeded points and prove the resumed run converges to the
+        // uninterrupted run's fingerprint bit for bit.
+        let scratch = std::env::temp_dir().join(format!("ffc-chaos-crash-{}", std::process::id()));
+        let report = ffc_chaos::run_crash_suite(&inputs, &cfg, &scratch);
+        let _ = std::fs::remove_dir_all(&scratch);
+        print!("{}", report.summary());
+        return if report.total_violations() > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     let report = run_chaos(&inputs, &cfg);
     print!("{}", report.summary());
     if let Some(dir) = &o.out_dir {
@@ -1064,6 +1286,13 @@ fn run_report_cmd(o: &Opts) -> ExitCode {
 }
 
 fn print_ctrl_summary(report: &ffc_ctrl::ControllerReport) {
+    // Deterministic digest of the full replay fingerprint, on stdout
+    // so CI can diff a resumed run against an uninterrupted one with a
+    // single grep.
+    println!(
+        "fingerprint {:016x}",
+        ffc_ctrl::durable::fnv64(report.fingerprint().as_bytes())
+    );
     let warm = report
         .telemetry
         .iter()

@@ -74,6 +74,34 @@ pub enum OutcomeSource<'a> {
     Recorded(&'a [TimedEvent]),
 }
 
+/// Snapshot handed to the stage hook after each fully issued rollout
+/// step — everything a mid-rollout crash checkpoint needs. All switch
+/// outcomes are sampled *before* the first step is issued (the RNG draw
+/// order is a per-switch sequence), so by the first stage boundary the
+/// interval's complete outcome log and the post-sampling RNG state
+/// already exist; persisting them is what lets a resume consume the log
+/// instead of re-pushing acked stages.
+pub struct StageEvent<'a> {
+    /// Steps fully issued so far (1-based count).
+    pub completed_steps: usize,
+    /// Steps in the congestion-free plan.
+    pub steps_planned: usize,
+    /// The interval's complete sampled outcome log (acks + timeouts).
+    pub outcomes: &'a [TimedEvent],
+    /// RNG state after outcome sampling (`None` on replays, which
+    /// consume a recorded log and never touch the RNG).
+    pub rng_state: Option<[u64; 4]>,
+}
+
+/// Backoff before re-issuing attempt `attempt` (1-based) to a wedged
+/// switch: exponential in the attempt, stretched by up to 50% by a
+/// jitter draw in `[0, 1)`. The jitter comes from the rollout's seeded
+/// RNG, so it is deterministic per run yet decorrelates retry storms
+/// across switches.
+fn retry_backoff(base: f64, attempt: usize, jitter: f64) -> f64 {
+    base * (1u64 << (attempt - 1).min(32)) as f64 * (1.0 + 0.5 * jitter)
+}
+
 /// What one rollout did.
 #[derive(Debug, Clone)]
 pub struct RolloutReport {
@@ -115,6 +143,27 @@ pub fn rollout(
     interval: usize,
     source: OutcomeSource<'_>,
 ) -> (TeConfig, RolloutReport) {
+    rollout_staged(
+        topo, tm, tunnels, from, to, ingresses, cfg, interval, source, None,
+    )
+}
+
+/// [`rollout`] with a stage hook: `stage_hook` fires after every fully
+/// issued step with a [`StageEvent`], which is where the controller
+/// writes its mid-rollout crash checkpoints.
+#[allow(clippy::too_many_arguments)]
+pub fn rollout_staged(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    tunnels: &TunnelTable,
+    from: &TeConfig,
+    to: &TeConfig,
+    ingresses: &[NodeId],
+    cfg: &ExecutorConfig,
+    interval: usize,
+    source: OutcomeSource<'_>,
+    mut stage_hook: Option<&mut dyn FnMut(StageEvent<'_>)>,
+) -> (TeConfig, RolloutReport) {
     let mut report = RolloutReport {
         steps_planned: 0,
         steps_completed: 0,
@@ -146,6 +195,11 @@ pub fn rollout(
     // delay[s][i] = rule-install delay, or None when the switch is
     // broken from step i on.
     let mut delays: Vec<Vec<Option<f64>>> = vec![vec![None; m]; n];
+    let live = matches!(source, OutcomeSource::Sample(_));
+    // Post-sampling RNG state (live) and this interval's recorded
+    // outcomes (replay), for the stage hook.
+    let mut rng_state: Option<[u64; 4]> = None;
+    let mut replay_outcomes: Vec<TimedEvent> = Vec::new();
     match source {
         OutcomeSource::Sample(rng) => {
             for (s, &sw) in ingresses.iter().enumerate() {
@@ -168,16 +222,21 @@ pub fn rollout(
                             step: at,
                         },
                     });
-                    // Bounded retry with backoff, mirroring the sim
-                    // runner: wait `retry_timeout_secs`, re-draw the
-                    // outcome; a recovered switch resumes at `at` with
-                    // the accumulated backoff folded into its delay. A
-                    // replay re-derives the retry count from the
-                    // timeout/ack events, so nothing extra is recorded.
+                    // Bounded retry with exponential backoff: the wait
+                    // before re-issuing starts at `retry_timeout_secs`
+                    // and doubles per attempt, stretched by a seeded
+                    // jitter draw so concurrent wedges don't re-issue
+                    // in lockstep. A recovered switch resumes at `at`
+                    // with the accumulated backoff folded into its
+                    // recorded ack delay, which is how the penalty
+                    // (jitter included) reaches the telemetry and the
+                    // replay without extra events; the retry *count* is
+                    // re-derived from the timeout/ack events.
                     let mut penalty = 0.0;
-                    for _ in 0..cfg.max_retries {
+                    for attempt in 1..=cfg.max_retries {
                         report.retries += 1;
-                        penalty += cfg.retry_timeout_secs;
+                        let jitter = rng.gen::<f64>();
+                        penalty += retry_backoff(cfg.retry_timeout_secs, attempt, jitter);
                         let still_broken =
                             rng.gen::<f64>() < cfg.switch_model.config_failure_rate();
                         if !still_broken {
@@ -222,6 +281,7 @@ pub fn rollout(
                     }
                 }
             }
+            rng_state = Some(rng.state());
         }
         OutcomeSource::Recorded(events) => {
             // Per-switch timeout bookkeeping, to re-derive the retry
@@ -263,6 +323,13 @@ pub fn rollout(
                 let recovered = step < m && delays[s][step].is_some();
                 report.retries += if recovered { count } else { count - 1 };
             }
+            if stage_hook.is_some() {
+                replay_outcomes = events
+                    .iter()
+                    .filter(|te| te.interval == interval && te.event.is_recorded_outcome())
+                    .cloned()
+                    .collect();
+            }
         }
     }
 
@@ -289,6 +356,18 @@ pub fn rollout(
         }
         issue = advance_at;
         completed_steps = step + 1;
+        if let Some(hook) = stage_hook.as_deref_mut() {
+            hook(StageEvent {
+                completed_steps,
+                steps_planned: m,
+                outcomes: if live {
+                    &report.recorded
+                } else {
+                    &replay_outcomes
+                },
+                rng_state,
+            });
+        }
     }
     report.steps_completed = completed_steps;
     report.completed = completed_steps == m;
@@ -627,6 +706,155 @@ mod tests {
             saw_retry |= live.retries > 0;
         }
         assert!(saw_retry, "400 seeds at 1% failure should hit a retry");
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_with_bounded_jitter() {
+        let base = 10.0;
+        // Zero jitter: pure doubling.
+        assert!((retry_backoff(base, 1, 0.0) - 10.0).abs() < 1e-12);
+        assert!((retry_backoff(base, 2, 0.0) - 20.0).abs() < 1e-12);
+        assert!((retry_backoff(base, 3, 0.0) - 40.0).abs() < 1e-12);
+        // Jitter stretches by at most 50%.
+        for attempt in 1..=4 {
+            let lo = retry_backoff(base, attempt, 0.0);
+            let hi = retry_backoff(base, attempt, 0.999_999);
+            assert!(hi < lo * 1.5 + 1e-9, "attempt {attempt}");
+            assert!(hi > lo, "attempt {attempt}");
+        }
+        // Huge attempt numbers saturate instead of overflowing the
+        // shift.
+        assert!(retry_backoff(base, 64, 0.5).is_finite());
+    }
+
+    #[test]
+    fn recovered_ack_delay_carries_the_exponential_backoff() {
+        let (topo, tm, tunnels, ing) = diamond();
+        let from = TeConfig::zero(&tunnels);
+        let to = solve(&topo, &tm, &tunnels);
+        let cfg = ExecutorConfig::new(SwitchModel::Realistic, 1);
+        // Scan seeds for a live run whose switch wedged once and then
+        // recovered: its wedged-step ack must carry at least the first
+        // backoff (base), and a double-timeout recovery at least
+        // base + 2*base.
+        let mut checked = 0;
+        for seed in 0..2000u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (_, live) = rollout(
+                &topo,
+                &tm,
+                &tunnels,
+                &from,
+                &to,
+                &ing,
+                &cfg,
+                0,
+                OutcomeSource::Sample(&mut rng),
+            );
+            let timeouts: Vec<(NodeId, usize)> = live
+                .recorded
+                .iter()
+                .filter_map(|te| match te.event {
+                    Event::UpdateTimeout { switch, step } => Some((switch, step)),
+                    _ => None,
+                })
+                .collect();
+            if timeouts.is_empty() {
+                continue;
+            }
+            for &(sw, at) in &timeouts {
+                let n_to = timeouts.iter().filter(|&&(s, _)| s == sw).count();
+                let ack = live.recorded.iter().find_map(|te| match te.event {
+                    Event::UpdateAck {
+                        switch,
+                        step,
+                        delay,
+                    } if switch == sw && step == at => Some(delay),
+                    _ => None,
+                });
+                if let Some(delay) = ack {
+                    // Recovered after n_to timeouts: penalty is the sum
+                    // of the first n_to exponential backoffs, jitter
+                    // excluded as the lower bound.
+                    let min_penalty: f64 = (1..=n_to)
+                        .map(|a| retry_backoff(cfg.retry_timeout_secs, a, 0.0))
+                        .sum();
+                    assert!(
+                        delay >= min_penalty,
+                        "seed {seed}: delay {delay} < min penalty {min_penalty}"
+                    );
+                    checked += 1;
+                }
+            }
+            if checked >= 3 {
+                break;
+            }
+        }
+        assert!(checked > 0, "no recovered wedge in 2000 seeds");
+    }
+
+    #[test]
+    fn stage_hook_sees_full_outcome_log_and_rng_state() {
+        let (topo, tm, tunnels, ing) = diamond();
+        let from = TeConfig::zero(&tunnels);
+        let to = solve(&topo, &tm, &tunnels);
+        let cfg = ExecutorConfig::new(SwitchModel::Optimistic, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut stages: Vec<(usize, usize, usize, Option<[u64; 4]>)> = Vec::new();
+        let mut hook = |ev: StageEvent<'_>| {
+            stages.push((
+                ev.completed_steps,
+                ev.steps_planned,
+                ev.outcomes.len(),
+                ev.rng_state,
+            ));
+        };
+        let (_, live) = rollout_staged(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &ing,
+            &cfg,
+            0,
+            OutcomeSource::Sample(&mut rng),
+            Some(&mut hook),
+        );
+        assert!(live.completed);
+        assert_eq!(stages.len(), live.steps_planned, "one hook call per step");
+        for (i, &(done, planned, n_outcomes, rng_state)) in stages.iter().enumerate() {
+            assert_eq!(done, i + 1);
+            assert_eq!(planned, live.steps_planned);
+            // The full log exists from the first stage boundary on.
+            assert_eq!(n_outcomes, live.recorded.len());
+            assert_eq!(rng_state, Some(rng.state()), "post-sampling state");
+        }
+
+        // Replaying with a hook: same stage cadence, outcomes drawn
+        // from the recorded log, no RNG state.
+        let mut replay_stages: Vec<(usize, usize, Option<[u64; 4]>)> = Vec::new();
+        let mut rhook = |ev: StageEvent<'_>| {
+            replay_stages.push((ev.completed_steps, ev.outcomes.len(), ev.rng_state));
+        };
+        let (_, rep) = rollout_staged(
+            &topo,
+            &tm,
+            &tunnels,
+            &from,
+            &to,
+            &ing,
+            &cfg,
+            0,
+            OutcomeSource::Recorded(&live.recorded),
+            Some(&mut rhook),
+        );
+        assert_eq!(rep.steps_completed, live.steps_completed);
+        assert_eq!(replay_stages.len(), stages.len());
+        for &(_, n_outcomes, rng_state) in &replay_stages {
+            assert_eq!(n_outcomes, live.recorded.len());
+            assert_eq!(rng_state, None);
+        }
     }
 
     #[test]

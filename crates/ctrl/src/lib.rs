@@ -24,27 +24,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod durable;
 pub mod event;
 pub mod executor;
 pub mod planner;
 pub mod replay;
 pub mod state;
+pub mod supervisor;
 pub mod telemetry;
 
 use std::time::Duration;
 
 use ffc_core::{FfcConfig, TeConfig, TeProblem};
 use ffc_lp::{Algorithm, SimplexOptions};
-use ffc_net::{NodeId, Topology, TrafficMatrix, TunnelTable};
+use ffc_net::{FaultScenario, FlowId, LinkId, NodeId, Topology, TrafficMatrix, TunnelTable};
 use ffc_sim::{DrivenSim, RunTotals, SwitchModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub use checkpoint::{
+    config_digest, recover_latest, CheckpointState, Checkpointer, InflightRollout,
+    RecoveredCheckpoint, Recovery,
+};
 pub use event::{Event, TimedEvent};
-pub use executor::{ExecutorConfig, OutcomeSource, RolloutReport};
-pub use planner::{PlanOutcome, Planner, PlannerConfig, SolvePath};
+pub use executor::{ExecutorConfig, OutcomeSource, RolloutReport, StageEvent};
+pub use planner::{PlanOutcome, Planner, PlannerConfig, PlannerSnapshot, SolvePath};
 pub use replay::{generate_poisson_events, EventTrace, TraceHeader};
-pub use state::{ConfigStore, HintShape, VersionedConfig};
+pub use state::{ConfigStore, HintShape, StoreSnapshot, VersionedConfig};
+pub use supervisor::{run_supervised, Supervised, SupervisedOutcome, SupervisorConfig};
 pub use telemetry::{IntervalTelemetry, TELEMETRY_SCHEMA_VERSION};
 
 /// Fault-injection hooks the chaos harness threads into a run. All
@@ -58,6 +66,17 @@ pub struct ChaosHooks {
     /// the solver must repair or cold-restart, never crash or return a
     /// wrong optimum.
     pub poison_hint_intervals: Vec<usize>,
+    /// Simulated crash (panic) right after the boundary checkpoint of
+    /// this interval is written — the "killed between intervals" crash
+    /// point. The harness catches the panic, resumes from the
+    /// checkpoint directory, and asserts fingerprint convergence; it
+    /// disarms the hook for the resumed run.
+    pub crash_at_interval: Option<usize>,
+    /// Simulated crash after the mid-rollout checkpoint of
+    /// `(interval, stage)` is written — the "killed with a half-pushed
+    /// update" crash point. Fires only when a checkpointer is attached
+    /// (stage checkpoints exist only then).
+    pub crash_mid_rollout: Option<(usize, usize)>,
 }
 
 impl ChaosHooks {
@@ -163,13 +182,24 @@ pub struct ControllerReport {
     /// The input events plus, on live runs, the recorded rollout
     /// outcomes — replayable via [`Controller::run`] with `replay`.
     pub recorded_events: Vec<TimedEvent>,
+    /// Fingerprint lines of intervals completed *before* a resume
+    /// (restored from the checkpoint; empty on uninterrupted runs).
+    /// [`ControllerReport::fingerprint`] emits them first, which is
+    /// what makes a resumed run's fingerprint bit-identical to the
+    /// uninterrupted run's.
+    pub prior_fingerprints: Vec<String>,
 }
 
 impl ControllerReport {
     /// The deterministic fingerprint of the whole run (one line per
-    /// interval, see [`IntervalTelemetry::fingerprint`]).
+    /// interval, see [`IntervalTelemetry::fingerprint`]), including
+    /// pre-resume intervals on resumed runs.
     pub fn fingerprint(&self) -> String {
         let mut s = String::new();
+        for line in &self.prior_fingerprints {
+            s.push_str(line);
+            s.push('\n');
+        }
         for t in &self.telemetry {
             s.push_str(&t.fingerprint());
             s.push('\n');
@@ -233,7 +263,43 @@ impl<'a> Controller<'a> {
         events: &[TimedEvent],
         intervals: usize,
         replay: bool,
+        sink: Option<&mut dyn IntervalSink>,
+    ) -> ControllerReport {
+        self.run_with_recovery(base_tm, events, intervals, replay, sink, None, None)
+    }
+
+    /// The digest guarding this controller's checkpoints: resuming
+    /// under a different configuration, topology, tunnel layout, or
+    /// base traffic matrix is refused ([`checkpoint::recover_latest`]).
+    pub fn checkpoint_digest(&self, base_tm: &TrafficMatrix) -> u64 {
+        checkpoint::config_digest(&self.cfg, self.topo, self.tunnels, base_tm)
+    }
+
+    /// [`Controller::run_with_sink`] with durable crash recovery.
+    ///
+    /// With `ckpt` attached, the run writes an atomic checksummed
+    /// checkpoint at every interval boundary and at every
+    /// rollout-stage boundary. With `resume`, the run continues from a
+    /// recovered checkpoint instead of interval 0: loop state is
+    /// restored bit-exactly, an in-flight rollout is completed from
+    /// its durable outcome log (acked stages are consumed, never
+    /// re-pushed — exactly-once), and the report's
+    /// [`fingerprint`](ControllerReport::fingerprint) converges to the
+    /// uninterrupted run's, bit for bit.
+    ///
+    /// A sink only observes intervals this process runs itself;
+    /// pre-crash intervals were already observed by the crashed
+    /// process.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_recovery(
+        &mut self,
+        base_tm: &TrafficMatrix,
+        events: &[TimedEvent],
+        intervals: usize,
+        replay: bool,
         mut sink: Option<&mut dyn IntervalSink>,
+        mut ckpt: Option<&mut Checkpointer>,
+        resume: Option<CheckpointState>,
     ) -> ControllerReport {
         let mut planner = Planner::new(PlannerConfig {
             ffc: self.cfg.ffc.clone(),
@@ -261,7 +327,56 @@ impl<'a> Controller<'a> {
             recorded = events.to_vec();
         }
 
-        for interval in 0..intervals {
+        // Restore every loop local from the checkpoint. The restored
+        // state is exactly what the crashed run held at its last
+        // boundary, so the re-run of each remaining interval —
+        // event application, warm re-solve, rollout, accounting — is
+        // bit-identical to what the uninterrupted run did.
+        let mut start_interval = 0usize;
+        let mut prior_fingerprints: Vec<String> = Vec::new();
+        let mut inflight: Option<InflightRollout> = None;
+        if let Some(st) = resume {
+            start_interval = st.next_interval;
+            for (i, &d) in st.demands.iter().enumerate() {
+                if i < tm.len() {
+                    tm.set_demand(FlowId(i), d);
+                }
+            }
+            store = ConfigStore::from_snapshot(st.store);
+            planner.restore(&st.planner);
+            let mut scenario = FaultScenario::none();
+            scenario.failed_links = st.failed_links.iter().map(|&i| LinkId(i)).collect();
+            scenario.failed_switches = st.failed_switches.iter().map(|&i| NodeId(i)).collect();
+            let installed = (st.next_interval > 0).then(|| store.installed().clone());
+            sim.restore_boundary(scenario, installed);
+            rng = StdRng::from_state(st.rng);
+            totals.delivered = st.totals[0];
+            totals.lost_congestion = st.totals[1];
+            totals.lost_blackhole = st.totals[2];
+            prior_fingerprints = st.fingerprints;
+            recorded = st.recorded;
+            inflight = st.inflight;
+        }
+        // Fingerprint lines of every completed interval (pre-resume
+        // included) — the boundary part of each checkpoint.
+        let mut fp_lines = prior_fingerprints.clone();
+        // The state at the last interval boundary; a mid-rollout
+        // checkpoint is this plus the in-flight record.
+        let mut last_boundary: Option<CheckpointState> = ckpt.as_ref().map(|_| {
+            boundary_state(
+                start_interval,
+                &tm,
+                &store,
+                &planner,
+                &sim,
+                &rng,
+                &totals,
+                &fp_lines,
+                &recorded,
+            )
+        });
+
+        for interval in start_interval..intervals {
             // 1. Apply this interval's input events.
             let mut events_applied = 0usize;
             for te in events.iter().filter(|te| te.interval == interval) {
@@ -348,24 +463,89 @@ impl<'a> Controller<'a> {
                 retry_timeout_secs: self.cfg.retry_timeout_secs,
                 max_retries: self.cfg.max_retries,
             };
-            let source = if replay {
-                OutcomeSource::Recorded(events)
-            } else {
-                OutcomeSource::Sample(&mut rng)
+            // A crash left this interval's rollout in flight: re-plan
+            // deterministically (done above — same boundary state, same
+            // solve) and consume the durable outcome log instead of
+            // sampling. Stages the crashed run already pushed complete
+            // from the log — never re-pushed — and the remainder
+            // finishes exactly as it would have.
+            let resumed_inflight = inflight.take().filter(|f| f.interval == interval);
+            let rng_before = rng.state();
+            let hook_rng_after = resumed_inflight
+                .as_ref()
+                .map_or(rng_before, |f| f.rng_after);
+            let crash_mid = self.cfg.chaos.crash_mid_rollout;
+            let (reached, rollout) = {
+                let mut hook_storage;
+                let stage_hook: Option<&mut dyn FnMut(StageEvent<'_>)> =
+                    match (ckpt.as_deref_mut(), last_boundary.as_ref()) {
+                        (Some(ck), Some(bound)) => {
+                            hook_storage = |ev: StageEvent<'_>| {
+                                let mut st = bound.clone();
+                                st.inflight = Some(InflightRollout {
+                                    interval,
+                                    stage_reached: ev.completed_steps,
+                                    steps_planned: ev.steps_planned,
+                                    rng_after: ev.rng_state.unwrap_or(hook_rng_after),
+                                    outcomes: ev.outcomes.to_vec(),
+                                });
+                                ck.write(&st);
+                                if crash_mid == Some((interval, ev.completed_steps)) {
+                                    panic!(
+                                        "chaos-crash: mid-rollout interval {interval} stage {}",
+                                        ev.completed_steps
+                                    );
+                                }
+                            };
+                            Some(&mut hook_storage)
+                        }
+                        _ => None,
+                    };
+                let source = if let Some(f) = &resumed_inflight {
+                    OutcomeSource::Recorded(&f.outcomes)
+                } else if replay {
+                    OutcomeSource::Recorded(events)
+                } else {
+                    OutcomeSource::Sample(&mut rng)
+                };
+                executor::rollout_staged(
+                    self.topo,
+                    &tm,
+                    self.tunnels,
+                    &old,
+                    &target,
+                    &ingresses,
+                    &exec_cfg,
+                    interval,
+                    source,
+                    stage_hook,
+                )
             };
-            let (reached, rollout) = executor::rollout(
-                self.topo,
-                &tm,
-                self.tunnels,
-                &old,
-                &target,
-                &ingresses,
-                &exec_cfg,
-                interval,
-                source,
-            );
             if !replay {
-                recorded.extend(rollout.recorded.iter().cloned());
+                if let Some(f) = &resumed_inflight {
+                    // Re-verification of the half-pushed stage: the
+                    // schedule recomputed from the durable log must
+                    // reach at least the stage the crashed run acked.
+                    // With a checksummed checkpoint and the config
+                    // digest guard this cannot diverge short of a bug;
+                    // failing loud beats silently double-pushing.
+                    assert!(
+                        rollout.steps_planned == f.steps_planned
+                            && rollout.steps_completed >= f.stage_reached,
+                        "resume diverged from the checkpointed rollout of interval {interval}: \
+                         planned {} vs {}, completed {} vs acked stage {}",
+                        rollout.steps_planned,
+                        f.steps_planned,
+                        rollout.steps_completed,
+                        f.stage_reached,
+                    );
+                    recorded.extend(f.outcomes.iter().cloned());
+                    // Continue later intervals from the post-sampling
+                    // RNG state — the crashed run's stream, bit-exact.
+                    rng = StdRng::from_state(f.rng_after);
+                } else {
+                    recorded.extend(rollout.recorded.iter().cloned());
+                }
             }
             let full = rollout.completed && rollout.congestion_free_plan && !rolled_back;
             store.commit(reached.clone(), full);
@@ -420,14 +600,79 @@ impl<'a> Controller<'a> {
                     .collect();
                 sink.record(&record, &util);
             }
+            if ckpt.is_some() {
+                fp_lines.push(record.fingerprint());
+            }
             telemetry.push(record);
+            if let Some(ck) = ckpt.as_deref_mut() {
+                let st = boundary_state(
+                    interval + 1,
+                    &tm,
+                    &store,
+                    &planner,
+                    &sim,
+                    &rng,
+                    &totals,
+                    &fp_lines,
+                    &recorded,
+                );
+                ck.write(&st);
+                last_boundary = Some(st);
+            }
+            if self.cfg.chaos.crash_at_interval == Some(interval) {
+                panic!("chaos-crash: interval boundary {interval}");
+            }
         }
 
         ControllerReport {
             telemetry,
             totals,
             recorded_events: recorded,
+            prior_fingerprints,
         }
+    }
+}
+
+/// The complete controller state at an interval boundary, as a
+/// checkpoint (no in-flight rollout).
+#[allow(clippy::too_many_arguments)]
+fn boundary_state(
+    next_interval: usize,
+    tm: &TrafficMatrix,
+    store: &ConfigStore,
+    planner: &Planner,
+    sim: &DrivenSim<'_>,
+    rng: &StdRng,
+    totals: &RunTotals,
+    fingerprints: &[String],
+    recorded: &[TimedEvent],
+) -> CheckpointState {
+    CheckpointState {
+        next_interval,
+        demands: tm.iter().map(|(_, f)| f.demand).collect(),
+        store: store.snapshot(),
+        planner: planner.snapshot(),
+        failed_links: sim
+            .scenario()
+            .failed_links
+            .iter()
+            .map(|l| l.index())
+            .collect(),
+        failed_switches: sim
+            .scenario()
+            .failed_switches
+            .iter()
+            .map(|v| v.index())
+            .collect(),
+        rng: rng.state(),
+        totals: [
+            totals.delivered,
+            totals.lost_congestion,
+            totals.lost_blackhole,
+        ],
+        fingerprints: fingerprints.to_vec(),
+        recorded: recorded.to_vec(),
+        inflight: None,
     }
 }
 

@@ -145,6 +145,24 @@ pub struct Planner {
     cache: Option<FfcModelCache>,
 }
 
+/// The planner's externalized ladder state — what a crash checkpoint
+/// persists. The standing [`FfcModelCache`] is deliberately *not* part
+/// of it: a patched model is bit-identical to a fresh build (checked
+/// under debug assertions), so a resumed planner rebuilds the cache on
+/// its first solve and the fingerprints still match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerSnapshot {
+    /// Requested protection level (mutable at runtime via
+    /// [`Planner::set_protection`]).
+    pub requested: (usize, usize, usize),
+    /// Current, possibly degraded, protection level.
+    pub current: (usize, usize, usize),
+    /// Whether the ladder has bottomed out entirely.
+    pub rescale_only: bool,
+    /// Intervals since the last rescale-only probe solve.
+    pub intervals_since_probe: usize,
+}
+
 impl Planner {
     /// A planner at the requested protection level.
     pub fn new(cfg: PlannerConfig) -> Self {
@@ -156,6 +174,40 @@ impl Planner {
             intervals_since_probe: 0,
             cache: None,
         }
+    }
+
+    /// Externalizes the ladder state for a crash checkpoint.
+    pub fn snapshot(&self) -> PlannerSnapshot {
+        PlannerSnapshot {
+            requested: (self.cfg.ffc.kc, self.cfg.ffc.ke, self.cfg.ffc.kv),
+            current: (self.current.kc, self.current.ke, self.current.kv),
+            rescale_only: self.rescale_only,
+            intervals_since_probe: self.intervals_since_probe,
+        }
+    }
+
+    /// Restores the ladder state captured by [`Planner::snapshot`].
+    /// Only the `(kc, ke, kv)` triples travel through the snapshot; the
+    /// rest of the [`FfcConfig`] (encoding, mice fraction, unprotected
+    /// links) is immutable per run and comes from this planner's
+    /// config. The standing model cache starts empty and is rebuilt on
+    /// the first post-restore solve.
+    pub fn restore(&mut self, s: &PlannerSnapshot) {
+        self.cfg.ffc = FfcConfig {
+            kc: s.requested.0,
+            ke: s.requested.1,
+            kv: s.requested.2,
+            ..self.cfg.ffc.clone()
+        };
+        self.current = FfcConfig {
+            kc: s.current.0,
+            ke: s.current.1,
+            kv: s.current.2,
+            ..self.cfg.ffc.clone()
+        };
+        self.rescale_only = s.rescale_only;
+        self.intervals_since_probe = s.intervals_since_probe;
+        self.cache = None;
     }
 
     /// The protection level the next solve will use.

@@ -34,6 +34,10 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use ffc_ctrl::durable::{
+    fnv64, fnv_step, io_err, put_u32, put_u64, put_varint, unzigzag, write_atomic, zigzag, Cursor,
+    FNV_OFFSET,
+};
 use ffc_ctrl::{IntervalSink, IntervalTelemetry, SolvePath, TELEMETRY_SCHEMA_VERSION};
 
 /// Version of the segment container format.
@@ -59,103 +63,8 @@ pub struct StoreRecord {
     pub link_util: Vec<f64>,
 }
 
-// ---------------------------------------------------------------------
-// Primitive encoding
-// ---------------------------------------------------------------------
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x100_0000_01b3;
-
-fn fnv_step(h: u64, byte: u8) -> u64 {
-    (h ^ byte as u64).wrapping_mul(FNV_PRIME)
-}
-
-fn fnv64(bytes: &[u8]) -> u64 {
-    bytes.iter().fold(FNV_OFFSET, |h, &b| fnv_step(h, b))
-}
-
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let b = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.push(b);
-            return;
-        }
-        buf.push(b | 0x80);
-    }
-}
-
-fn zigzag(d: i64) -> u64 {
-    ((d << 1) ^ (d >> 63)) as u64
-}
-
-fn unzigzag(u: u64) -> i64 {
-    ((u >> 1) as i64) ^ -((u & 1) as i64)
-}
-
-/// A cursor over a byte slice with error messages that carry the file
-/// name and offset of the failure.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    file: &'a str,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
-        if self.pos + n > self.bytes.len() {
-            return Err(format!(
-                "{}: truncated at offset {} reading {what} ({} of {n} bytes left)",
-                self.file,
-                self.pos,
-                self.bytes.len().saturating_sub(self.pos)
-            ));
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u32(&mut self, what: &str) -> Result<u32, String> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn u64(&mut self, what: &str) -> Result<u64, String> {
-        let b = self.take(8, what)?;
-        let mut a = [0u8; 8];
-        a.copy_from_slice(b);
-        Ok(u64::from_le_bytes(a))
-    }
-
-    fn varint(&mut self, what: &str) -> Result<u64, String> {
-        let mut v = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let b = self.take(1, what)?[0];
-            if shift >= 64 {
-                return Err(format!(
-                    "{}: varint overflow at offset {} reading {what}",
-                    self.file, self.pos
-                ));
-            }
-            v |= ((b & 0x7f) as u64) << shift;
-            if b & 0x80 == 0 {
-                return Ok(v);
-            }
-            shift += 7;
-        }
-    }
-}
+// Primitive encoding (FNV, varints, cursors, atomic writes) lives in
+// `ffc_ctrl::durable`, shared with the controller's crash checkpoints.
 
 // ---------------------------------------------------------------------
 // Column schema
@@ -254,10 +163,6 @@ const KIND_U8: u8 = 2;
 // Segment writing
 // ---------------------------------------------------------------------
 
-fn io_err(path: &Path, op: &str, e: std::io::Error) -> String {
-    format!("{}: {op}: {e}", path.display())
-}
-
 /// Encodes `records` into a segment byte image.
 fn encode_segment(records: &[StoreRecord], n_links: usize) -> Vec<u8> {
     let mut body = Vec::new();
@@ -322,10 +227,7 @@ fn encode_segment(records: &[StoreRecord], n_links: usize) -> Vec<u8> {
 
 /// Writes a segment atomically (temp file + rename).
 fn write_segment(path: &Path, records: &[StoreRecord], n_links: usize) -> Result<(), String> {
-    let body = encode_segment(records, n_links);
-    let tmp = path.with_extension("ffts.tmp");
-    fs::write(&tmp, &body).map_err(|e| io_err(&tmp, "write", e))?;
-    fs::rename(&tmp, path).map_err(|e| io_err(path, "rename", e))
+    write_atomic(path, &encode_segment(records, n_links))
 }
 
 // ---------------------------------------------------------------------
@@ -402,11 +304,7 @@ fn decode_segment_inner(path: &Path) -> Result<Vec<StoreRecord>, String> {
         ));
     }
 
-    let mut cur = Cursor {
-        bytes: &bytes,
-        pos: 8,
-        file: &file,
-    };
+    let mut cur = Cursor::at(&bytes, 8, &file);
     let version = cur.u32("store schema version")?;
     if version != STORE_SCHEMA_VERSION {
         return Err(format!(
@@ -433,11 +331,7 @@ fn decode_segment_inner(path: &Path) -> Result<Vec<StoreRecord>, String> {
     if footer_off >= bytes.len() {
         return Err(format!("{file}: footer offset {footer_off} out of range"));
     }
-    let mut fcur = Cursor {
-        bytes: &bytes,
-        pos: footer_off,
-        file: &file,
-    };
+    let mut fcur = Cursor::at(&bytes, footer_off, &file);
     let n_cols = fcur.u32("column count")? as usize;
     let mut cols: BTreeMap<String, Col> = BTreeMap::new();
     for _ in 0..n_cols {
@@ -445,7 +339,7 @@ fn decode_segment_inner(path: &Path) -> Result<Vec<StoreRecord>, String> {
         if name_len > 256 {
             return Err(format!(
                 "{file}: offset {}: implausible column name length {name_len}",
-                fcur.pos
+                fcur.pos()
             ));
         }
         let name = String::from_utf8(fcur.take(name_len, "column name")?.to_vec())
@@ -464,11 +358,7 @@ fn decode_segment_inner(path: &Path) -> Result<Vec<StoreRecord>, String> {
         } else {
             n_records
         };
-        let mut ccur = Cursor {
-            bytes: &bytes[..off + len],
-            pos: off,
-            file: &file,
-        };
+        let mut ccur = Cursor::at(&bytes[..off + len], off, &file);
         let col = match kind {
             KIND_U64_DELTA => {
                 let mut vals = Vec::with_capacity(count);
@@ -1267,14 +1157,10 @@ mod tests {
         for v in [0u64, 1, 127, 128, 300, u64::MAX] {
             put_varint(&mut buf, v);
         }
-        let mut cur = Cursor {
-            bytes: &buf,
-            pos: 0,
-            file: "test",
-        };
+        let mut cur = Cursor::new(&buf, "test");
         for v in [0u64, 1, 127, 128, 300, u64::MAX] {
             assert_eq!(cur.varint("v").expect("varint"), v);
         }
-        assert_eq!(cur.pos, buf.len());
+        assert_eq!(cur.pos(), buf.len());
     }
 }

@@ -1,0 +1,152 @@
+//! End-to-end recovery surfacing: a controller run streams telemetry
+//! into a store, the store's tail segment is torn on disk (crash mid
+//! write), and `ffc report`'s renderers must surface the recovery note
+//! in both the text and HTML output — an operator reading either view
+//! learns data was dropped, without the open or the report panicking.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ffc_core::FfcConfig;
+use ffc_ctrl::{Controller, ControllerConfig, Event, TimedEvent};
+use ffc_fleet::{build_report, link_names, ReportOptions, StoreWriter, TelemetryStore};
+use ffc_net::prelude::*;
+use ffc_sim::SwitchModel;
+
+fn diamond() -> (Topology, TrafficMatrix, TunnelTable) {
+    let mut topo = Topology::new();
+    let (a, b, c, d) = (
+        topo.add_node("a"),
+        topo.add_node("b"),
+        topo.add_node("c"),
+        topo.add_node("d"),
+    );
+    topo.add_bidi(a, b, 10.0);
+    topo.add_bidi(b, d, 10.0);
+    topo.add_bidi(a, c, 10.0);
+    topo.add_bidi(c, d, 10.0);
+    let mut tm = TrafficMatrix::new();
+    tm.add_flow(a, d, 8.0, Priority::High);
+    let tunnels = layout_tunnels(
+        &topo,
+        &tm,
+        &LayoutConfig {
+            tunnels_per_flow: 2,
+            ..LayoutConfig::default()
+        },
+    );
+    (topo, tm, tunnels)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ffc-report-rec-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drives a real controller run into a store at `dir` with small
+/// segments, so several sealed segments land on disk.
+fn capture_store(dir: &Path) {
+    let (topo, tm, tunnels) = diamond();
+    let cfg = ControllerConfig::new(FfcConfig::new(0, 1, 0), SwitchModel::Realistic);
+    let mut ctrl = Controller::new(&topo, &tunnels, cfg);
+    let mut w = StoreWriter::create(dir, link_names(&topo)).expect("create store");
+    w.segment_intervals = 3;
+    let events = vec![
+        TimedEvent {
+            interval: 2,
+            event: Event::DemandScale(0.8),
+        },
+        TimedEvent {
+            interval: 5,
+            event: Event::DemandScale(1.1),
+        },
+    ];
+    ctrl.run_with_sink(&tm, &events, 9, false, Some(&mut w));
+    w.finish().expect("finish");
+}
+
+/// Tears the newest sealed segment roughly in half.
+fn tear_tail_segment(dir: &Path) {
+    let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ffts"))
+        .collect();
+    segs.sort();
+    assert!(segs.len() >= 2, "need sealed segments to tear");
+    let tail = segs.last().expect("tail");
+    let bytes = fs::read(tail).expect("read tail");
+    fs::write(tail, &bytes[..bytes.len() / 2]).expect("tear");
+}
+
+#[test]
+fn torn_store_report_surfaces_the_recovery_note_in_text_and_html() {
+    let dir = scratch("torn");
+    capture_store(&dir);
+    tear_tail_segment(&dir);
+
+    let store = TelemetryStore::open(&dir).expect("open survives the tear");
+    assert!(
+        !store.recovery_notes.is_empty(),
+        "a torn tail segment must leave a note"
+    );
+
+    let opts = ReportOptions {
+        top_links: 5,
+        include_timing: false,
+    };
+    let report = build_report(&store, &opts);
+    assert_eq!(report.recovery_notes, store.recovery_notes);
+
+    let text = report.to_text(&opts);
+    assert!(
+        text.contains("recovery:"),
+        "text report must carry the recovery line:\n{text}"
+    );
+    assert!(
+        text.contains("torn tail segment"),
+        "text report must say what was dropped:\n{text}"
+    );
+
+    let html = report.to_html(&opts);
+    assert!(
+        html.contains("<strong>recovery:</strong>"),
+        "HTML report must carry the recovery line"
+    );
+    assert!(html.contains("torn tail segment"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn intact_store_report_has_no_recovery_lines() {
+    let dir = scratch("intact");
+    capture_store(&dir);
+    let store = TelemetryStore::open(&dir).expect("open");
+    assert!(store.recovery_notes.is_empty());
+    let opts = ReportOptions {
+        top_links: 5,
+        include_timing: false,
+    };
+    let report = build_report(&store, &opts);
+    let text = report.to_text(&opts);
+    assert!(!text.contains("recovery:"), "{text}");
+    assert!(!report.to_html(&opts).contains("recovery:"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_store_report_is_deterministic_across_opens() {
+    let dir = scratch("det");
+    capture_store(&dir);
+    tear_tail_segment(&dir);
+    let opts = ReportOptions {
+        top_links: 5,
+        include_timing: false,
+    };
+    let a = build_report(&TelemetryStore::open(&dir).expect("open a"), &opts).to_text(&opts);
+    let b = build_report(&TelemetryStore::open(&dir).expect("open b"), &opts).to_text(&opts);
+    assert_eq!(a, b, "re-opening a torn store must render identically");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -201,7 +201,7 @@ pub enum ColStatus {
 /// (same variables and constraints; bounds, right-hand sides and
 /// objective may differ) — e.g. successive iterations of max-min
 /// fairness, or re-solves after demand changes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BasisStatuses(pub Vec<ColStatus>);
 
 /// Per-solve performance counters, filled by the simplex engine and

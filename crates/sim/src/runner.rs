@@ -586,6 +586,18 @@ impl<'a> DrivenSim<'a> {
         &self.active
     }
 
+    /// Restores the simulator to an interval boundary captured by a
+    /// controller crash checkpoint: `active` is the fault set in force,
+    /// `installed` the configuration the network runs. At a boundary
+    /// the fresh-fault list is always empty (faults only arrive through
+    /// events inside an interval and `advance` drains them), so no
+    /// pending blackhole windows need restoring.
+    pub fn restore_boundary(&mut self, active: FaultScenario, installed: Option<TeConfig>) {
+        self.active = active;
+        self.fresh.clear();
+        self.installed = installed;
+    }
+
     /// The configuration the network currently runs, if any.
     pub fn installed(&self) -> Option<&TeConfig> {
         self.installed.as_ref()

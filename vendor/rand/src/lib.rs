@@ -214,6 +214,24 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Returns the raw xoshiro256** state (local extension, not in
+        /// upstream `rand`): lets callers capture the exact stream
+        /// position for durable checkpoints.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a captured [`StdRng::state`]
+        /// (local extension). The restored generator continues the
+        /// stream bit-for-bit where the captured one left off.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
@@ -275,6 +293,18 @@ mod tests {
             seen[rng.gen_range(0..10usize)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..37 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]
