@@ -1,0 +1,648 @@
+//! Interprocedural passes (analysis pass 4): determinism taint and
+//! panic reachability.
+//!
+//! **Determinism taint.** Nondeterminism *sources* are seeded inside
+//! fn bodies — wall-clock reads (`Instant::now`, `SystemTime`),
+//! `rand`, environment reads, `HashMap`/`HashSet` iteration (order
+//! varies run to run), thread identity, and NaN-propagating float
+//! comparisons (`partial_cmp`). Taint then flows *backwards up the
+//! call graph*: a replay-critical **sink** (fingerprint computation,
+//! checkpoint serialization, chaos campaign generation, telemetry
+//! store writes) is flagged when any fn it transitively calls contains
+//! a source. The full sink→…→source call chain is reported.
+//!
+//! **Panic reachability.** The same traversal from panic-sensitive
+//! *roots* (the controller interval loop, the solver pivot loop, the
+//! kernel blocks) to fns containing `unwrap`/`expect`, indexing,
+//! remainder-by-nonliteral, or explicit panic macros.
+//!
+//! Findings are keyed `(rule, kind, containing fn)` — no line numbers
+//! — so the committed baseline survives unrelated edits; chains and
+//! line numbers ride along in the JSON report for humans.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use super::callgraph::CallGraph;
+use super::lexer::TokKind;
+use super::parser::KEYWORDS;
+use super::symbols::SourceFile;
+
+/// Matches functions by name shape; used for sink and root specs.
+#[derive(Debug, Clone)]
+pub enum FnMatcher {
+    /// Simple name contains the substring.
+    NameContains(String),
+    /// Qualified name starts with the prefix.
+    QnamePrefix(String),
+    /// Qualified name starts with the prefix AND the simple name
+    /// starts with one of the verbs.
+    PrefixAndNameStarts(String, Vec<String>),
+}
+
+impl FnMatcher {
+    fn matches(&self, qname: &str, name: &str) -> bool {
+        match self {
+            FnMatcher::NameContains(s) => name.contains(s.as_str()),
+            FnMatcher::QnamePrefix(p) => qname.starts_with(p.as_str()),
+            FnMatcher::PrefixAndNameStarts(p, verbs) => {
+                qname.starts_with(p.as_str()) && verbs.iter().any(|v| name.starts_with(v.as_str()))
+            }
+        }
+    }
+}
+
+/// Analyzer configuration: what counts as a sink, a root, and a
+/// replay-deterministic module.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Determinism-taint sinks: `(label, matcher)`.
+    pub sinks: Vec<(String, FnMatcher)>,
+    /// Panic-reachability roots: `(label, matcher)`.
+    pub roots: Vec<(String, FnMatcher)>,
+    /// Call-chain depth cap.
+    pub max_depth: usize,
+}
+
+impl AnalysisConfig {
+    /// The workspace defaults: FFC's replay-critical sinks and
+    /// hot-loop roots.
+    pub fn workspace_default() -> Self {
+        let s = |s: &str| s.to_string();
+        AnalysisConfig {
+            sinks: vec![
+                (s("fingerprint"), FnMatcher::NameContains(s("fingerprint"))),
+                (
+                    s("checkpoint-serialization"),
+                    FnMatcher::PrefixAndNameStarts(
+                        s("ffc-ctrl::checkpoint::"),
+                        vec![s("write"), s("encode"), s("save")],
+                    ),
+                ),
+                (
+                    s("campaign-generation"),
+                    FnMatcher::QnamePrefix(s("ffc-chaos::injector::generate_campaign")),
+                ),
+                (
+                    s("telemetry-store-write"),
+                    FnMatcher::PrefixAndNameStarts(
+                        s("ffc-fleet::store::"),
+                        vec![
+                            s("write"),
+                            s("append"),
+                            s("finish"),
+                            s("graduate"),
+                            s("flush"),
+                        ],
+                    ),
+                ),
+            ],
+            roots: vec![
+                (
+                    s("controller-loop"),
+                    FnMatcher::QnamePrefix(s("ffc-ctrl::Controller::run")),
+                ),
+                (
+                    s("supervisor"),
+                    FnMatcher::QnamePrefix(s("ffc-ctrl::supervisor::run_supervised")),
+                ),
+                (
+                    s("solver-pivot-loop"),
+                    FnMatcher::QnamePrefix(s("ffc-lp::simplex::Engine::optimize")),
+                ),
+                (
+                    s("kernel-blocks"),
+                    FnMatcher::QnamePrefix(s("ffc-audit::kernels::")),
+                ),
+            ],
+            max_depth: 64,
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// `taint-determinism` or `panic-reachable`.
+    pub rule: &'static str,
+    /// Source kind (`time`, `rand`, `env`, `hash-iter`, `thread-id`,
+    /// `float-partial-cmp`) or panic kind (`unwrap`, `expect`,
+    /// `index`, `rem-nonliteral`, `panic-macro`).
+    pub kind: &'static str,
+    /// Label of the sink/root spec that anchored the traversal.
+    pub anchor_label: String,
+    /// Qualified name of the sink/root fn.
+    pub anchor: String,
+    /// Qualified name of the fn containing the site.
+    pub site_fn: String,
+    /// File of the site, relative to the analysis root.
+    pub file: String,
+    /// 1-based line of the site.
+    pub line: u32,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// Full call chain, anchor first, site fn last.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    /// Stable ratchet key: no line numbers, no chains — unrelated
+    /// edits don't churn the baseline.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}", self.rule, self.kind, self.site_fn)
+    }
+}
+
+/// A detected site inside one fn body.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Site classification (shared kind vocabulary with [`Finding`]).
+    pub kind: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// Trimmed source line.
+    pub excerpt: String,
+}
+
+/// All sites of one fn: determinism sources and panic points.
+#[derive(Debug, Default, Clone)]
+pub struct FnSites {
+    /// Nondeterminism sources.
+    pub sources: Vec<Site>,
+    /// Panic points.
+    pub panics: Vec<Site>,
+}
+
+/// Hash-iteration method names (order-nondeterministic on
+/// `HashMap`/`HashSet`).
+const HASH_ITER_METHODS: &[&str] = &[
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "iter",
+    "iter_mut",
+    "keys",
+    "retain",
+    "values",
+    "values_mut",
+];
+
+/// The reviewed-suppression marker honored by [`find_sites`]: a
+/// comment containing it on (or directly above) a line mutes that
+/// line's sites. `ffc audit fix` scaffolds these markers for findings
+/// it cannot rewrite. (Built from fragments so this file's own lines
+/// never carry the literal marker.)
+pub fn allow_marker() -> String {
+    format!("{}:{}", "analysis", "allow")
+}
+
+/// Scans one fn body for sources and panic sites. `hash_fields` is the
+/// workspace-wide set of struct fields declared with hash-based types.
+pub fn find_sites(
+    file: &SourceFile,
+    (start, end): (usize, usize),
+    hash_fields: &BTreeSet<String>,
+) -> FnSites {
+    let toks = &file.ast.tokens;
+    let src = &file.src;
+    let lines: Vec<&str> = src.lines().collect();
+    let marker = allow_marker();
+    let suppressed = |line: u32| -> bool {
+        let idx = line as usize - 1;
+        lines.get(idx).is_some_and(|l| l.contains(&marker))
+            || idx > 0 && lines.get(idx - 1).is_some_and(|l| l.contains(&marker))
+    };
+    let excerpt_at = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let sig: Vec<usize> = (start..end.min(toks.len()))
+        .filter(|&i| {
+            !matches!(
+                toks[i].kind,
+                TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+            )
+        })
+        .collect();
+    let text = |si: usize| -> &str { toks[sig[si]].text(src) };
+    let kind = |si: usize| -> TokKind { toks[sig[si]].kind };
+    let line = |si: usize| -> u32 { toks[sig[si]].line };
+
+    let mut out = FnSites::default();
+    let mut push_source = |k: &'static str, ln: u32| {
+        out.sources.push(Site {
+            kind: k,
+            line: ln,
+            excerpt: excerpt_at(ln),
+        });
+    };
+    // Two passes keep the borrow checker happy: collect first.
+    let mut sources: Vec<(&'static str, u32)> = Vec::new();
+    let mut panics: Vec<(&'static str, u32)> = Vec::new();
+
+    // Pass A: locals declared with hash-based types.
+    let mut hash_locals: BTreeSet<String> = BTreeSet::new();
+    let mut i = 0usize;
+    while i < sig.len() {
+        if text(i) == "let" {
+            let mut n = i + 1;
+            if n < sig.len() && text(n) == "mut" {
+                n += 1;
+            }
+            if n < sig.len() && kind(n) == TokKind::Ident && !KEYWORDS.contains(&text(n)) {
+                let name = text(n).to_string();
+                let mut j = n + 1;
+                while j < sig.len() && text(j) != ";" && text(j) != "{" {
+                    if matches!(text(j), "HashMap" | "HashSet") {
+                        hash_locals.insert(name.clone());
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Pass B: site patterns.
+    for i in 0..sig.len() {
+        let t = text(i);
+        let k = kind(i);
+        match (k, t) {
+            (TokKind::Ident, "Instant")
+                if i + 3 < sig.len()
+                    && text(i + 1) == ":"
+                    && text(i + 2) == ":"
+                    && text(i + 3) == "now" =>
+            {
+                sources.push(("time", line(i)));
+            }
+            (TokKind::Ident, "SystemTime") | (TokKind::Ident, "UNIX_EPOCH") => {
+                sources.push(("time", line(i)));
+            }
+            (TokKind::Ident, "rand")
+                if i + 2 < sig.len() && text(i + 1) == ":" && text(i + 2) == ":" =>
+            {
+                sources.push(("rand", line(i)));
+            }
+            (TokKind::Ident, "env")
+                if i + 3 < sig.len()
+                    && text(i + 1) == ":"
+                    && text(i + 2) == ":"
+                    && matches!(text(i + 3), "var" | "vars" | "var_os" | "args") =>
+            {
+                sources.push(("env", line(i)));
+            }
+            (TokKind::Ident, "thread")
+                if i + 3 < sig.len()
+                    && text(i + 1) == ":"
+                    && text(i + 2) == ":"
+                    && text(i + 3) == "current" =>
+            {
+                sources.push(("thread-id", line(i)));
+            }
+            (TokKind::Ident, "ThreadId") => sources.push(("thread-id", line(i))),
+            (TokKind::Ident, "partial_cmp")
+                if i >= 1 && text(i - 1) == "." && i + 1 < sig.len() && text(i + 1) == "(" =>
+            {
+                sources.push(("float-partial-cmp", line(i)));
+            }
+            // `h.iter()` / `self.field.keys()` on a hash-typed binding.
+            (TokKind::Ident, m)
+                if HASH_ITER_METHODS.contains(&m)
+                    && i >= 2
+                    && text(i - 1) == "."
+                    && kind(i - 2) == TokKind::Ident
+                    && i + 1 < sig.len()
+                    && text(i + 1) == "("
+                    && (hash_locals.contains(text(i - 2)) || hash_fields.contains(text(i - 2))) =>
+            {
+                sources.push(("hash-iter", line(i)));
+            }
+            // `for x in &h` / `for (k, v) in h`.
+            (TokKind::Ident, "in") if i + 1 < sig.len() => {
+                let mut j = i + 1;
+                while j < sig.len() && matches!(text(j), "&" | "mut") {
+                    j += 1;
+                }
+                if j < sig.len()
+                    && kind(j) == TokKind::Ident
+                    && (hash_locals.contains(text(j)) || hash_fields.contains(text(j)))
+                    && (j + 1 >= sig.len() || text(j + 1) != ".")
+                {
+                    sources.push(("hash-iter", line(j)));
+                }
+            }
+            // Panic sites.
+            (TokKind::Ident, "unwrap") | (TokKind::Ident, "unwrap_err")
+                if i >= 1 && text(i - 1) == "." && i + 1 < sig.len() && text(i + 1) == "(" =>
+            {
+                panics.push(("unwrap", line(i)));
+            }
+            (TokKind::Ident, "expect") | (TokKind::Ident, "expect_err")
+                if i >= 1 && text(i - 1) == "." && i + 1 < sig.len() && text(i + 1) == "(" =>
+            {
+                panics.push(("expect", line(i)));
+            }
+            (TokKind::Ident, "panic")
+            | (TokKind::Ident, "todo")
+            | (TokKind::Ident, "unimplemented")
+                if i + 1 < sig.len() && text(i + 1) == "!" =>
+            {
+                panics.push(("panic-macro", line(i)));
+            }
+            (TokKind::Punct, "[")
+                if i >= 1
+                    && (matches!(kind(i - 1), TokKind::Ident)
+                        && !KEYWORDS.contains(&text(i - 1))
+                        || matches!(text(i - 1), ")" | "]")) =>
+            {
+                panics.push(("index", line(i)));
+            }
+            (TokKind::Punct, "%")
+                if i + 1 < sig.len()
+                    && kind(i + 1) != TokKind::Num
+                    && text(i + 1) != "="
+                    && i >= 1
+                    && (matches!(kind(i - 1), TokKind::Ident | TokKind::Num)
+                        || matches!(text(i - 1), ")" | "]")) =>
+            {
+                panics.push(("rem-nonliteral", line(i)));
+            }
+            _ => {}
+        }
+    }
+    for (k, ln) in sources {
+        if !suppressed(ln) {
+            push_source(k, ln);
+        }
+    }
+    for (k, ln) in panics {
+        if !suppressed(ln) {
+            out.panics.push(Site {
+                kind: k,
+                line: ln,
+                excerpt: excerpt_at(ln),
+            });
+        }
+    }
+    out
+}
+
+/// Runs both interprocedural passes over the graph. `sites[i]` must
+/// hold the precomputed sites of `graph.fns[i]`.
+pub fn run_passes(graph: &CallGraph, sites: &[FnSites], config: &AnalysisConfig) -> Vec<Finding> {
+    let mut findings: BTreeMap<String, Finding> = BTreeMap::new();
+    let mut record = |f: Finding| {
+        let key = f.key();
+        match findings.get(&key) {
+            Some(old) if old.chain.len() <= f.chain.len() => {}
+            _ => {
+                findings.insert(key, f);
+            }
+        }
+    };
+
+    for (anchors, rule, pick_panics) in [
+        (&config.sinks, "taint-determinism", false),
+        (&config.roots, "panic-reachable", true),
+    ] {
+        for (label, matcher) in anchors.iter() {
+            for (ai, anchor) in graph.fns.iter().enumerate() {
+                if anchor.is_test || !matcher.matches(&anchor.qname, &anchor.name) {
+                    continue;
+                }
+                // BFS through callees; parent pointers rebuild chains.
+                let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+                let mut depth: BTreeMap<usize, usize> = BTreeMap::new();
+                let mut queue: VecDeque<usize> = VecDeque::new();
+                depth.insert(ai, 0);
+                queue.push_back(ai);
+                while let Some(cur) = queue.pop_front() {
+                    let d = depth[&cur];
+                    let node = &graph.fns[cur];
+                    let list = if pick_panics {
+                        &sites[cur].panics
+                    } else {
+                        &sites[cur].sources
+                    };
+                    for site in list {
+                        let mut chain = Vec::new();
+                        let mut walk = cur;
+                        chain.push(graph.fns[walk].qname.clone());
+                        while let Some(&p) = parent.get(&walk) {
+                            walk = p;
+                            chain.push(graph.fns[walk].qname.clone());
+                        }
+                        chain.reverse();
+                        record(Finding {
+                            rule,
+                            kind: site.kind,
+                            anchor_label: label.clone(),
+                            anchor: anchor.qname.clone(),
+                            site_fn: node.qname.clone(),
+                            file: node.file.clone(),
+                            line: site.line,
+                            excerpt: site.excerpt.clone(),
+                            chain,
+                        });
+                    }
+                    if d >= config.max_depth {
+                        continue;
+                    }
+                    for &next in &graph.edges[cur] {
+                        if graph.fns[next].is_test || depth.contains_key(&next) {
+                            continue;
+                        }
+                        depth.insert(next, d + 1);
+                        parent.insert(next, cur);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<Finding> = findings.into_values().collect();
+    out.sort_by_key(|a| a.key());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::symbols::{CrateSrc, SourceFile};
+    use super::*;
+    use std::path::PathBuf;
+
+    fn analyze_src(src: &str, config: &AnalysisConfig) -> Vec<Finding> {
+        let krate = CrateSrc {
+            name: "demo".to_string(),
+            dir: PathBuf::from("demo"),
+            files: vec![SourceFile {
+                rel: "demo/src/lib.rs".to_string(),
+                src: src.to_string(),
+                ast: super::super::parser::parse(src, &[]),
+            }],
+        };
+        let crates = vec![krate];
+        let graph = CallGraph::build(&crates);
+        let hash_fields: BTreeSet<String> = crates
+            .iter()
+            .flat_map(|c| c.files.iter())
+            .flat_map(|f| f.ast.hash_fields.iter().cloned())
+            .collect();
+        let sites: Vec<FnSites> = graph
+            .fns
+            .iter()
+            .map(|f| {
+                let file = &crates[f.crate_idx].files[f.file_idx];
+                match file.ast.fns[f.fn_idx].body {
+                    Some(range) => find_sites(file, range, &hash_fields),
+                    None => FnSites::default(),
+                }
+            })
+            .collect();
+        run_passes(&graph, &sites, config)
+    }
+
+    fn cfg_sink_fingerprint_root_hot() -> AnalysisConfig {
+        AnalysisConfig {
+            sinks: vec![(
+                "fingerprint".to_string(),
+                FnMatcher::NameContains("fingerprint".to_string()),
+            )],
+            roots: vec![(
+                "hot".to_string(),
+                FnMatcher::NameContains("hot_loop".to_string()),
+            )],
+            max_depth: 64,
+        }
+    }
+
+    #[test]
+    fn transitive_taint_reaches_fingerprint_sink() {
+        let findings = analyze_src(
+            r#"
+use std::collections::HashMap;
+fn helper(m: &HashMap<u32, u32>) -> u64 {
+    let mut acc = 0u64;
+    let map: HashMap<u32, u32> = m.clone();
+    for (k, v) in &map { acc += (*k as u64) ^ (*v as u64); }
+    acc
+}
+fn middle(m: &HashMap<u32, u32>) -> u64 { helper(m) }
+pub fn fingerprint_state(m: &HashMap<u32, u32>) -> u64 { middle(m) }
+"#,
+            &cfg_sink_fingerprint_root_hot(),
+        );
+        let taints: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "taint-determinism" && f.kind == "hash-iter")
+            .collect();
+        assert_eq!(taints.len(), 1, "{findings:?}");
+        assert_eq!(
+            taints[0].chain,
+            vec!["demo::fingerprint_state", "demo::middle", "demo::helper"]
+        );
+    }
+
+    #[test]
+    fn panic_reachability_reports_transitive_unwrap() {
+        let findings = analyze_src(
+            r#"
+fn deep(x: Option<u32>) -> u32 { x.unwrap() }
+fn mid(x: Option<u32>) -> u32 { deep(x) }
+pub fn hot_loop(xs: &[Option<u32>]) -> u32 { xs.iter().map(|x| mid(*x)).sum() }
+"#,
+            &cfg_sink_fingerprint_root_hot(),
+        );
+        let unwraps: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "panic-reachable" && f.kind == "unwrap")
+            .collect();
+        assert_eq!(unwraps.len(), 1, "{findings:?}");
+        assert_eq!(unwraps[0].site_fn, "demo::deep");
+        assert_eq!(
+            unwraps[0].chain,
+            vec!["demo::hot_loop", "demo::mid", "demo::deep"]
+        );
+    }
+
+    #[test]
+    fn clean_code_produces_no_findings() {
+        let findings = analyze_src(
+            r#"
+use std::collections::BTreeMap;
+fn helper(m: &BTreeMap<u32, u32>) -> u64 {
+    m.iter().map(|(k, v)| (*k as u64) ^ (*v as u64)).sum()
+}
+pub fn fingerprint_state(m: &BTreeMap<u32, u32>) -> u64 { helper(m) }
+pub fn hot_loop(xs: &[u32]) -> u32 { xs.iter().copied().map(|x| x.saturating_add(1)).sum() }
+"#,
+            &cfg_sink_fingerprint_root_hot(),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let findings = analyze_src(
+            r#"
+pub fn fingerprint_state(x: u64) -> u64 { x }
+#[cfg(test)]
+mod tests {
+    fn tainted_helper() -> u64 { std::time::SystemTime::now(); 0 }
+    #[test]
+    fn probe() { assert_eq!(super::fingerprint_state(tainted_helper()), 0); }
+}
+"#,
+            &cfg_sink_fingerprint_root_hot(),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn time_and_env_sources_seed() {
+        let findings = analyze_src(
+            r#"
+fn clocked() -> u64 { let t = std::time::Instant::now(); t.elapsed().as_nanos() as u64 }
+fn envy() -> bool { std::env::var("FFC_X").is_ok() }
+pub fn fingerprint_all() -> u64 { clocked() + envy() as u64 }
+"#,
+            &cfg_sink_fingerprint_root_hot(),
+        );
+        let kinds: Vec<&str> = findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&"time"), "{findings:?}");
+        assert!(kinds.contains(&"env"), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_marker_suppresses_site() {
+        let src = format!(
+            "fn deep(x: Option<u32>) -> u32 {{\n    // {}(panic-reachable/unwrap): reviewed\n    \
+             x.unwrap()\n}}\npub fn hot_loop(x: Option<u32>) -> u32 {{ deep(x) }}\n",
+            allow_marker()
+        );
+        let findings = analyze_src(&src, &cfg_sink_fingerprint_root_hot());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn index_and_rem_sites_reach_roots() {
+        let findings = analyze_src(
+            r#"
+fn pick(v: &[u32], i: usize) -> u32 { v[i % v.len()] }
+pub fn hot_loop(v: &[u32]) -> u32 { pick(v, 7) }
+"#,
+            &cfg_sink_fingerprint_root_hot(),
+        );
+        let kinds: Vec<&str> = findings
+            .iter()
+            .filter(|f| f.rule == "panic-reachable")
+            .map(|f| f.kind)
+            .collect();
+        assert!(kinds.contains(&"index"), "{findings:?}");
+        assert!(kinds.contains(&"rem-nonliteral"), "{findings:?}");
+    }
+}

@@ -253,6 +253,164 @@ pub fn verify_lp_solution(model: &Model, values: &[f64]) -> Vec<String> {
     out
 }
 
+/// Verdict of [`verify_lp_certificate`]: how much of the solver's
+/// optimality claim could be re-derived independently.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpCertificate {
+    /// Primal feasible *and* the solver's duals pass the KKT checks
+    /// (dual feasibility, complementary slackness, stationarity):
+    /// certified optimal, with the primal−dual objective gap.
+    Optimal {
+        /// `|primal objective − dual objective|`.
+        gap: f64,
+    },
+    /// Primal feasible, but optimality could not be certified — duals
+    /// missing (e.g. the dense cross-check solver) or a KKT condition
+    /// failed. The certificate is demoted, not rejected.
+    FeasibleOnly {
+        /// Why the optimality claim was demoted.
+        reason: String,
+    },
+    /// The primal vector violates bounds or rows.
+    Infeasible {
+        /// The violations, from [`verify_lp_solution`].
+        violations: Vec<String>,
+    },
+}
+
+impl LpCertificate {
+    /// Whether the solution is at least feasible.
+    pub fn is_feasible(&self) -> bool {
+        !matches!(self, LpCertificate::Infeasible { .. })
+    }
+
+    /// Whether optimality was certified.
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, LpCertificate::Optimal { .. })
+    }
+}
+
+/// Checks a solved model against the full KKT conditions using the
+/// duals the simplex engine reported — still with no simplex code on
+/// the verification path (plain dot products over the model rows).
+///
+/// * **Primal feasibility** — bounds and row residuals
+///   ([`verify_lp_solution`]); failure rejects outright.
+/// * **Dual feasibility** — row dual signs match the row sense and the
+///   objective sense (for a maximization, a `<=` row has `y >= 0`).
+/// * **Complementary slackness** — a row with a significantly nonzero
+///   dual must be binding.
+/// * **Stationarity** — reduced costs `d_j = c_j − Σ_i y_i a_ij`
+///   vanish for interior variables and have the optimal sign at
+///   bounds; the primal−dual objective gap is reported.
+///
+/// Any dual-side failure demotes the certificate to
+/// [`LpCertificate::FeasibleOnly`] with the first offending condition
+/// as the reason — a wrong dual does not un-prove feasibility.
+pub fn verify_lp_certificate(model: &Model, sol: &ffc_lp::Solution) -> LpCertificate {
+    let violations = verify_lp_solution(model, &sol.values);
+    if !violations.is_empty() {
+        return LpCertificate::Infeasible { violations };
+    }
+    let m = model.num_cons();
+    if sol.duals.is_empty() {
+        return LpCertificate::FeasibleOnly {
+            reason: "no duals reported by the solving path".to_string(),
+        };
+    }
+    if sol.duals.len() != m {
+        return LpCertificate::FeasibleOnly {
+            reason: format!("{} duals for {} rows", sol.duals.len(), m),
+        };
+    }
+    let (obj, sense) = model.objective();
+    let maximize = matches!(sense, ffc_lp::Sense::Maximize);
+
+    // Reduced costs d = c − Aᵀy, and the dual objective Σ yᵢ·rhsᵢ
+    // (net of any constant folded into a row's expression).
+    let n = model.num_vars();
+    let mut d = vec![0.0; n];
+    for (v, c) in obj.terms() {
+        d[v.index()] += c;
+    }
+    let mut dual_obj = 0.0;
+    for (i, con) in model.con_views().enumerate() {
+        let y = sol.duals[i];
+        if !y.is_finite() {
+            return LpCertificate::FeasibleOnly {
+                reason: format!("dual y{i} = {y} is not finite"),
+            };
+        }
+        // Dual feasibility: sign vs row sense.
+        let sign_ok = match (con.cmp, maximize) {
+            (Cmp::Eq, _) => true,
+            (Cmp::Le, true) | (Cmp::Ge, false) => y >= -ABS_TOL,
+            (Cmp::Le, false) | (Cmp::Ge, true) => y <= ABS_TOL,
+        };
+        if !sign_ok {
+            return LpCertificate::FeasibleOnly {
+                reason: format!(
+                    "dual infeasibility: row {i} ({:?}) has dual {y:.3e} of the wrong sign",
+                    con.cmp
+                ),
+            };
+        }
+        // Complementary slackness: nonzero dual ⇒ binding row.
+        let lhs = con.expr.eval(&sol.values);
+        let slack = (lhs - con.rhs).abs();
+        if y.abs() > ABS_TOL && slack > ABS_TOL + REL_TOL * con.rhs.abs().max(lhs.abs()) {
+            return LpCertificate::FeasibleOnly {
+                reason: format!(
+                    "complementary slackness: row {i} has dual {y:.3e} but slack {slack:.3e}"
+                ),
+            };
+        }
+        for (v, a) in con.expr.terms() {
+            d[v.index()] -= y * a;
+        }
+        dual_obj += y * (con.rhs - con.expr.constant_part());
+    }
+
+    // Stationarity: reduced-cost signs at the primal point, plus the
+    // bound multipliers' contribution to the dual objective.
+    for (j, dj) in d.iter().enumerate() {
+        let x = sol.values[j];
+        let (lb, ub) = model.var_bounds(ffc_lp::VarId::from_index(j));
+        let at_lb = lb.is_finite() && x - lb <= ABS_TOL + REL_TOL * lb.abs();
+        let at_ub = ub.is_finite() && ub - x <= ABS_TOL + REL_TOL * ub.abs();
+        let tol = ABS_TOL * 10.0 + REL_TOL * dj.abs();
+        if dj.abs() <= tol {
+            continue; // zero reduced cost is always stationary
+        }
+        // Nonzero reduced cost: the variable must rest on the bound
+        // that the sign pins it to.
+        let pushed_to_lb = if maximize { *dj < 0.0 } else { *dj > 0.0 };
+        let pinned_ok = if pushed_to_lb { at_lb } else { at_ub };
+        if !pinned_ok {
+            return LpCertificate::FeasibleOnly {
+                reason: format!(
+                    "stationarity: x{j} = {x:.6} has reduced cost {dj:.3e} but is not at its {}",
+                    if pushed_to_lb {
+                        "lower bound"
+                    } else {
+                        "upper bound"
+                    }
+                ),
+            };
+        }
+        dual_obj += dj * if pushed_to_lb { lb } else { ub };
+    }
+
+    let primal_obj = obj.eval(&sol.values);
+    let gap = (primal_obj - (dual_obj + obj.constant_part())).abs();
+    if gap > ABS_TOL * 100.0 + REL_TOL * 100.0 * primal_obj.abs() {
+        return LpCertificate::FeasibleOnly {
+            reason: format!("duality gap {gap:.3e} (primal {primal_obj:.6}, dual {dual_obj:.6})"),
+        };
+    }
+    LpCertificate::Optimal { gap }
+}
+
 /// Independent rescaling: splits `rate` over `residual` tunnel indices
 /// proportionally to `weights`, accumulating per-link loads.
 ///
@@ -890,6 +1048,101 @@ mod tests {
         let report =
             crate::model_audit::audit_model(&m, &crate::model_audit::AuditConfig::default());
         assert!(report.ok(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn dual_certificate_accepts_true_optimum() {
+        // max x + 2y  s.t.  x + y <= 12, x,y ∈ [0,10]: optimum at
+        // (2, 10), objective 22, row dual 1 (one more unit of the
+        // shared capacity is worth exactly 1).
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, "x");
+        let y = m.add_var(0.0, 10.0, "y");
+        m.add_con(ffc_lp::LinExpr::from(x) + y, Cmp::Le, 12.0);
+        m.set_objective(
+            ffc_lp::LinExpr::from(x) + 2.0 * ffc_lp::LinExpr::from(y),
+            ffc_lp::Sense::Maximize,
+        );
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 22.0).abs() < 1e-9);
+        assert_eq!(sol.duals.len(), 1);
+        assert!((sol.duals[0] - 1.0).abs() < 1e-9, "{:?}", sol.duals);
+        let cert = verify_lp_certificate(&m, &sol);
+        assert!(cert.is_optimal(), "{cert:?}");
+    }
+
+    #[test]
+    fn dual_certificate_demotes_on_corrupted_duals() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, "x");
+        let y = m.add_var(0.0, 10.0, "y");
+        m.add_con(ffc_lp::LinExpr::from(x) + y, Cmp::Le, 12.0);
+        m.set_objective(
+            ffc_lp::LinExpr::from(x) + 2.0 * ffc_lp::LinExpr::from(y),
+            ffc_lp::Sense::Maximize,
+        );
+        let mut sol = m.solve().unwrap();
+
+        // Wrong sign: a maximization `<=` row must have y >= 0.
+        sol.duals[0] = -1.0;
+        match verify_lp_certificate(&m, &sol) {
+            LpCertificate::FeasibleOnly { reason } => {
+                assert!(reason.contains("dual infeasibility"), "{reason}")
+            }
+            other => panic!("expected demotion, got {other:?}"),
+        }
+
+        // Right sign but wrong magnitude: stationarity or the duality
+        // gap must catch it (feasibility is untouched either way).
+        sol.duals[0] = 5.0;
+        let cert = verify_lp_certificate(&m, &sol);
+        assert!(cert.is_feasible());
+        assert!(!cert.is_optimal(), "{cert:?}");
+
+        // Missing duals (e.g. the dense cross-check path) demote with
+        // a reason, never reject.
+        sol.duals.clear();
+        match verify_lp_certificate(&m, &sol) {
+            LpCertificate::FeasibleOnly { reason } => {
+                assert!(reason.contains("no duals"), "{reason}")
+            }
+            other => panic!("expected demotion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dual_certificate_handles_eq_rows_and_minimize() {
+        // min 3x + y  s.t.  x + y = 4, x - y >= -2, x,y ∈ [0, 10]:
+        // optimum at (1, 3), objective 6.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, "x");
+        let y = m.add_var(0.0, 10.0, "y");
+        m.add_con(ffc_lp::LinExpr::from(x) + y, Cmp::Eq, 4.0);
+        m.add_con(ffc_lp::LinExpr::from(x) - y, Cmp::Ge, -2.0);
+        m.set_objective(
+            3.0 * ffc_lp::LinExpr::from(x) + ffc_lp::LinExpr::from(y),
+            ffc_lp::Sense::Minimize,
+        );
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-9);
+        let cert = verify_lp_certificate(&m, &sol);
+        assert!(cert.is_optimal(), "{cert:?}");
+    }
+
+    #[test]
+    fn dual_certificate_on_degenerate_optimum() {
+        // The degenerate model from `degenerate_optimal_model_certifies`:
+        // whichever basis the solver lands on, its duals must pass KKT.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 4.0, "x");
+        let y = m.add_var(0.0, 4.0, "y");
+        m.add_con(ffc_lp::LinExpr::from(x) + y, Cmp::Le, 4.0);
+        m.add_con(ffc_lp::LinExpr::from(x), Cmp::Le, 4.0);
+        m.add_con(ffc_lp::LinExpr::from(y), Cmp::Le, 4.0);
+        m.set_objective(ffc_lp::LinExpr::from(x) + y, ffc_lp::Sense::Maximize);
+        let sol = m.solve().unwrap();
+        let cert = verify_lp_certificate(&m, &sol);
+        assert!(cert.is_optimal(), "{cert:?}");
     }
 
     #[test]

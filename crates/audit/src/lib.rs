@@ -11,6 +11,7 @@
 //! | static model auditor | [`model_audit`] | before solve |
 //! | independent solution certifier | [`certify`] | after solve |
 //! | source lint engine | [`lint`] | in CI (`ffc audit lint`) |
+//! | determinism & panic analyzer | [`analysis`] | in CI (`ffc audit analyze`) |
 //!
 //! The model auditor checks every constructed [`ffc_lp::Model`] for
 //! generic LP hygiene (finite coefficients, consistent bounds, no
@@ -29,18 +30,27 @@
 //! panic-discipline rules the controller and chaos harness silently
 //! depend on; it is dependency-free (hand-rolled line scanning, no
 //! `syn`).
+//!
+//! The [`analysis`] layer goes interprocedural: a lossless tokenizer,
+//! item extractor, and workspace call graph feed two passes —
+//! determinism taint (nondeterminism sources reaching replay-critical
+//! sinks, with full call chains) and panic reachability from hot-loop
+//! roots — plus token-splice autofixes and a committed findings
+//! baseline that CI ratchets downward.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod certify;
 pub mod kernels;
 pub mod lint;
 pub mod model_audit;
 
+pub use analysis::{analyze_path, AnalysisConfig, AnalysisReport};
 pub use certify::{
-    certify, certify_batched, certify_scalar, kernel_workers, CertInput, CertStatus, Certificate,
-    Protection,
+    certify, certify_batched, certify_scalar, kernel_workers, verify_lp_certificate, CertInput,
+    CertStatus, Certificate, LpCertificate, Protection,
 };
 pub use kernels::{par_blocks, BatchEvaluator, BlockResult, ScenarioSet, BLOCK_LANES};
 pub use lint::{lint_workspace, LintConfig, LintReport, LintViolation};

@@ -88,21 +88,18 @@ impl LintReport {
     }
 }
 
-/// Directory names never descended into.
-const SKIP_DIRS: &[&str] = &[
-    "target",
-    "vendor",
-    ".git",
-    ".github",
-    "related",
-    "node_modules",
-];
-
-/// Replay-deterministic modules (relative to the root, `/`-separated).
-const DETERMINISTIC_MODULES: &[&str] = &[
+/// Replay-deterministic modules (relative to the root, `/`-separated):
+/// files on the replay/fingerprint-critical path, where wall-clock and
+/// ambient randomness are outright lint errors. The checkpoint codec
+/// and the fleet telemetry store/report are included because their
+/// byte output feeds committed goldens and store fingerprints.
+pub const DETERMINISTIC_MODULES: &[&str] = &[
+    "crates/ctrl/src/checkpoint.rs",
     "crates/ctrl/src/event.rs",
     "crates/ctrl/src/replay.rs",
     "crates/chaos/src/injector.rs",
+    "crates/fleet/src/report.rs",
+    "crates/fleet/src/store.rs",
 ];
 
 /// Scope prefixes for the `no-unwrap` rule.
@@ -136,12 +133,18 @@ impl Patterns {
     }
 }
 
-/// Lints every `.rs` file under `cfg.root`, returning violations in
-/// deterministic order.
+/// Lints every first-party `.rs` file under `cfg.root`, returning
+/// violations in deterministic order.
+///
+/// The file universe comes from workspace-member enumeration
+/// ([`crate::analysis::symbols::workspace_rs_files`]): `target/` and
+/// `vendor/*` never appear because they are not members (or are
+/// excluded via `[workspace.metadata.audit]`), not because a
+/// directory-name skip list happened to catch them. A root without a
+/// manifest falls back to a plain recursive walk (nested packages and
+/// dot-directories still excluded).
 pub fn lint_workspace(cfg: &LintConfig) -> io::Result<LintReport> {
-    let mut files = Vec::new();
-    collect_rs_files(&cfg.root, &mut files)?;
-    files.sort();
+    let files = crate::analysis::symbols::workspace_rs_files(&cfg.root)?;
 
     let pats = Patterns::new();
     let mut report = LintReport::default();
@@ -152,23 +155,6 @@ pub fn lint_workspace(cfg: &LintConfig) -> io::Result<LintReport> {
         lint_file(&rel, &text, &pats, &mut report.violations);
     }
     Ok(report)
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if !SKIP_DIRS.contains(&name.as_ref()) {
-                collect_rs_files(&path, out)?;
-            }
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 /// Whether `rel` (root-relative) is a crate root that must carry
@@ -600,12 +586,32 @@ fn f() -> &'static str { ".unwrap() == 0.5" }
     }
 
     #[test]
-    fn vendor_and_target_are_skipped() {
+    fn vendor_and_target_are_skipped_by_membership() {
         let dir = scratch_dir("skip");
+        // Non-members never enter the file universe: `target/` is not
+        // in `members`, and `vendor/*` is a member but excluded via
+        // `[workspace.metadata.audit]`.
+        fs::write(
+            dir.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/*\", \"vendor/*\"]\n\n\
+             [workspace.metadata.audit]\nexclude = [\"vendor/*\"]\n",
+        )
+        .unwrap();
         fs::create_dir_all(dir.join("vendor/x/src")).unwrap();
+        fs::create_dir_all(dir.join("target/debug")).unwrap();
         fs::write(
             dir.join("vendor/x/src/lib.rs"),
             "fn f(a: f64) -> bool { a == 0.5 }\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("target/debug/generated.rs"),
+            "fn g(a: f64) -> bool { a == 0.5 }\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("crates/lp/Cargo.toml"),
+            "[package]\nname = \"lp\"\n",
         )
         .unwrap();
         fs::write(

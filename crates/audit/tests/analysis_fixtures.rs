@@ -1,0 +1,269 @@
+//! The analyzer against its committed bad fixtures: exact findings with
+//! full source→sink call chains, autofixes that leave each fixture
+//! analyzer-clean *and still compiling*, deterministic JSON, and the
+//! workspace self-analysis pinned to the committed baseline.
+//!
+//! The fixture mini-crates under `tests/fixtures/` carry their own
+//! `Cargo.toml` + `[workspace]` table, so host-workspace discovery
+//! skips them by membership construction — asserted here too.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ffc_audit::analysis::fixes::{self, FixOptions};
+use ffc_audit::analysis::taint::{allow_marker, FnMatcher};
+use ffc_audit::analysis::{self, AnalysisConfig};
+
+fn fixture_dir(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// Copies a committed fixture into a scratch dir so autofix tests never
+/// mutate the repository tree.
+fn scratch_copy(name: &str, tag: &str) -> PathBuf {
+    let dst = std::env::temp_dir().join(format!("ffc-audit-fx-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dst);
+    fs::create_dir_all(dst.join("src")).unwrap();
+    let src = fixture_dir(name);
+    fs::copy(src.join("Cargo.toml"), dst.join("Cargo.toml")).unwrap();
+    fs::copy(src.join("src/lib.rs"), dst.join("src/lib.rs")).unwrap();
+    dst
+}
+
+fn s(v: &str) -> String {
+    v.to_string()
+}
+
+/// `tainted_fp`: determinism taint (time + hash iteration) into the
+/// `fingerprint` sink, plus a reachable unwrap.
+fn tainted_fp_config() -> AnalysisConfig {
+    AnalysisConfig {
+        sinks: vec![(s("fp-sink"), FnMatcher::NameContains(s("fingerprint")))],
+        roots: vec![(
+            s("entry"),
+            FnMatcher::QnamePrefix(s("tainted_fp::fingerprint")),
+        )],
+        max_depth: 64,
+    }
+}
+
+/// `hot_unwrap`: panic reachability from the `Engine::run` hot loop.
+fn hot_unwrap_config() -> AnalysisConfig {
+    AnalysisConfig {
+        sinks: vec![],
+        roots: vec![(
+            s("hot-loop"),
+            FnMatcher::QnamePrefix(s("hot_unwrap::Engine::run")),
+        )],
+        max_depth: 64,
+    }
+}
+
+/// `hash_serial`: hash-ordered serialization sink + unwrap in a
+/// Result-returning fn, both autofixable.
+fn hash_serial_config() -> AnalysisConfig {
+    AnalysisConfig {
+        sinks: vec![(s("serial"), FnMatcher::NameContains(s("serialize")))],
+        roots: vec![(s("api"), FnMatcher::QnamePrefix(s("hash_serial::")))],
+        max_depth: 64,
+    }
+}
+
+fn fix_opts() -> FixOptions {
+    FixOptions {
+        rewrite_hash_all: false,
+        deterministic_modules: vec![s("src/lib.rs")],
+    }
+}
+
+/// Applies the autofixer to a scratch copy, asserts the result is
+/// analyzer-clean under `config`, and that `rustc` still accepts it.
+fn fix_and_verify(name: &str, tag: &str, config: &AnalysisConfig) -> String {
+    let dir = scratch_copy(name, tag);
+    let report = fixes::plan(&dir, config, &fix_opts()).unwrap();
+    assert!(report.edit_count() > 0, "{name}: autofixer planned nothing");
+    fixes::apply(&dir, &report).unwrap();
+
+    let after = analysis::analyze_path(&dir, config).unwrap();
+    assert!(
+        after.findings.is_empty(),
+        "{name}: still dirty after fix: {:?}",
+        after.keys()
+    );
+
+    let out = Command::new("rustc")
+        .args(["--edition", "2021", "--crate-type", "lib", "src/lib.rs"])
+        .args(["-o", "fixed.rlib"])
+        .current_dir(&dir)
+        .output()
+        .expect("rustc must be runnable");
+    assert!(
+        out.status.success(),
+        "{name}: fixed fixture no longer compiles:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let fixed = fs::read_to_string(dir.join("src/lib.rs")).unwrap();
+    let _ = fs::remove_dir_all(&dir);
+    fixed
+}
+
+#[test]
+fn tainted_fp_reports_exact_findings_with_chains() {
+    let report = analysis::analyze_path(&fixture_dir("tainted_fp"), &tainted_fp_config()).unwrap();
+    assert_eq!(
+        report.keys(),
+        vec![
+            s("panic-reachable|unwrap|tainted_fp::now_ms"),
+            s("taint-determinism|hash-iter|tainted_fp::mix"),
+            s("taint-determinism|time|tainted_fp::now_ms"),
+        ],
+        "full report: {}",
+        report.to_text()
+    );
+    let time = &report.findings[2];
+    assert_eq!(time.anchor, "tainted_fp::fingerprint");
+    assert_eq!(
+        time.chain,
+        vec![s("tainted_fp::fingerprint"), s("tainted_fp::now_ms")],
+        "source→sink chain must be complete"
+    );
+    let hash = &report.findings[1];
+    assert_eq!(
+        hash.chain,
+        vec![s("tainted_fp::fingerprint"), s("tainted_fp::mix")]
+    );
+    assert!(hash.excerpt.contains("for (k, v) in &state"));
+}
+
+#[test]
+fn hot_unwrap_reports_exact_findings_with_chains() {
+    let report = analysis::analyze_path(&fixture_dir("hot_unwrap"), &hot_unwrap_config()).unwrap();
+    assert_eq!(
+        report.keys(),
+        vec![
+            s("panic-reachable|expect|hot_unwrap::scale"),
+            s("panic-reachable|index|hot_unwrap::Engine::step"),
+            s("panic-reachable|rem-nonliteral|hot_unwrap::Engine::step"),
+        ],
+        "full report: {}",
+        report.to_text()
+    );
+    let expect = &report.findings[0];
+    assert_eq!(expect.anchor_label, "hot-loop");
+    assert_eq!(
+        expect.chain,
+        vec![
+            s("hot_unwrap::Engine::run"),
+            s("hot_unwrap::Engine::step"),
+            s("hot_unwrap::scale"),
+        ],
+        "root→site chain must walk through the method call"
+    );
+}
+
+#[test]
+fn hash_serial_reports_exact_findings() {
+    let report =
+        analysis::analyze_path(&fixture_dir("hash_serial"), &hash_serial_config()).unwrap();
+    assert_eq!(
+        report.keys(),
+        vec![
+            s("panic-reachable|unwrap|hash_serial::parse_first"),
+            s("taint-determinism|hash-iter|hash_serial::serialize"),
+        ],
+        "full report: {}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn fixture_json_is_byte_identical_across_runs() {
+    for (name, config) in [
+        ("tainted_fp", tainted_fp_config()),
+        ("hot_unwrap", hot_unwrap_config()),
+        ("hash_serial", hash_serial_config()),
+    ] {
+        let a = analysis::analyze_path(&fixture_dir(name), &config).unwrap();
+        let b = analysis::analyze_path(&fixture_dir(name), &config).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "{name}: JSON not deterministic");
+    }
+}
+
+#[test]
+fn fix_makes_tainted_fp_clean_and_compiling() {
+    let fixed = fix_and_verify("tainted_fp", "tfp", &tainted_fp_config());
+    assert!(fixed.contains("BTreeMap"), "hash rewrite missing:\n{fixed}");
+    assert!(
+        fixed.contains(&allow_marker()),
+        "time/unwrap sites need suppression markers:\n{fixed}"
+    );
+}
+
+#[test]
+fn fix_makes_hot_unwrap_clean_and_compiling() {
+    let fixed = fix_and_verify("hot_unwrap", "hu", &hot_unwrap_config());
+    // No Result-returning fns and no hash containers: every finding is
+    // scaffolded with a marker, none silently dropped.
+    assert!(fixed.contains(&allow_marker()), "markers missing:\n{fixed}");
+    assert!(fixed.contains("expect"), "fix must not delete code");
+}
+
+#[test]
+fn fix_makes_hash_serial_clean_and_compiling() {
+    let fixed = fix_and_verify("hash_serial", "hs", &hash_serial_config());
+    assert!(fixed.contains("BTreeMap"), "hash rewrite missing:\n{fixed}");
+    assert!(
+        fixed.contains(".parse()?"),
+        "unwrap in Result fn must become `?`:\n{fixed}"
+    );
+    assert!(
+        fixed.contains("unwrap_or"),
+        "non-panicking unwrap_or must survive untouched:\n{fixed}"
+    );
+}
+
+#[test]
+fn fixtures_are_invisible_to_host_workspace_analysis() {
+    let model = analysis::build_model(&workspace_root()).unwrap();
+    for krate in &model.crates {
+        for file in &krate.files {
+            assert!(
+                !file.rel.contains("tests/fixtures/"),
+                "fixture leaked into host analysis: {}::{}",
+                krate.name,
+                file.rel
+            );
+        }
+    }
+}
+
+/// The committed workspace baseline is exactly the current self-analysis:
+/// no new findings (ratchet would fail CI) and no stale entries (fixed
+/// findings must be deleted from the baseline, keeping it honest).
+#[test]
+fn workspace_self_analysis_matches_committed_baseline() {
+    let root = workspace_root();
+    let report = analysis::analyze_path(&root, &AnalysisConfig::workspace_default()).unwrap();
+    let body = fs::read_to_string(root.join("crates/audit/workspace.baseline"))
+        .expect("crates/audit/workspace.baseline must be committed");
+    let baseline = analysis::parse_baseline(&body);
+    let res = analysis::ratchet(&report, &baseline);
+    assert!(
+        res.ok(),
+        "workspace drifted from baseline.\nnew: {:#?}\nstale: {:#?}\n\
+         regenerate with: cargo run -p ffc-cli --bin ffc -- audit analyze \
+         --write-baseline crates/audit/workspace.baseline",
+        res.new,
+        res.stale
+    );
+}

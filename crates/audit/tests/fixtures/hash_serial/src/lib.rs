@@ -1,0 +1,27 @@
+//! Bad fixture: serialization iterates a `HashMap` (order leaks into
+//! the output string) and a Result-returning parser unwraps instead of
+//! propagating.
+
+use std::collections::HashMap;
+
+pub fn serialize(pairs: &[(String, u64)]) -> String {
+    let mut m: HashMap<String, u64> = HashMap::new();
+    for (k, v) in pairs {
+        m.insert(k.clone(), *v);
+    }
+    let mut out = String::new();
+    for (k, v) in &m {
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&v.to_string());
+        out.push(';');
+    }
+    out
+}
+
+pub fn parse_first(s: &str) -> Result<u64, std::num::ParseIntError> {
+    let head = s.split(';').next().unwrap_or("0=0");
+    let field = head.split('=').last().unwrap_or("0");
+    let num: u64 = field.parse().unwrap();
+    Ok(num * 2)
+}

@@ -1,0 +1,37 @@
+//! Bad fixture: indexing, non-literal remainder, and an `expect` all
+//! reachable from the `Engine::run` hot loop.
+
+pub struct Engine {
+    vals: Vec<f64>,
+}
+
+impl Engine {
+    pub fn new(vals: Vec<f64>) -> Self {
+        Engine { vals }
+    }
+
+    pub fn run(&self, rounds: usize) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..rounds {
+            acc += self.step(i);
+        }
+        acc
+    }
+
+    fn step(&self, i: usize) -> f64 {
+        let idx = i % self.vals.len();
+        self.vals[idx] * scale(idx)
+    }
+}
+
+fn scale(i: usize) -> f64 {
+    lookup(i).expect("scale table exhausted")
+}
+
+fn lookup(i: usize) -> Option<f64> {
+    if i < 3 {
+        Some(1.0 / (i + 1) as f64)
+    } else {
+        None
+    }
+}

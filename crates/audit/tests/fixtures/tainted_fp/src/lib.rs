@@ -1,0 +1,26 @@
+//! Bad fixture: wall-clock time and hash-map iteration order both flow
+//! into a `fingerprint` sink, and a panic site rides on the same path.
+
+use std::collections::HashMap;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn now_ms() -> u128 {
+    let d = SystemTime::now().duration_since(UNIX_EPOCH).unwrap();
+    d.as_millis()
+}
+
+fn mix(pairs: &[(String, u64)]) -> u64 {
+    let mut state: HashMap<String, u64> = HashMap::new();
+    for (k, v) in pairs {
+        state.insert(k.clone(), *v);
+    }
+    let mut h = 0u64;
+    for (k, v) in &state {
+        h = h.wrapping_mul(31).wrapping_add(k.len() as u64 ^ *v);
+    }
+    h
+}
+
+pub fn fingerprint(pairs: &[(String, u64)]) -> u64 {
+    mix(pairs) ^ now_ms() as u64
+}

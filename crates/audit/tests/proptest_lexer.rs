@@ -1,0 +1,124 @@
+//! Lossless-tokenizer oracle: concatenating the token texts must
+//! reconstruct the input byte-for-byte — the property every token-splice
+//! autofix rests on. Exercised three ways:
+//!
+//! * every first-party `.rs` file in the workspace (the real corpus),
+//! * randomized *slices* of those files (unterminated strings, comments
+//!   cut mid-delimiter, raw-string fences split from their hashes),
+//! * synthetic pathological inputs stitched from adversarial fragments
+//!   (nested block comments, raw strings with hash fences, lifetimes
+//!   vs. char literals, shebangs, stray backslashes).
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use ffc_audit::analysis::lexer::tokenize;
+use ffc_audit::analysis::symbols::workspace_rs_files;
+use proptest::prelude::*;
+
+fn roundtrip(src: &str) -> String {
+    tokenize(src).iter().map(|t| t.text(src)).collect()
+}
+
+fn corpus() -> &'static Vec<(PathBuf, String)> {
+    static CORPUS: OnceLock<Vec<(PathBuf, String)>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        workspace_rs_files(&root)
+            .expect("workspace discovery")
+            .into_iter()
+            .filter_map(|p| std::fs::read_to_string(&p).ok().map(|s| (p, s)))
+            .collect()
+    })
+}
+
+/// Deterministic full-corpus sweep: every workspace file round-trips.
+#[test]
+fn every_workspace_file_roundtrips() {
+    let corpus = corpus();
+    assert!(corpus.len() > 50, "workspace corpus suspiciously small");
+    for (path, src) in corpus {
+        assert_eq!(
+            &roundtrip(src),
+            src,
+            "tokenizer lost bytes in {}",
+            path.display()
+        );
+    }
+}
+
+/// Adversarial fragments for synthetic inputs. Deliberately includes
+/// unterminated delimiters — the lexer must be total and lossless on
+/// *any* input, not just valid Rust.
+const FRAGS: &[&str] = &[
+    "fn f() {}",
+    "r#\"raw \" string\"#",
+    "r##\"fence ## inside\"##",
+    "r#",
+    "\"unterminated",
+    "'a",
+    "'x'",
+    "'\\''",
+    "// line comment\n",
+    "/* block /* nested */ still */",
+    "/* unterminated",
+    "b\"bytes\\\"esc\"",
+    "0x1f_u64",
+    "1.5e-3",
+    "ident_1",
+    "#![allow(dead_code)]\n",
+    "#!/usr/bin/env cat\n",
+    "\\",
+    "::<>",
+    "..=",
+    "\t \n\r\n",
+    "”smart quotes“",
+    "日本語",
+    "%",
+    "m . iter ( )",
+];
+
+fn snap(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+proptest! {
+    /// Random slices of real workspace files round-trip, even when the
+    /// cut lands inside a string, comment, or raw-string fence.
+    #[test]
+    fn workspace_file_slices_roundtrip(
+        file_sel in 0..usize::MAX,
+        a in 0..usize::MAX,
+        b in 0..usize::MAX,
+    ) {
+        let corpus = corpus();
+        let (_, src) = &corpus[file_sel % corpus.len()];
+        let (mut lo, mut hi) = (snap(src, a % (src.len() + 1)), snap(src, b % (src.len() + 1)));
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let slice = &src[lo..hi];
+        prop_assert_eq!(&roundtrip(slice), slice);
+    }
+
+    /// Synthetic pathological inputs stitched from adversarial
+    /// fragments round-trip byte-for-byte.
+    #[test]
+    fn synthetic_fragment_soups_roundtrip(
+        picks in prop::collection::vec(0..usize::MAX, 0..=12),
+        glue in any::<bool>(),
+    ) {
+        let mut soup = String::new();
+        for (i, p) in picks.iter().enumerate() {
+            soup.push_str(FRAGS[p % FRAGS.len()]);
+            if glue && i % 2 == 0 {
+                soup.push(' ');
+            }
+        }
+        prop_assert_eq!(&roundtrip(&soup), &soup);
+    }
+}

@@ -104,6 +104,11 @@ struct Opts {
     ckpt_dir: Option<String>,
     supervise: bool,
     max_restarts: usize,
+    json: bool,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    check: bool,
+    rewrite_all: bool,
 }
 
 fn usage() -> ! {
@@ -126,6 +131,9 @@ fn usage() -> ! {
          \x20      ffc report --store DIR [--top N] [--html FILE] [--no-timing]\n\
          \x20          [--fingerprint]\n\
          \x20      ffc audit lint [DIR]\n\
+         \x20      ffc audit analyze [DIR] [--json] [--baseline FILE]\n\
+         \x20          [--write-baseline FILE]\n\
+         \x20      ffc audit fix [DIR] [--check] [--rewrite-all]\n\
          \x20      ffc audit model [--topo FILE --traffic FILE] [--kc N --ke N --kv N]\n\
          \x20          [--tunnels N]"
     );
@@ -165,6 +173,11 @@ fn parse_opts() -> Opts {
         ckpt_dir: None,
         supervise: false,
         max_restarts: 3,
+        json: false,
+        baseline: None,
+        write_baseline: None,
+        check: false,
+        rewrite_all: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -202,6 +215,11 @@ fn parse_opts() -> Opts {
                 o.max_restarts = val("--max-restarts").parse().unwrap_or_else(|_| usage())
             }
             "--jitter" => o.jitter = val("--jitter").parse().unwrap_or_else(|_| usage()),
+            "--json" => o.json = true,
+            "--baseline" => o.baseline = Some(val("--baseline")),
+            "--write-baseline" => o.write_baseline = Some(val("--write-baseline")),
+            "--check" => o.check = true,
+            "--rewrite-all" => o.rewrite_all = true,
             "--incremental" => o.incremental = true,
             "--no-incremental" => o.incremental = false,
             "--switch-model" => {
@@ -1060,8 +1078,8 @@ fn run_chaos_cmd(o: &Opts) -> ExitCode {
     }
 }
 
-/// `ffc audit lint [DIR]` / `ffc audit model`: the static verification
-/// layer from the command line.
+/// `ffc audit lint|analyze|fix|model`: the static verification layer
+/// from the command line.
 ///
 /// * `lint` scans the source tree rooted at `DIR` (default: the current
 ///   directory) for the workspace hygiene rules — unwrap/expect in
@@ -1069,6 +1087,15 @@ fn run_chaos_cmd(o: &Opts) -> ExitCode {
 ///   wall-clock or ambient randomness in replay-deterministic modules,
 ///   missing `#![forbid(unsafe_code)]` — and exits non-zero on any
 ///   violation.
+/// * `analyze` runs the interprocedural analyzer (determinism taint
+///   into replay-critical sinks, panic reachability from hot-loop
+///   roots) and prints findings with full call chains (`--json` for
+///   machine output). With `--baseline FILE` it ratchets: findings not
+///   in the baseline fail, and so do stale baseline entries.
+///   `--write-baseline FILE` regenerates the baseline.
+/// * `fix` applies the analyzer autofixes (hash→BTree rewrites in
+///   deterministic modules, `unwrap`→`?` in `Result` fns, suppression
+///   scaffolding elsewhere); `--check` plans without writing.
 /// * `model` builds the FFC model for a workload (built-in S-Net with
 ///   gravity traffic unless `--topo/--traffic` are given) and runs the
 ///   static model auditor over it: LP hygiene plus the FFC structural
@@ -1077,6 +1104,8 @@ fn run_audit(o: &Opts) -> ExitCode {
     use ffc_audit::{lint_workspace, LintConfig};
 
     match o.args.first().map(String::as_str) {
+        Some("analyze") => run_audit_analyze(o),
+        Some("fix") => run_audit_fix(o),
         Some("lint") => {
             let root = o.args.get(1).cloned().unwrap_or_else(|| ".".to_string());
             let report = match lint_workspace(&LintConfig {
@@ -1184,12 +1213,114 @@ fn run_audit(o: &Opts) -> ExitCode {
             }
         }
         Some(other) => {
-            eprintln!("unknown audit subcommand '{other}' (lint or model)");
+            eprintln!("unknown audit subcommand '{other}' (lint, analyze, fix, or model)");
             usage()
         }
         None => {
-            eprintln!("audit needs a subcommand (lint or model)");
+            eprintln!("audit needs a subcommand (lint, analyze, fix, or model)");
             usage()
+        }
+    }
+}
+
+/// `ffc audit analyze [DIR] [--json] [--baseline FILE]
+/// [--write-baseline FILE]`.
+fn run_audit_analyze(o: &Opts) -> ExitCode {
+    let root = o.args.get(1).cloned().unwrap_or_else(|| ".".to_string());
+    let config = ffc_audit::AnalysisConfig::workspace_default();
+    let report = match ffc_audit::analyze_path(std::path::Path::new(&root), &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot analyze {root}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if o.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if let Some(path) = &o.write_baseline {
+        if let Err(e) = std::fs::write(path, report.baseline_body()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} finding(s))", report.findings.len());
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &o.baseline {
+        let body = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = ffc_audit::analysis::parse_baseline(&body);
+        let r = ffc_audit::analysis::ratchet(&report, &baseline);
+        for k in &r.new {
+            eprintln!("NEW (not in baseline): {k}");
+        }
+        for k in &r.stale {
+            eprintln!("STALE (fixed; delete from baseline): {k}");
+        }
+        if !r.ok() {
+            eprintln!(
+                "ratchet failed: {} new, {} stale (baseline {path})",
+                r.new.len(),
+                r.stale.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("ratchet ok: {} finding(s) match {path}", baseline.len());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `ffc audit fix [DIR] [--check] [--rewrite-all]`.
+fn run_audit_fix(o: &Opts) -> ExitCode {
+    use ffc_audit::analysis::fixes;
+    let root = o.args.get(1).cloned().unwrap_or_else(|| ".".to_string());
+    let config = ffc_audit::AnalysisConfig::workspace_default();
+    let opts = fixes::FixOptions {
+        rewrite_hash_all: o.rewrite_all,
+        deterministic_modules: ffc_audit::lint::DETERMINISTIC_MODULES
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let plan = match fixes::plan(std::path::Path::new(&root), &config, &opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot plan fixes for {root}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for note in &plan.notes {
+        println!("note: {note}");
+    }
+    for fix in &plan.fixes {
+        for action in &fix.actions {
+            println!("{}{action}", if o.check { "would fix: " } else { "fix: " });
+        }
+    }
+    println!(
+        "{} edit(s) across {} file(s){}",
+        plan.edit_count(),
+        plan.fixes.len(),
+        if o.check { " (dry run)" } else { "" }
+    );
+    if o.check {
+        return ExitCode::SUCCESS;
+    }
+    match fixes::apply(std::path::Path::new(&root), &plan) {
+        Ok(n) => {
+            println!("rewrote {n} file(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot apply fixes: {e}");
+            ExitCode::FAILURE
         }
     }
 }

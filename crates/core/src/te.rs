@@ -241,6 +241,7 @@ impl<'a> TeModelBuilder<'a> {
     /// Solves the model and extracts the TE configuration.
     pub fn solve(&self) -> Result<TeConfig, LpError> {
         let sol = self.model.solve()?;
+        crate::verify::debug_certify_lp(self, &sol, "TeModelBuilder::solve");
         Ok(self.extract(&sol))
     }
 
@@ -252,6 +253,7 @@ impl<'a> TeModelBuilder<'a> {
         opts: &ffc_lp::SimplexOptions,
     ) -> Result<(TeConfig, ffc_lp::Solution), LpError> {
         let sol = self.model.solve_with(opts)?;
+        crate::verify::debug_certify_lp(self, &sol, "TeModelBuilder::solve_detailed");
         Ok((self.extract(&sol), sol))
     }
 

@@ -9,11 +9,17 @@
 //!   configuration against its protection level.
 //! * [`audit_te_model`] — pre-solve static audit of a built TE/FFC
 //!   model (LP hygiene + FFC structural invariants).
+//! * [`certify_lp`] — KKT optimality cross-check of a raw LP solution
+//!   (dual feasibility + complementary slackness of the solver's duals),
+//!   demoted to a feasibility-only certificate with a reason when the
+//!   duals do not check out.
 //! * [`debug_certify`] — the debug-assertions hook the batch solvers
 //!   call on every successful solve, so the whole tier-1 suite runs
 //!   under certification.
 
-use ffc_audit::{certify, AuditConfig, AuditReport, CertInput, Certificate, Protection};
+use ffc_audit::{
+    certify, AuditConfig, AuditReport, CertInput, Certificate, LpCertificate, Protection,
+};
 use ffc_net::{LinkId, Topology, TrafficMatrix, TunnelTable};
 
 use crate::combined::FfcConfig;
@@ -53,6 +59,40 @@ pub fn certify_config(
 /// workspace naming conventions.
 pub fn audit_te_model(builder: &TeModelBuilder<'_>) -> AuditReport {
     ffc_audit::audit_model(&builder.model, &AuditConfig::default())
+}
+
+/// KKT optimality cross-check of a raw LP solution against the model it
+/// came from: primal feasibility, dual feasibility (sign conditions per
+/// row sense), complementary slackness, and a duality-gap bound (see
+/// [`ffc_audit::certify::verify_lp_certificate`]).
+///
+/// The result is a graded certificate: [`LpCertificate::Optimal`] when
+/// the solver's duals prove optimality, demoted to
+/// [`LpCertificate::FeasibleOnly`] with a human-readable reason when
+/// they do not (e.g. the dense fallback path reports no duals), and
+/// [`LpCertificate::Infeasible`] when the primal itself fails.
+pub fn certify_lp(builder: &TeModelBuilder<'_>, sol: &ffc_lp::Solution) -> LpCertificate {
+    ffc_audit::verify_lp_certificate(&builder.model, sol)
+}
+
+/// Debug-assertions LP-certificate hook: every raw solution the TE
+/// builder returns is KKT-checked in debug builds. Primal infeasibility
+/// is a solver bug and asserts; demotion to feasibility-only is
+/// tolerated (some solving paths legitimately report no duals).
+#[allow(unused_variables)]
+pub(crate) fn debug_certify_lp(
+    builder: &TeModelBuilder<'_>,
+    sol: &ffc_lp::Solution,
+    context: &str,
+) {
+    #[cfg(debug_assertions)]
+    {
+        let cert = certify_lp(builder, sol);
+        debug_assert!(
+            cert.is_feasible(),
+            "{context}: solver returned a primal-infeasible LP solution: {cert:?}"
+        );
+    }
 }
 
 /// Debug-assertions certification hook for the batch solvers: every
@@ -129,6 +169,35 @@ mod tests {
         corrupted.rate[0] += 5.0; // breaks coverage + demand bound
         let cert = certify_config(&topo, &tm, &tunnels, &corrupted, Some(&old), &ffc);
         assert!(!cert.ok());
+    }
+
+    /// The simplex path's duals prove optimality of a real FFC solve
+    /// through the KKT cross-check, and corrupting them demotes the
+    /// certificate to feasibility-only (never to a false "optimal").
+    #[test]
+    fn lp_dual_certificate_on_ffc_solve() {
+        let (topo, tm, tunnels) = ring();
+        let old = TeConfig::zero(&tunnels);
+        let ffc = FfcConfig::new(1, 1, 0).exact();
+        let builder =
+            crate::combined::build_ffc_model(TeProblem::new(&topo, &tm, &tunnels), &old, &ffc);
+        let (_, sol) = builder.solve_detailed(&Default::default()).unwrap();
+        assert!(!sol.duals.is_empty());
+        let cert = certify_lp(&builder, &sol);
+        assert!(cert.is_optimal(), "{cert:?}");
+
+        // Corrupted duals: still primal-feasible, no longer provably optimal.
+        let mut bad = sol.clone();
+        for y in &mut bad.duals {
+            *y += 3.0;
+        }
+        let cert = certify_lp(&builder, &bad);
+        assert!(cert.is_feasible() && !cert.is_optimal(), "{cert:?}");
+        if let LpCertificate::FeasibleOnly { reason } = &cert {
+            assert!(!reason.is_empty());
+        } else {
+            panic!("expected FeasibleOnly, got {cert:?}");
+        }
     }
 
     /// The model auditor accepts every model the FFC builder emits.

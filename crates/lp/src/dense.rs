@@ -234,6 +234,7 @@ pub fn solve_dense(model: &Model) -> Result<Solution, LpError> {
         iterations: 0,
         basis: crate::model::BasisStatuses(Vec::new()),
         stats: crate::model::SolveStats::default(),
+        duals: Vec::new(),
     })
 }
 

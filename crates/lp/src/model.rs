@@ -258,6 +258,12 @@ pub struct Solution {
     pub basis: BasisStatuses,
     /// Detailed performance counters for this solve.
     pub stats: SolveStats,
+    /// Dual values (simplex multipliers), one per constraint in row
+    /// order, expressed in the model's original sense: for a
+    /// maximization, a binding `<=` row has a nonnegative dual. Empty
+    /// when the solving path does not produce duals (e.g. the dense
+    /// cross-check solver).
+    pub duals: Vec<f64>,
 }
 
 impl Solution {

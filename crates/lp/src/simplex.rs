@@ -2018,12 +2018,22 @@ fn finish_solve(
             VStat::FreeZero => ColStatus::Free,
         })
         .collect();
+    // Duals: the optimality check that ended phase 2 left
+    // `eng.y = B⁻ᵀ c_B` for the final basis and the phase-2 costs.
+    // Internally everything is a minimization; flip back to the
+    // model's original sense.
+    let duals: Vec<f64> = eng
+        .y
+        .iter()
+        .map(|&yi| if std.maximize { -yi } else { yi })
+        .collect();
     let sol = Solution {
         objective: std.report_objective(min_val),
         values,
         iterations: eng.iterations,
         basis: BasisStatuses(statuses),
         stats: eng.stats,
+        duals,
     };
     if let Some(out) = hot_out {
         *out = eng.into_hot();
